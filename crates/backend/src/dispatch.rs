@@ -1,0 +1,95 @@
+//! Backend selection, mirroring StreamBrain's `backend=` argument.
+
+use std::sync::Arc;
+
+use crate::naive::NaiveBackend;
+use crate::parallel::ParallelBackend;
+use crate::traits::Backend;
+
+/// Environment variable used by [`BackendKind::from_env`] to pick a backend
+/// (values: `naive`, `parallel`).
+pub const BACKEND_ENV: &str = "BCPNN_BACKEND";
+
+/// The available compute backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Single-threaded reference kernels.
+    Naive,
+    /// Multi-threaded GEMM-based kernels (the default).
+    #[default]
+    Parallel,
+}
+
+impl BackendKind {
+    /// Parse a backend name (`"naive"` / `"parallel"`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "naive" | "reference" | "numpy" => Some(Self::Naive),
+            "parallel" | "openmp" | "cpu" | "threaded" => Some(Self::Parallel),
+            _ => None,
+        }
+    }
+
+    /// Pick the backend from the `BCPNN_BACKEND` environment variable,
+    /// falling back to [`BackendKind::Parallel`].
+    pub fn from_env() -> Self {
+        std::env::var(BACKEND_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Instantiate the backend.
+    pub fn create(self) -> Arc<dyn Backend> {
+        match self {
+            Self::Naive => Arc::new(NaiveBackend::new()),
+            Self::Parallel => Arc::new(ParallelBackend::new()),
+        }
+    }
+
+    /// Name of the backend kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Naive => "naive",
+            Self::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convenience constructor for the default backend.
+pub fn default_backend() -> Arc<dyn Backend> {
+    BackendKind::default().create()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(BackendKind::parse("naive"), Some(BackendKind::Naive));
+        assert_eq!(BackendKind::parse("NumPy"), Some(BackendKind::Naive));
+        assert_eq!(BackendKind::parse(" parallel "), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("openmp"), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("cuda"), None);
+    }
+
+    #[test]
+    fn create_returns_matching_backend() {
+        assert_eq!(BackendKind::Naive.create().name(), "naive");
+        assert_eq!(BackendKind::Parallel.create().name(), "parallel");
+        assert_eq!(default_backend().name(), "parallel");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(BackendKind::Naive.to_string(), "naive");
+        assert_eq!(BackendKind::Parallel.to_string(), "parallel");
+    }
+}

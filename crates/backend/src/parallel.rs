@@ -1,0 +1,289 @@
+//! Multi-threaded backend built on the `bcpnn-tensor` GEMM kernels and the
+//! `bcpnn-parallel` pool.
+//!
+//! This backend plays the role of StreamBrain's OpenMP/MKL CPU backend: the
+//! forward pass and the joint-trace update are expressed as GEMMs (exactly
+//! as described in §II-B of the paper), and the element-wise kernels are
+//! parallelised over flat chunks of the underlying storage.
+
+use bcpnn_parallel::par_chunks_mut;
+use bcpnn_tensor::{gemm, gemm_tn, Matrix};
+
+use crate::kernels::{bcpnn_bias, bcpnn_weight, mutual_information_term, trace_update};
+use crate::traits::{check_forward_shapes, check_mask_shapes, check_trace_shapes, Backend};
+
+/// Multi-threaded GEMM-based implementation of every kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParallelBackend;
+
+impl ParallelBackend {
+    /// Create a new parallel backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn linear_forward(
+        &self,
+        x: &Matrix<f32>,
+        weights: &Matrix<f32>,
+        bias: &[f32],
+        out: &mut Matrix<f32>,
+    ) {
+        check_forward_shapes(x, weights, bias, out);
+        // out = x · W  (GEMM), then add the bias row to every output row.
+        gemm(1.0, x, weights, 0.0, out);
+        let cols = out.cols();
+        par_chunks_mut(out.as_mut_slice(), cols.max(1), |_, row| {
+            for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        });
+    }
+
+    fn grouped_softmax(&self, m: &mut Matrix<f32>, group: usize) {
+        bcpnn_tensor::reduce::softmax_row_groups(m, group);
+    }
+
+    fn update_traces(
+        &self,
+        x: &Matrix<f32>,
+        act: &Matrix<f32>,
+        rate: f32,
+        pi: &mut [f32],
+        pj: &mut [f32],
+        pij: &mut Matrix<f32>,
+    ) {
+        check_trace_shapes(x, act, pi, pj, pij);
+        let batch = x.rows();
+        if batch == 0 {
+            return;
+        }
+        let inv_b = 1.0 / batch as f32;
+        // pi / pj: EMA towards the batch column means.
+        let x_means = bcpnn_tensor::reduce::col_sums(x);
+        for (p, s) in pi.iter_mut().zip(x_means.iter()) {
+            *p = trace_update(*p, *s * inv_b, rate);
+        }
+        let a_means = bcpnn_tensor::reduce::col_sums(act);
+        for (p, s) in pj.iter_mut().zip(a_means.iter()) {
+            *p = trace_update(*p, *s * inv_b, rate);
+        }
+        // pij: EMA towards (xᵀ·act)/B, computed as a transposed GEMM with
+        // alpha = rate/B and beta = (1 - rate), i.e. the whole trace update
+        // is a single GEMM call — the formulation the paper highlights as
+        // accelerator-friendly.
+        gemm_tn(rate * inv_b, x, act, 1.0 - rate, pij);
+    }
+
+    fn recompute_weights(
+        &self,
+        pi: &[f32],
+        pj: &[f32],
+        pij: &Matrix<f32>,
+        eps: f32,
+        bias_gain: f32,
+        weights: &mut Matrix<f32>,
+        bias: &mut [f32],
+    ) {
+        assert_eq!(pij.shape(), weights.shape(), "weights must match pij");
+        assert_eq!(pij.rows(), pi.len(), "pi must have one entry per input");
+        assert_eq!(pij.cols(), pj.len(), "pj must have one entry per unit");
+        assert_eq!(pj.len(), bias.len(), "bias must have one entry per unit");
+        let n_units = pij.cols();
+        let pij_slice = pij.as_slice();
+        par_chunks_mut(weights.as_mut_slice(), n_units.max(1), |start, w_row| {
+            let i = start / n_units.max(1);
+            let p_i = pi[i];
+            let p_row = &pij_slice[start..start + w_row.len()];
+            for ((w, &p_ij), &p_j) in w_row.iter_mut().zip(p_row.iter()).zip(pj.iter()) {
+                *w = bcpnn_weight(p_ij, p_i, p_j, eps);
+            }
+        });
+        for (b, &p) in bias.iter_mut().zip(pj.iter()) {
+            *b = bcpnn_bias(p, bias_gain, eps);
+        }
+    }
+
+    fn apply_mask(
+        &self,
+        weights: &Matrix<f32>,
+        mask: &Matrix<f32>,
+        n_mcu: usize,
+        out: &mut Matrix<f32>,
+    ) {
+        check_mask_shapes(weights, mask, n_mcu, out);
+        let n_units = weights.cols();
+        let w_slice = weights.as_slice();
+        par_chunks_mut(out.as_mut_slice(), n_units.max(1), |start, out_row| {
+            let i = start / n_units.max(1);
+            let w_row = &w_slice[start..start + out_row.len()];
+            for (j, (o, &w)) in out_row.iter_mut().zip(w_row.iter()).enumerate() {
+                let h = j / n_mcu;
+                *o = w * mask.get(h, i);
+            }
+        });
+    }
+
+    fn mutual_information(
+        &self,
+        pi: &[f32],
+        pj: &[f32],
+        pij: &Matrix<f32>,
+        n_mcu: usize,
+        out: &mut Matrix<f32>,
+    ) {
+        assert!(n_mcu > 0, "n_mcu must be positive");
+        assert_eq!(pij.rows(), pi.len(), "pi must have one entry per input");
+        assert_eq!(pij.cols(), pj.len(), "pj must have one entry per unit");
+        assert_eq!(pij.cols() % n_mcu, 0, "units must be a multiple of n_mcu");
+        let n_hcu = pij.cols() / n_mcu;
+        assert_eq!(
+            (n_hcu, pi.len()),
+            out.shape(),
+            "MI output must be n_hcu x inputs"
+        );
+        let eps = 1e-8f32;
+        let n_in = pi.len();
+        // Parallelise over inputs; each task fills one column of `out`
+        // indirectly by computing all HCU scores for its input range. To
+        // keep writes disjoint we parallelise over the HCU-major output
+        // rows instead.
+        let out_cols = out.cols();
+        par_chunks_mut(out.as_mut_slice(), out_cols.max(1), |start, out_row| {
+            let h = start / out_cols.max(1);
+            for (i, o) in out_row.iter_mut().enumerate().take(n_in) {
+                let mut mi = 0.0f32;
+                for m in 0..n_mcu {
+                    let j = h * n_mcu + m;
+                    mi += mutual_information_term(pi[i], pj[j], pij.get(i, j), eps);
+                }
+                *o = mi;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveBackend;
+    use bcpnn_tensor::MatrixRng;
+
+    /// Cross-check every kernel of the parallel backend against the naive
+    /// reference on random inputs.
+    fn random_problem(
+        rng: &mut MatrixRng,
+        batch: usize,
+        n_in: usize,
+        n_hcu: usize,
+        n_mcu: usize,
+    ) -> (Matrix<f32>, Matrix<f32>, Vec<f32>, Matrix<f32>) {
+        let n_units = n_hcu * n_mcu;
+        let x: Matrix<f32> = rng.bernoulli(batch, n_in, 0.3);
+        let w: Matrix<f32> = rng.normal(n_in, n_units, 0.0, 0.5);
+        let bias: Vec<f32> = (0..n_units).map(|_| rng.uniform_scalar(-1.0, 0.0)).collect();
+        let mask: Matrix<f32> = rng.bernoulli(n_hcu, n_in, 0.5);
+        (x, w, bias, mask)
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = MatrixRng::seed_from(1);
+        let (x, w, bias, _mask) = random_problem(&mut rng, 17, 23, 3, 5);
+        let mut out_n = Matrix::zeros(17, 15);
+        let mut out_p = Matrix::zeros(17, 15);
+        NaiveBackend::new().linear_forward(&x, &w, &bias, &mut out_n);
+        ParallelBackend::new().linear_forward(&x, &w, &bias, &mut out_p);
+        assert!(out_n.max_abs_diff(&out_p) < 1e-4);
+    }
+
+    #[test]
+    fn grouped_softmax_matches_naive() {
+        let mut rng = MatrixRng::seed_from(2);
+        let mut a: Matrix<f32> = rng.normal(9, 12, 0.0, 2.0);
+        let mut b = a.clone();
+        NaiveBackend::new().grouped_softmax(&mut a, 4);
+        ParallelBackend::new().grouped_softmax(&mut b, 4);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn trace_update_matches_naive() {
+        let mut rng = MatrixRng::seed_from(3);
+        let (x, _w, _bias, _mask) = random_problem(&mut rng, 11, 19, 2, 4);
+        let act: Matrix<f32> = {
+            let mut a: Matrix<f32> = rng.normal(11, 8, 0.0, 1.0);
+            NaiveBackend::new().grouped_softmax(&mut a, 4);
+            a
+        };
+        let mut pi_n: Vec<f32> = (0..19).map(|_| rng.uniform_scalar(0.0, 1.0)).collect();
+        let mut pj_n: Vec<f32> = (0..8).map(|_| rng.uniform_scalar(0.0, 1.0)).collect();
+        let mut pij_n: Matrix<f32> = rng.uniform(19, 8, 0.0, 0.5);
+        let mut pi_p = pi_n.clone();
+        let mut pj_p = pj_n.clone();
+        let mut pij_p = pij_n.clone();
+        NaiveBackend::new().update_traces(&x, &act, 0.05, &mut pi_n, &mut pj_n, &mut pij_n);
+        ParallelBackend::new().update_traces(&x, &act, 0.05, &mut pi_p, &mut pj_p, &mut pij_p);
+        for (a, b) in pi_n.iter().zip(pi_p.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        for (a, b) in pj_n.iter().zip(pj_p.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert!(pij_n.max_abs_diff(&pij_p) < 1e-4);
+    }
+
+    #[test]
+    fn recompute_weights_matches_naive() {
+        let mut rng = MatrixRng::seed_from(4);
+        let pi: Vec<f32> = (0..13).map(|_| rng.uniform_scalar(0.01, 1.0)).collect();
+        let pj: Vec<f32> = (0..6).map(|_| rng.uniform_scalar(0.01, 1.0)).collect();
+        let pij: Matrix<f32> = rng.uniform(13, 6, 0.0, 0.5);
+        let mut w_n = Matrix::zeros(13, 6);
+        let mut w_p = Matrix::zeros(13, 6);
+        let mut b_n = vec![0.0f32; 6];
+        let mut b_p = vec![0.0f32; 6];
+        NaiveBackend::new().recompute_weights(&pi, &pj, &pij, 1e-8, 0.7, &mut w_n, &mut b_n);
+        ParallelBackend::new().recompute_weights(&pi, &pj, &pij, 1e-8, 0.7, &mut w_p, &mut b_p);
+        assert!(w_n.max_abs_diff(&w_p) < 1e-5);
+        for (a, b) in b_n.iter().zip(b_p.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn apply_mask_matches_naive() {
+        let mut rng = MatrixRng::seed_from(5);
+        let (_x, w, _bias, mask) = random_problem(&mut rng, 3, 23, 3, 5);
+        let mut out_n = Matrix::zeros(23, 15);
+        let mut out_p = Matrix::zeros(23, 15);
+        NaiveBackend::new().apply_mask(&w, &mask, 5, &mut out_n);
+        ParallelBackend::new().apply_mask(&w, &mask, 5, &mut out_p);
+        assert!(out_n.max_abs_diff(&out_p) < 1e-7);
+    }
+
+    #[test]
+    fn mutual_information_matches_naive() {
+        let mut rng = MatrixRng::seed_from(6);
+        let pi: Vec<f32> = (0..21).map(|_| rng.uniform_scalar(0.0, 1.0)).collect();
+        let pj: Vec<f32> = (0..12).map(|_| rng.uniform_scalar(0.0, 1.0)).collect();
+        let pij: Matrix<f32> = rng.uniform(21, 12, 0.0, 0.4);
+        let mut out_n = Matrix::zeros(3, 21);
+        let mut out_p = Matrix::zeros(3, 21);
+        NaiveBackend::new().mutual_information(&pi, &pj, &pij, 4, &mut out_n);
+        ParallelBackend::new().mutual_information(&pi, &pj, &pij, 4, &mut out_p);
+        assert!(out_n.max_abs_diff(&out_p) < 1e-4);
+    }
+
+    #[test]
+    fn backend_names_differ() {
+        assert_eq!(NaiveBackend::new().name(), "naive");
+        assert_eq!(ParallelBackend::new().name(), "parallel");
+    }
+}

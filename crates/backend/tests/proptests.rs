@@ -1,0 +1,177 @@
+//! Property-based cross-checks: the parallel backend must agree with the
+//! naive reference backend on arbitrary (well-formed) inputs, and the
+//! kernels must preserve the probabilistic invariants the BCPNN model
+//! relies on.
+
+use bcpnn_backend::{Backend, NaiveBackend, ParallelBackend};
+use bcpnn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A random BCPNN-shaped problem: batch, inputs, HCUs, MCUs plus the batch
+/// and trace buffers, all with bounded sizes so a proptest case stays fast.
+#[derive(Debug, Clone)]
+struct Problem {
+    x: Matrix<f32>,
+    act: Matrix<f32>,
+    pi: Vec<f32>,
+    pj: Vec<f32>,
+    pij: Matrix<f32>,
+    mask: Matrix<f32>,
+    weights: Matrix<f32>,
+    bias: Vec<f32>,
+    n_mcu: usize,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (1usize..8, 1usize..16, 1usize..4, 1usize..6).prop_flat_map(|(batch, n_in, n_hcu, n_mcu)| {
+        let n_units = n_hcu * n_mcu;
+        let x = prop::collection::vec(prop::bool::ANY, batch * n_in).prop_map(move |bits| {
+            Matrix::from_vec(
+                batch,
+                n_in,
+                bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+            )
+        });
+        let act = prop::collection::vec(0.0f32..1.0, batch * n_units)
+            .prop_map(move |d| Matrix::from_vec(batch, n_units, d));
+        let pi = prop::collection::vec(0.0f32..1.0, n_in);
+        let pj = prop::collection::vec(0.0f32..1.0, n_units);
+        let pij = prop::collection::vec(0.0f32..1.0, n_in * n_units)
+            .prop_map(move |d| Matrix::from_vec(n_in, n_units, d));
+        let mask = prop::collection::vec(prop::bool::ANY, n_hcu * n_in).prop_map(move |bits| {
+            Matrix::from_vec(
+                n_hcu,
+                n_in,
+                bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+            )
+        });
+        let weights = prop::collection::vec(-2.0f32..2.0, n_in * n_units)
+            .prop_map(move |d| Matrix::from_vec(n_in, n_units, d));
+        let bias = prop::collection::vec(-2.0f32..0.0, n_units);
+        (x, act, pi, pj, pij, mask, weights, bias).prop_map(
+            move |(x, act, pi, pj, pij, mask, weights, bias)| Problem {
+                x,
+                act,
+                pi,
+                pj,
+                pij,
+                mask,
+                weights,
+                bias,
+                n_mcu,
+            },
+        )
+    })
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_agrees_across_backends(p in problem_strategy()) {
+        let naive = NaiveBackend::new();
+        let par = ParallelBackend::new();
+        let mut out_n = Matrix::zeros(p.x.rows(), p.weights.cols());
+        let mut out_p = out_n.clone();
+        naive.linear_forward(&p.x, &p.weights, &p.bias, &mut out_n);
+        par.linear_forward(&p.x, &p.weights, &p.bias, &mut out_p);
+        prop_assert!(out_n.max_abs_diff(&out_p) < 1e-3);
+    }
+
+    #[test]
+    fn grouped_softmax_rows_sum_to_hcu_count(p in problem_strategy()) {
+        let par = ParallelBackend::new();
+        let mut m = p.act.clone();
+        // Use raw activations as supports; after the grouped softmax every
+        // row must sum to the number of hypercolumns (1 per group).
+        par.grouped_softmax(&mut m, p.n_mcu);
+        let n_hcu = m.cols() / p.n_mcu;
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            prop_assert!((s - n_hcu as f32).abs() < 1e-3);
+            prop_assert!(m.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn trace_updates_agree_and_stay_in_unit_interval(p in problem_strategy(), rate in 0.001f32..1.0) {
+        let naive = NaiveBackend::new();
+        let par = ParallelBackend::new();
+        // Normalise act per HCU first so pj stays a probability.
+        let mut act = p.act.clone();
+        par.grouped_softmax(&mut act, p.n_mcu);
+
+        let mut pi_n = p.pi.clone();
+        let mut pj_n = p.pj.clone();
+        let mut pij_n = p.pij.clone();
+        let mut pi_p = p.pi.clone();
+        let mut pj_p = p.pj.clone();
+        let mut pij_p = p.pij.clone();
+        naive.update_traces(&p.x, &act, rate, &mut pi_n, &mut pj_n, &mut pij_n);
+        par.update_traces(&p.x, &act, rate, &mut pi_p, &mut pj_p, &mut pij_p);
+        for (a, b) in pi_n.iter().zip(pi_p.iter()) {
+            prop_assert!(close(*a, *b));
+        }
+        for (a, b) in pj_n.iter().zip(pj_p.iter()) {
+            prop_assert!(close(*a, *b));
+        }
+        prop_assert!(pij_n.max_abs_diff(&pij_p) < 1e-3);
+        // Traces remain valid probabilities.
+        prop_assert!(pi_p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(pj_p.iter().all(|&v| (0.0..=1.0 + 1e-5).contains(&v)));
+        prop_assert!(pij_p.as_slice().iter().all(|&v| (0.0..=1.0 + 1e-5).contains(&v)));
+    }
+
+    #[test]
+    fn recomputed_weights_agree_and_are_finite(p in problem_strategy()) {
+        let naive = NaiveBackend::new();
+        let par = ParallelBackend::new();
+        let mut w_n = Matrix::zeros(p.pij.rows(), p.pij.cols());
+        let mut w_p = w_n.clone();
+        let mut b_n = vec![0.0f32; p.pj.len()];
+        let mut b_p = b_n.clone();
+        naive.recompute_weights(&p.pi, &p.pj, &p.pij, 1e-8, 1.0, &mut w_n, &mut b_n);
+        par.recompute_weights(&p.pi, &p.pj, &p.pij, 1e-8, 1.0, &mut w_p, &mut b_p);
+        prop_assert!(w_n.max_abs_diff(&w_p) < 1e-3);
+        prop_assert!(w_p.all_finite());
+        prop_assert!(b_p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mask_application_agrees_and_zeroes_silent_inputs(p in problem_strategy()) {
+        let naive = NaiveBackend::new();
+        let par = ParallelBackend::new();
+        let mut out_n = Matrix::zeros(p.weights.rows(), p.weights.cols());
+        let mut out_p = out_n.clone();
+        naive.apply_mask(&p.weights, &p.mask, p.n_mcu, &mut out_n);
+        par.apply_mask(&p.weights, &p.mask, p.n_mcu, &mut out_p);
+        prop_assert!(out_n.max_abs_diff(&out_p) < 1e-6);
+        for i in 0..p.weights.rows() {
+            for j in 0..p.weights.cols() {
+                let h = j / p.n_mcu;
+                if p.mask.get(h, i) == 0.0 {
+                    prop_assert_eq!(out_p.get(i, j), 0.0);
+                } else {
+                    prop_assert_eq!(out_p.get(i, j), p.weights.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_information_agrees_and_is_finite(p in problem_strategy()) {
+        let naive = NaiveBackend::new();
+        let par = ParallelBackend::new();
+        let n_hcu = p.pj.len() / p.n_mcu;
+        let mut out_n = Matrix::zeros(n_hcu, p.pi.len());
+        let mut out_p = out_n.clone();
+        naive.mutual_information(&p.pi, &p.pj, &p.pij, p.n_mcu, &mut out_n);
+        par.mutual_information(&p.pi, &p.pj, &p.pij, p.n_mcu, &mut out_p);
+        prop_assert!(out_n.max_abs_diff(&out_p) < 1e-3);
+        prop_assert!(out_p.all_finite());
+    }
+}

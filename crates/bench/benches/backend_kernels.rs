@@ -1,0 +1,126 @@
+//! Backend kernel micro-benchmarks: naive vs. parallel implementations of
+//! every `Backend` trait operation on a paper-sized layer
+//! (280 inputs, 1 HCU × 3000 MCUs, batch 128).
+//!
+//! This is the ablation behind DESIGN.md's "parallel backend vs. naive
+//! backend" entry and the Rust counterpart of StreamBrain's NumPy-vs-OpenMP
+//! backend gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bcpnn_backend::{Backend, BackendKind};
+use bcpnn_tensor::{Matrix, MatrixRng};
+
+struct Problem {
+    x: Matrix<f32>,
+    weights: Matrix<f32>,
+    bias: Vec<f32>,
+    act: Matrix<f32>,
+    pi: Vec<f32>,
+    pj: Vec<f32>,
+    pij: Matrix<f32>,
+    mask: Matrix<f32>,
+    n_mcu: usize,
+}
+
+fn problem(n_mcu: usize) -> Problem {
+    let mut rng = MatrixRng::seed_from(3);
+    let batch = 128;
+    let inputs = 280;
+    let units = n_mcu;
+    Problem {
+        x: rng.bernoulli(batch, inputs, 0.1),
+        weights: rng.normal(inputs, units, 0.0, 0.1),
+        bias: vec![0.0; units],
+        act: rng.uniform(batch, units, 0.0, 1.0),
+        pi: (0..inputs).map(|_| rng.uniform_scalar(0.01, 0.99)).collect(),
+        pj: (0..units).map(|_| rng.uniform_scalar(0.01, 0.99)).collect(),
+        pij: rng.uniform(inputs, units, 0.001, 0.5),
+        mask: rng.bernoulli(1, inputs, 0.3),
+        n_mcu,
+    }
+}
+
+fn bench_backend_ops(c: &mut Criterion) {
+    let n_mcu = 3000;
+    let p = problem(n_mcu);
+    let backends: Vec<(&str, std::sync::Arc<dyn Backend>)> = vec![
+        ("naive", BackendKind::Naive.create()),
+        ("parallel", BackendKind::Parallel.create()),
+    ];
+
+    let mut group = c.benchmark_group("backend_linear_forward");
+    group.sample_size(10);
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+            let mut out = Matrix::zeros(p.x.rows(), p.weights.cols());
+            b.iter(|| backend.linear_forward(black_box(&p.x), &p.weights, &p.bias, &mut out));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("backend_grouped_softmax");
+    group.sample_size(10);
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+            b.iter_batched(
+                || p.act.clone(),
+                |mut m| backend.grouped_softmax(&mut m, p.n_mcu),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("backend_update_traces");
+    group.sample_size(10);
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+            b.iter_batched(
+                || (p.pi.clone(), p.pj.clone(), p.pij.clone()),
+                |(mut pi, mut pj, mut pij)| {
+                    backend.update_traces(&p.x, &p.act, 0.05, &mut pi, &mut pj, &mut pij)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("backend_recompute_weights");
+    group.sample_size(10);
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+            let mut weights = Matrix::zeros(p.pij.rows(), p.pij.cols());
+            let mut bias = vec![0.0f32; p.pj.len()];
+            b.iter(|| {
+                backend.recompute_weights(&p.pi, &p.pj, &p.pij, 1e-6, 1.0, &mut weights, &mut bias)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("backend_apply_mask");
+    group.sample_size(10);
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+            let mut out = Matrix::zeros(p.weights.rows(), p.weights.cols());
+            b.iter(|| backend.apply_mask(&p.weights, &p.mask, p.n_mcu, &mut out));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("backend_mutual_information");
+    group.sample_size(10);
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+            let mut out = Matrix::zeros(1, p.pi.len());
+            b.iter(|| backend.mutual_information(&p.pi, &p.pj, &p.pij, p.n_mcu, &mut out));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_ops);
+criterion_main!(benches);

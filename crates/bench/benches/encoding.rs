@@ -1,0 +1,51 @@
+//! Preprocessing benchmarks: synthetic-Higgs generation, quantile fitting,
+//! and the one-hot / thermometer encoders (§V's preprocessing pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bcpnn_data::encode::{QuantileEncoder, ThermometerEncoder};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("higgs_generation");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(generate(&SyntheticHiggsConfig {
+                    n_samples: n,
+                    ..Default::default()
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 20_000,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("higgs_encoding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.n_samples() as u64));
+
+    group.bench_function("quantile_fit", |b| {
+        b.iter(|| black_box(QuantileEncoder::fit(black_box(&data), 10)));
+    });
+    let one_hot = QuantileEncoder::fit(&data, 10);
+    group.bench_function("one_hot_transform", |b| {
+        b.iter(|| black_box(one_hot.transform(black_box(&data))));
+    });
+    let thermo = ThermometerEncoder::fit(&data, 10);
+    group.bench_function("thermometer_transform", |b| {
+        b.iter(|| black_box(thermo.transform(black_box(&data))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! GEMM kernel micro-benchmarks.
+//!
+//! §II-B of the paper argues that the BCPNN training step is GEMM-dominated
+//! and therefore maps well onto BLAS-backed accelerators. This bench
+//! quantifies the three tiers of the `bcpnn-tensor` substrate (naive,
+//! cache-blocked, parallel) on BCPNN-shaped problems: the forward product
+//! `X(batch x 280) · W(280 x units)` and the trace update
+//! `Xᵀ(280 x batch) · Π(batch x units)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bcpnn_tensor::{gemm, gemm_blocked, gemm_naive, gemm_tn, Matrix, MatrixRng};
+
+fn bench_forward_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_forward");
+    group.sample_size(10);
+    let batch = 128;
+    let inputs = 280;
+    for &units in &[300usize, 1200, 3000] {
+        let mut rng = MatrixRng::seed_from(1);
+        let x: Matrix<f32> = rng.bernoulli(batch, inputs, 0.1);
+        let w: Matrix<f32> = rng.normal(inputs, units, 0.0, 0.1);
+        let flops = 2 * batch * inputs * units;
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(BenchmarkId::new("naive", units), &units, |b, _| {
+            let mut out = Matrix::zeros(batch, units);
+            b.iter(|| gemm_naive(1.0, black_box(&x), black_box(&w), 0.0, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", units), &units, |b, _| {
+            let mut out = Matrix::zeros(batch, units);
+            b.iter(|| gemm_blocked(1.0, black_box(&x), black_box(&w), 0.0, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", units), &units, |b, _| {
+            let mut out = Matrix::zeros(batch, units);
+            b.iter(|| gemm(1.0, black_box(&x), black_box(&w), 0.0, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_trace_update");
+    group.sample_size(10);
+    let batch = 128;
+    let inputs = 280;
+    for &units in &[300usize, 3000] {
+        let mut rng = MatrixRng::seed_from(2);
+        let x: Matrix<f32> = rng.bernoulli(batch, inputs, 0.1);
+        let act: Matrix<f32> = rng.uniform(batch, units, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("gemm_tn", units), &units, |b, _| {
+            let mut pij = Matrix::zeros(inputs, units);
+            b.iter(|| gemm_tn(0.05 / batch as f32, black_box(&x), black_box(&act), 0.95, &mut pij));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_gemm, bench_trace_gemm);
+criterion_main!(benches);

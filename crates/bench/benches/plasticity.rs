@@ -1,0 +1,57 @@
+//! Structural-plasticity micro-benchmarks: mutual-information scoring and
+//! the swap policy, isolated from the rest of the training step.
+//!
+//! Fig. 4's near-flat timing curve rests on this being cheap relative to the
+//! GEMMs ("only the structural plasticity, which is quite rarely updated, is
+//! affected" by the receptive-field size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{PlasticityConfig, ProbabilityTraces, ReceptiveFieldMask, StructuralPlasticity};
+use bcpnn_tensor::MatrixRng;
+
+fn bench_mi_scores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plasticity_mi_scores");
+    group.sample_size(10);
+    let backend = BackendKind::Parallel.create();
+    for &(n_hcu, n_mcu) in &[(1usize, 300usize), (1, 3000), (4, 300)] {
+        let traces = ProbabilityTraces::new(280, n_hcu * n_mcu, n_mcu, 0.1);
+        let plasticity = StructuralPlasticity::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_hcu}hcu_x_{n_mcu}mcu")),
+            &n_mcu,
+            |b, _| {
+                b.iter(|| {
+                    black_box(plasticity.scores(backend.as_ref(), black_box(&traces), n_mcu, n_hcu))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_swap_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plasticity_swap_policy");
+    group.sample_size(20);
+    let mut rng = MatrixRng::seed_from(5);
+    let scores = rng.uniform::<f32>(4, 280, 0.0, 1.0);
+    for &swaps in &[1usize, 8, 32] {
+        let plasticity = StructuralPlasticity::new(PlasticityConfig {
+            max_swaps: swaps,
+            min_improvement: 1e-6,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(swaps), &swaps, |b, _| {
+            b.iter_batched(
+                || ReceptiveFieldMask::random(4, 280, 84, &mut rng.clone()),
+                |mut mask| black_box(plasticity.update(&mut mask, &scores)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mi_scores, bench_swap_policy);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Whole-training-step benchmarks: the cost model behind Fig. 3 and Fig. 4.
+//!
+//! * `train_batch_vs_capacity` — one unsupervised batch for increasing
+//!   HCU × MCU products (the paper's "training time is a direct function of
+//!   the number of MCUs and HCUs").
+//! * `train_batch_vs_density` — one unsupervised batch for increasing
+//!   receptive-field densities (the paper's "computation is independent of
+//!   the receptive-field size").
+//! * `plasticity_step_vs_density` — the structural-plasticity update, the
+//!   only part whose cost depends on the mask.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{HiddenLayer, HiddenLayerParams};
+use bcpnn_tensor::{Matrix, MatrixRng};
+
+fn layer(n_hcu: usize, n_mcu: usize, density: f64) -> HiddenLayer {
+    HiddenLayer::new(
+        HiddenLayerParams {
+            n_inputs: 280,
+            n_hcu,
+            n_mcu,
+            receptive_field: density,
+            ..Default::default()
+        },
+        BackendKind::Parallel.create(),
+        7,
+    )
+    .expect("valid layer")
+}
+
+fn batch(rng: &mut MatrixRng, n: usize) -> Matrix<f32> {
+    rng.bernoulli(n, 280, 0.1)
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_batch_vs_capacity");
+    group.sample_size(10);
+    let mut rng = MatrixRng::seed_from(11);
+    let x = batch(&mut rng, 128);
+    for &(n_hcu, n_mcu) in &[(1usize, 30usize), (1, 300), (1, 3000), (4, 300), (8, 300)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_hcu}hcu_x_{n_mcu}mcu")),
+            &(n_hcu, n_mcu),
+            |b, _| {
+                let mut l = layer(n_hcu, n_mcu, 0.30);
+                b.iter(|| l.train_batch(black_box(&x)).expect("train_batch succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_batch_vs_density");
+    group.sample_size(10);
+    let mut rng = MatrixRng::seed_from(13);
+    let x = batch(&mut rng, 128);
+    for &density in &[0.05f64, 0.30, 0.60, 0.95] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rf_{:02.0}pct", density * 100.0)),
+            &density,
+            |b, _| {
+                let mut l = layer(1, 1000, density);
+                b.iter(|| l.train_batch(black_box(&x)).expect("train_batch succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_plasticity_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plasticity_step_vs_density");
+    group.sample_size(10);
+    let mut rng = MatrixRng::seed_from(17);
+    let x = batch(&mut rng, 256);
+    for &density in &[0.05f64, 0.40, 0.95] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rf_{:02.0}pct", density * 100.0)),
+            &density,
+            |b, _| {
+                let mut l = layer(2, 300, density);
+                l.train_batch(&x).expect("warm-up batch");
+                b.iter(|| black_box(l.structural_plasticity_step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity, bench_density, bench_plasticity_step);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! A tiny `--flag value` command-line parser for the experiment binaries
+//! (no external CLI dependency needed for seven binaries with a handful of
+//! numeric flags each).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an explicit token list (used by tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            };
+            if name.is_empty() {
+                return Err("empty flag name".into());
+            }
+            // A flag is a switch when the next token is another flag (or
+            // nothing); otherwise it consumes one value.
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    args.flags.insert(name.to_string(), value);
+                }
+                _ => args.switches.push(name.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parse from the process arguments (skipping the binary name), exiting
+    /// with a message on malformed input.
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("flags take the form `--name value` or `--switch`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Whether a boolean switch (e.g. `--full`) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A flag value parsed as `T`, or `default` when absent.
+    ///
+    /// # Panics
+    /// Exits the process when the value cannot be parsed (this is CLI
+    /// surface, not library surface).
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flags.get(name) {
+            None => default,
+            Some(raw) => raw.parse::<T>().unwrap_or_else(|_| {
+                eprintln!("error: flag --{name} has invalid value {raw:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// The raw string value of a flag, if present.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// A comma-separated list flag parsed element-wise, or `default` when
+    /// absent.
+    pub fn get_list_or<T: std::str::FromStr>(&self, name: &str, default: &[T]) -> Vec<T>
+    where
+        T: Clone,
+    {
+        match self.flags.get(name) {
+            None => default.to_vec(),
+            Some(raw) => raw
+                .split(',')
+                .map(|tok| {
+                    tok.trim().parse::<T>().unwrap_or_else(|_| {
+                        eprintln!("error: flag --{name} has invalid element {tok:?}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse_from(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = parse(&["--reps", "5", "--full", "--train", "8000"]);
+        assert_eq!(a.get_or("reps", 1usize), 5);
+        assert_eq!(a.get_or("train", 0usize), 8000);
+        assert!(a.has("full"));
+        assert!(!a.has("quick"));
+        assert_eq!(a.get_or("missing", 7u32), 7);
+        assert_eq!(a.get_str("reps"), Some("5"));
+        assert_eq!(a.get_str("nope"), None);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = parse(&["--mcus", "30,300,3000"]);
+        assert_eq!(a.get_list_or("mcus", &[1usize]), vec![30, 300, 3000]);
+        assert_eq!(a.get_list_or("hcus", &[1usize, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn trailing_switch_is_a_switch() {
+        let a = parse(&["--reps", "3", "--verbose"]);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get_or("reps", 0usize), 3);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let err = Args::parse_from(vec!["oops".to_string()]).unwrap_err();
+        assert!(err.contains("positional"));
+    }
+}

@@ -1,0 +1,98 @@
+//! **Fig. 2 — in-situ observation of the receptive fields during training.**
+//!
+//! The paper trains 4 HCUs with a 40 % receptive-field density on the Higgs
+//! data and watches the masks develop epoch by epoch through ParaView
+//! Catalyst (red = active connection, blue = silent).
+//!
+//! This binary reproduces that run with the [`bcpnn_viz::InSituObserver`]:
+//! every unsupervised epoch's masks are exported as ParaView-loadable
+//! `.vti` files and `.pgm` images under `results/fig2_insitu/`, a per-epoch
+//! timeline CSV is written, and the per-epoch number of structural-
+//! plasticity swaps (how much the fields are still moving) is printed.
+//!
+//! ```text
+//! cargo run --release -p bcpnn-bench --bin fig2_insitu
+//! ```
+
+use bcpnn_bench::args::Args;
+use bcpnn_bench::table::{pct, Table};
+use bcpnn_bench::{build_network, build_trainer, prepare_higgs, BcpnnRunConfig, HiggsDataConfig};
+use bcpnn_core::TrainingObserver;
+use bcpnn_viz::{InSituObserver, MaskHistory};
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.has("full");
+    let train_per_class: usize = args.get_or("train", if full { 20_000 } else { 3_000 });
+    let test_per_class: usize = args.get_or("test", 1_000);
+    let n_mcu: usize = args.get_or("mcu", if full { 3000 } else { 300 });
+    let epochs: usize = args.get_or("epochs", 8);
+    let seed: u64 = args.get_or("seed", 2021);
+
+    println!("== Fig. 2: in-situ visualization of receptive-field development ==");
+    println!("4 HCUs, 40% receptive field, {n_mcu} MCUs/HCU, {epochs} unsupervised epochs\n");
+    let data = prepare_higgs(&HiggsDataConfig {
+        train_per_class,
+        test_per_class,
+        separation: args.get_or("separation", HiggsDataConfig::default().separation),
+        seed,
+        ..Default::default()
+    });
+    let cfg = BcpnnRunConfig {
+        n_hcu: 4,
+        n_mcu,
+        receptive_field: 0.40,
+        unsupervised_epochs: epochs,
+        supervised_epochs: 3,
+        ..Default::default()
+    };
+    let out_dir = bcpnn_bench::results_dir().join("fig2_insitu");
+    let mut observer = InSituObserver::new(&out_dir);
+    let history = MaskHistory::new();
+    let mut network = build_network(&cfg, data.encoded_width(), seed);
+    let mut history_handle = &history;
+    let report = {
+        let observers: &mut [&mut dyn TrainingObserver] = &mut [&mut observer, &mut history_handle];
+        build_trainer(&cfg, seed)
+            .fit_with_observers(&mut network, &data.x_train, &data.y_train, observers)
+            .expect("training failed")
+    };
+    if let Err(e) = observer.write_timeline() {
+        eprintln!("failed to write timeline: {e}");
+    }
+    if !observer.errors().is_empty() {
+        eprintln!("in-situ export errors: {:?}", observer.errors());
+    }
+
+    let mut table = Table::new(&["epoch", "plasticity swaps", "epoch time (s)"]);
+    for stats in report
+        .epochs
+        .iter()
+        .filter(|e| e.phase == bcpnn_core::TrainingPhase::Unsupervised)
+    {
+        table.add_row(&[
+            stats.epoch.to_string(),
+            stats
+                .plasticity_swaps
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.2}", stats.duration.as_secs_f64()),
+        ]);
+    }
+    table.print();
+
+    let eval = network
+        .evaluate(&data.x_test, &data.y_test)
+        .expect("evaluation failed");
+    println!("\nfinal test accuracy {} (AUC {:.3})", pct(eval.accuracy), eval.auc);
+    println!(
+        "mask snapshots per epoch: {} ({}% of connections moved between the first and last epoch)",
+        history.len(),
+        (history.total_change_fraction() * 100.0).round()
+    );
+    println!("VTI/PGM snapshots and timeline.csv written under {}", out_dir.display());
+    println!(
+        "\nExpected shape (paper): the per-epoch VTI snapshots show the receptive fields drifting most\n\
+         in the early epochs and stabilising as training progresses (fewer swaps per epoch)."
+    );
+}

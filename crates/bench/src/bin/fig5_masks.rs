@@ -1,0 +1,123 @@
+//! **Fig. 5 — final receptive-field masks across densities.**
+//!
+//! The paper shows the mask a single HCU ends up with for every
+//! receptive-field size from 0 % to 95 %: larger budgets cover more of the
+//! input, and the connections chosen at a small budget are not necessarily
+//! a subset of those chosen at a larger one.
+//!
+//! This binary trains one network per density, renders the final mask per
+//! physics feature in the terminal, writes each mask as `.pgm` + `.vti`
+//! under `results/fig5_masks/`, and reports (a) how much of the mask is
+//! spent on the pure-noise azimuthal-angle features and (b) the overlap
+//! between consecutive densities' masks.
+//!
+//! ```text
+//! cargo run --release -p bcpnn-bench --bin fig5_masks
+//! ```
+
+use bcpnn_bench::args::Args;
+use bcpnn_bench::table::Table;
+use bcpnn_bench::{build_network, build_trainer, prepare_higgs, BcpnnRunConfig, HiggsDataConfig};
+use bcpnn_data::higgs::{noise_feature_indices, FEATURE_NAMES};
+use bcpnn_viz::{save_pgm, save_vti};
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.has("full");
+    let train_per_class: usize = args.get_or("train", if full { 20_000 } else { 2_000 });
+    let test_per_class: usize = args.get_or("test", 500);
+    let n_mcu: usize = args.get_or("mcu", if full { 3000 } else { 300 });
+    let seed: u64 = args.get_or("seed", 2021);
+    let densities: Vec<f64> =
+        args.get_list_or("densities", &[0.05, 0.10, 0.20, 0.30, 0.40, 0.60, 0.80, 0.95]);
+
+    println!("== Fig. 5: evolution of the receptive-field mask with its size ==\n");
+    let data = prepare_higgs(&HiggsDataConfig {
+        train_per_class,
+        test_per_class,
+        separation: args.get_or("separation", HiggsDataConfig::default().separation),
+        seed,
+        ..Default::default()
+    });
+    let n_bins = data.encoder.n_bins();
+    let out_dir = bcpnn_bench::results_dir().join("fig5_masks");
+    let feature_names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let noise_features = noise_feature_indices();
+
+    let mut table = Table::new(&[
+        "receptive field",
+        "active connections",
+        "on noise features",
+        "accuracy",
+    ]);
+    let mut prev_mask: Option<Vec<usize>> = None;
+    let mut overlaps = Vec::new();
+    for &density in &densities {
+        let cfg = BcpnnRunConfig {
+            n_hcu: 1,
+            n_mcu,
+            receptive_field: density,
+            ..Default::default()
+        };
+        let mut network = build_network(&cfg, data.encoded_width(), seed);
+        build_trainer(&cfg, seed)
+            .fit(&mut network, &data.x_train, &data.y_train)
+            .expect("training failed");
+        let eval = network
+            .evaluate(&data.x_test, &data.y_test)
+            .expect("evaluation failed");
+        let mask = network.hidden().receptive_field_snapshot();
+        // Count how many active connections sit on the pure-noise features.
+        let row = mask.row(0);
+        let active: Vec<usize> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 1.0)
+            .map(|(i, _)| i)
+            .collect();
+        let on_noise = active
+            .iter()
+            .filter(|&&col| noise_features.contains(&(col / n_bins)))
+            .count();
+        if let Some(prev) = &prev_mask {
+            let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
+            let inter = active.iter().filter(|i| prev_set.contains(i)).count();
+            overlaps.push((density, inter as f64 / prev.len().max(1) as f64));
+        }
+        table.add_row(&[
+            format!("{:.0}%", density * 100.0),
+            active.len().to_string(),
+            format!("{on_noise} ({:.0}%)", 100.0 * on_noise as f64 / active.len().max(1) as f64),
+            bcpnn_bench::table::pct(eval.accuracy),
+        ]);
+        // Terminal rendering: per-feature mask occupancy for this density.
+        println!("--- receptive field {:.0}% ---", density * 100.0);
+        println!(
+            "{}",
+            bcpnn_viz::ascii::render_feature_mask(row, &feature_names, n_bins)
+        );
+        // Persist mask images (the paper's grid of mask snapshots).
+        let tag = format!("rf_{:03.0}", density * 100.0);
+        if let Err(e) = save_pgm(&mask, out_dir.join(format!("{tag}.pgm"))) {
+            eprintln!("failed to write PGM: {e}");
+        }
+        if let Err(e) = save_vti(&mask, "receptive_field", out_dir.join(format!("{tag}.vti"))) {
+            eprintln!("failed to write VTI: {e}");
+        }
+        prev_mask = Some(active);
+    }
+    table.print();
+    println!("\nOverlap with the previous (smaller) mask:");
+    for (density, overlap) in overlaps {
+        println!(
+            "  {:>3.0}%: {:.0}% of the smaller mask's connections kept",
+            density * 100.0,
+            overlap * 100.0
+        );
+    }
+    println!("\nmask images written under {}", out_dir.display());
+    println!(
+        "\nExpected shape (paper): larger budgets cover more of the input; the best connections at a\n\
+         small budget are not necessarily included at a larger one; noise features attract few connections."
+    );
+}

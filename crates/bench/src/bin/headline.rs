@@ -1,0 +1,105 @@
+//! **Headline numbers (§V-A, §VII) — pure BCPNN vs. BCPNN + SGD.**
+//!
+//! The paper's best single-HCU configuration (1 HCU × 3000 MCUs, 40 %
+//! receptive field) reaches 68.58 % accuracy / 75.5 % AUC with the pure
+//! BCPNN readout and 69.15 % / 76.4 % AUC when the unsupervised BCPNN
+//! features are combined with an SGD-trained classification layer.
+//!
+//! This binary trains that configuration (repeated over several seeds),
+//! reports both heads from the same trained networks, and writes
+//! `results/headline.csv`. Absolute values differ from the paper (synthetic
+//! data, CPU backend — see EXPERIMENTS.md); the reproduced *shape* is that
+//! the hybrid head adds a small (≈0.5–1 point) improvement over the
+//! associative readout.
+//!
+//! ```text
+//! cargo run --release -p bcpnn-bench --bin headline -- --reps 5
+//! ```
+
+use bcpnn_bench::args::Args;
+use bcpnn_bench::table::{pct, Table};
+use bcpnn_bench::{prepare_higgs, run_bcpnn, BcpnnRunConfig, HiggsDataConfig};
+use bcpnn_core::ReadoutKind;
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.has("full");
+    let reps: usize = args.get_or("reps", if full { 10 } else { 5 });
+    let train_per_class: usize = args.get_or("train", if full { 20_000 } else { 4_000 });
+    let test_per_class: usize = args.get_or("test", if full { 10_000 } else { 2_000 });
+    let n_mcu: usize = args.get_or("mcu", if full { 3000 } else { 1000 });
+    let density: f64 = args.get_or("density", 0.40);
+    let seed: u64 = args.get_or("seed", 2021);
+
+    println!("== Headline: pure BCPNN vs. BCPNN + SGD hybrid ==");
+    println!("1 HCU x {n_mcu} MCUs, {:.0}% receptive field, {reps} repetitions\n", density * 100.0);
+    let data = prepare_higgs(&HiggsDataConfig {
+        train_per_class,
+        test_per_class,
+        separation: args.get_or("separation", HiggsDataConfig::default().separation),
+        seed,
+        ..Default::default()
+    });
+    let cfg = BcpnnRunConfig {
+        n_hcu: 1,
+        n_mcu,
+        receptive_field: density,
+        readout: ReadoutKind::Hybrid,
+        unsupervised_epochs: args.get_or("unsup-epochs", 4),
+        supervised_epochs: args.get_or("sup-epochs", 8),
+        ..Default::default()
+    };
+
+    let mut bcpnn_acc = Vec::new();
+    let mut bcpnn_auc = Vec::new();
+    let mut hybrid_acc = Vec::new();
+    let mut hybrid_auc = Vec::new();
+    let mut csv_rows = Vec::new();
+    for r in 0..reps {
+        let outcome = run_bcpnn(&cfg, &data, seed + r as u64);
+        let bcpnn = outcome.bcpnn.as_ref().expect("hybrid run trains the BCPNN head");
+        bcpnn_acc.push(bcpnn.accuracy);
+        bcpnn_auc.push(bcpnn.auc);
+        hybrid_acc.push(outcome.primary.accuracy);
+        hybrid_auc.push(outcome.primary.auc);
+        csv_rows.push(format!(
+            "{r},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            bcpnn.accuracy, bcpnn.auc, outcome.primary.accuracy, outcome.primary.auc, outcome.train_time_s
+        ));
+        println!(
+            "  rep {r}: BCPNN {} / AUC {:.3} | BCPNN+SGD {} / AUC {:.3} | {:.1}s",
+            pct(bcpnn.accuracy),
+            bcpnn.auc,
+            pct(outcome.primary.accuracy),
+            outcome.primary.auc,
+            outcome.train_time_s
+        );
+    }
+    let mean = |v: &[f64]| bcpnn_tensor::stats::mean(v);
+
+    let mut table = Table::new(&["head", "accuracy", "AUC", "paper reference"]);
+    table.add_row(&[
+        "BCPNN (associative readout)".into(),
+        pct(mean(&bcpnn_acc)),
+        format!("{:.3}", mean(&bcpnn_auc)),
+        "68.58% / 0.755".into(),
+    ]);
+    table.add_row(&[
+        "BCPNN + SGD (hybrid)".into(),
+        pct(mean(&hybrid_acc)),
+        format!("{:.3}", mean(&hybrid_auc)),
+        "69.15% / 0.764".into(),
+    ]);
+    println!();
+    table.print();
+    let delta = (mean(&hybrid_acc) - mean(&bcpnn_acc)) * 100.0;
+    println!("\nhybrid head improvement over the associative readout: {delta:+.2} accuracy points");
+    match bcpnn_bench::write_csv(
+        "headline.csv",
+        "rep,bcpnn_accuracy,bcpnn_auc,hybrid_accuracy,hybrid_auc,train_time_s",
+        &csv_rows,
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write CSV: {e}"),
+    }
+}

@@ -1,0 +1,127 @@
+//! Plain-text table rendering for the experiment binaries (the printed
+//! counterpart of the paper's figures).
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have as many cells as the header).
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch.
+    pub fn add_row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..n_cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:width$}", cells[c], width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a fraction as a percentage with two decimals (`0.6858` → `68.58%`).
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Format seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}s")
+}
+
+/// Format a mean ± standard deviation pair.
+pub fn mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.3} ± {std:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["config", "accuracy", "time"]);
+        t.add_row(&["1 HCU".to_string(), "68.58%".to_string(), "86.6s".to_string()]);
+        t.add_row(&["8 HCU x 3000 MCU".to_string(), "69.15%".to_string(), "606.0s".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("config"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].contains("69.15%"));
+        // Columns align: "accuracy" starts at the same offset in all rows.
+        let col = lines[0].find("accuracy").unwrap();
+        assert_eq!(&lines[2][col..col + 6], "68.58%");
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn add_row_validates_width() {
+        let mut t = Table::new(&["a", "b"]);
+        t.add_row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.6858), "68.58%");
+        assert_eq!(secs(86.64), "86.6s");
+        assert_eq!(mean_std(0.5, 0.01), "0.500 ± 0.010");
+    }
+}

@@ -1,0 +1,361 @@
+//! Baseline classifiers used for the related-work comparison (§VI).
+//!
+//! The paper compares BCPNN's AUC against shallow MLPs and deep networks
+//! from Baldi et al. 2014. To regenerate that comparison on identical
+//! inputs, this module provides a small from-scratch backprop MLP
+//! ([`MlpClassifier`]) — one ReLU hidden layer, softmax output, mini-batch
+//! SGD with momentum — and re-exports the linear softmax model
+//! ([`crate::SgdClassifier`]) as the logistic-regression baseline.
+
+use bcpnn_tensor::{gemm, gemm_nt, gemm_tn, Matrix, MatrixRng};
+
+use crate::error::{CoreError, CoreResult};
+use crate::params::SgdParams;
+
+/// Configuration of the MLP baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpParams {
+    /// Width of the ReLU hidden layer.
+    pub hidden_units: usize,
+    /// Optimiser settings (shared struct with the SGD head).
+    pub sgd: SgdParams,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self {
+            hidden_units: 128,
+            sgd: SgdParams {
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// One-hidden-layer backprop MLP baseline.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    n_inputs: usize,
+    n_classes: usize,
+    params: MlpParams,
+    w1: Matrix<f32>,
+    b1: Vec<f32>,
+    w2: Matrix<f32>,
+    b2: Vec<f32>,
+    vw1: Matrix<f32>,
+    vb1: Vec<f32>,
+    vw2: Matrix<f32>,
+    vb2: Vec<f32>,
+    current_lr: f32,
+}
+
+impl MlpClassifier {
+    /// Create an MLP with He-style random initialisation.
+    pub fn new(n_inputs: usize, n_classes: usize, params: MlpParams, seed: u64) -> CoreResult<Self> {
+        if n_inputs == 0 || n_classes < 2 || params.hidden_units == 0 {
+            return Err(CoreError::InvalidParams(
+                "MLP needs inputs, at least two classes and a non-empty hidden layer".into(),
+            ));
+        }
+        params.sgd.validate().map_err(CoreError::InvalidParams)?;
+        let mut rng = MatrixRng::seed_from(seed);
+        let h = params.hidden_units;
+        let s1 = (2.0 / n_inputs as f64).sqrt();
+        let s2 = (2.0 / h as f64).sqrt();
+        Ok(Self {
+            n_inputs,
+            n_classes,
+            current_lr: params.sgd.learning_rate,
+            w1: rng.normal(n_inputs, h, 0.0, s1),
+            b1: vec![0.0; h],
+            w2: rng.normal(h, n_classes, 0.0, s2),
+            b2: vec![0.0; n_classes],
+            vw1: Matrix::zeros(n_inputs, h),
+            vb1: vec![0.0; h],
+            vw2: Matrix::zeros(h, n_classes),
+            vb2: vec![0.0; n_classes],
+            params,
+        })
+    }
+
+    /// Number of input dimensions.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn check_input(&self, x: &Matrix<f32>) -> CoreResult<()> {
+        if x.cols() != self.n_inputs {
+            return Err(CoreError::DataMismatch(format!(
+                "input has {} columns, MLP expects {}",
+                x.cols(),
+                self.n_inputs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Forward pass returning (hidden ReLU activations, class probabilities).
+    fn forward(&self, x: &Matrix<f32>) -> (Matrix<f32>, Matrix<f32>) {
+        let h_units = self.params.hidden_units;
+        let mut hidden = Matrix::zeros(x.rows(), h_units);
+        gemm(1.0, x, &self.w1, 0.0, &mut hidden);
+        for r in 0..hidden.rows() {
+            for (v, &b) in hidden.row_mut(r).iter_mut().zip(self.b1.iter()) {
+                *v = (*v + b).max(0.0);
+            }
+        }
+        let mut logits = Matrix::zeros(x.rows(), self.n_classes);
+        gemm(1.0, &hidden, &self.w2, 0.0, &mut logits);
+        for r in 0..logits.rows() {
+            for (v, &b) in logits.row_mut(r).iter_mut().zip(self.b2.iter()) {
+                *v += b;
+            }
+        }
+        bcpnn_tensor::reduce::softmax_rows(&mut logits);
+        (hidden, logits)
+    }
+
+    /// Class-probability predictions.
+    pub fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+        self.check_input(x)?;
+        Ok(self.forward(x).1)
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
+        Ok(bcpnn_tensor::reduce::row_argmax(&self.predict_proba(x)?))
+    }
+
+    /// One mini-batch backprop step. Returns the mean cross-entropy loss.
+    pub fn train_batch(&mut self, x: &Matrix<f32>, labels: &[usize]) -> CoreResult<f32> {
+        self.check_input(x)?;
+        if x.rows() != labels.len() {
+            return Err(CoreError::DataMismatch(
+                "batch size and label count differ".into(),
+            ));
+        }
+        if x.rows() == 0 {
+            return Ok(0.0);
+        }
+        for &l in labels {
+            if l >= self.n_classes {
+                return Err(CoreError::DataMismatch(format!(
+                    "label {l} out of range for {} classes",
+                    self.n_classes
+                )));
+            }
+        }
+        let batch = x.rows() as f32;
+        let (hidden, mut proba) = self.forward(x);
+        let mut loss = 0.0f32;
+        for (r, &l) in labels.iter().enumerate() {
+            loss -= proba.get(r, l).max(1e-12).ln();
+        }
+        loss /= batch;
+        // d_logits = (p - y) / B
+        for (r, &l) in labels.iter().enumerate() {
+            proba.add_at(r, l, -1.0);
+        }
+        bcpnn_tensor::elementwise::scale(1.0 / batch, &mut proba);
+        // grad_w2 = hiddenᵀ · d_logits ; grad_b2 = col_sums(d_logits)
+        let mut grad_w2 = Matrix::zeros(self.params.hidden_units, self.n_classes);
+        gemm_tn(1.0, &hidden, &proba, 0.0, &mut grad_w2);
+        let grad_b2 = bcpnn_tensor::reduce::col_sums(&proba);
+        // d_hidden = d_logits · w2ᵀ, gated by ReLU'.
+        let mut d_hidden = Matrix::zeros(x.rows(), self.params.hidden_units);
+        gemm_nt(1.0, &proba, &self.w2, 0.0, &mut d_hidden);
+        for (dh, h) in d_hidden
+            .as_mut_slice()
+            .iter_mut()
+            .zip(hidden.as_slice().iter())
+        {
+            if *h <= 0.0 {
+                *dh = 0.0;
+            }
+        }
+        let mut grad_w1 = Matrix::zeros(self.n_inputs, self.params.hidden_units);
+        gemm_tn(1.0, x, &d_hidden, 0.0, &mut grad_w1);
+        let grad_b1 = bcpnn_tensor::reduce::col_sums(&d_hidden);
+        // Weight decay.
+        let wd = self.params.sgd.weight_decay;
+        if wd > 0.0 {
+            for (g, &w) in grad_w1
+                .as_mut_slice()
+                .iter_mut()
+                .zip(self.w1.as_slice().iter())
+            {
+                *g += wd * w;
+            }
+            for (g, &w) in grad_w2
+                .as_mut_slice()
+                .iter_mut()
+                .zip(self.w2.as_slice().iter())
+            {
+                *g += wd * w;
+            }
+        }
+        // Momentum SGD updates.
+        let lr = self.current_lr;
+        let mom = self.params.sgd.momentum;
+        fn update(weights: &mut [f32], velocity: &mut [f32], grads: &[f32], lr: f32, mom: f32) {
+            for ((w, v), g) in weights.iter_mut().zip(velocity.iter_mut()).zip(grads.iter()) {
+                *v = mom * *v - lr * g;
+                *w += *v;
+            }
+        }
+        update(
+            self.w1.as_mut_slice(),
+            self.vw1.as_mut_slice(),
+            grad_w1.as_slice(),
+            lr,
+            mom,
+        );
+        update(&mut self.b1, &mut self.vb1, &grad_b1, lr, mom);
+        update(
+            self.w2.as_mut_slice(),
+            self.vw2.as_mut_slice(),
+            grad_w2.as_slice(),
+            lr,
+            mom,
+        );
+        update(&mut self.b2, &mut self.vb2, &grad_b2, lr, mom);
+        Ok(loss)
+    }
+
+    /// Train for `epochs` shuffled passes. Returns per-epoch mean loss.
+    pub fn fit(
+        &mut self,
+        x: &Matrix<f32>,
+        labels: &[usize],
+        epochs: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> CoreResult<Vec<f32>> {
+        self.check_input(x)?;
+        if x.rows() != labels.len() {
+            return Err(CoreError::DataMismatch(
+                "dataset size and label count differ".into(),
+            ));
+        }
+        let batch_size = batch_size.max(1);
+        let mut rng = MatrixRng::seed_from(seed);
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let order = rng.permutation(x.rows());
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size) {
+                let xb = x.select_rows(chunk);
+                let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                epoch_loss += self.train_batch(&xb, &yb)?;
+                batches += 1;
+            }
+            self.current_lr *= self.params.sgd.lr_decay;
+            losses.push(if batches > 0 {
+                epoch_loss / batches as f32
+            } else {
+                0.0
+            });
+        }
+        Ok(losses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-like problem a linear model cannot solve but a 1-hidden-layer MLP
+    /// can: label = (x0 > 0.5) XOR (x1 > 0.5), encoded with noise.
+    fn xor_data(n: usize, seed: u64) -> (Matrix<f32>, Vec<usize>) {
+        let mut rng = MatrixRng::seed_from(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut labels = Vec::with_capacity(n);
+        for r in 0..n {
+            let a = rng.uniform_scalar::<f64>(0.0, 1.0);
+            let b = rng.uniform_scalar::<f64>(0.0, 1.0);
+            x.set(r, 0, a as f32);
+            x.set(r, 1, b as f32);
+            labels.push(usize::from((a > 0.5) ^ (b > 0.5)));
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(MlpClassifier::new(0, 2, MlpParams::default(), 0).is_err());
+        assert!(MlpClassifier::new(4, 1, MlpParams::default(), 0).is_err());
+        let bad = MlpParams {
+            hidden_units: 0,
+            ..Default::default()
+        };
+        assert!(MlpClassifier::new(4, 2, bad, 0).is_err());
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let m = MlpClassifier::new(3, 4, MlpParams::default(), 1).unwrap();
+        let x = Matrix::from_fn(5, 3, |r, c| (r + c) as f32 * 0.1);
+        let p = m.predict_proba(&x).unwrap();
+        for r in 0..5 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn solves_xor_unlike_a_linear_model() {
+        let (x, y) = xor_data(1500, 2);
+        let mut mlp = MlpClassifier::new(
+            2,
+            2,
+            MlpParams {
+                hidden_units: 32,
+                sgd: SgdParams {
+                    learning_rate: 0.3,
+                    lr_decay: 0.98,
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
+            },
+            3,
+        )
+        .unwrap();
+        mlp.fit(&x, &y, 60, 64, 4).unwrap();
+        let (xt, yt) = xor_data(400, 5);
+        let preds = mlp.predict(&xt).unwrap();
+        let acc = preds.iter().zip(yt.iter()).filter(|(a, b)| a == b).count() as f64 / 400.0;
+        assert!(acc > 0.9, "MLP should solve XOR, accuracy {acc}");
+
+        // The linear SGD classifier cannot do much better than chance here.
+        let mut lin = crate::SgdClassifier::new(2, 2, SgdParams::default(), 6).unwrap();
+        lin.fit(&x, &y, 30, 64, 7).unwrap();
+        let lp = lin.predict(&xt).unwrap();
+        let lacc = lp.iter().zip(yt.iter()).filter(|(a, b)| a == b).count() as f64 / 400.0;
+        assert!(lacc < 0.7, "linear model unexpectedly solved XOR: {lacc}");
+        assert!(acc > lacc + 0.15, "MLP must clearly beat the linear baseline");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = xor_data(800, 8);
+        let mut mlp = MlpClassifier::new(2, 2, MlpParams::default(), 9).unwrap();
+        let losses = mlp.fit(&x, &y, 20, 64, 10).unwrap();
+        assert!(losses.first().unwrap() > losses.last().unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut mlp = MlpClassifier::new(4, 2, MlpParams::default(), 11).unwrap();
+        assert!(mlp.predict(&Matrix::zeros(2, 3)).is_err());
+        let x = Matrix::zeros(2, 4);
+        assert!(mlp.train_batch(&x, &[0]).is_err());
+        assert!(mlp.train_batch(&x, &[0, 9]).is_err());
+    }
+}

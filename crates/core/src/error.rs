@@ -1,0 +1,70 @@
+//! Error type for the core BCPNN crate.
+
+use std::fmt;
+
+/// Errors surfaced by model construction, training and persistence.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A hyperparameter combination failed validation.
+    InvalidParams(String),
+    /// Input data did not match the model (wrong width, empty set, label out
+    /// of range, ...).
+    DataMismatch(String),
+    /// Persistence failure while saving or loading a model.
+    Io(std::io::Error),
+    /// A serialized model was malformed.
+    Format(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            CoreError::DataMismatch(msg) => write!(f, "data mismatch: {msg}"),
+            CoreError::Io(e) => write!(f, "I/O error: {e}"),
+            CoreError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+impl From<bcpnn_tensor::IoError> for CoreError {
+    fn from(e: bcpnn_tensor::IoError) -> Self {
+        match e {
+            bcpnn_tensor::IoError::Io(io) => CoreError::Io(io),
+            bcpnn_tensor::IoError::Format(msg) => CoreError::Format(msg),
+        }
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidParams("n_mcu must be positive".into());
+        assert!(e.to_string().contains("n_mcu"));
+        let e = CoreError::DataMismatch("expected 280 columns".into());
+        assert!(e.to_string().contains("280"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: CoreError = io.into();
+        assert!(matches!(e, CoreError::Io(_)));
+        let fe: CoreError = bcpnn_tensor::IoError::Format("bad".into()).into();
+        assert!(matches!(fe, CoreError::Format(_)));
+    }
+}

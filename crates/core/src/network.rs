@@ -1,0 +1,391 @@
+//! The full three-layer network (input → hidden HCUs → classification) and
+//! its Keras-like builder, mirroring StreamBrain's layer-by-layer interface.
+
+use std::sync::Arc;
+
+use bcpnn_backend::{Backend, BackendKind};
+use bcpnn_tensor::Matrix;
+
+use crate::classifier::{BcpnnClassifier, BcpnnClassifierParams};
+use crate::error::{CoreError, CoreResult};
+use crate::hcu::HiddenLayer;
+use crate::metrics::EvalReport;
+use crate::params::{HiddenLayerParams, SgdParams};
+use crate::sgd::SgdClassifier;
+
+/// Which classification head produces the network's predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadoutKind {
+    /// Pure BCPNN: the associative probability-trace readout
+    /// (the paper's 68.58 % / 75.5 % AUC configuration).
+    Bcpnn,
+    /// A softmax-regression head trained by SGD on the hidden code.
+    Sgd,
+    /// Train both heads; predict with the SGD head (the paper's
+    /// "BCPNN + SGD" hybrid, 69.15 % / 76.4 % AUC).
+    #[default]
+    Hybrid,
+}
+
+impl ReadoutKind {
+    /// Parse a readout name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "bcpnn" => Some(Self::Bcpnn),
+            "sgd" => Some(Self::Sgd),
+            "hybrid" | "bcpnn+sgd" => Some(Self::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// Name of the readout kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Bcpnn => "bcpnn",
+            Self::Sgd => "sgd",
+            Self::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// A trained (or trainable) BCPNN network.
+pub struct Network {
+    hidden: HiddenLayer,
+    bcpnn_readout: Option<BcpnnClassifier>,
+    sgd_readout: Option<SgdClassifier>,
+    readout_kind: ReadoutKind,
+    n_classes: usize,
+    backend: Arc<dyn Backend>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("hidden", &self.hidden)
+            .field("n_classes", &self.n_classes)
+            .field("readout", &self.readout_kind)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Start building a network (Keras-style fluent interface).
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// The unsupervised hidden layer.
+    pub fn hidden(&self) -> &HiddenLayer {
+        &self.hidden
+    }
+
+    /// Mutable access to the hidden layer (used by the trainer).
+    pub fn hidden_mut(&mut self) -> &mut HiddenLayer {
+        &mut self.hidden
+    }
+
+    /// The BCPNN readout, if this network has one.
+    pub fn bcpnn_readout(&self) -> Option<&BcpnnClassifier> {
+        self.bcpnn_readout.as_ref()
+    }
+
+    /// Mutable BCPNN readout (used by the trainer).
+    pub fn bcpnn_readout_mut(&mut self) -> Option<&mut BcpnnClassifier> {
+        self.bcpnn_readout.as_mut()
+    }
+
+    /// The SGD readout, if this network has one.
+    pub fn sgd_readout(&self) -> Option<&SgdClassifier> {
+        self.sgd_readout.as_ref()
+    }
+
+    /// Mutable SGD readout (used by the trainer).
+    pub fn sgd_readout_mut(&mut self) -> Option<&mut SgdClassifier> {
+        self.sgd_readout.as_mut()
+    }
+
+    /// Which head produces [`Network::predict_proba`].
+    pub fn readout_kind(&self) -> ReadoutKind {
+        self.readout_kind
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The compute backend shared by the layers.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// Encode inputs into the hidden (HCU/MCU activation) representation.
+    pub fn encode(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+        self.hidden.forward(x)
+    }
+
+    /// Class probabilities using the head selected by the readout kind
+    /// (hybrid networks predict with the SGD head).
+    pub fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+        match self.readout_kind {
+            ReadoutKind::Bcpnn => self.predict_proba_with(ReadoutKind::Bcpnn, x),
+            ReadoutKind::Sgd | ReadoutKind::Hybrid => self.predict_proba_with(ReadoutKind::Sgd, x),
+        }
+    }
+
+    /// Class probabilities from a specific head (useful for reporting the
+    /// pure-BCPNN and hybrid numbers from the same trained network, as the
+    /// paper does).
+    pub fn predict_proba_with(&self, head: ReadoutKind, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+        let hidden = self.encode(x)?;
+        match head {
+            ReadoutKind::Bcpnn => self
+                .bcpnn_readout
+                .as_ref()
+                .ok_or_else(|| CoreError::InvalidParams("network has no BCPNN readout".into()))?
+                .predict_proba(&hidden),
+            ReadoutKind::Sgd | ReadoutKind::Hybrid => self
+                .sgd_readout
+                .as_ref()
+                .ok_or_else(|| CoreError::InvalidParams("network has no SGD readout".into()))?
+                .predict_proba(&hidden),
+        }
+    }
+
+    /// Hard class predictions via [`Network::predict_proba`].
+    pub fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
+        Ok(bcpnn_tensor::reduce::row_argmax(&self.predict_proba(x)?))
+    }
+
+    /// Evaluate the network on labeled data (accuracy, AUC, ...).
+    pub fn evaluate(&self, x: &Matrix<f32>, labels: &[usize]) -> CoreResult<EvalReport> {
+        if x.rows() != labels.len() {
+            return Err(CoreError::DataMismatch(
+                "evaluation set size and label count differ".into(),
+            ));
+        }
+        let proba = self.predict_proba(x)?;
+        Ok(EvalReport::from_probabilities(&proba, labels))
+    }
+
+    /// Evaluate a specific head on labeled data.
+    pub fn evaluate_with(
+        &self,
+        head: ReadoutKind,
+        x: &Matrix<f32>,
+        labels: &[usize],
+    ) -> CoreResult<EvalReport> {
+        if x.rows() != labels.len() {
+            return Err(CoreError::DataMismatch(
+                "evaluation set size and label count differ".into(),
+            ));
+        }
+        let proba = self.predict_proba_with(head, x)?;
+        Ok(EvalReport::from_probabilities(&proba, labels))
+    }
+}
+
+/// Fluent builder for [`Network`] (StreamBrain's Keras-inspired interface).
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    hidden: HiddenLayerParams,
+    n_classes: usize,
+    readout: ReadoutKind,
+    backend: BackendKind,
+    classifier_params: BcpnnClassifierParams,
+    sgd_params: SgdParams,
+    seed: u64,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self {
+            hidden: HiddenLayerParams::default(),
+            n_classes: 2,
+            readout: ReadoutKind::default(),
+            backend: BackendKind::default(),
+            classifier_params: BcpnnClassifierParams::default(),
+            sgd_params: SgdParams::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Set the input width (e.g. 280 for the encoded Higgs features).
+    pub fn input(mut self, n_inputs: usize) -> Self {
+        self.hidden.n_inputs = n_inputs;
+        self
+    }
+
+    /// Configure the hidden layer: number of HCUs, MCUs per HCU, and the
+    /// receptive-field density.
+    pub fn hidden(mut self, n_hcu: usize, n_mcu: usize, receptive_field: f64) -> Self {
+        self.hidden.n_hcu = n_hcu;
+        self.hidden.n_mcu = n_mcu;
+        self.hidden.receptive_field = receptive_field;
+        self
+    }
+
+    /// Replace the full hidden-layer parameter struct.
+    pub fn hidden_params(mut self, params: HiddenLayerParams) -> Self {
+        self.hidden = params;
+        self
+    }
+
+    /// Set the number of output classes (2 for signal vs background).
+    pub fn classes(mut self, n_classes: usize) -> Self {
+        self.n_classes = n_classes;
+        self
+    }
+
+    /// Select the classification head.
+    pub fn readout(mut self, readout: ReadoutKind) -> Self {
+        self.readout = readout;
+        self
+    }
+
+    /// Select the compute backend.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Parameters for the BCPNN readout.
+    pub fn classifier_params(mut self, params: BcpnnClassifierParams) -> Self {
+        self.classifier_params = params;
+        self
+    }
+
+    /// Parameters for the SGD readout.
+    pub fn sgd_params(mut self, params: SgdParams) -> Self {
+        self.sgd_params = params;
+        self
+    }
+
+    /// RNG seed controlling initial masks, weights and shuffling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the network.
+    pub fn build(self) -> CoreResult<Network> {
+        if self.n_classes < 2 {
+            return Err(CoreError::InvalidParams(
+                "a classifier needs at least two classes".into(),
+            ));
+        }
+        let backend = self.backend.create();
+        let hidden = HiddenLayer::new(self.hidden.clone(), Arc::clone(&backend), self.seed)?;
+        let n_hidden_units = hidden.n_units();
+        let bcpnn_readout = match self.readout {
+            ReadoutKind::Bcpnn | ReadoutKind::Hybrid => Some(BcpnnClassifier::new(
+                n_hidden_units,
+                self.n_classes,
+                self.classifier_params.clone(),
+                Arc::clone(&backend),
+            )?),
+            ReadoutKind::Sgd => None,
+        };
+        let sgd_readout = match self.readout {
+            ReadoutKind::Sgd | ReadoutKind::Hybrid => Some(SgdClassifier::new(
+                n_hidden_units,
+                self.n_classes,
+                self.sgd_params.clone(),
+                self.seed ^ 0x5eed_5eed,
+            )?),
+            ReadoutKind::Bcpnn => None,
+        };
+        Ok(Network {
+            hidden,
+            bcpnn_readout,
+            sgd_readout,
+            readout_kind: self.readout,
+            n_classes: self.n_classes,
+            backend,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_builder() -> NetworkBuilder {
+        Network::builder()
+            .input(20)
+            .hidden(2, 4, 0.5)
+            .classes(2)
+            .backend(BackendKind::Naive)
+            .seed(1)
+    }
+
+    #[test]
+    fn builder_constructs_requested_topology() {
+        let net = tiny_builder().readout(ReadoutKind::Hybrid).build().unwrap();
+        assert_eq!(net.hidden().n_units(), 8);
+        assert_eq!(net.n_classes(), 2);
+        assert!(net.bcpnn_readout().is_some());
+        assert!(net.sgd_readout().is_some());
+        assert_eq!(net.readout_kind(), ReadoutKind::Hybrid);
+    }
+
+    #[test]
+    fn readout_selection_controls_which_heads_exist() {
+        let b = tiny_builder().readout(ReadoutKind::Bcpnn).build().unwrap();
+        assert!(b.bcpnn_readout().is_some());
+        assert!(b.sgd_readout().is_none());
+        let s = tiny_builder().readout(ReadoutKind::Sgd).build().unwrap();
+        assert!(s.bcpnn_readout().is_none());
+        assert!(s.sgd_readout().is_some());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(tiny_builder().classes(1).build().is_err());
+        assert!(tiny_builder().hidden(0, 4, 0.5).build().is_err());
+        assert!(tiny_builder().hidden(2, 4, 0.0).build().is_err());
+    }
+
+    #[test]
+    fn untrained_network_still_produces_valid_probabilities() {
+        let net = tiny_builder().build().unwrap();
+        let x = Matrix::from_fn(5, 20, |r, c| f32::from((r + c) % 3 == 0));
+        let p = net.predict_proba(&x).unwrap();
+        assert_eq!(p.shape(), (5, 2));
+        for r in 0..5 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+        let preds = net.predict(&x).unwrap();
+        assert_eq!(preds.len(), 5);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn predict_proba_with_requires_the_head() {
+        let net = tiny_builder().readout(ReadoutKind::Sgd).build().unwrap();
+        let x = Matrix::zeros(2, 20);
+        assert!(net.predict_proba_with(ReadoutKind::Bcpnn, &x).is_err());
+        assert!(net.predict_proba_with(ReadoutKind::Sgd, &x).is_ok());
+    }
+
+    #[test]
+    fn evaluate_checks_lengths() {
+        let net = tiny_builder().build().unwrap();
+        let x = Matrix::zeros(3, 20);
+        assert!(net.evaluate(&x, &[0, 1]).is_err());
+        let report = net.evaluate(&x, &[0, 1, 0]).unwrap();
+        assert!(report.accuracy >= 0.0 && report.accuracy <= 1.0);
+    }
+
+    #[test]
+    fn readout_kind_parsing() {
+        assert_eq!(ReadoutKind::parse("bcpnn"), Some(ReadoutKind::Bcpnn));
+        assert_eq!(ReadoutKind::parse("BCPNN+SGD"), Some(ReadoutKind::Hybrid));
+        assert_eq!(ReadoutKind::parse("sgd"), Some(ReadoutKind::Sgd));
+        assert_eq!(ReadoutKind::parse("???"), None);
+        assert_eq!(ReadoutKind::Hybrid.name(), "hybrid");
+    }
+}

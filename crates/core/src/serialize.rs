@@ -1,0 +1,292 @@
+//! Model persistence.
+//!
+//! A trained [`Network`] is saved as a directory containing a small
+//! key/value manifest plus one text matrix file (see `bcpnn_tensor::io`)
+//! per state tensor: the hidden mask, the hidden and readout probability
+//! traces, and the SGD head parameters. Weights are *not* stored — they are
+//! deterministic functions of the traces and are recomputed on load, which
+//! both keeps the files small and guarantees the loaded model is internally
+//! consistent.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_tensor::{load_matrix, save_matrix, Matrix};
+
+use crate::classifier::BcpnnClassifierParams;
+use crate::error::{CoreError, CoreResult};
+use crate::mask::ReceptiveFieldMask;
+use crate::network::{Network, NetworkBuilder, ReadoutKind};
+use crate::params::{HiddenLayerParams, SgdParams};
+use crate::traces::ProbabilityTraces;
+
+const MANIFEST: &str = "manifest.txt";
+const MAGIC: &str = "bcpnn-network";
+const VERSION: &str = "v1";
+
+fn vec_to_matrix(v: &[f32]) -> Matrix<f32> {
+    Matrix::from_vec(1, v.len(), v.to_vec())
+}
+
+fn matrix_to_vec(m: Matrix<f32>) -> Vec<f32> {
+    m.into_vec()
+}
+
+/// Save a network into `dir` (created if missing).
+pub fn save_network<P: AsRef<Path>>(network: &Network, dir: P) -> CoreResult<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let hp = network.hidden().params();
+    let mut manifest = String::new();
+    manifest.push_str(&format!("{MAGIC} {VERSION}\n"));
+    manifest.push_str(&format!("n_inputs {}\n", hp.n_inputs));
+    manifest.push_str(&format!("n_hcu {}\n", hp.n_hcu));
+    manifest.push_str(&format!("n_mcu {}\n", hp.n_mcu));
+    manifest.push_str(&format!("receptive_field {}\n", hp.receptive_field));
+    manifest.push_str(&format!("trace_rate {}\n", hp.trace_rate));
+    manifest.push_str(&format!("eps {}\n", hp.eps));
+    manifest.push_str(&format!("bias_gain {}\n", hp.bias_gain));
+    manifest.push_str(&format!("support_noise {}\n", hp.support_noise));
+    manifest.push_str(&format!("plasticity_swaps {}\n", hp.plasticity_swaps));
+    manifest.push_str(&format!("plasticity_interval {}\n", hp.plasticity_interval));
+    manifest.push_str(&format!("n_classes {}\n", network.n_classes()));
+    manifest.push_str(&format!("readout {}\n", network.readout_kind().name()));
+    fs::write(dir.join(MANIFEST), manifest)?;
+
+    save_matrix(network.hidden().mask().as_matrix(), dir.join("hidden_mask.mat"))?;
+    let ht = network.hidden().traces();
+    save_matrix(&vec_to_matrix(&ht.pi), dir.join("hidden_pi.mat"))?;
+    save_matrix(&vec_to_matrix(&ht.pj), dir.join("hidden_pj.mat"))?;
+    save_matrix(&ht.pij, dir.join("hidden_pij.mat"))?;
+
+    if let Some(readout) = network.bcpnn_readout() {
+        let rt = readout.traces();
+        save_matrix(&vec_to_matrix(&rt.pi), dir.join("readout_pi.mat"))?;
+        save_matrix(&vec_to_matrix(&rt.pj), dir.join("readout_pj.mat"))?;
+        save_matrix(&rt.pij, dir.join("readout_pij.mat"))?;
+    }
+    if let Some(sgd) = network.sgd_readout() {
+        save_matrix(sgd.weights(), dir.join("sgd_weights.mat"))?;
+        save_matrix(&vec_to_matrix(sgd.bias()), dir.join("sgd_bias.mat"))?;
+    }
+    Ok(())
+}
+
+fn parse_manifest(path: &Path) -> CoreResult<HashMap<String, String>> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::Format("empty manifest".into()))?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some(MAGIC) || hp.next() != Some(VERSION) {
+        return Err(CoreError::Format(format!("bad manifest header: {header:?}")));
+    }
+    let mut map = HashMap::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| CoreError::Format(format!("bad manifest line: {line:?}")))?;
+        map.insert(k.to_string(), v.trim().to_string());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str) -> CoreResult<T> {
+    let raw = map
+        .get(key)
+        .ok_or_else(|| CoreError::Format(format!("manifest missing key {key:?}")))?;
+    raw.parse::<T>()
+        .map_err(|_| CoreError::Format(format!("manifest key {key:?} has invalid value {raw:?}")))
+}
+
+/// Load a network previously written by [`save_network`], instantiating it
+/// on the given backend (backends are runtime configuration, not model
+/// state, so the caller chooses).
+pub fn load_network<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<Network> {
+    let dir = dir.as_ref();
+    let manifest = parse_manifest(&dir.join(MANIFEST))?;
+    let hidden = HiddenLayerParams {
+        n_inputs: get(&manifest, "n_inputs")?,
+        n_hcu: get(&manifest, "n_hcu")?,
+        n_mcu: get(&manifest, "n_mcu")?,
+        receptive_field: get(&manifest, "receptive_field")?,
+        trace_rate: get(&manifest, "trace_rate")?,
+        eps: get(&manifest, "eps")?,
+        bias_gain: get(&manifest, "bias_gain")?,
+        support_noise: get(&manifest, "support_noise")?,
+        plasticity_swaps: get(&manifest, "plasticity_swaps")?,
+        plasticity_interval: get(&manifest, "plasticity_interval")?,
+    };
+    let n_classes: usize = get(&manifest, "n_classes")?;
+    let readout_name: String = get(&manifest, "readout")?;
+    let readout = ReadoutKind::parse(&readout_name)
+        .ok_or_else(|| CoreError::Format(format!("unknown readout kind {readout_name:?}")))?;
+
+    let mut network = NetworkBuilder::default()
+        .hidden_params(hidden)
+        .classes(n_classes)
+        .readout(readout)
+        .backend(backend)
+        .classifier_params(BcpnnClassifierParams::default())
+        .sgd_params(SgdParams::default())
+        .build()?;
+
+    // Hidden layer state.
+    let mask_m: Matrix<f32> = load_matrix(dir.join("hidden_mask.mat"))?;
+    let mask = ReceptiveFieldMask::from_matrix(mask_m);
+    let traces = ProbabilityTraces {
+        pi: matrix_to_vec(load_matrix(dir.join("hidden_pi.mat"))?),
+        pj: matrix_to_vec(load_matrix(dir.join("hidden_pj.mat"))?),
+        pij: load_matrix(dir.join("hidden_pij.mat"))?,
+    };
+    network.hidden_mut().restore_state(mask, traces)?;
+
+    // BCPNN readout state.
+    if network.bcpnn_readout().is_some() {
+        let traces = ProbabilityTraces {
+            pi: matrix_to_vec(load_matrix(dir.join("readout_pi.mat"))?),
+            pj: matrix_to_vec(load_matrix(dir.join("readout_pj.mat"))?),
+            pij: load_matrix(dir.join("readout_pij.mat"))?,
+        };
+        network
+            .bcpnn_readout_mut()
+            .expect("readout checked above")
+            .restore_traces(traces)?;
+    }
+
+    // SGD readout state.
+    if network.sgd_readout().is_some() {
+        let weights: Matrix<f32> = load_matrix(dir.join("sgd_weights.mat"))?;
+        let bias = matrix_to_vec(load_matrix(dir.join("sgd_bias.mat"))?);
+        network
+            .sgd_readout_mut()
+            .expect("readout checked above")
+            .set_parameters(weights, bias)?;
+    }
+    Ok(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TrainingParams;
+    use crate::training::Trainer;
+    use bcpnn_tensor::MatrixRng;
+
+    fn toy_data(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Vec<usize>) {
+        let mut rng = MatrixRng::seed_from(seed);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let x = Matrix::from_fn(n, d, |r, c| {
+            let cls = labels[r];
+            let hot = if cls == 0 { c < d / 2 } else { c >= d / 2 };
+            let p = if hot { 0.5 } else { 0.1 };
+            f32::from(rng.uniform_scalar::<f64>(0.0, 1.0) < p)
+        });
+        (x, labels)
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("bcpnn_serialize_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let (x, y) = toy_data(200, 16, 1);
+        let mut net = Network::builder()
+            .input(16)
+            .hidden(2, 4, 0.5)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(2)
+            .build()
+            .unwrap();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 3,
+            batch_size: 32,
+            seed: 3,
+            shuffle: true,
+        })
+        .fit(&mut net, &x, &y)
+        .unwrap();
+
+        let dir = temp_dir("roundtrip");
+        save_network(&net, &dir).unwrap();
+        let loaded = load_network(&dir, BackendKind::Naive).unwrap();
+
+        let (xt, _) = toy_data(50, 16, 4);
+        let p_orig = net.predict_proba(&xt).unwrap();
+        let p_load = loaded.predict_proba(&xt).unwrap();
+        assert!(
+            p_orig.max_abs_diff(&p_load) < 1e-4,
+            "loaded network must predict identically (diff {})",
+            p_orig.max_abs_diff(&p_load)
+        );
+        // The pure-BCPNN head also survives the roundtrip.
+        let b_orig = net.predict_proba_with(ReadoutKind::Bcpnn, &xt).unwrap();
+        let b_load = loaded.predict_proba_with(ReadoutKind::Bcpnn, &xt).unwrap();
+        assert!(b_orig.max_abs_diff(&b_load) < 1e-4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_on_a_different_backend_gives_the_same_answers() {
+        let (x, y) = toy_data(150, 16, 5);
+        let mut net = Network::builder()
+            .input(16)
+            .hidden(1, 5, 0.6)
+            .classes(2)
+            .readout(ReadoutKind::Bcpnn)
+            .backend(BackendKind::Parallel)
+            .seed(6)
+            .build()
+            .unwrap();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            batch_size: 25,
+            seed: 7,
+            shuffle: false,
+        })
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        let dir = temp_dir("cross_backend");
+        save_network(&net, &dir).unwrap();
+        let loaded = load_network(&dir, BackendKind::Naive).unwrap();
+        let (xt, _) = toy_data(40, 16, 8);
+        let a = net.predict_proba(&xt).unwrap();
+        let b = loaded.predict_proba(&xt).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = temp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load_network(&dir, BackendKind::Naive).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST), "something-else v9\n").unwrap();
+        let err = load_network(&dir, BackendKind::Naive).unwrap_err();
+        assert!(matches!(err, CoreError::Format(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,175 @@
+//! Probability traces: the sufficient statistics of the BCPNN learning rule.
+//!
+//! A BCPNN layer does not accumulate gradients; it accumulates estimates of
+//! the marginal probabilities `p_i` (pre-synaptic activity), `p_j`
+//! (post-synaptic activity) and the joint `p_ij`, each as an exponential
+//! moving average of batch statistics. Weights and biases are deterministic
+//! functions of these traces (`w_ij = ln(p_ij / p_i p_j)`,
+//! `b_j = ln p_j`), which is what makes learning local and
+//! communication-free (§II of the paper).
+
+use bcpnn_backend::Backend;
+use bcpnn_tensor::Matrix;
+
+/// The probability traces of one layer (`N` pre-synaptic inputs, `U`
+/// post-synaptic units).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilityTraces {
+    /// `P(x_i = 1)` estimates, length `N`.
+    pub pi: Vec<f32>,
+    /// `P(unit j active)` estimates, length `U`.
+    pub pj: Vec<f32>,
+    /// Joint `P(x_i = 1, unit j active)` estimates, `N x U`.
+    pub pij: Matrix<f32>,
+}
+
+impl ProbabilityTraces {
+    /// Create traces initialised to an uninformative prior:
+    /// `p_i = prior_input`, `p_j = 1 / units_per_group`, and
+    /// `p_ij = p_i · p_j` (independence), so initial weights are ~0.
+    pub fn new(n_inputs: usize, n_units: usize, units_per_group: usize, prior_input: f32) -> Self {
+        assert!(n_units > 0 && units_per_group > 0, "units must be positive");
+        assert_eq!(
+            n_units % units_per_group,
+            0,
+            "units {n_units} must be a multiple of the group size {units_per_group}"
+        );
+        let pj_init = 1.0 / units_per_group as f32;
+        let pi = vec![prior_input; n_inputs];
+        let pj = vec![pj_init; n_units];
+        let pij = Matrix::from_fn(n_inputs, n_units, |i, _| pi[i] * pj_init);
+        Self { pi, pj, pij }
+    }
+
+    /// Number of pre-synaptic inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Number of post-synaptic units.
+    pub fn n_units(&self) -> usize {
+        self.pj.len()
+    }
+
+    /// Fold one batch of (input, activation) pairs into the traces.
+    pub fn update(
+        &mut self,
+        backend: &dyn Backend,
+        x: &Matrix<f32>,
+        activations: &Matrix<f32>,
+        rate: f32,
+    ) {
+        backend.update_traces(
+            x,
+            activations,
+            rate,
+            &mut self.pi,
+            &mut self.pj,
+            &mut self.pij,
+        );
+    }
+
+    /// Recompute the weight matrix and bias vector implied by the traces.
+    pub fn weights_and_bias(
+        &self,
+        backend: &dyn Backend,
+        eps: f32,
+        bias_gain: f32,
+        weights: &mut Matrix<f32>,
+        bias: &mut [f32],
+    ) {
+        backend.recompute_weights(&self.pi, &self.pj, &self.pij, eps, bias_gain, weights, bias);
+    }
+
+    /// Check the probabilistic invariants the traces must satisfy
+    /// (everything in `[0, 1]`, joints bounded by marginals up to `tol`).
+    /// Returns a description of the first violation, if any.
+    pub fn check_invariants(&self, tol: f32) -> Result<(), String> {
+        for (i, &p) in self.pi.iter().enumerate() {
+            if !(0.0 - tol..=1.0 + tol).contains(&p) || !p.is_finite() {
+                return Err(format!("pi[{i}] = {p} outside [0,1]"));
+            }
+        }
+        for (j, &p) in self.pj.iter().enumerate() {
+            if !(0.0 - tol..=1.0 + tol).contains(&p) || !p.is_finite() {
+                return Err(format!("pj[{j}] = {p} outside [0,1]"));
+            }
+        }
+        for i in 0..self.pij.rows() {
+            for j in 0..self.pij.cols() {
+                let pij = self.pij.get(i, j);
+                if !pij.is_finite() || pij < -tol {
+                    return Err(format!("pij[{i},{j}] = {pij} invalid"));
+                }
+                if pij > self.pi[i] + tol || pij > self.pj[j] + tol {
+                    return Err(format!(
+                        "pij[{i},{j}] = {pij} exceeds its marginals ({}, {})",
+                        self.pi[i], self.pj[j]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcpnn_backend::{BackendKind, NaiveBackend};
+    use bcpnn_tensor::MatrixRng;
+
+    #[test]
+    fn initial_traces_encode_independence() {
+        let t = ProbabilityTraces::new(10, 6, 3, 0.2);
+        assert_eq!(t.n_inputs(), 10);
+        assert_eq!(t.n_units(), 6);
+        assert!(t.pj.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-6));
+        assert!((t.pij.get(0, 0) - 0.2 / 3.0).abs() < 1e-6);
+        assert!(t.check_invariants(1e-6).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the group size")]
+    fn group_size_must_divide_units() {
+        let _ = ProbabilityTraces::new(4, 5, 2, 0.1);
+    }
+
+    #[test]
+    fn initial_weights_are_near_zero() {
+        let t = ProbabilityTraces::new(8, 4, 4, 0.3);
+        let backend = NaiveBackend::new();
+        let mut w = Matrix::zeros(8, 4);
+        let mut b = vec![0.0f32; 4];
+        t.weights_and_bias(&backend, 1e-8, 1.0, &mut w, &mut b);
+        assert!(w.as_slice().iter().all(|v| v.abs() < 1e-4));
+        assert!(b.iter().all(|&v| (v - 0.25f32.ln()).abs() < 1e-5));
+    }
+
+    #[test]
+    fn updates_preserve_invariants() {
+        let backend = BackendKind::Parallel.create();
+        let mut rng = MatrixRng::seed_from(3);
+        let mut t = ProbabilityTraces::new(12, 6, 3, 0.2);
+        for _ in 0..50 {
+            let x: Matrix<f32> = rng.bernoulli(16, 12, 0.25);
+            let mut act: Matrix<f32> = rng.normal(16, 6, 0.0, 1.0);
+            backend.grouped_softmax(&mut act, 3);
+            t.update(backend.as_ref(), &x, &act, 0.1);
+            assert!(t.check_invariants(1e-4).is_ok());
+        }
+        // After many batches of ~0.25-dense inputs the pi trace reflects it.
+        let mean_pi: f32 = t.pi.iter().sum::<f32>() / t.pi.len() as f32;
+        assert!((mean_pi - 0.25).abs() < 0.1, "mean pi {mean_pi}");
+    }
+
+    #[test]
+    fn invariant_checker_detects_violations() {
+        let mut t = ProbabilityTraces::new(2, 2, 2, 0.2);
+        t.pi[0] = 1.5;
+        assert!(t.check_invariants(1e-6).is_err());
+        let mut t = ProbabilityTraces::new(2, 2, 2, 0.2);
+        t.pij.set(0, 0, 0.9); // exceeds pi = 0.2
+        assert!(t.check_invariants(1e-6).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Mini-batch iteration over encoded datasets.
+
+use bcpnn_tensor::{Matrix, MatrixRng};
+
+/// An iterator yielding `(features, labels)` mini-batches from an encoded
+/// feature matrix and its labels, in a (optionally shuffled) epoch order.
+#[derive(Debug, Clone)]
+pub struct BatchIterator<'a> {
+    features: &'a Matrix<f32>,
+    labels: &'a [usize],
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIterator<'a> {
+    /// Create an iterator over sequential (unshuffled) batches.
+    ///
+    /// # Panics
+    /// Panics if the label count does not match the feature rows or the
+    /// batch size is zero.
+    pub fn new(features: &'a Matrix<f32>, labels: &'a [usize], batch_size: usize) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "BatchIterator: {} rows but {} labels",
+            features.rows(),
+            labels.len()
+        );
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            features,
+            labels,
+            order: (0..features.rows()).collect(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Create an iterator over shuffled batches.
+    pub fn shuffled(
+        features: &'a Matrix<f32>,
+        labels: &'a [usize],
+        batch_size: usize,
+        rng: &mut MatrixRng,
+    ) -> Self {
+        let mut it = Self::new(features, labels, batch_size);
+        it.order = rng.permutation(features.rows());
+        it
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIterator<'_> {
+    type Item = (Matrix<f32>, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let x = self.features.select_rows(idx);
+        let y = idx.iter().map(|&i| self.labels[i]).collect();
+        Some((x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> (Matrix<f32>, Vec<usize>) {
+        let x = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        let y = (0..n).map(|i| i % 2).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let (x, y) = data(23);
+        let it = BatchIterator::new(&x, &y, 5);
+        assert_eq!(it.n_batches(), 5);
+        let mut seen = vec![false; 23];
+        let mut total = 0;
+        for (xb, yb) in it {
+            assert_eq!(xb.rows(), yb.len());
+            assert!(xb.rows() <= 5);
+            for r in 0..xb.rows() {
+                let original = (xb.get(r, 0) / 2.0) as usize;
+                assert!(!seen[original], "sample {original} seen twice");
+                seen[original] = true;
+                assert_eq!(yb[r], original % 2, "label follows its row");
+            }
+            total += xb.rows();
+        }
+        assert_eq!(total, 23);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffled_batches_still_cover_everything() {
+        let (x, y) = data(40);
+        let mut rng = MatrixRng::seed_from(1);
+        let it = BatchIterator::shuffled(&x, &y, 7, &mut rng);
+        let mut count = 0;
+        let mut first_batch_first_row = None;
+        for (xb, _) in it {
+            if first_batch_first_row.is_none() {
+                first_batch_first_row = Some(xb.get(0, 0));
+            }
+            count += xb.rows();
+        }
+        assert_eq!(count, 40);
+        // With 40 rows the probability the shuffle starts at row 0 is 1/40;
+        // the seeded shuffle used here does not.
+        assert_ne!(first_batch_first_row, Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_is_rejected() {
+        let (x, y) = data(4);
+        let _ = BatchIterator::new(&x, &y, 0);
+    }
+}

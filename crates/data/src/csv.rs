@@ -1,0 +1,231 @@
+//! Loader/writer for the UCI `HIGGS.csv` format.
+//!
+//! Each line of the UCI file is `label,f1,...,f28` with `label` being `1.0`
+//! for signal and `0.0` for background and the 28 features in the order of
+//! [`crate::higgs::FEATURE_NAMES`]. When the real 2 GB file is available it
+//! can be dropped into any experiment through [`load_higgs_csv`]; the
+//! synthetic generator writes the same format so the two paths are
+//! interchangeable.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use bcpnn_tensor::Matrix;
+
+use crate::dataset::Dataset;
+use crate::higgs::{FEATURE_NAMES, N_FEATURES};
+
+/// Errors produced while reading or writing CSV files.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (wrong column count, non-numeric value, bad label).
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse HIGGS-format CSV from any reader. `max_rows` bounds how many events
+/// are read (the UCI file has 11 million rows; the paper uses a subset).
+pub fn read_higgs_csv<R: BufRead>(reader: R, max_rows: Option<usize>) -> Result<Dataset, CsvError> {
+    let mut rows: Vec<f32> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        if let Some(limit) = max_rows {
+            if labels.len() >= limit {
+                break;
+            }
+        }
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut values = trimmed.split(',');
+        let label_tok = values.next().ok_or_else(|| CsvError::Parse {
+            line: line_no + 1,
+            message: "empty line".into(),
+        })?;
+        let label_val: f64 = label_tok.trim().parse().map_err(|_| CsvError::Parse {
+            line: line_no + 1,
+            message: format!("bad label {label_tok:?}"),
+        })?;
+        let label = if (label_val - 1.0).abs() < 1e-6 {
+            1usize
+        } else if label_val.abs() < 1e-6 {
+            0usize
+        } else {
+            return Err(CsvError::Parse {
+                line: line_no + 1,
+                message: format!("label must be 0 or 1, got {label_val}"),
+            });
+        };
+        let mut count = 0usize;
+        for tok in values {
+            let v: f32 = tok.trim().parse().map_err(|_| CsvError::Parse {
+                line: line_no + 1,
+                message: format!("bad value {tok:?}"),
+            })?;
+            rows.push(v);
+            count += 1;
+        }
+        if count != N_FEATURES {
+            return Err(CsvError::Parse {
+                line: line_no + 1,
+                message: format!("expected {N_FEATURES} features, found {count}"),
+            });
+        }
+        labels.push(label);
+    }
+    let n = labels.len();
+    let features = Matrix::from_vec(n, N_FEATURES, rows);
+    Ok(Dataset::new(
+        features,
+        labels,
+        Some(FEATURE_NAMES.iter().map(|s| s.to_string()).collect()),
+    ))
+}
+
+/// Load a HIGGS-format CSV file from disk.
+pub fn load_higgs_csv<P: AsRef<Path>>(path: P, max_rows: Option<usize>) -> Result<Dataset, CsvError> {
+    let f = File::open(path)?;
+    read_higgs_csv(BufReader::new(f), max_rows)
+}
+
+/// Write a dataset in HIGGS CSV format (inverse of [`read_higgs_csv`]).
+///
+/// # Panics
+/// Panics if the dataset does not have exactly 28 features.
+pub fn write_higgs_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), CsvError> {
+    assert_eq!(
+        dataset.n_features(),
+        N_FEATURES,
+        "HIGGS CSV requires exactly {N_FEATURES} features"
+    );
+    for r in 0..dataset.n_samples() {
+        write!(writer, "{:.1}", dataset.labels[r] as f64)?;
+        for &v in dataset.features.row(r) {
+            write!(writer, ",{v}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Save a dataset as a HIGGS-format CSV file.
+pub fn save_higgs_csv<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), CsvError> {
+    let f = File::create(path)?;
+    write_higgs_csv(dataset, BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::higgs::{generate, SyntheticHiggsConfig};
+
+    #[test]
+    fn roundtrip_preserves_the_dataset() {
+        let d = generate(&SyntheticHiggsConfig {
+            n_samples: 50,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        write_higgs_csv(&d, &mut buf).unwrap();
+        let back = read_higgs_csv(&buf[..], None).unwrap();
+        assert_eq!(back.n_samples(), 50);
+        assert_eq!(back.labels, d.labels);
+        assert!(back.features.max_abs_diff(&d.features) < 1e-4);
+    }
+
+    #[test]
+    fn max_rows_limits_the_read() {
+        let d = generate(&SyntheticHiggsConfig {
+            n_samples: 30,
+            seed: 2,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        write_higgs_csv(&d, &mut buf).unwrap();
+        let back = read_higgs_csv(&buf[..], Some(10)).unwrap();
+        assert_eq!(back.n_samples(), 10);
+    }
+
+    #[test]
+    fn rejects_wrong_column_counts() {
+        let data = b"1.0,0.5,0.5\n";
+        let err = read_higgs_csv(&data[..], None).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_values() {
+        let mut good_row = String::from("2.0");
+        for _ in 0..N_FEATURES {
+            good_row.push_str(",0.1");
+        }
+        good_row.push('\n');
+        let err = read_higgs_csv(good_row.as_bytes(), None).unwrap_err();
+        assert!(format!("{err}").contains("label"));
+
+        let mut bad_value = String::from("1.0");
+        for i in 0..N_FEATURES {
+            bad_value.push_str(if i == 3 { ",oops" } else { ",0.1" });
+        }
+        bad_value.push('\n');
+        let err = read_higgs_csv(bad_value.as_bytes(), None).unwrap_err();
+        assert!(format!("{err}").contains("bad value"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let d = generate(&SyntheticHiggsConfig {
+            n_samples: 3,
+            seed: 3,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        write_higgs_csv(&d, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        text.push('\n');
+        let back = read_higgs_csv(text.as_bytes(), None).unwrap();
+        assert_eq!(back.n_samples(), 3);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = generate(&SyntheticHiggsConfig {
+            n_samples: 20,
+            seed: 4,
+            ..Default::default()
+        });
+        let path = std::env::temp_dir().join(format!("bcpnn_higgs_{}.csv", std::process::id()));
+        save_higgs_csv(&d, &path).unwrap();
+        let back = load_higgs_csv(&path, None).unwrap();
+        assert_eq!(back.n_samples(), 20);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,198 @@
+//! The labeled dataset container shared by every experiment.
+
+use bcpnn_tensor::{Matrix, MatrixRng};
+
+/// A labeled dataset: a dense feature matrix (`n_samples x n_features`),
+/// one integer label per row, and feature names for reporting / receptive
+/// field inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature matrix, one row per sample.
+    pub features: Matrix<f32>,
+    /// Class label of each sample (`0 = background`, `1 = signal` for Higgs).
+    pub labels: Vec<usize>,
+    /// Human-readable feature names (length = `n_features`).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset, generating `f{i}` names when none are supplied.
+    ///
+    /// # Panics
+    /// Panics if the label count does not match the number of rows, or the
+    /// name count does not match the number of columns.
+    pub fn new(features: Matrix<f32>, labels: Vec<usize>, feature_names: Option<Vec<String>>) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "Dataset: {} rows but {} labels",
+            features.rows(),
+            labels.len()
+        );
+        let names = feature_names
+            .unwrap_or_else(|| (0..features.cols()).map(|i| format!("f{i}")).collect());
+        assert_eq!(
+            names.len(),
+            features.cols(),
+            "Dataset: {} names but {} features",
+            names.len(),
+            features.cols()
+        );
+        Self {
+            features,
+            labels,
+            feature_names: names,
+        }
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of distinct classes (max label + 1; 0 for an empty dataset).
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Per-class sample counts (length `n_classes`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Extract the sub-dataset at the given row indices (in order).
+    pub fn select(&self, indices: &[usize]) -> Self {
+        Self {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Return a copy with the rows shuffled.
+    pub fn shuffled(&self, rng: &mut MatrixRng) -> Self {
+        let order = rng.permutation(self.n_samples());
+        self.select(&order)
+    }
+
+    /// One feature column as `f64` (used for quantile fitting).
+    pub fn feature_column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.n_features(), "feature column {col} out of range");
+        (0..self.n_samples())
+            .map(|r| self.features.get(r, col) as f64)
+            .collect()
+    }
+
+    /// Indices of the samples belonging to a class.
+    pub fn class_indices(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Concatenate two datasets with identical schemas.
+    ///
+    /// # Panics
+    /// Panics if the feature counts or names differ.
+    pub fn concat(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.feature_names, other.feature_names,
+            "concat: feature schemas differ"
+        );
+        let features = self.features.vstack(&other.features);
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Self {
+            features,
+            labels,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// A short human-readable summary (used by example binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} samples x {} features, class counts {:?}",
+            self.n_samples(),
+            self.n_features(),
+            self.class_counts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        Dataset::new(features, vec![0, 1, 0, 1, 1, 0], None)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.n_samples(), 6);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.class_counts(), vec![3, 3]);
+        assert_eq!(d.feature_names[2], "f2");
+        assert!(d.summary().contains("6 samples"));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels")]
+    fn label_count_must_match() {
+        let features = Matrix::zeros(3, 2);
+        let _ = Dataset::new(features, vec![0, 1], None);
+    }
+
+    #[test]
+    fn select_and_class_indices() {
+        let d = toy();
+        let sub = d.select(&[1, 3, 4]);
+        assert_eq!(sub.n_samples(), 3);
+        assert!(sub.labels.iter().all(|&l| l == 1));
+        assert_eq!(d.class_indices(0), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let d = toy();
+        let mut rng = MatrixRng::seed_from(1);
+        let s = d.shuffled(&mut rng);
+        assert_eq!(s.n_samples(), d.n_samples());
+        // Every (row, label) pair of the shuffle must exist in the original.
+        for r in 0..s.n_samples() {
+            let row = s.features.row(r);
+            let found = (0..d.n_samples()).any(|o| d.features.row(o) == row && d.labels[o] == s.labels[r]);
+            assert!(found, "row {r} lost its label during shuffling");
+        }
+    }
+
+    #[test]
+    fn feature_column_extraction() {
+        let d = toy();
+        assert_eq!(d.feature_column(1), vec![1.0, 4.0, 7.0, 10.0, 13.0, 16.0]);
+    }
+
+    #[test]
+    fn concat_stacks_rows() {
+        let d = toy();
+        let both = d.concat(&d);
+        assert_eq!(both.n_samples(), 12);
+        assert_eq!(both.class_counts(), vec![6, 6]);
+    }
+}

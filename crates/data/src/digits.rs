@@ -1,0 +1,216 @@
+//! Synthetic digit-like image patterns.
+//!
+//! Fig. 1 of the paper illustrates structural plasticity on MNIST: the
+//! receptive fields of three HCUs converge onto the informative centre of
+//! the images. MNIST itself is not bundled here, so this module generates
+//! small binary images of simple stroke patterns (vertical / horizontal
+//! bars, crosses, boxes, diagonals) whose informative pixels sit in the
+//! centre of the canvas while the border is noise — the property the
+//! receptive-field demo needs.
+
+use bcpnn_tensor::{Matrix, MatrixRng};
+
+use crate::dataset::Dataset;
+
+/// The stroke patterns that play the role of digit classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// A vertical bar through the centre.
+    VerticalBar,
+    /// A horizontal bar through the centre.
+    HorizontalBar,
+    /// A plus-shaped cross.
+    Cross,
+    /// A hollow box.
+    Box,
+    /// A main-diagonal stroke.
+    Diagonal,
+}
+
+impl Pattern {
+    /// All supported patterns, indexed by class label.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::VerticalBar,
+        Pattern::HorizontalBar,
+        Pattern::Cross,
+        Pattern::Box,
+        Pattern::Diagonal,
+    ];
+
+    /// Whether pixel `(row, col)` of a `size x size` canvas belongs to the
+    /// clean stroke of this pattern.
+    fn contains(self, row: usize, col: usize, size: usize) -> bool {
+        let c = size / 2;
+        let margin = size / 4;
+        let in_core = |v: usize| v >= margin && v < size - margin;
+        match self {
+            Pattern::VerticalBar => in_core(row) && (col == c || col + 1 == c),
+            Pattern::HorizontalBar => in_core(col) && (row == c || row + 1 == c),
+            Pattern::Cross => {
+                (in_core(row) && (col == c || col + 1 == c))
+                    || (in_core(col) && (row == c || row + 1 == c))
+            }
+            Pattern::Box => {
+                in_core(row)
+                    && in_core(col)
+                    && (row == margin || row == size - margin - 1 || col == margin || col == size - margin - 1)
+            }
+            Pattern::Diagonal => in_core(row) && in_core(col) && (row == col || row + 1 == col),
+        }
+    }
+}
+
+/// Configuration of the synthetic digit generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitsConfig {
+    /// Canvas side length (images are `size x size`, flattened row-major).
+    pub size: usize,
+    /// Number of images to generate.
+    pub n_samples: usize,
+    /// Probability of flipping a stroke pixel off.
+    pub dropout: f64,
+    /// Probability of turning a background pixel on (salt noise).
+    pub salt: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DigitsConfig {
+    fn default() -> Self {
+        Self {
+            size: 16,
+            n_samples: 1000,
+            dropout: 0.1,
+            salt: 0.02,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate the synthetic digit-pattern dataset. Labels are indices into
+/// [`Pattern::ALL`]; features are flattened binary pixels.
+pub fn generate(config: &DigitsConfig) -> Dataset {
+    assert!(config.size >= 8, "canvas must be at least 8x8");
+    assert!(config.n_samples > 0, "n_samples must be positive");
+    let mut rng = MatrixRng::seed_from(config.seed);
+    let d = config.size * config.size;
+    let mut features = Matrix::zeros(config.n_samples, d);
+    let mut labels = Vec::with_capacity(config.n_samples);
+    for r in 0..config.n_samples {
+        let class = r % Pattern::ALL.len();
+        labels.push(class);
+        let pattern = Pattern::ALL[class];
+        for row in 0..config.size {
+            for col in 0..config.size {
+                let stroke = pattern.contains(row, col, config.size);
+                let on = if stroke {
+                    rng.uniform_scalar::<f64>(0.0, 1.0) >= config.dropout
+                } else {
+                    rng.uniform_scalar::<f64>(0.0, 1.0) < config.salt
+                };
+                if on {
+                    features.set(r, row * config.size + col, 1.0);
+                }
+            }
+        }
+    }
+    let names = (0..d)
+        .map(|i| format!("px_{}_{}", i / config.size, i % config.size))
+        .collect();
+    Dataset::new(features, labels, Some(names))
+}
+
+/// Fraction of "on" pixels per image position, per class — the ideal
+/// receptive field an HCU specialising on that class should discover.
+pub fn class_prototype(dataset: &Dataset, class: usize, size: usize) -> Matrix<f32> {
+    let idx = dataset.class_indices(class);
+    let mut proto = Matrix::zeros(size, size);
+    if idx.is_empty() {
+        return proto;
+    }
+    for &i in &idx {
+        for row in 0..size {
+            for col in 0..size {
+                proto.add_at(row, col, dataset.features.get(i, row * size + col));
+            }
+        }
+    }
+    proto.map_inplace(|v| v / idx.len() as f32);
+    proto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape_and_classes() {
+        let d = generate(&DigitsConfig {
+            n_samples: 250,
+            ..Default::default()
+        });
+        assert_eq!(d.n_samples(), 250);
+        assert_eq!(d.n_features(), 256);
+        assert_eq!(d.n_classes(), 5);
+        assert_eq!(d.class_counts(), vec![50; 5]);
+        assert!(d.features.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn strokes_are_centre_heavy() {
+        let cfg = DigitsConfig {
+            n_samples: 500,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        let size = cfg.size;
+        // Mean activity of the centre 8x8 block vs the border ring.
+        let mut centre = 0.0f64;
+        let mut centre_n = 0usize;
+        let mut border = 0.0f64;
+        let mut border_n = 0usize;
+        for r in 0..d.n_samples() {
+            for row in 0..size {
+                for col in 0..size {
+                    let v = d.features.get(r, row * size + col) as f64;
+                    let is_border = row == 0 || col == 0 || row == size - 1 || col == size - 1;
+                    if is_border {
+                        border += v;
+                        border_n += 1;
+                    } else if (4..12).contains(&row) && (4..12).contains(&col) {
+                        centre += v;
+                        centre_n += 1;
+                    }
+                }
+            }
+        }
+        let centre_rate = centre / centre_n as f64;
+        let border_rate = border / border_n as f64;
+        assert!(
+            centre_rate > 5.0 * border_rate,
+            "centre {centre_rate:.3} vs border {border_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn patterns_are_distinguishable() {
+        let cfg = DigitsConfig {
+            n_samples: 500,
+            dropout: 0.0,
+            salt: 0.0,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        // Noise-free prototypes of different classes must differ.
+        let p0 = class_prototype(&d, 0, cfg.size);
+        let p1 = class_prototype(&d, 1, cfg.size);
+        assert!(p0.max_abs_diff(&p1) > 0.5);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = generate(&DigitsConfig { n_samples: 64, ..Default::default() });
+        let b = generate(&DigitsConfig { n_samples: 64, ..Default::default() });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,226 @@
+//! Binary input encodings for the BCPNN layer.
+//!
+//! The paper encodes every feature "as a one-hot vector of size ten, with
+//! the component being hot indicating which quantile the feature belongs
+//! to", giving 28 × 10 = 280 binary inputs. [`QuantileEncoder`] implements
+//! exactly that; [`ThermometerEncoder`] is the interval-code alternative
+//! used by the encoding-ablation example.
+
+use bcpnn_tensor::Matrix;
+
+use crate::dataset::Dataset;
+use crate::quantile::QuantileBinner;
+
+/// One-hot quantile encoder (the paper's preprocessing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileEncoder {
+    binner: QuantileBinner,
+}
+
+impl QuantileEncoder {
+    /// Fit the per-feature quantile boundaries on a training set.
+    pub fn fit(dataset: &Dataset, n_bins: usize) -> Self {
+        Self {
+            binner: QuantileBinner::fit(dataset, n_bins),
+        }
+    }
+
+    /// Number of bins per feature.
+    pub fn n_bins(&self) -> usize {
+        self.binner.n_bins()
+    }
+
+    /// Width of the encoded representation (`n_features · n_bins`).
+    pub fn encoded_width(&self) -> usize {
+        self.binner.n_features() * self.binner.n_bins()
+    }
+
+    /// The underlying binner.
+    pub fn binner(&self) -> &QuantileBinner {
+        &self.binner
+    }
+
+    /// Encode a dataset into the binary one-hot representation
+    /// (`n_samples x encoded_width`, exactly one hot bit per feature block).
+    pub fn transform(&self, dataset: &Dataset) -> Matrix<f32> {
+        let bins = self.binner.transform(dataset);
+        let k = self.n_bins();
+        let mut out = Matrix::zeros(dataset.n_samples(), self.encoded_width());
+        for r in 0..dataset.n_samples() {
+            let bin_row = bins.row(r);
+            let out_row = out.row_mut(r);
+            for (f, &b) in bin_row.iter().enumerate() {
+                out_row[f * k + b as usize] = 1.0;
+            }
+        }
+        out
+    }
+
+    /// Human-readable name of one encoded input column
+    /// (`<feature>@q<bin>`), used when rendering receptive fields.
+    pub fn column_name(&self, dataset: &Dataset, column: usize) -> String {
+        let k = self.n_bins();
+        let feature = column / k;
+        let bin = column % k;
+        format!("{}@q{}", dataset.feature_names[feature], bin)
+    }
+}
+
+/// Thermometer (cumulative interval) encoder: bit `b` of a feature block is
+/// hot when the value lies in bin `b` **or above**. Same width as the
+/// one-hot code but denser; used to ablate the encoding choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermometerEncoder {
+    binner: QuantileBinner,
+}
+
+impl ThermometerEncoder {
+    /// Fit the per-feature quantile boundaries on a training set.
+    pub fn fit(dataset: &Dataset, n_bins: usize) -> Self {
+        Self {
+            binner: QuantileBinner::fit(dataset, n_bins),
+        }
+    }
+
+    /// Width of the encoded representation.
+    pub fn encoded_width(&self) -> usize {
+        self.binner.n_features() * self.binner.n_bins()
+    }
+
+    /// Encode a dataset into the cumulative binary representation.
+    pub fn transform(&self, dataset: &Dataset) -> Matrix<f32> {
+        let bins = self.binner.transform(dataset);
+        let k = self.binner.n_bins();
+        let mut out = Matrix::zeros(dataset.n_samples(), self.encoded_width());
+        for r in 0..dataset.n_samples() {
+            let bin_row = bins.row(r);
+            let out_row = out.row_mut(r);
+            for (f, &b) in bin_row.iter().enumerate() {
+                for bit in 0..=(b as usize) {
+                    out_row[f * k + bit] = 1.0;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Standardise features to zero mean / unit variance (fit on the training
+/// set). Used by the MLP / logistic-regression baselines that consume raw
+/// continuous features rather than the binary code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit per-feature means and standard deviations.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let means = bcpnn_tensor::reduce::col_means(&dataset.features);
+        let vars = bcpnn_tensor::reduce::col_variances(&dataset.features);
+        let stds = vars.iter().map(|v| v.sqrt().max(1e-6)).collect();
+        Self { means, stds }
+    }
+
+    /// Standardise a dataset's features.
+    pub fn transform(&self, dataset: &Dataset) -> Matrix<f32> {
+        assert_eq!(
+            dataset.n_features(),
+            self.means.len(),
+            "standardizer was fitted on a different schema"
+        );
+        Matrix::from_fn(dataset.n_samples(), dataset.n_features(), |r, c| {
+            (dataset.features.get(r, c) - self.means[c]) / self.stds[c]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::higgs::{generate, SyntheticHiggsConfig};
+
+    fn higgs(n: usize, seed: u64) -> Dataset {
+        generate(&SyntheticHiggsConfig {
+            n_samples: n,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn one_hot_encoding_has_the_paper_width_and_density() {
+        let d = higgs(500, 1);
+        let enc = QuantileEncoder::fit(&d, 10);
+        assert_eq!(enc.encoded_width(), 280);
+        let x = enc.transform(&d);
+        assert_eq!(x.shape(), (500, 280));
+        // Exactly one hot bit per 10-wide feature block.
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            for f in 0..28 {
+                let s: f32 = row[f * 10..(f + 1) * 10].iter().sum();
+                assert_eq!(s, 1.0, "row {r} feature {f} has {s} hot bits");
+            }
+        }
+        // Overall density is exactly 1/10.
+        let total: f32 = bcpnn_tensor::reduce::sum(&x);
+        assert_eq!(total, 500.0 * 28.0);
+    }
+
+    #[test]
+    fn encoding_only_contains_zeros_and_ones() {
+        let d = higgs(200, 2);
+        let enc = QuantileEncoder::fit(&d, 8);
+        let x = enc.transform(&d);
+        assert!(x.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn column_names_are_traceable_to_features() {
+        let d = higgs(100, 3);
+        let enc = QuantileEncoder::fit(&d, 10);
+        assert_eq!(enc.column_name(&d, 0), "lepton_pt@q0");
+        assert_eq!(enc.column_name(&d, 19), "lepton_eta@q9");
+        assert_eq!(enc.column_name(&d, 279), "m_wwbb@q9");
+    }
+
+    #[test]
+    fn thermometer_code_is_cumulative() {
+        let d = higgs(300, 4);
+        let one_hot = QuantileEncoder::fit(&d, 10).transform(&d);
+        let thermo = ThermometerEncoder::fit(&d, 10).transform(&d);
+        assert_eq!(thermo.shape(), one_hot.shape());
+        // Thermometer rows are at least as dense as one-hot rows, and the
+        // hot one-hot bit is always the highest thermometer bit set.
+        for r in 0..d.n_samples() {
+            let oh = one_hot.row(r);
+            let th = thermo.row(r);
+            for f in 0..28 {
+                let block_oh = &oh[f * 10..(f + 1) * 10];
+                let block_th = &th[f * 10..(f + 1) * 10];
+                let hot = block_oh.iter().position(|&v| v == 1.0).unwrap();
+                let th_count = block_th.iter().filter(|&&v| v == 1.0).count();
+                assert_eq!(th_count, hot + 1);
+                assert_eq!(block_th[hot], 1.0);
+                if hot + 1 < 10 {
+                    assert_eq!(block_th[hot + 1], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standardizer_centres_and_scales() {
+        let d = higgs(2000, 5);
+        let std = Standardizer::fit(&d);
+        let z = std.transform(&d);
+        let means = bcpnn_tensor::reduce::col_means(&z);
+        let vars = bcpnn_tensor::reduce::col_variances(&z);
+        for (c, (&m, &v)) in means.iter().zip(vars.iter()).enumerate() {
+            assert!(m.abs() < 1e-3, "feature {c} mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "feature {c} variance {v}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Dataset splitting and subsetting: train/test splits, the balanced-subset
+//! extraction the paper performs before encoding, and stratified splits.
+
+use bcpnn_tensor::MatrixRng;
+
+use crate::dataset::Dataset;
+
+/// Split a dataset into `(train, test)` with `test_fraction` of the samples
+/// (uniformly at random) in the test part.
+///
+/// # Panics
+/// Panics if `test_fraction` is outside `(0, 1)` or the dataset is empty.
+pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    assert!(dataset.n_samples() > 1, "need at least two samples to split");
+    let mut rng = MatrixRng::seed_from(seed);
+    let order = rng.permutation(dataset.n_samples());
+    let n_test = ((dataset.n_samples() as f64 * test_fraction).round() as usize)
+        .clamp(1, dataset.n_samples() - 1);
+    let test_idx = &order[..n_test];
+    let train_idx = &order[n_test..];
+    (dataset.select(train_idx), dataset.select(test_idx))
+}
+
+/// Stratified split: preserves the class proportions in both parts.
+///
+/// # Panics
+/// Panics under the same conditions as [`train_test_split`], or if a class
+/// has fewer than two samples.
+pub fn stratified_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    let mut rng = MatrixRng::seed_from(seed);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in 0..dataset.n_classes() {
+        let mut idx = dataset.class_indices(class);
+        if idx.is_empty() {
+            continue;
+        }
+        assert!(
+            idx.len() >= 2,
+            "class {class} has fewer than two samples; cannot stratify"
+        );
+        rng.shuffle(&mut idx);
+        let n_test = ((idx.len() as f64 * test_fraction).round() as usize).clamp(1, idx.len() - 1);
+        test_idx.extend_from_slice(&idx[..n_test]);
+        train_idx.extend_from_slice(&idx[n_test..]);
+    }
+    rng.shuffle(&mut train_idx);
+    rng.shuffle(&mut test_idx);
+    (dataset.select(&train_idx), dataset.select(&test_idx))
+}
+
+/// Extract a class-balanced subset with `per_class` samples of every class
+/// (the paper: "we extract a balanced subset of the training set").
+///
+/// # Panics
+/// Panics if some class has fewer than `per_class` samples.
+pub fn balanced_subset(dataset: &Dataset, per_class: usize, seed: u64) -> Dataset {
+    assert!(per_class > 0, "per_class must be positive");
+    let mut rng = MatrixRng::seed_from(seed);
+    let mut chosen = Vec::with_capacity(per_class * dataset.n_classes());
+    for class in 0..dataset.n_classes() {
+        let mut idx = dataset.class_indices(class);
+        assert!(
+            idx.len() >= per_class,
+            "class {class} has only {} samples, requested {per_class}",
+            idx.len()
+        );
+        rng.shuffle(&mut idx);
+        chosen.extend_from_slice(&idx[..per_class]);
+    }
+    rng.shuffle(&mut chosen);
+    dataset.select(&chosen)
+}
+
+/// K-fold cross-validation index sets: returns `k` `(train_indices,
+/// validation_indices)` pairs covering the dataset.
+///
+/// # Panics
+/// Panics if `k < 2` or `k` exceeds the number of samples.
+pub fn k_fold_indices(n_samples: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= n_samples, "k cannot exceed the number of samples");
+    let mut rng = MatrixRng::seed_from(seed);
+    let order = rng.permutation(n_samples);
+    let fold_sizes: Vec<usize> = (0..k)
+        .map(|f| n_samples / k + usize::from(f < n_samples % k))
+        .collect();
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for size in fold_sizes {
+        folds.push(order[start..start + size].to_vec());
+        start += size;
+    }
+    (0..k)
+        .map(|f| {
+            let val = folds[f].clone();
+            let train: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, val)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::higgs::{generate, SyntheticHiggsConfig};
+
+    fn higgs(n: usize, signal_fraction: f64, seed: u64) -> Dataset {
+        generate(&SyntheticHiggsConfig {
+            n_samples: n,
+            signal_fraction,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn train_test_split_partitions_the_data() {
+        let d = higgs(1000, 0.5, 1);
+        let (train, test) = train_test_split(&d, 0.2, 2);
+        assert_eq!(train.n_samples() + test.n_samples(), 1000);
+        assert_eq!(test.n_samples(), 200);
+        assert_eq!(train.n_features(), 28);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let d = higgs(2000, 0.3, 3);
+        let (train, test) = stratified_split(&d, 0.25, 4);
+        let frac = |ds: &Dataset| ds.class_counts()[1] as f64 / ds.n_samples() as f64;
+        assert!((frac(&train) - 0.3).abs() < 0.03, "train fraction {}", frac(&train));
+        assert!((frac(&test) - 0.3).abs() < 0.03, "test fraction {}", frac(&test));
+        assert_eq!(train.n_samples() + test.n_samples(), 2000);
+    }
+
+    #[test]
+    fn balanced_subset_has_equal_classes() {
+        let d = higgs(3000, 0.3, 5);
+        let sub = balanced_subset(&d, 400, 6);
+        assert_eq!(sub.n_samples(), 800);
+        assert_eq!(sub.class_counts(), vec![400, 400]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn balanced_subset_rejects_oversampling() {
+        let d = higgs(100, 0.1, 7);
+        let _ = balanced_subset(&d, 90, 8);
+    }
+
+    #[test]
+    fn splits_are_deterministic_per_seed() {
+        let d = higgs(500, 0.5, 9);
+        let (a_train, a_test) = train_test_split(&d, 0.3, 10);
+        let (b_train, b_test) = train_test_split(&d, 0.3, 10);
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_test, b_test);
+        let (c_train, _) = train_test_split(&d, 0.3, 11);
+        assert_ne!(a_train, c_train);
+    }
+
+    #[test]
+    fn no_sample_appears_in_both_parts() {
+        // Give every sample a unique fingerprint via its index feature.
+        let features = bcpnn_tensor::Matrix::from_fn(200, 1, |r, _| r as f32);
+        let d = Dataset::new(features, (0..200).map(|i| i % 2).collect(), None);
+        let (train, test) = stratified_split(&d, 0.25, 12);
+        let train_ids: std::collections::HashSet<i64> =
+            (0..train.n_samples()).map(|r| train.features.get(r, 0) as i64).collect();
+        for r in 0..test.n_samples() {
+            assert!(!train_ids.contains(&(test.features.get(r, 0) as i64)));
+        }
+    }
+
+    #[test]
+    fn k_fold_covers_every_sample_exactly_once_as_validation() {
+        let folds = k_fold_indices(103, 5, 13);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 103];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 103);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn split_rejects_bad_fraction() {
+        let d = higgs(10, 0.5, 14);
+        let _ = train_test_split(&d, 1.5, 15);
+    }
+}

@@ -1,0 +1,178 @@
+//! (1 + λ) evolution strategy, the derivative-free optimiser playing the
+//! role of Nevergrad in the paper's hyperparameter search.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::result::SearchHistory;
+use crate::space::{ParamSet, ParamSpace};
+
+/// Configuration of the evolution strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionConfig {
+    /// Number of offspring per generation (λ).
+    pub offspring: usize,
+    /// Per-dimension mutation probability.
+    pub mutation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        Self {
+            offspring: 6,
+            mutation_rate: 0.4,
+            seed: 0,
+        }
+    }
+}
+
+/// (1 + λ) evolution-strategy driver: each generation mutates the incumbent
+/// into λ offspring, evaluates them, and keeps the best of parent +
+/// offspring.
+#[derive(Debug, Clone)]
+pub struct EvolutionSearch {
+    space: ParamSpace,
+    config: EvolutionConfig,
+}
+
+impl EvolutionSearch {
+    /// Create an evolution search over the given space.
+    ///
+    /// # Panics
+    /// Panics if the space is invalid or the configuration degenerate.
+    pub fn new(space: ParamSpace, config: EvolutionConfig) -> Self {
+        space.validate().expect("invalid search space");
+        assert!(config.offspring > 0, "offspring must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.mutation_rate) && config.mutation_rate > 0.0,
+            "mutation_rate must be in (0, 1]"
+        );
+        Self { space, config }
+    }
+
+    /// Run the search with a total evaluation budget of `budget` objective
+    /// calls (higher objective is better). Returns the history (which
+    /// includes the initial random parent as trial 0).
+    pub fn run<F>(&self, budget: usize, mut objective: F) -> SearchHistory
+    where
+        F: FnMut(&ParamSet) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut history = SearchHistory::new();
+        if budget == 0 {
+            return history;
+        }
+        let mut parent = self.space.sample(&mut rng);
+        let mut parent_score = objective(&parent);
+        history.record(parent.clone(), parent_score);
+        let mut evaluations = 1usize;
+        while evaluations < budget {
+            let mut best_child: Option<(ParamSet, f64)> = None;
+            for _ in 0..self.config.offspring {
+                if evaluations >= budget {
+                    break;
+                }
+                let child = self.space.mutate(&parent, self.config.mutation_rate, &mut rng);
+                let score = objective(&child);
+                history.record(child.clone(), score);
+                evaluations += 1;
+                if best_child.as_ref().is_none_or(|(_, s)| score > *s) {
+                    best_child = Some((child, score));
+                }
+            }
+            if let Some((child, score)) = best_child {
+                if score > parent_score {
+                    parent = child;
+                    parent_score = score;
+                }
+            }
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_search::RandomSearch;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new()
+            .continuous("x", -4.0, 4.0)
+            .continuous("y", -4.0, 4.0)
+            .integer("k", 1, 10)
+    }
+
+    /// Smooth objective with its optimum at (1.5, -2, k=7).
+    fn objective(p: &ParamSet) -> f64 {
+        let x = p["x"].as_f64();
+        let y = p["y"].as_f64();
+        let k = p["k"].as_i64() as f64;
+        -((x - 1.5).powi(2) + (y + 2.0).powi(2) + 0.05 * (k - 7.0).powi(2))
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let es = EvolutionSearch::new(space(), EvolutionConfig::default());
+        let history = es.run(37, objective);
+        assert_eq!(history.len(), 37);
+        assert_eq!(es.run(0, objective).len(), 0);
+    }
+
+    #[test]
+    fn improves_over_its_own_first_guess() {
+        let es = EvolutionSearch::new(space(), EvolutionConfig { seed: 5, ..Default::default() });
+        let history = es.run(120, objective);
+        let first = history.trials()[0].score;
+        let best = history.best().unwrap().score;
+        assert!(best > first, "ES must improve: first {first}, best {best}");
+        assert!(best > -0.5, "best {best}");
+    }
+
+    #[test]
+    fn beats_random_search_on_a_smooth_objective() {
+        // Average over a few seeds to keep the comparison robust.
+        let budget = 80;
+        let mut es_total = 0.0;
+        let mut rs_total = 0.0;
+        for seed in 0..5 {
+            let es = EvolutionSearch::new(
+                space(),
+                EvolutionConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            es_total += es.run(budget, objective).best().unwrap().score;
+            rs_total += RandomSearch::new(space(), seed).run(budget, objective).best().unwrap().score;
+        }
+        assert!(
+            es_total >= rs_total,
+            "ES ({es_total:.3}) should do at least as well as random ({rs_total:.3})"
+        );
+    }
+
+    #[test]
+    fn all_trials_stay_inside_the_space() {
+        let s = space();
+        let es = EvolutionSearch::new(s.clone(), EvolutionConfig::default());
+        let history = es.run(60, objective);
+        for t in history.trials() {
+            assert!(s.contains(&t.params));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offspring must be positive")]
+    fn rejects_zero_offspring() {
+        let _ = EvolutionSearch::new(
+            space(),
+            EvolutionConfig {
+                offspring: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # bcpnn-hyperopt
+//!
+//! Derivative-free hyperparameter search, standing in for the Ax + Nevergrad
+//! tooling the paper uses (§IV) to tune BCPNN's many use-case-dependent
+//! hyperparameters.
+//!
+//! * [`ParamSpace`] — typed search spaces (continuous, log-continuous,
+//!   integer, categorical), including the canonical
+//!   [`space::bcpnn_higgs_space`] used by the Higgs experiments.
+//! * [`RandomSearch`] — uniform random search.
+//! * [`EvolutionSearch`] — a (1 + λ) evolution strategy.
+//! * [`SearchHistory`] — trial bookkeeping, best-so-far curves, CSV export.
+//!
+//! ```
+//! use bcpnn_hyperopt::{ParamSpace, RandomSearch};
+//!
+//! let space = ParamSpace::new()
+//!     .continuous("receptive_field", 0.05, 0.95)
+//!     .log_continuous("trace_rate", 1e-3, 0.5);
+//! let search = RandomSearch::new(space, 7);
+//! // A toy objective: prefer 40% receptive fields (like Fig. 4's optimum).
+//! let history = search.run(50, |p| {
+//!     -(p["receptive_field"].as_f64() - 0.4).abs()
+//! });
+//! assert_eq!(history.len(), 50);
+//! assert!((history.best().unwrap().params["receptive_field"].as_f64() - 0.4).abs() < 0.3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod evolution;
+pub mod random_search;
+pub mod result;
+pub mod space;
+
+pub use evolution::{EvolutionConfig, EvolutionSearch};
+pub use random_search::RandomSearch;
+pub use result::{SearchHistory, Trial};
+pub use space::{ParamSet, ParamSpace, ParamSpec, ParamValue};

@@ -1,0 +1,96 @@
+//! Uniform random search over a [`ParamSpace`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::result::SearchHistory;
+use crate::space::{ParamSet, ParamSpace};
+
+/// Random-search driver.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: ParamSpace,
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Create a random search over the given space.
+    ///
+    /// # Panics
+    /// Panics if the space is invalid.
+    pub fn new(space: ParamSpace, seed: u64) -> Self {
+        space.validate().expect("invalid search space");
+        Self { space, seed }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Evaluate `budget` uniformly random configurations with `objective`
+    /// (higher is better) and return the history.
+    pub fn run<F>(&self, budget: usize, mut objective: F) -> SearchHistory
+    where
+        F: FnMut(&ParamSet) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut history = SearchHistory::new();
+        for _ in 0..budget {
+            let candidate = self.space.sample(&mut rng);
+            let score = objective(&candidate);
+            history.record(candidate, score);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_space() -> ParamSpace {
+        ParamSpace::new()
+            .continuous("x", -2.0, 2.0)
+            .continuous("y", -2.0, 2.0)
+    }
+
+    /// Objective with a unique optimum at (1, -0.5).
+    fn objective(p: &ParamSet) -> f64 {
+        let x = p["x"].as_f64();
+        let y = p["y"].as_f64();
+        -((x - 1.0).powi(2) + (y + 0.5).powi(2))
+    }
+
+    #[test]
+    fn runs_exactly_the_budget() {
+        let search = RandomSearch::new(quadratic_space(), 1);
+        let history = search.run(25, objective);
+        assert_eq!(history.len(), 25);
+    }
+
+    #[test]
+    fn finds_a_reasonable_optimum_with_enough_budget() {
+        let search = RandomSearch::new(quadratic_space(), 2);
+        let history = search.run(400, objective);
+        let best = history.best().unwrap();
+        assert!(best.score > -0.2, "best score {}", best.score);
+        assert!((best.params["x"].as_f64() - 1.0).abs() < 0.5);
+        assert!((best.params["y"].as_f64() + 0.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = RandomSearch::new(quadratic_space(), 3).run(20, objective);
+        let b = RandomSearch::new(quadratic_space(), 3).run(20, objective);
+        assert_eq!(a, b);
+        let c = RandomSearch::new(quadratic_space(), 4).run(20, objective);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid search space")]
+    fn rejects_invalid_spaces() {
+        let _ = RandomSearch::new(ParamSpace::new(), 0);
+    }
+}

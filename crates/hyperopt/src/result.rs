@@ -1,0 +1,154 @@
+//! Trial bookkeeping shared by the search strategies.
+
+use crate::space::ParamSet;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Index of the trial in evaluation order.
+    pub index: usize,
+    /// The evaluated parameter assignment.
+    pub params: ParamSet,
+    /// The objective value (higher is better, e.g. validation accuracy).
+    pub score: f64,
+}
+
+/// History of a hyperparameter search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchHistory {
+    trials: Vec<Trial>,
+}
+
+impl SearchHistory {
+    /// Create an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one evaluated trial.
+    pub fn record(&mut self, params: ParamSet, score: f64) {
+        let index = self.trials.len();
+        self.trials.push(Trial {
+            index,
+            params,
+            score,
+        });
+    }
+
+    /// All trials in evaluation order.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Number of evaluated trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether no trial has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+
+    /// The best trial so far (highest score; ties go to the earliest trial).
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials.iter().max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // max_by returns the last maximum; prefer the earliest.
+                .then(b.index.cmp(&a.index))
+        })
+    }
+
+    /// Best score after each trial (the "best so far" convergence curve).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                best = best.max(t.score);
+                best
+            })
+            .collect()
+    }
+
+    /// Render the history as CSV (`trial,score,best_so_far,params...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("trial,score,best_so_far,params\n");
+        for (t, best) in self.trials.iter().zip(self.best_so_far()) {
+            let params: Vec<String> = t
+                .params
+                .iter()
+                .map(|(k, v)| match v {
+                    crate::space::ParamValue::Float(x) => format!("{k}={x:.6}"),
+                    crate::space::ParamValue::Int(x) => format!("{k}={x}"),
+                    crate::space::ParamValue::Choice(c) => format!("{k}={c}"),
+                })
+                .collect();
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{}\n",
+                t.index,
+                t.score,
+                best,
+                params.join(";")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamSet, ParamValue};
+
+    fn set(v: f64) -> ParamSet {
+        let mut s = ParamSet::new();
+        s.insert("x".into(), ParamValue::Float(v));
+        s
+    }
+
+    #[test]
+    fn records_and_finds_the_best() {
+        let mut h = SearchHistory::new();
+        assert!(h.is_empty());
+        assert!(h.best().is_none());
+        h.record(set(0.1), 0.6);
+        h.record(set(0.2), 0.8);
+        h.record(set(0.3), 0.7);
+        assert_eq!(h.len(), 3);
+        let best = h.best().unwrap();
+        assert_eq!(best.index, 1);
+        assert_eq!(best.score, 0.8);
+    }
+
+    #[test]
+    fn ties_go_to_the_earliest_trial() {
+        let mut h = SearchHistory::new();
+        h.record(set(0.1), 0.9);
+        h.record(set(0.2), 0.9);
+        assert_eq!(h.best().unwrap().index, 0);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let mut h = SearchHistory::new();
+        for (i, s) in [0.5, 0.4, 0.7, 0.2, 0.9].iter().enumerate() {
+            h.record(set(i as f64), *s);
+        }
+        let curve = h.best_so_far();
+        assert_eq!(curve, vec![0.5, 0.5, 0.7, 0.7, 0.9]);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_trial_plus_header() {
+        let mut h = SearchHistory::new();
+        h.record(set(0.1), 0.6);
+        h.record(set(0.2), 0.7);
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().contains("x=0.1"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Typed hyperparameter search spaces.
+//!
+//! BCPNN exposes many use-case-dependent hyperparameters (§IV of the paper),
+//! which StreamBrain searches with Ax + Nevergrad. This module provides the
+//! equivalent building block: a named collection of parameter dimensions
+//! (continuous on a linear or log scale, integer, categorical) that can be
+//! sampled, mutated and clamped.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One parameter dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamSpec {
+    /// A real parameter sampled uniformly in `[low, high]`.
+    Continuous {
+        /// Lower bound (inclusive).
+        low: f64,
+        /// Upper bound (inclusive).
+        high: f64,
+    },
+    /// A real parameter sampled log-uniformly in `[low, high]` (both > 0);
+    /// appropriate for learning rates and trace time constants.
+    LogContinuous {
+        /// Lower bound (inclusive, > 0).
+        low: f64,
+        /// Upper bound (inclusive, > 0).
+        high: f64,
+    },
+    /// An integer parameter sampled uniformly in `[low, high]`.
+    Integer {
+        /// Lower bound (inclusive).
+        low: i64,
+        /// Upper bound (inclusive).
+        high: i64,
+    },
+    /// A categorical parameter: one of a fixed set of named choices.
+    Categorical {
+        /// The available choices.
+        choices: Vec<String>,
+    },
+}
+
+impl ParamSpec {
+    fn validate(&self, name: &str) -> Result<(), String> {
+        match self {
+            ParamSpec::Continuous { low, high } => {
+                if !(low < high) {
+                    return Err(format!("{name}: low must be < high"));
+                }
+            }
+            ParamSpec::LogContinuous { low, high } => {
+                if !(*low > 0.0 && low < high) {
+                    return Err(format!("{name}: need 0 < low < high for a log scale"));
+                }
+            }
+            ParamSpec::Integer { low, high } => {
+                if low > high {
+                    return Err(format!("{name}: low must be <= high"));
+                }
+            }
+            ParamSpec::Categorical { choices } => {
+                if choices.is_empty() {
+                    return Err(format!("{name}: categorical needs at least one choice"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A concrete parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Real value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Categorical choice.
+    Choice(String),
+}
+
+impl ParamValue {
+    /// The value as `f64` (integers are converted; panics for categoricals).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Float(v) => *v,
+            ParamValue::Int(v) => *v as f64,
+            ParamValue::Choice(c) => panic!("categorical value {c:?} has no numeric form"),
+        }
+    }
+
+    /// The value as `i64` (floats are rounded; panics for categoricals).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            ParamValue::Float(v) => v.round() as i64,
+            ParamValue::Int(v) => *v,
+            ParamValue::Choice(c) => panic!("categorical value {c:?} has no numeric form"),
+        }
+    }
+
+    /// The value as a string slice (categoricals only).
+    pub fn as_str(&self) -> &str {
+        match self {
+            ParamValue::Choice(c) => c,
+            _ => panic!("numeric value has no categorical form"),
+        }
+    }
+}
+
+/// A full assignment of values to every parameter of a space.
+pub type ParamSet = BTreeMap<String, ParamValue>;
+
+/// A named collection of parameter dimensions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamSpace {
+    dims: BTreeMap<String, ParamSpec>,
+}
+
+impl ParamSpace {
+    /// Create an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a uniformly sampled real parameter.
+    pub fn continuous(mut self, name: &str, low: f64, high: f64) -> Self {
+        self.dims
+            .insert(name.to_string(), ParamSpec::Continuous { low, high });
+        self
+    }
+
+    /// Add a log-uniformly sampled real parameter.
+    pub fn log_continuous(mut self, name: &str, low: f64, high: f64) -> Self {
+        self.dims
+            .insert(name.to_string(), ParamSpec::LogContinuous { low, high });
+        self
+    }
+
+    /// Add an integer parameter.
+    pub fn integer(mut self, name: &str, low: i64, high: i64) -> Self {
+        self.dims
+            .insert(name.to_string(), ParamSpec::Integer { low, high });
+        self
+    }
+
+    /// Add a categorical parameter.
+    pub fn categorical(mut self, name: &str, choices: &[&str]) -> Self {
+        self.dims.insert(
+            name.to_string(),
+            ParamSpec::Categorical {
+                choices: choices.iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The parameter names, in deterministic (sorted) order.
+    pub fn names(&self) -> Vec<&str> {
+        self.dims.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Validate every dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dims.is_empty() {
+            return Err("search space has no parameters".into());
+        }
+        for (name, spec) in &self.dims {
+            spec.validate(name)?;
+        }
+        Ok(())
+    }
+
+    /// Sample a uniformly random assignment.
+    pub fn sample(&self, rng: &mut StdRng) -> ParamSet {
+        self.dims
+            .iter()
+            .map(|(name, spec)| {
+                let value = match spec {
+                    ParamSpec::Continuous { low, high } => {
+                        ParamValue::Float(rng.gen_range(*low..=*high))
+                    }
+                    ParamSpec::LogContinuous { low, high } => {
+                        let v = rng.gen_range(low.ln()..=high.ln()).exp();
+                        ParamValue::Float(v)
+                    }
+                    ParamSpec::Integer { low, high } => ParamValue::Int(rng.gen_range(*low..=*high)),
+                    ParamSpec::Categorical { choices } => {
+                        ParamValue::Choice(choices[rng.gen_range(0..choices.len())].clone())
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Mutate one assignment: every dimension is re-drawn near its current
+    /// value with probability `mutation_rate` (categoricals are re-sampled
+    /// uniformly). Values stay inside their bounds.
+    pub fn mutate(&self, base: &ParamSet, mutation_rate: f64, rng: &mut StdRng) -> ParamSet {
+        self.dims
+            .iter()
+            .map(|(name, spec)| {
+                let current = base.get(name).cloned().unwrap_or_else(|| match spec {
+                    ParamSpec::Categorical { choices } => ParamValue::Choice(choices[0].clone()),
+                    ParamSpec::Integer { low, .. } => ParamValue::Int(*low),
+                    ParamSpec::Continuous { low, .. } | ParamSpec::LogContinuous { low, .. } => {
+                        ParamValue::Float(*low)
+                    }
+                });
+                if rng.gen::<f64>() >= mutation_rate {
+                    return (name.clone(), current);
+                }
+                let value = match spec {
+                    ParamSpec::Continuous { low, high } => {
+                        let span = high - low;
+                        let v = (current.as_f64() + rng.gen_range(-0.2..0.2) * span)
+                            .clamp(*low, *high);
+                        ParamValue::Float(v)
+                    }
+                    ParamSpec::LogContinuous { low, high } => {
+                        let v = (current.as_f64().ln() + rng.gen_range(-0.5..0.5))
+                            .exp()
+                            .clamp(*low, *high);
+                        ParamValue::Float(v)
+                    }
+                    ParamSpec::Integer { low, high } => {
+                        let span = ((high - low) / 5).max(1);
+                        let v = (current.as_i64() + rng.gen_range(-span..=span)).clamp(*low, *high);
+                        ParamValue::Int(v)
+                    }
+                    ParamSpec::Categorical { choices } => {
+                        ParamValue::Choice(choices[rng.gen_range(0..choices.len())].clone())
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Check that an assignment lies inside the space.
+    pub fn contains(&self, set: &ParamSet) -> bool {
+        if set.len() != self.dims.len() {
+            return false;
+        }
+        self.dims.iter().all(|(name, spec)| match (spec, set.get(name)) {
+            (ParamSpec::Continuous { low, high }, Some(ParamValue::Float(v)))
+            | (ParamSpec::LogContinuous { low, high }, Some(ParamValue::Float(v))) => {
+                v >= low && v <= high
+            }
+            (ParamSpec::Integer { low, high }, Some(ParamValue::Int(v))) => v >= low && v <= high,
+            (ParamSpec::Categorical { choices }, Some(ParamValue::Choice(c))) => {
+                choices.contains(c)
+            }
+            _ => false,
+        })
+    }
+}
+
+/// The search space the Higgs experiments use (mirrors the hyperparameters
+/// §IV says were tuned with Ax/Nevergrad).
+pub fn bcpnn_higgs_space() -> ParamSpace {
+    ParamSpace::new()
+        .integer("n_hcu", 1, 8)
+        .categorical("n_mcu", &["30", "300", "3000"])
+        .continuous("receptive_field", 0.05, 0.95)
+        .log_continuous("trace_rate", 1e-3, 0.5)
+        .continuous("support_noise", 0.0, 0.5)
+        .integer("plasticity_swaps", 1, 32)
+        .log_continuous("sgd_learning_rate", 1e-3, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn builder_and_validation() {
+        let space = bcpnn_higgs_space();
+        assert_eq!(space.len(), 7);
+        assert!(space.validate().is_ok());
+        assert!(ParamSpace::new().validate().is_err());
+        let bad = ParamSpace::new().continuous("x", 1.0, 0.0);
+        assert!(bad.validate().is_err());
+        let bad_log = ParamSpace::new().log_continuous("lr", 0.0, 1.0);
+        assert!(bad_log.validate().is_err());
+        let bad_cat = ParamSpace::new().categorical("c", &[]);
+        assert!(bad_cat.validate().is_err());
+    }
+
+    #[test]
+    fn samples_are_inside_the_space() {
+        let space = bcpnn_higgs_space();
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let s = space.sample(&mut r);
+            assert!(space.contains(&s), "sample {s:?} escaped the space");
+        }
+    }
+
+    #[test]
+    fn log_sampling_covers_orders_of_magnitude() {
+        let space = ParamSpace::new().log_continuous("lr", 1e-4, 1.0);
+        let mut r = rng(2);
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..500 {
+            let v = space.sample(&mut r)["lr"].as_f64();
+            if v < 1e-2 {
+                small += 1;
+            }
+            if v > 1e-1 {
+                large += 1;
+            }
+        }
+        // Log-uniform: both decades are well represented.
+        assert!(small > 100, "small {small}");
+        assert!(large > 50, "large {large}");
+    }
+
+    #[test]
+    fn mutation_stays_inside_and_changes_something() {
+        let space = bcpnn_higgs_space();
+        let mut r = rng(3);
+        let base = space.sample(&mut r);
+        let mut changed = 0;
+        for _ in 0..50 {
+            let m = space.mutate(&base, 1.0, &mut r);
+            assert!(space.contains(&m));
+            if m != base {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "full-rate mutation should almost always change the set");
+        // Zero mutation rate is the identity.
+        assert_eq!(space.mutate(&base, 0.0, &mut r), base);
+    }
+
+    #[test]
+    fn contains_rejects_foreign_or_out_of_range_sets() {
+        let space = ParamSpace::new().integer("n", 1, 5).continuous("x", 0.0, 1.0);
+        let mut bad: ParamSet = BTreeMap::new();
+        bad.insert("n".into(), ParamValue::Int(9));
+        bad.insert("x".into(), ParamValue::Float(0.5));
+        assert!(!space.contains(&bad));
+        let mut wrong_type: ParamSet = BTreeMap::new();
+        wrong_type.insert("n".into(), ParamValue::Float(2.0));
+        wrong_type.insert("x".into(), ParamValue::Float(0.5));
+        assert!(!space.contains(&wrong_type));
+        let empty: ParamSet = BTreeMap::new();
+        assert!(!space.contains(&empty));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(ParamValue::Float(2.6).as_i64(), 3);
+        assert_eq!(ParamValue::Int(4).as_f64(), 4.0);
+        assert_eq!(ParamValue::Choice("a".into()).as_str(), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "no numeric form")]
+    fn categorical_as_f64_panics() {
+        let _ = ParamValue::Choice("x".into()).as_f64();
+    }
+}

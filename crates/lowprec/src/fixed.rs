@@ -1,0 +1,210 @@
+//! Signed Qm.n fixed-point formats with saturation.
+//!
+//! Fixed point is the traditional FPGA/DSP number representation: a signed
+//! integer interpreted with an implicit binary point, so addition is exact
+//! and multiplication needs only an integer multiplier. The cost is a hard
+//! dynamic range: values outside `[-2^m, 2^m)` saturate, and values smaller
+//! than `2^-n` round to zero. For BCPNN this matters because the log-odds
+//! weights are small (|w| ≲ 4 on the Higgs encoding) but the probability
+//! traces go down to `eps`, so the fraction width `n` is the critical knob —
+//! exactly the trade-off an FPGA port would have to explore.
+
+/// A signed Qm.n fixed-point format (`m` integer bits, `n` fraction bits,
+/// plus one sign bit; total width `1 + m + n` must be ≤ 32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl FixedFormat {
+    /// Create a Qm.n format.
+    ///
+    /// # Panics
+    /// Panics if the total width (sign + `int_bits` + `frac_bits`) exceeds
+    /// 32 bits or if both field widths are zero.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            1 + int_bits + frac_bits <= 32,
+            "FixedFormat: 1 + {int_bits} + {frac_bits} exceeds 32 bits"
+        );
+        assert!(
+            int_bits + frac_bits > 0,
+            "FixedFormat: at least one value bit is required"
+        );
+        Self {
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// The Q4.11 format (16-bit word): range ±16, resolution ≈ 4.9e-4.
+    /// A good match for BCPNN weights/biases.
+    pub fn q4_11() -> Self {
+        Self::new(4, 11)
+    }
+
+    /// The Q2.13 format (16-bit word): range ±4, resolution ≈ 1.2e-4.
+    pub fn q2_13() -> Self {
+        Self::new(2, 13)
+    }
+
+    /// The Q4.3 format (8-bit word): range ±16, resolution 0.125 — an
+    /// aggressively small format that visibly degrades accuracy.
+    pub fn q4_3() -> Self {
+        Self::new(4, 3)
+    }
+
+    /// Number of integer bits (excluding the sign bit).
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fraction bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total word width in bits (sign + integer + fraction).
+    pub fn word_bits(&self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// Smallest positive representable step (`2^-n`).
+    pub fn resolution(&self) -> f32 {
+        (2f32).powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f32 {
+        let raw_max = (1i64 << (self.int_bits + self.frac_bits)) - 1;
+        raw_max as f32 * self.resolution()
+    }
+
+    /// Most negative representable value.
+    pub fn min_value(&self) -> f32 {
+        let raw_min = -(1i64 << (self.int_bits + self.frac_bits));
+        raw_min as f32 * self.resolution()
+    }
+
+    /// Convert an `f32` to the raw integer representation, rounding to
+    /// nearest (ties away from zero) and saturating at the format limits.
+    /// NaN maps to zero.
+    pub fn to_raw(&self, value: f32) -> i32 {
+        if value.is_nan() {
+            return 0;
+        }
+        let scaled = (value as f64) * (1u64 << self.frac_bits) as f64;
+        let raw_max = (1i64 << (self.int_bits + self.frac_bits)) - 1;
+        let raw_min = -(1i64 << (self.int_bits + self.frac_bits));
+        let rounded = scaled.round();
+        let clamped = if rounded >= raw_max as f64 {
+            raw_max
+        } else if rounded <= raw_min as f64 {
+            raw_min
+        } else {
+            rounded as i64
+        };
+        clamped as i32
+    }
+
+    /// Convert a raw integer representation back to `f32`.
+    pub fn from_raw(&self, raw: i32) -> f32 {
+        raw as f32 * self.resolution()
+    }
+
+    /// Round an `f32` through the format and back (the quantization
+    /// operator used by [`crate::NumericFormat::Fixed`]).
+    pub fn round_f32(&self, value: f32) -> f32 {
+        self.from_raw(self.to_raw(value))
+    }
+}
+
+impl std::fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn representable_values_are_exact() {
+        let q = FixedFormat::q4_11();
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, -0.25, 15.0, -16.0, 2.5] {
+            assert_eq!(q.round_f32(v), v, "{v} should be exact in {q}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_the_limits() {
+        let q = FixedFormat::q2_13();
+        assert_eq!(q.round_f32(100.0), q.max_value());
+        assert_eq!(q.round_f32(-100.0), q.min_value());
+        assert!((q.max_value() - 4.0).abs() < 2.0 * q.resolution());
+        assert_eq!(q.min_value(), -4.0);
+    }
+
+    #[test]
+    fn resolution_matches_frac_bits() {
+        assert_eq!(FixedFormat::new(4, 3).resolution(), 0.125);
+        assert_eq!(FixedFormat::new(2, 13).resolution(), 2f32.powi(-13));
+        assert_eq!(FixedFormat::q4_11().word_bits(), 16);
+        assert_eq!(FixedFormat::q4_3().word_bits(), 8);
+    }
+
+    #[test]
+    fn rounding_error_is_at_most_half_a_step() {
+        let q = FixedFormat::q4_11();
+        for i in 0..1000 {
+            let v = (i as f32) * 0.01711 - 8.0;
+            let r = q.round_f32(v);
+            assert!(
+                (r - v).abs() <= q.resolution() / 2.0 + 1e-9,
+                "value {v} rounded to {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(FixedFormat::q4_11().round_f32(f32::NAN), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32 bits")]
+    fn width_is_checked() {
+        let _ = FixedFormat::new(20, 20);
+    }
+
+    #[test]
+    fn display_shows_q_notation() {
+        assert_eq!(FixedFormat::q4_11().to_string(), "Q4.11");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_is_idempotent(v in -50.0f32..50.0, m in 1u32..8, n in 1u32..20) {
+            let q = FixedFormat::new(m, n);
+            let once = q.round_f32(v);
+            prop_assert_eq!(once, q.round_f32(once));
+        }
+
+        #[test]
+        fn rounding_is_monotone(a in -40.0f32..40.0, b in -40.0f32..40.0) {
+            let q = FixedFormat::q4_11();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.round_f32(lo) <= q.round_f32(hi));
+        }
+
+        #[test]
+        fn result_is_always_in_range(v in prop::num::f32::ANY.prop_filter("finite", |x| x.is_finite())) {
+            let q = FixedFormat::q2_13();
+            let r = q.round_f32(v);
+            prop_assert!(r >= q.min_value() && r <= q.max_value());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Pool configuration.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable that overrides the number of worker threads used by
+/// the global pool (mirrors `OMP_NUM_THREADS` for StreamBrain's CPU backend).
+pub const NUM_THREADS_ENV: &str = "BCPNN_NUM_THREADS";
+
+/// Configuration for a [`crate::ThreadPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of worker threads. `None` means "auto": use
+    /// [`NUM_THREADS_ENV`] if set, otherwise the number of available cores.
+    pub num_threads: Option<usize>,
+    /// Prefix used for worker thread names (suffixed with the worker index).
+    pub thread_name: String,
+    /// Stack size per worker in bytes, `None` for the platform default.
+    pub stack_size: Option<usize>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            num_threads: None,
+            thread_name: "bcpnn-worker".to_string(),
+            stack_size: None,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Create a configuration with an explicit thread count.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self {
+            num_threads: Some(num_threads.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Resolve the effective number of worker threads.
+    ///
+    /// Resolution order: explicit `num_threads`, then the
+    /// `BCPNN_NUM_THREADS` environment variable, then the number of
+    /// available hardware threads, and finally 1 as a fallback.
+    pub fn resolve_threads(&self) -> usize {
+        if let Some(n) = self.num_threads {
+            return n.max(1);
+        }
+        if let Ok(v) = std::env::var(NUM_THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_resolves_to_at_least_one_thread() {
+        let cfg = PoolConfig::default();
+        assert!(cfg.resolve_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        let cfg = PoolConfig::with_threads(3);
+        assert_eq!(cfg.resolve_threads(), 3);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let cfg = PoolConfig::with_threads(0);
+        assert_eq!(cfg.resolve_threads(), 1);
+    }
+
+    #[test]
+    fn default_config_fields() {
+        let cfg = PoolConfig::default();
+        assert_eq!(cfg.num_threads, None);
+        assert_eq!(cfg.thread_name, "bcpnn-worker");
+        assert_eq!(cfg.stack_size, None);
+    }
+}

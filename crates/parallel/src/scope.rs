@@ -1,0 +1,162 @@
+//! Structured (scoped) task spawning on a [`crate::ThreadPool`].
+//!
+//! A [`Scope`] lets tasks borrow data from the caller's stack frame: the
+//! scope is guaranteed not to return until every spawned task has finished
+//! (even if the scope body or a task panics), so the borrows remain valid
+//! for the tasks' whole lifetime.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pool::{Job, ThreadPool};
+
+/// Shared completion state for one scope: an outstanding-task counter plus a
+/// panic flag, with a condvar so the owning thread can sleep while waiting.
+pub(crate) struct ScopeState {
+    outstanding: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ScopeState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outstanding: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn task_started(&self) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn task_finished(&self, panicked: bool) {
+        if panicked {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        let prev = self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0);
+        if prev == 1 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.outstanding.load(Ordering::SeqCst) == 0
+    }
+
+    pub(crate) fn any_panicked(&self) -> bool {
+        self.panicked.load(Ordering::SeqCst)
+    }
+
+    /// Block for a short while (or until notified) waiting for completion.
+    /// Returns immediately if the scope is already complete.
+    pub(crate) fn wait_briefly(&self) {
+        if self.is_done() {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        if self.is_done() {
+            return;
+        }
+        // A bounded wait keeps the owner responsive so it can also help
+        // drain the pool's queue (see `ThreadPool::complete_scope`).
+        self.cv
+            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+    }
+}
+
+/// A scope in which tasks borrowing stack data can be spawned onto a pool.
+///
+/// Created by [`ThreadPool::scope`]; see that method for details and
+/// examples.
+pub struct Scope<'scope, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope, 'pool> Scope<'scope, 'pool> {
+    pub(crate) fn new(pool: &'pool ThreadPool, state: Arc<ScopeState>) -> Self {
+        Self {
+            pool,
+            state,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+
+    /// Spawn a task that may borrow data living at least as long as the
+    /// scope. Panics inside the task are captured and re-raised by
+    /// [`ThreadPool::scope`] once every task has completed.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.task_started();
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `ThreadPool::scope` does not return until
+        // `state.outstanding` reaches zero, i.e. until this closure has run
+        // to completion (or been dropped after a panic inside the runner).
+        // All data borrowed by `f` therefore strictly outlives its
+        // execution, which is the invariant the 'static bound would
+        // otherwise enforce.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job: Job = Box::new(move || {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+            state.task_finished(result.is_err());
+        });
+        self.pool.inject(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolConfig;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_state_counts_tasks() {
+        let s = ScopeState::new();
+        assert!(s.is_done());
+        s.task_started();
+        assert!(!s.is_done());
+        s.task_finished(false);
+        assert!(s.is_done());
+        assert!(!s.any_panicked());
+    }
+
+    #[test]
+    fn scope_state_records_panics() {
+        let s = ScopeState::new();
+        s.task_started();
+        s.task_finished(true);
+        assert!(s.any_panicked());
+    }
+
+    #[test]
+    fn tasks_can_borrow_stack_data() {
+        let pool = ThreadPool::new(PoolConfig::with_threads(4));
+        let counter = AtomicU64::new(0);
+        let values: Vec<u64> = (0..100).collect();
+        pool.scope(|s| {
+            for chunk in values.chunks(7) {
+                let counter = &counter;
+                s.spawn(move || {
+                    let local: u64 = chunk.iter().sum();
+                    counter.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+}

@@ -1,0 +1,227 @@
+//! Element-wise matrix operations (parallelised over the flat storage).
+
+use bcpnn_parallel::{par_chunks_mut, par_zip_chunks_mut};
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Chunk size used when splitting element-wise work across the pool.
+const EW_CHUNK: usize = 16 * 1024;
+
+/// `a += b`, element-wise.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn add_assign<S: Scalar>(a: &mut Matrix<S>, b: &Matrix<S>) {
+    assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
+    par_zip_chunks_mut(a.as_mut_slice(), b.as_slice(), EW_CHUNK, |_, ac, bc| {
+        for (x, &y) in ac.iter_mut().zip(bc.iter()) {
+            *x += y;
+        }
+    });
+}
+
+/// `a -= b`, element-wise.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn sub_assign<S: Scalar>(a: &mut Matrix<S>, b: &Matrix<S>) {
+    assert_eq!(a.shape(), b.shape(), "sub_assign: shape mismatch");
+    par_zip_chunks_mut(a.as_mut_slice(), b.as_slice(), EW_CHUNK, |_, ac, bc| {
+        for (x, &y) in ac.iter_mut().zip(bc.iter()) {
+            *x -= y;
+        }
+    });
+}
+
+/// `a *= b`, element-wise (Hadamard product in place).
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn mul_assign<S: Scalar>(a: &mut Matrix<S>, b: &Matrix<S>) {
+    assert_eq!(a.shape(), b.shape(), "mul_assign: shape mismatch");
+    par_zip_chunks_mut(a.as_mut_slice(), b.as_slice(), EW_CHUNK, |_, ac, bc| {
+        for (x, &y) in ac.iter_mut().zip(bc.iter()) {
+            *x *= y;
+        }
+    });
+}
+
+/// `a = (1 - rate) * a + rate * b`: exponential moving average of a whole
+/// matrix towards `b` (the batched probability-trace update).
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn ema_assign<S: Scalar>(rate: S, a: &mut Matrix<S>, b: &Matrix<S>) {
+    assert_eq!(a.shape(), b.shape(), "ema_assign: shape mismatch");
+    let keep = S::ONE - rate;
+    par_zip_chunks_mut(a.as_mut_slice(), b.as_slice(), EW_CHUNK, |_, ac, bc| {
+        for (x, &y) in ac.iter_mut().zip(bc.iter()) {
+            *x = keep * *x + rate * y;
+        }
+    });
+}
+
+/// Multiply every element by `alpha`.
+pub fn scale<S: Scalar>(alpha: S, a: &mut Matrix<S>) {
+    par_chunks_mut(a.as_mut_slice(), EW_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v *= alpha;
+        }
+    });
+}
+
+/// Add `alpha` to every element.
+pub fn add_scalar<S: Scalar>(alpha: S, a: &mut Matrix<S>) {
+    par_chunks_mut(a.as_mut_slice(), EW_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v += alpha;
+        }
+    });
+}
+
+/// Clamp every element to `[lo, hi]`.
+pub fn clamp<S: Scalar>(a: &mut Matrix<S>, lo: S, hi: S) {
+    assert!(lo <= hi, "clamp: lo must be <= hi");
+    par_chunks_mut(a.as_mut_slice(), EW_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = (*v).max(lo).min(hi);
+        }
+    });
+}
+
+/// Element-wise natural logarithm with a floor: `a = ln(max(a, floor))`.
+///
+/// The BCPNN weight formula takes logs of probability traces; flooring keeps
+/// never-active units at a large negative (but finite) weight instead of
+/// `-inf`, exactly as StreamBrain's `eps` parameter does.
+pub fn ln_floored<S: Scalar>(a: &mut Matrix<S>, floor: S) {
+    assert!(floor > S::ZERO, "ln_floored: floor must be positive");
+    par_chunks_mut(a.as_mut_slice(), EW_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = (*v).max(floor).ln();
+        }
+    });
+}
+
+/// Element-wise exponential.
+pub fn exp<S: Scalar>(a: &mut Matrix<S>) {
+    par_chunks_mut(a.as_mut_slice(), EW_CHUNK, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = (*v).exp();
+        }
+    });
+}
+
+/// Out-of-place element-wise binary operation.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn zip_map<S: Scalar, F: Fn(S, S) -> S + Sync>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    f: F,
+) -> Matrix<S> {
+    assert_eq!(a.shape(), b.shape(), "zip_map: shape mismatch");
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    let (asl, bsl) = (a.as_slice(), b.as_slice());
+    par_chunks_mut(out.as_mut_slice(), EW_CHUNK, |start, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            *o = f(asl[start + k], bsl[start + k]);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f32) -> Matrix<f32> {
+        Matrix::from_fn(rows, cols, f)
+    }
+
+    #[test]
+    fn add_sub_mul_assign() {
+        let base = m(3, 4, |r, c| (r * 4 + c) as f32);
+        let ones = Matrix::filled(3, 4, 1.0f32);
+        let mut a = base.clone();
+        add_assign(&mut a, &ones);
+        assert_eq!(a.get(2, 3), base.get(2, 3) + 1.0);
+        sub_assign(&mut a, &ones);
+        assert_eq!(a, base);
+        let mut b = base.clone();
+        mul_assign(&mut b, &base);
+        assert_eq!(b.get(1, 2), base.get(1, 2) * base.get(1, 2));
+    }
+
+    #[test]
+    fn ema_assign_moves_towards_target() {
+        let target = Matrix::filled(2, 2, 1.0f64);
+        let mut tr = Matrix::zeros(2, 2);
+        ema_assign(0.25, &mut tr, &target);
+        assert!(tr.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-12));
+        for _ in 0..200 {
+            ema_assign(0.25, &mut tr, &target);
+        }
+        assert!(tr.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let mut a = m(2, 2, |_, _| 2.0);
+        scale(3.0, &mut a);
+        assert!(a.as_slice().iter().all(|&v| v == 6.0));
+        add_scalar(-1.0, &mut a);
+        assert!(a.as_slice().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let mut a = m(1, 5, |_, c| c as f32 - 2.0); // [-2,-1,0,1,2]
+        clamp(&mut a, -1.0, 1.0);
+        assert_eq!(a.as_slice(), &[-1.0, -1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be <= hi")]
+    fn clamp_rejects_inverted_bounds() {
+        let mut a = Matrix::<f32>::zeros(1, 1);
+        clamp(&mut a, 1.0, -1.0);
+    }
+
+    #[test]
+    fn ln_floored_never_produces_neg_inf() {
+        let mut a = m(1, 3, |_, c| c as f32); // [0, 1, 2]
+        ln_floored(&mut a, 1e-6);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+        assert!((a.get(0, 1)).abs() < 1e-6);
+        assert!((a.get(0, 0) - (1e-6f32).ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exp_then_ln_roundtrips() {
+        let orig = m(2, 3, |r, c| (r + c) as f32 * 0.3 + 0.1);
+        let mut a = orig.clone();
+        exp(&mut a);
+        ln_floored(&mut a, 1e-12);
+        assert!(a.max_abs_diff(&orig) < 1e-5);
+    }
+
+    #[test]
+    fn zip_map_applies_pairwise() {
+        let a = m(2, 2, |r, c| (r + c) as f32);
+        let b = Matrix::filled(2, 2, 10.0f32);
+        let out = zip_map(&a, &b, |x, y| x * y + 1.0);
+        assert_eq!(out.get(1, 1), 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(2, 2);
+        let b = Matrix::<f32>::zeros(2, 3);
+        let mut a2 = a.clone();
+        add_assign(&mut a2, &b);
+    }
+}

@@ -1,0 +1,180 @@
+//! Plain-text matrix persistence.
+//!
+//! Models, receptive-field masks and experiment outputs are stored in a tiny
+//! self-describing text format (one header line, then one row per line),
+//! which keeps the repository free of serialization dependencies while still
+//! being easy to diff, version and load from Python for plotting.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Magic tag at the start of every serialized matrix.
+const MAGIC: &str = "bcpnn-matrix";
+/// Format version.
+const VERSION: u32 = 1;
+
+/// Errors produced by matrix (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The input did not conform to the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write a matrix to any writer in the text format.
+pub fn write_matrix<S: Scalar, W: Write>(m: &Matrix<S>, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "{MAGIC} v{VERSION} {} {}", m.rows(), m.cols())?;
+    for row in m.iter_rows() {
+        let mut first = true;
+        for v in row {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{}", v.to_f64())?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a matrix previously written with [`write_matrix`].
+pub fn read_matrix<S: Scalar, R: BufRead>(mut r: R) -> Result<Matrix<S>, IoError> {
+    let mut header = String::new();
+    r.read_line(&mut header)?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 4 || parts[0] != MAGIC {
+        return Err(IoError::Format(format!("bad header: {header:?}")));
+    }
+    if parts[1] != format!("v{VERSION}") {
+        return Err(IoError::Format(format!("unsupported version {}", parts[1])));
+    }
+    let rows: usize = parts[2]
+        .parse()
+        .map_err(|_| IoError::Format(format!("bad row count {:?}", parts[2])))?;
+    let cols: usize = parts[3]
+        .parse()
+        .map_err(|_| IoError::Format(format!("bad col count {:?}", parts[3])))?;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut line = String::new();
+    for row_idx in 0..rows {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(IoError::Format(format!(
+                "unexpected end of input at row {row_idx}"
+            )));
+        }
+        let mut count = 0usize;
+        for tok in line.split_whitespace() {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| IoError::Format(format!("bad value {tok:?} in row {row_idx}")))?;
+            data.push(S::from_f64(v));
+            count += 1;
+        }
+        if count != cols {
+            return Err(IoError::Format(format!(
+                "row {row_idx} has {count} values, expected {cols}"
+            )));
+        }
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Save a matrix to a file path (creating parent directories if needed).
+pub fn save_matrix<S: Scalar, P: AsRef<Path>>(m: &Matrix<S>, path: P) -> Result<(), IoError> {
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let f = File::create(path)?;
+    write_matrix(m, BufWriter::new(f))
+}
+
+/// Load a matrix from a file path.
+pub fn load_matrix<S: Scalar, P: AsRef<Path>>(path: P) -> Result<Matrix<S>, IoError> {
+    let f = File::open(path)?;
+    read_matrix(BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::MatrixRng;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mut rng = MatrixRng::seed_from(1);
+        let m: Matrix<f32> = rng.uniform(7, 5, -3.0, 3.0);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back: Matrix<f32> = read_matrix(&buf[..]).unwrap();
+        assert!(m.max_abs_diff(&back) < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("bcpnn_tensor_io_test");
+        let path = dir.join("m.txt");
+        let m: Matrix<f64> = Matrix::from_fn(3, 4, |r, c| r as f64 * 0.5 - c as f64);
+        save_matrix(&m, &path).unwrap();
+        let back: Matrix<f64> = load_matrix(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let data = b"not-a-matrix 1 2 3\n";
+        let err = read_matrix::<f32, _>(&data[..]).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let data = format!("{MAGIC} v{VERSION} 3 2\n1 2\n3 4\n");
+        let err = read_matrix::<f32, _>(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let data = format!("{MAGIC} v{VERSION} 2 2\n1 2\n3\n");
+        let err = read_matrix::<f32, _>(data.as_bytes()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("expected 2"), "message: {msg}");
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m: Matrix<f32> = Matrix::zeros(0, 4);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back: Matrix<f32> = read_matrix(&buf[..]).unwrap();
+        assert_eq!(back.shape(), (0, 4));
+    }
+}

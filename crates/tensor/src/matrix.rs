@@ -1,0 +1,406 @@
+//! Dense row-major matrix type used throughout StreamBrain-rs.
+
+use crate::scalar::Scalar;
+
+/// A dense, row-major matrix.
+///
+/// The storage layout is `data[r * cols + c]`, matching the layout NumPy and
+/// StreamBrain use for activations (`batch x units`) and weights
+/// (`inputs x units`), so all GEMM calls in the BCPNN kernels are plain
+/// row-major products without transposition copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<S: Scalar = f32> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
+    }
+
+    /// Create a matrix where every element is `value`.
+    pub fn filled(rows: usize, cols: usize, value: S) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn<F: FnMut(usize, usize) -> S>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n x n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { S::ONE } else { S::ZERO })
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    /// Panics (in debug builds via `debug_assert`, in release builds via the
+    /// slice index) when out of bounds.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> S {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) OOB");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) OOB");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Add `v` to element `(r, c)`.
+    #[inline(always)]
+    pub fn add_at(&mut self, r: usize, c: usize, v: S) {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) OOB");
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[S] {
+        debug_assert!(r < self.rows, "row {r} OOB ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [S] {
+        debug_assert!(r < self.rows, "row {r} OOB ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<S> {
+        assert!(c < self.cols, "column {c} OOB ({} cols)", self.cols);
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Whole storage as a flat row-major slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Whole storage as a flat mutable row-major slice.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its storage.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[S]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Set every element to `value`.
+    pub fn fill(&mut self, value: S) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Return the transposed matrix (allocates).
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Apply `f` to every element, returning a new matrix.
+    pub fn map<F: Fn(S) -> S>(&self, f: F) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace<F: Fn(S) -> S>(&mut self, f: F) {
+        self.data.iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Extract the sub-matrix made of the listed rows (in the given order).
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (new_r, &r) in indices.iter().enumerate() {
+            assert!(r < self.rows, "select_rows: row {r} OOB");
+            out.row_mut(new_r).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Extract the sub-matrix made of the listed columns (in the given order).
+    pub fn select_cols(&self, indices: &[usize]) -> Self {
+        for &c in indices {
+            assert!(c < self.cols, "select_cols: column {c} OOB");
+        }
+        let mut out = Self::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (k, &c) in indices.iter().enumerate() {
+                dst[k] = src[c];
+            }
+        }
+        out
+    }
+
+    /// Stack two matrices vertically (`self` on top of `other`).
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.cols, "vstack: column counts differ");
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Stack two matrices horizontally (`self` to the left of `other`).
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "hstack: row counts differ");
+        let cols = self.cols + other.cols;
+        let mut out = Self::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Convert the element type (e.g. `f32` → `f64`).
+    pub fn cast<T: Scalar>(&self) -> Matrix<T> {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        )
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let m: Matrix<f32> = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+
+        let f = Matrix::<f64>::filled(2, 2, 7.0);
+        assert!(f.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::<f32>::from_vec(2, 3, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn get_set_row_col() {
+        let mut m: Matrix<f32> = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.set(1, 2, 50.0);
+        assert_eq!(m.get(1, 2), 50.0);
+        m.add_at(1, 2, 1.0);
+        assert_eq!(m.get(1, 2), 51.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.col(0), vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let id: Matrix<f64> = Matrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(id.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m: Matrix<f32> = Matrix::from_fn(2, 5, |r, c| (r * 10 + c) as f32);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (5, 2));
+        assert_eq!(t.get(3, 1), m.get(1, 3));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn map_and_map_inplace_agree() {
+        let m: Matrix<f32> = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        let doubled = m.map(|v| v * 2.0);
+        let mut m2 = m.clone();
+        m2.map_inplace(|v| v * 2.0);
+        assert_eq!(doubled, m2);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m: Matrix<f32> = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let rsub = m.select_rows(&[2, 0]);
+        assert_eq!(rsub.row(0), m.row(2));
+        assert_eq!(rsub.row(1), m.row(0));
+        let csub = m.select_cols(&[1]);
+        assert_eq!(csub.shape(), (4, 1));
+        assert_eq!(csub.col(0), m.col(1));
+    }
+
+    #[test]
+    fn stacking() {
+        let a: Matrix<f32> = Matrix::filled(2, 3, 1.0);
+        let b: Matrix<f32> = Matrix::filled(1, 3, 2.0);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.get(2, 0), 2.0);
+
+        let c: Matrix<f32> = Matrix::filled(2, 2, 3.0);
+        let h = a.hstack(&c);
+        assert_eq!(h.shape(), (2, 5));
+        assert_eq!(h.get(0, 4), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column counts differ")]
+    fn vstack_rejects_mismatch() {
+        let a: Matrix<f32> = Matrix::zeros(2, 3);
+        let b: Matrix<f32> = Matrix::zeros(2, 4);
+        let _ = a.vstack(&b);
+    }
+
+    #[test]
+    fn cast_between_precisions() {
+        let m: Matrix<f32> = Matrix::from_fn(2, 2, |r, c| (r + c) as f32 + 0.5);
+        let d: Matrix<f64> = m.cast();
+        assert_eq!(d.get(1, 1), 2.5);
+        let back: Matrix<f32> = d.cast();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn finite_check_and_diff() {
+        let mut m: Matrix<f32> = Matrix::zeros(2, 2);
+        assert!(m.all_finite());
+        assert_eq!(m.max_abs_diff(&m), 0.0);
+        m.set(0, 0, f32::NAN);
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn iter_rows_yields_every_row() {
+        let m: Matrix<f32> = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut m: Matrix<f64> = Matrix::from_fn(3, 3, |r, c| (r + c) as f64);
+        m.fill(1.25);
+        assert!(m.as_slice().iter().all(|&v| v == 1.25));
+    }
+}

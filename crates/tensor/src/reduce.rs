@@ -1,0 +1,206 @@
+//! Matrix reductions: row/column sums, means, maxima, argmax, norms, and
+//! grouped (per-hypercolumn) softmax.
+
+use bcpnn_parallel::par_chunks_mut;
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector;
+
+/// Sum of every element.
+pub fn sum<S: Scalar>(m: &Matrix<S>) -> S {
+    vector::sum(m.as_slice())
+}
+
+/// Mean of every element (0 for an empty matrix).
+pub fn mean<S: Scalar>(m: &Matrix<S>) -> S {
+    vector::mean(m.as_slice())
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm<S: Scalar>(m: &Matrix<S>) -> S {
+    vector::norm2(m.as_slice())
+}
+
+/// Per-row sums (length `rows`).
+pub fn row_sums<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
+    m.iter_rows().map(vector::sum).collect()
+}
+
+/// Per-row maxima (length `rows`).
+pub fn row_max<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
+    m.iter_rows().map(|r| vector::max(r)).collect()
+}
+
+/// Per-row argmax (length `rows`).
+pub fn row_argmax<S: Scalar>(m: &Matrix<S>) -> Vec<usize> {
+    m.iter_rows().map(vector::argmax).collect()
+}
+
+/// Per-column sums (length `cols`).
+pub fn col_sums<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
+    let mut out = vec![S::ZERO; m.cols()];
+    for row in m.iter_rows() {
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Per-column means (length `cols`).
+pub fn col_means<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
+    let mut out = col_sums(m);
+    if m.rows() > 0 {
+        let inv = S::ONE / S::from_usize(m.rows());
+        for v in out.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Per-column (population) variances (length `cols`).
+pub fn col_variances<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
+    let means = col_means(m);
+    let mut out = vec![S::ZERO; m.cols()];
+    if m.rows() == 0 {
+        return out;
+    }
+    for row in m.iter_rows() {
+        for ((o, &v), &mu) in out.iter_mut().zip(row.iter()).zip(means.iter()) {
+            let d = v - mu;
+            *o += d * d;
+        }
+    }
+    let inv = S::ONE / S::from_usize(m.rows());
+    for v in out.iter_mut() {
+        *v *= inv;
+    }
+    out
+}
+
+/// Apply an independent softmax to every row, in place (parallel over rows).
+pub fn softmax_rows<S: Scalar>(m: &mut Matrix<S>) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    par_chunks_mut(m.as_mut_slice(), cols, |_, row| {
+        vector::softmax_inplace(row);
+    });
+}
+
+/// Apply a softmax independently to every contiguous group of `group` columns
+/// of every row, in place.
+///
+/// This is the hypercolumn-wise normalisation of the BCPNN hidden layer: a
+/// row holds the concatenated supports of all HCUs (`n_hcu * n_mcu` values),
+/// and each HCU's `n_mcu`-wide segment must form its own probability
+/// distribution.
+///
+/// # Panics
+/// Panics if `group` does not evenly divide the number of columns.
+pub fn softmax_row_groups<S: Scalar>(m: &mut Matrix<S>, group: usize) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    assert!(group > 0, "softmax_row_groups: group must be positive");
+    assert_eq!(
+        cols % group,
+        0,
+        "softmax_row_groups: group {group} does not divide cols {cols}"
+    );
+    par_chunks_mut(m.as_mut_slice(), cols, |_, row| {
+        for seg in row.chunks_mut(group) {
+            vector::softmax_inplace(seg);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<f64> {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        let m = sample();
+        assert_eq!(sum(&m), 21.0);
+        assert_eq!(mean(&m), 3.5);
+        assert!((frobenius_norm(&m) - (91.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_reductions() {
+        let m = sample();
+        assert_eq!(row_sums(&m), vec![6.0, 15.0]);
+        assert_eq!(row_max(&m), vec![3.0, 6.0]);
+        assert_eq!(row_argmax(&m), vec![2, 2]);
+    }
+
+    #[test]
+    fn col_reductions() {
+        let m = sample();
+        assert_eq!(col_sums(&m), vec![5.0, 7.0, 9.0]);
+        assert_eq!(col_means(&m), vec![2.5, 3.5, 4.5]);
+        let v = col_variances(&m);
+        for x in v {
+            assert!((x - 2.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_reductions() {
+        let m: Matrix<f32> = Matrix::zeros(0, 3);
+        assert_eq!(sum(&m), 0.0);
+        assert_eq!(col_sums(&m), vec![0.0; 3]);
+        assert_eq!(col_variances(&m), vec![0.0; 3]);
+        assert!(row_sums(&m).is_empty());
+    }
+
+    #[test]
+    fn softmax_rows_normalises_each_row() {
+        let mut m = sample().cast::<f32>();
+        softmax_rows(&mut m);
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_row_groups_normalises_each_group() {
+        // 2 rows, 3 groups of 2 columns.
+        let mut m = Matrix::<f32>::from_fn(2, 6, |r, c| (r * 6 + c) as f32 * 0.1);
+        softmax_row_groups(&mut m, 2);
+        for r in 0..2 {
+            let row = m.row(r);
+            for g in 0..3 {
+                let s: f32 = row[g * 2..(g + 1) * 2].iter().sum();
+                assert!((s - 1.0).abs() < 1e-5, "group {g} of row {r} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn softmax_row_groups_rejects_bad_group() {
+        let mut m = Matrix::<f32>::zeros(1, 5);
+        softmax_row_groups(&mut m, 2);
+    }
+
+    #[test]
+    fn softmax_row_groups_with_full_width_equals_softmax_rows() {
+        let a = Matrix::<f32>::from_fn(3, 4, |r, c| ((r * 7 + c * 3) % 5) as f32);
+        let mut g = a.clone();
+        let mut s = a.clone();
+        softmax_row_groups(&mut g, 4);
+        softmax_rows(&mut s);
+        assert!(g.max_abs_diff(&s) < 1e-6);
+    }
+}

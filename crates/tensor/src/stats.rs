@@ -1,0 +1,205 @@
+//! Scalar statistics used by the preprocessing pipeline (quantile binning)
+//! and by the experiment harness (mean/std of repeated runs).
+
+/// Mean of a slice of `f64` (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (unbiased, n-1 denominator); 0 when fewer than
+/// two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Minimum (NaN-free input assumed); `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum (NaN-free input assumed); `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of the data using linear interpolation
+/// between order statistics (the same convention as `numpy.quantile`).
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_of_sorted(&sorted, q)
+}
+
+/// Same as [`quantile`] but assumes the input is already sorted ascending.
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The `k`-quantile cut points dividing the data into `k` groups of roughly
+/// equal mass: returns `k - 1` interior boundaries (e.g. `k = 10` gives the
+/// nine decile boundaries the paper uses for the Higgs features).
+///
+/// # Panics
+/// Panics if `xs` is empty or `k < 2`.
+pub fn quantile_boundaries(xs: &[f64], k: usize) -> Vec<f64> {
+    assert!(k >= 2, "need at least 2 quantile groups");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    (1..k)
+        .map(|i| quantile_of_sorted(&sorted, i as f64 / k as f64))
+        .collect()
+}
+
+/// Index of the bin (0-based, `boundaries.len()` bins + 1) that `x` falls
+/// into given ascending interior boundaries: bin `i` is
+/// `(boundaries[i-1], boundaries[i]]`, with the first bin open below and the
+/// last open above.
+pub fn bin_index(boundaries: &[f64], x: f64) -> usize {
+    // First boundary that is >= x gives the bin; equivalently count
+    // boundaries strictly less than x.
+    boundaries.iter().filter(|&&b| x > b).count()
+}
+
+/// Pearson correlation between two equally long slices (0 if degenerate).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Histogram of the data into `bins` equal-width bins over `[lo, hi]`.
+/// Values outside the range are clamped into the first/last bin.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let mut b = ((x - lo) / width).floor() as isize;
+        b = b.clamp(0, bins as isize - 1);
+        counts[b as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(7.0));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&[5.0], 0.7), 5.0);
+    }
+
+    #[test]
+    fn decile_boundaries_split_evenly() {
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let b = quantile_boundaries(&xs, 10);
+        assert_eq!(b.len(), 9);
+        // Counts per bin should be ~1000 each.
+        let mut counts = vec![0usize; 10];
+        for &x in &xs {
+            counts[bin_index(&b, x)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 1000).abs() <= 10, "bin count {c}");
+        }
+    }
+
+    #[test]
+    fn bin_index_edges() {
+        let b = vec![1.0, 2.0, 3.0];
+        assert_eq!(bin_index(&b, 0.5), 0);
+        assert_eq!(bin_index(&b, 1.0), 0, "boundary values stay in lower bin");
+        assert_eq!(bin_index(&b, 1.5), 1);
+        assert_eq!(bin_index(&b, 2.5), 2);
+        assert_eq!(bin_index(&b, 99.0), 3);
+    }
+
+    #[test]
+    fn pearson_correlation() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let xs = [0.1, 0.2, 0.5, 0.9, 1.5, -0.3];
+        let h = histogram(&xs, 0.0, 1.0, 4);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+        assert_eq!(h[0], 3, "includes the clamped -0.3 and 0.1, 0.2");
+        assert_eq!(h[3], 2, "includes the clamped 1.5 and 0.9");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty slice")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+}

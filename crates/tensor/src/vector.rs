@@ -1,0 +1,283 @@
+//! Dense vector (slice) kernels: BLAS level-1 style operations plus the
+//! softmax / log-sum-exp primitives the BCPNN activation uses.
+
+use crate::scalar::Scalar;
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = S::ZERO;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `x *= alpha` (BLAS `scal`).
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Exponential moving-average update `y = (1 - rate) * y + rate * x`,
+/// the core primitive of the BCPNN probability-trace update.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn ema_update<S: Scalar>(rate: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "ema_update: length mismatch");
+    let keep = S::ONE - rate;
+    for (yv, &xv) in y.iter_mut().zip(x.iter()) {
+        *yv = keep * *yv + rate * xv;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2<S: Scalar>(x: &[S]) -> S {
+    let mut acc = S::ZERO;
+    for &v in x {
+        acc += v * v;
+    }
+    acc.sqrt()
+}
+
+/// Sum of the elements.
+pub fn sum<S: Scalar>(x: &[S]) -> S {
+    let mut acc = S::ZERO;
+    for &v in x {
+        acc += v;
+    }
+    acc
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean<S: Scalar>(x: &[S]) -> S {
+    if x.is_empty() {
+        return S::ZERO;
+    }
+    sum(x) / S::from_usize(x.len())
+}
+
+/// Index of the maximum element (first occurrence). Returns 0 for an empty
+/// slice.
+pub fn argmax<S: Scalar>(x: &[S]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = None::<S>;
+    for (i, &v) in x.iter().enumerate() {
+        match best_v {
+            None => {
+                best = i;
+                best_v = Some(v);
+            }
+            Some(bv) if v > bv => {
+                best = i;
+                best_v = Some(v);
+            }
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Maximum element (negative infinity for an empty slice).
+pub fn max<S: Scalar>(x: &[S]) -> S {
+    let mut m = S::from_f64(f64::NEG_INFINITY);
+    for &v in x {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Numerically-stable log-sum-exp.
+pub fn logsumexp<S: Scalar>(x: &[S]) -> S {
+    if x.is_empty() {
+        return S::from_f64(f64::NEG_INFINITY);
+    }
+    let m = max(x);
+    if !m.is_finite() {
+        return m;
+    }
+    let mut acc = S::ZERO;
+    for &v in x {
+        acc += (v - m).exp();
+    }
+    m + acc.ln()
+}
+
+/// In-place numerically-stable softmax: `x[i] = exp(x[i] - max) / Σ exp`.
+///
+/// This is the minicolumn competition within one hypercolumn: after the
+/// masked linear support is computed, the MCUs of an HCU compete through
+/// exactly this normalisation.
+pub fn softmax_inplace<S: Scalar>(x: &mut [S]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = max(x);
+    let mut total = S::ZERO;
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+        total += *v;
+    }
+    if total > S::ZERO {
+        let inv = S::ONE / total;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    } else {
+        // Degenerate support (all -inf): fall back to uniform.
+        let u = S::ONE / S::from_usize(x.len());
+        for v in x.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+/// Normalise a non-negative slice to sum to one (L1). Uniform fallback if the
+/// sum is zero.
+pub fn normalize_l1<S: Scalar>(x: &mut [S]) {
+    let s = sum(x);
+    if s > S::ZERO {
+        let inv = S::ONE / s;
+        scal(inv, x);
+    } else if !x.is_empty() {
+        let u = S::ONE / S::from_usize(x.len());
+        for v in x.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+/// Shannon entropy (nats) of a probability vector; contributions from zero
+/// entries are zero.
+pub fn entropy<S: Scalar>(p: &[S]) -> S {
+    let mut h = S::ZERO;
+    for &v in p {
+        if v > S::ZERO {
+            h -= v * v.ln();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scal() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = b.clone();
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0f32], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ema_update_converges_to_target() {
+        let target = vec![1.0f64, 0.0, 0.5];
+        let mut trace = vec![0.0f64; 3];
+        for _ in 0..2000 {
+            ema_update(0.05, &target, &mut trace);
+        }
+        for (t, tr) in target.iter().zip(trace.iter()) {
+            assert!((t - tr).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn norms_and_means() {
+        let x = vec![3.0f32, 4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(sum(&x), 7.0);
+        assert_eq!(mean(&x), 3.5);
+        assert_eq!(mean::<f32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_and_max() {
+        let x = vec![0.1f32, 0.9, 0.3, 0.9];
+        assert_eq!(argmax(&x), 1, "first maximum wins");
+        assert_eq!(max(&x), 0.9);
+        assert_eq!(argmax::<f32>(&[]), 0);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let mut x = vec![1.0f64, 2.0, 3.0];
+        softmax_inplace(&mut x);
+        let s: f64 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0f64, 2.0, 3.0];
+        let mut b = vec![101.0f64, 102.0, 103.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let mut x = vec![1000.0f32, 1001.0, 999.0];
+        softmax_inplace(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn logsumexp_matches_naive_in_safe_range() {
+        let x = vec![0.5f64, 1.5, -0.25];
+        let naive = x.iter().map(|v| v.exp()).sum::<f64>().ln();
+        assert!((logsumexp(&x) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_l1_uniform_fallback() {
+        let mut x = vec![0.0f32; 4];
+        normalize_l1(&mut x);
+        assert!(x.iter().all(|&v| (v - 0.25).abs() < 1e-7));
+        let mut y = vec![2.0f32, 2.0];
+        normalize_l1(&mut y);
+        assert_eq!(y, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let uniform = vec![0.25f64; 4];
+        let peaked = vec![1.0f64, 0.0, 0.0, 0.0];
+        assert!((entropy(&uniform) - (4.0f64).ln().abs()).abs() < 1e-12);
+        assert_eq!(entropy(&peaked), 0.0);
+        assert!(entropy(&uniform) > entropy(&peaked));
+    }
+}

@@ -1,0 +1,149 @@
+//! ASCII rendering of receptive fields and masks, for terminal output in
+//! the examples (the paper's Fig. 1 / Fig. 5 rendered as characters).
+
+use bcpnn_tensor::Matrix;
+
+/// Character ramp used to render intensities from low to high.
+const RAMP: [char; 5] = [' ', '.', ':', 'o', '#'];
+
+/// Render a scalar field as ASCII art, one character per element, rows
+/// separated by newlines. Values are rescaled from the field's own range.
+pub fn render_field(field: &Matrix<f32>) -> String {
+    if field.rows() == 0 || field.cols() == 0 {
+        return String::new();
+    }
+    let lo = field.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = field
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::with_capacity((field.cols() + 1) * field.rows());
+    for r in 0..field.rows() {
+        for &v in field.row(r) {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = (t * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a binary mask with `#` for active connections and `.` for silent
+/// ones (more legible than the generic ramp for Fig. 5-style output).
+pub fn render_mask(mask: &Matrix<f32>) -> String {
+    let mut out = String::with_capacity((mask.cols() + 1) * mask.rows());
+    for r in 0..mask.rows() {
+        for &v in mask.row(r) {
+            out.push(if v >= 0.5 { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reshape one HCU's flat mask row over the 28-feature × `n_bins` input
+/// layout of the encoded Higgs data and render it, one text row per
+/// original feature, prefixed with the feature name. This is the terminal
+/// version of inspecting "where the HCU looks" per physics quantity.
+pub fn render_feature_mask(mask_row: &[f32], feature_names: &[String], n_bins: usize) -> String {
+    assert!(n_bins > 0, "n_bins must be positive");
+    assert_eq!(
+        mask_row.len(),
+        feature_names.len() * n_bins,
+        "mask width {} does not match {} features x {} bins",
+        mask_row.len(),
+        feature_names.len(),
+        n_bins
+    );
+    let width = feature_names.iter().map(|n| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (f, name) in feature_names.iter().enumerate() {
+        out.push_str(&format!("{name:width$} |"));
+        for b in 0..n_bins {
+            out.push(if mask_row[f * n_bins + b] >= 0.5 { '#' } else { '.' });
+        }
+        let active = (0..n_bins).filter(|&b| mask_row[f * n_bins + b] >= 0.5).count();
+        out.push_str(&format!("| {active}/{n_bins}\n"));
+    }
+    out
+}
+
+/// A compact one-line histogram (sparkline) of non-negative counts.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            BARS[(t * (BARS.len() - 1) as f64).round() as usize]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_field_has_one_line_per_row() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        let s = render_field(&m);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.lines().all(|l| l.chars().count() == 5));
+        // Lowest value renders as the lightest glyph, highest as the darkest.
+        assert!(s.starts_with(' '));
+        assert!(s.trim_end().ends_with('#'));
+    }
+
+    #[test]
+    fn render_field_handles_empty_and_constant_inputs() {
+        assert_eq!(render_field(&Matrix::zeros(0, 3)), "");
+        let c = render_field(&Matrix::filled(2, 2, 1.0f32));
+        assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn render_mask_uses_hash_and_dot() {
+        let m = Matrix::from_vec(1, 4, vec![1.0f32, 0.0, 1.0, 0.0]);
+        assert_eq!(render_mask(&m), "#.#.\n");
+    }
+
+    #[test]
+    fn feature_mask_rendering_groups_by_feature() {
+        let names = vec!["lepton_pt".to_string(), "m_bb".to_string()];
+        let mask = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let s = render_feature_mask(&mask, &names, 3);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("lepton_pt"));
+        assert!(lines[0].contains("|#..|"));
+        assert!(lines[0].trim_end().ends_with("1/3"));
+        assert!(lines[1].contains("|###|"));
+        assert!(lines[1].trim_end().ends_with("3/3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn feature_mask_rejects_wrong_width() {
+        let names = vec!["a".to_string()];
+        let _ = render_feature_mask(&[1.0, 0.0, 1.0], &names, 2);
+    }
+
+    #[test]
+    fn sparkline_spans_the_ramp() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

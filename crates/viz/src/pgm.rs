@@ -1,0 +1,192 @@
+//! Portable GrayMap (PGM) image export.
+//!
+//! PGM is the simplest image format there is (a text header plus one
+//! grayscale value per pixel), which makes it ideal for dumping receptive
+//! fields and mask evolutions (Fig. 2 / Fig. 5) without an image library.
+
+use std::io::Write;
+use std::path::Path;
+
+use bcpnn_tensor::Matrix;
+
+/// Errors produced while writing PGM files.
+#[derive(Debug)]
+pub enum PgmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The field has a shape that cannot be written (e.g. empty).
+    BadShape(String),
+}
+
+impl std::fmt::Display for PgmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PgmError::Io(e) => write!(f, "I/O error: {e}"),
+            PgmError::BadShape(msg) => write!(f, "bad image shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PgmError {}
+
+impl From<std::io::Error> for PgmError {
+    fn from(e: std::io::Error) -> Self {
+        PgmError::Io(e)
+    }
+}
+
+/// Write a matrix as an 8-bit ASCII PGM (`P2`) image. Values are linearly
+/// rescaled from `[min, max]` of the data to `[0, 255]`; a constant matrix
+/// maps to mid-gray.
+pub fn write_pgm<W: Write>(field: &Matrix<f32>, mut w: W) -> Result<(), PgmError> {
+    if field.rows() == 0 || field.cols() == 0 {
+        return Err(PgmError::BadShape(format!(
+            "image must be non-empty, got {:?}",
+            field.shape()
+        )));
+    }
+    let lo = field
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min);
+    let hi = field
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let scale = if hi > lo { 255.0 / (hi - lo) } else { 0.0 };
+    writeln!(w, "P2")?;
+    writeln!(w, "# bcpnn-viz receptive field export")?;
+    writeln!(w, "{} {}", field.cols(), field.rows())?;
+    writeln!(w, "255")?;
+    for r in 0..field.rows() {
+        let mut line = String::new();
+        for (c, &v) in field.row(r).iter().enumerate() {
+            if c > 0 {
+                line.push(' ');
+            }
+            let px = if scale == 0.0 {
+                128
+            } else {
+                ((v - lo) * scale).round().clamp(0.0, 255.0) as u32
+            };
+            line.push_str(&px.to_string());
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Save a matrix as a `.pgm` file (creating parent directories).
+pub fn save_pgm<P: AsRef<Path>>(field: &Matrix<f32>, path: P) -> Result<(), PgmError> {
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let f = std::fs::File::create(path)?;
+    write_pgm(field, std::io::BufWriter::new(f))
+}
+
+/// Parse an ASCII PGM back into a matrix (used by tests and by the mask
+/// comparison tooling).
+pub fn read_pgm(text: &str) -> Result<Matrix<f32>, PgmError> {
+    let mut tokens = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .flat_map(|l| l.split_whitespace());
+    let magic = tokens.next().ok_or_else(|| PgmError::BadShape("empty file".into()))?;
+    if magic != "P2" {
+        return Err(PgmError::BadShape(format!("expected P2, got {magic:?}")));
+    }
+    let mut next_usize = |what: &str| -> Result<usize, PgmError> {
+        tokens
+            .next()
+            .ok_or_else(|| PgmError::BadShape(format!("missing {what}")))?
+            .parse()
+            .map_err(|_| PgmError::BadShape(format!("bad {what}")))
+    };
+    let cols = next_usize("width")?;
+    let rows = next_usize("height")?;
+    let maxval = next_usize("maxval")?;
+    if maxval == 0 {
+        return Err(PgmError::BadShape("maxval must be positive".into()));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for tok in tokens {
+        let v: f32 = tok
+            .parse()
+            .map_err(|_| PgmError::BadShape(format!("bad pixel {tok:?}")))?;
+        data.push(v / maxval as f32);
+    }
+    if data.len() != rows * cols {
+        return Err(PgmError::BadShape(format!(
+            "expected {} pixels, found {}",
+            rows * cols,
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_dimensions_are_correct() {
+        let img = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "P2");
+        assert_eq!(lines[2], "3 2");
+        assert_eq!(lines[3], "255");
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn binary_mask_maps_to_black_and_white() {
+        let img = Matrix::from_vec(1, 4, vec![0.0f32, 1.0, 1.0, 0.0]);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let last = text.lines().last().unwrap();
+        assert_eq!(last, "0 255 255 0");
+    }
+
+    #[test]
+    fn constant_image_is_midgray() {
+        let img = Matrix::filled(2, 2, 3.7f32);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().skip(4).all(|l| l == "128 128"));
+    }
+
+    #[test]
+    fn roundtrip_through_read_pgm() {
+        let img = Matrix::from_vec(2, 2, vec![0.0f32, 0.5, 0.75, 1.0]);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back = read_pgm(&text).unwrap();
+        assert_eq!(back.shape(), (2, 2));
+        assert!(img.max_abs_diff(&back) < 0.01);
+    }
+
+    #[test]
+    fn read_rejects_malformed_files() {
+        assert!(read_pgm("P5\n2 2\n255\n0 0 0 0").is_err());
+        assert!(read_pgm("P2\n2 2\n255\n0 0 0").is_err());
+        assert!(read_pgm("").is_err());
+    }
+
+    #[test]
+    fn empty_images_are_rejected() {
+        let img = Matrix::zeros(0, 3);
+        assert!(matches!(write_pgm(&img, Vec::new()), Err(PgmError::BadShape(_))));
+    }
+}

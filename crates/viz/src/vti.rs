@@ -1,0 +1,148 @@
+//! VTK ImageData (`.vti`) XML writer.
+//!
+//! StreamBrain exports the HCU receptive fields through a ParaView Catalyst
+//! adaptor that writes VTI files once per epoch (§III-B, Fig. 2). ParaView
+//! is not available here, but the file format is simple XML, so this module
+//! writes the same artifact: a 2-D ImageData whose single cell array holds
+//! the mask (or any scalar field). The produced files load directly in
+//! ParaView / VisIt.
+
+use std::io::Write;
+use std::path::Path;
+
+use bcpnn_tensor::Matrix;
+
+/// Errors produced while writing VTI files.
+#[derive(Debug)]
+pub enum VtiError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The field has a shape that cannot be written (e.g. empty).
+    BadShape(String),
+}
+
+impl std::fmt::Display for VtiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VtiError::Io(e) => write!(f, "I/O error: {e}"),
+            VtiError::BadShape(msg) => write!(f, "bad field shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VtiError {}
+
+impl From<std::io::Error> for VtiError {
+    fn from(e: std::io::Error) -> Self {
+        VtiError::Io(e)
+    }
+}
+
+/// Serialize a 2-D scalar field as VTK ImageData XML (ASCII encoding).
+///
+/// The matrix is interpreted as a `rows x cols` image with one scalar value
+/// per point; `name` is the name of the point-data array.
+pub fn write_vti<W: Write>(field: &Matrix<f32>, name: &str, mut w: W) -> Result<(), VtiError> {
+    if field.rows() == 0 || field.cols() == 0 {
+        return Err(VtiError::BadShape(format!(
+            "field must be non-empty, got {:?}",
+            field.shape()
+        )));
+    }
+    let nx = field.cols();
+    let ny = field.rows();
+    writeln!(w, r#"<?xml version="1.0"?>"#)?;
+    writeln!(
+        w,
+        r#"<VTKFile type="ImageData" version="0.1" byte_order="LittleEndian">"#
+    )?;
+    writeln!(
+        w,
+        r#"  <ImageData WholeExtent="0 {} 0 {} 0 0" Origin="0 0 0" Spacing="1 1 1">"#,
+        nx - 1,
+        ny - 1
+    )?;
+    writeln!(w, r#"    <Piece Extent="0 {} 0 {} 0 0">"#, nx - 1, ny - 1)?;
+    writeln!(w, r#"      <PointData Scalars="{name}">"#)?;
+    writeln!(
+        w,
+        r#"        <DataArray type="Float32" Name="{name}" format="ascii">"#
+    )?;
+    for r in 0..ny {
+        write!(w, "          ")?;
+        for (c, v) in field.row(r).iter().enumerate() {
+            if c > 0 {
+                write!(w, " ")?;
+            }
+            write!(w, "{v}")?;
+        }
+        writeln!(w)?;
+    }
+    writeln!(w, r#"        </DataArray>"#)?;
+    writeln!(w, r#"      </PointData>"#)?;
+    writeln!(w, r#"      <CellData></CellData>"#)?;
+    writeln!(w, r#"    </Piece>"#)?;
+    writeln!(w, r#"  </ImageData>"#)?;
+    writeln!(w, r#"</VTKFile>"#)?;
+    Ok(())
+}
+
+/// Write the field to a `.vti` file on disk (creating parent directories).
+pub fn save_vti<P: AsRef<Path>>(field: &Matrix<f32>, name: &str, path: P) -> Result<(), VtiError> {
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let f = std::fs::File::create(path)?;
+    write_vti(field, name, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_wellformed_vti_xml() {
+        let field = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let mut buf = Vec::new();
+        write_vti(&field, "receptive_field", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(r#"<?xml version="1.0"?>"#));
+        assert!(text.contains(r#"<VTKFile type="ImageData""#));
+        assert!(text.contains(r#"WholeExtent="0 3 0 2 0 0""#));
+        assert!(text.contains(r#"Name="receptive_field""#));
+        assert!(text.contains("</VTKFile>"));
+        // All 12 values appear in the payload.
+        for v in 0..12 {
+            assert!(text.contains(&format!("{v}")));
+        }
+        // Balanced open/close tags for the ones we emit once.
+        for tag in ["ImageData", "Piece", "PointData", "DataArray"] {
+            assert_eq!(
+                text.matches(&format!("<{tag}")).count(),
+                text.matches(&format!("</{tag}>")).count(),
+                "unbalanced tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fields_are_rejected() {
+        let field = Matrix::zeros(0, 4);
+        let err = write_vti(&field, "x", Vec::new()).unwrap_err();
+        assert!(matches!(err, VtiError::BadShape(_)));
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("bcpnn_vti_{}", std::process::id()));
+        let path = dir.join("epoch_000").join("mask.vti");
+        let field = Matrix::filled(2, 2, 1.0f32);
+        save_vti(&field, "mask", &path).unwrap();
+        assert!(path.exists());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("VTKFile"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

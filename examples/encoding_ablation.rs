@@ -1,0 +1,89 @@
+//! Encoding ablation: one-hot quantiles vs. thermometer code vs. raw input.
+//!
+//! The paper encodes every feature as a one-hot vector over its decile bin
+//! (§V). This example ablates that design choice on identical data: the
+//! same BCPNN network is trained on (a) the paper's one-hot quantile code,
+//! (b) a cumulative thermometer code of the same width, and (c) for
+//! reference, a logistic-regression head on standardized raw features.
+//!
+//! ```text
+//! cargo run --release --example encoding_ablation
+//! ```
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::metrics::EvalReport;
+use bcpnn_core::{Network, ReadoutKind, SgdClassifier, SgdParams, Trainer, TrainingParams};
+use bcpnn_data::encode::{QuantileEncoder, Standardizer, ThermometerEncoder};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::split::stratified_split;
+use bcpnn_tensor::Matrix;
+
+fn train_bcpnn(x_train: &Matrix<f32>, y_train: &[usize], x_test: &Matrix<f32>, y_test: &[usize]) -> EvalReport {
+    let mut network = Network::builder()
+        .input(x_train.cols())
+        .hidden(1, 200, 0.40)
+        .classes(2)
+        .readout(ReadoutKind::Hybrid)
+        .backend(BackendKind::Parallel)
+        .seed(17)
+        .build()
+        .expect("valid configuration");
+    Trainer::new(TrainingParams {
+        unsupervised_epochs: 3,
+        supervised_epochs: 6,
+        batch_size: 128,
+        seed: 18,
+        shuffle: true,
+    })
+    .fit(&mut network, x_train, y_train)
+    .expect("training succeeds");
+    network.evaluate(x_test, y_test).expect("evaluation succeeds")
+}
+
+fn main() {
+    let collisions = generate(&SyntheticHiggsConfig {
+        n_samples: 16_000,
+        ..Default::default()
+    });
+    let (train, test) = stratified_split(&collisions, 0.25, 3);
+    println!("train {} / test {}\n", train.n_samples(), test.n_samples());
+
+    // (a) the paper's one-hot decile code
+    let one_hot = QuantileEncoder::fit(&train, 10);
+    let report_one_hot = train_bcpnn(
+        &one_hot.transform(&train),
+        &train.labels,
+        &one_hot.transform(&test),
+        &test.labels,
+    );
+    println!("BCPNN on one-hot quantile code   : {report_one_hot}");
+
+    // (b) thermometer (cumulative) code of the same width
+    let thermo = ThermometerEncoder::fit(&train, 10);
+    let report_thermo = train_bcpnn(
+        &thermo.transform(&train),
+        &train.labels,
+        &thermo.transform(&test),
+        &test.labels,
+    );
+    println!("BCPNN on thermometer code        : {report_thermo}");
+
+    // (c) reference: logistic regression on standardized raw features
+    let std = Standardizer::fit(&train);
+    let mut logreg = SgdClassifier::new(28, 2, SgdParams::default(), 19).expect("valid classifier");
+    logreg
+        .fit(&std.transform(&train), &train.labels, 20, 128, 20)
+        .expect("training succeeds");
+    let proba = logreg
+        .predict_proba(&std.transform(&test))
+        .expect("prediction succeeds");
+    let report_raw = EvalReport::from_probabilities(&proba, &test.labels);
+    println!("logistic regression on raw input : {report_raw}");
+
+    println!(
+        "\nTakeaway: the one-hot decile code is what lets a *single* BCPNN hypercolumn carve the \
+         input into per-feature intervals; the thermometer code is denser and usually a little \
+         worse for the same number of connections, and the raw-feature linear model shows how much \
+         of the problem is linearly separable to begin with."
+    );
+}

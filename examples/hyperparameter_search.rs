@@ -1,0 +1,102 @@
+//! Hyperparameter search with the Ax/Nevergrad stand-in (paper §IV).
+//!
+//! BCPNN exposes more use-case-dependent hyperparameters than a plain
+//! backprop model; the paper tunes them with Ax + Nevergrad. This example
+//! searches a reduced space (receptive field, trace rate, support noise)
+//! with the (1 + λ) evolution strategy from `bcpnn-hyperopt`, using
+//! validation accuracy on a small synthetic Higgs subset as the objective,
+//! and prints the convergence curve.
+//!
+//! ```text
+//! cargo run --release --example hyperparameter_search
+//! ```
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_data::encode::QuantileEncoder;
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::split::stratified_split;
+use bcpnn_hyperopt::{EvolutionConfig, EvolutionSearch, ParamSet, ParamSpace};
+
+fn main() {
+    // A small, fixed data split keeps every objective evaluation cheap.
+    let collisions = generate(&SyntheticHiggsConfig {
+        n_samples: 6_000,
+        ..Default::default()
+    });
+    let (train, valid) = stratified_split(&collisions, 0.3, 1);
+    let encoder = QuantileEncoder::fit(&train, 10);
+    let x_train = encoder.transform(&train);
+    let x_valid = encoder.transform(&valid);
+
+    let space = ParamSpace::new()
+        .continuous("receptive_field", 0.05, 0.95)
+        .log_continuous("trace_rate", 1e-3, 0.5)
+        .continuous("support_noise", 0.0, 0.4);
+
+    let objective = |params: &ParamSet| -> f64 {
+        let mut hidden = bcpnn_core::HiddenLayerParams {
+            n_inputs: x_train.cols(),
+            n_hcu: 1,
+            n_mcu: 100,
+            receptive_field: params["receptive_field"].as_f64(),
+            ..Default::default()
+        };
+        hidden.trace_rate = params["trace_rate"].as_f64() as f32;
+        hidden.support_noise = params["support_noise"].as_f64() as f32;
+        let mut network = Network::builder()
+            .hidden_params(hidden)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(7)
+            .build()
+            .expect("valid configuration");
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 4,
+            batch_size: 128,
+            seed: 8,
+            shuffle: true,
+        })
+        .fit(&mut network, &x_train, &train.labels)
+        .expect("training succeeds");
+        network
+            .evaluate(&x_valid, &valid.labels)
+            .expect("evaluation succeeds")
+            .accuracy
+    };
+
+    println!("searching {} dimensions with a (1+4) evolution strategy, budget 20 evaluations\n", 3);
+    let history = EvolutionSearch::new(
+        space,
+        EvolutionConfig {
+            offspring: 4,
+            mutation_rate: 0.5,
+            seed: 9,
+        },
+    )
+    .run(20, objective);
+
+    println!("trial  accuracy  best-so-far");
+    for (trial, best) in history.trials().iter().zip(history.best_so_far()) {
+        println!(
+            "{:>5}  {:>7.2}%  {:>10.2}%",
+            trial.index,
+            trial.score * 100.0,
+            best * 100.0
+        );
+    }
+    let best = history.best().expect("non-empty history");
+    println!(
+        "\nbest configuration: receptive_field {:.0}%, trace_rate {:.4}, support_noise {:.2} -> {:.2}%",
+        best.params["receptive_field"].as_f64() * 100.0,
+        best.params["trace_rate"].as_f64(),
+        best.params["support_noise"].as_f64(),
+        best.score * 100.0
+    );
+    println!(
+        "(the paper's Fig. 4 finding — accuracy peaking around a 40% receptive field — typically \
+         reappears as the search favouring mid-range densities)"
+    );
+}

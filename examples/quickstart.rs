@@ -1,0 +1,76 @@
+//! Quickstart: train a small BCPNN network on synthetic Higgs collisions.
+//!
+//! This is the five-minute tour of the library: generate data, preprocess
+//! it the way the paper does (balanced subset → per-feature deciles →
+//! one-hot), build a network with the Keras-like builder, train it with the
+//! two-phase trainer (unsupervised hidden layer, supervised readout), and
+//! evaluate accuracy and AUC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_data::encode::QuantileEncoder;
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::split::stratified_split;
+
+fn main() {
+    // 1. Data: 12 000 synthetic collisions with the UCI HIGGS schema.
+    let collisions = generate(&SyntheticHiggsConfig {
+        n_samples: 12_000,
+        ..Default::default()
+    });
+    println!("dataset: {}", collisions.summary());
+    let (train, test) = stratified_split(&collisions, 0.25, 7);
+
+    // 2. Preprocessing (§V of the paper): decile binning + one-hot encoding.
+    let encoder = QuantileEncoder::fit(&train, 10);
+    let x_train = encoder.transform(&train);
+    let x_test = encoder.transform(&test);
+    println!("encoded width: {} binary inputs", x_train.cols());
+
+    // 3. Model: one hypercolumn of 300 minicolumns looking at 40% of the
+    //    input, with the hybrid (BCPNN features + SGD head) readout.
+    let mut network = Network::builder()
+        .input(x_train.cols())
+        .hidden(1, 300, 0.40)
+        .classes(2)
+        .readout(ReadoutKind::Hybrid)
+        .backend(BackendKind::Parallel)
+        .seed(42)
+        .build()
+        .expect("valid configuration");
+
+    // 4. Training: a few unsupervised epochs for the hidden layer, then the
+    //    supervised readout.
+    let trainer = Trainer::new(TrainingParams {
+        unsupervised_epochs: 3,
+        supervised_epochs: 8,
+        batch_size: 128,
+        seed: 42,
+        shuffle: true,
+    });
+    let report = trainer
+        .fit(&mut network, &x_train, &train.labels)
+        .expect("training succeeds");
+    println!(
+        "trained {} epochs in {:.1}s",
+        report.epochs.len(),
+        report.train_time_seconds()
+    );
+
+    // 5. Evaluation: accuracy + AUC for both heads, as in the paper.
+    let hybrid = network
+        .evaluate(&x_test, &test.labels)
+        .expect("evaluation succeeds");
+    let pure = network
+        .evaluate_with(ReadoutKind::Bcpnn, &x_test, &test.labels)
+        .expect("evaluation succeeds");
+    println!("BCPNN readout : {pure}");
+    println!("BCPNN + SGD   : {hybrid}");
+    println!(
+        "(paper reference: 68.58% / 0.755 AUC pure, 69.15% / 0.764 AUC hybrid)"
+    );
+}

@@ -1,0 +1,59 @@
+//! The naive (reference) and parallel (optimised) backends must produce
+//! statistically equivalent models: same architecture, same seeds, same
+//! data → the same predictions up to floating-point reduction-order noise.
+
+use bcpnn_backend::BackendKind;
+use bcpnn_bench::{build_network, build_trainer, prepare_higgs, BcpnnRunConfig, HiggsDataConfig};
+use bcpnn_core::ReadoutKind;
+
+fn run_with_backend(backend: BackendKind) -> (f64, f64) {
+    let data = prepare_higgs(&HiggsDataConfig {
+        train_per_class: 800,
+        test_per_class: 400,
+        ..Default::default()
+    });
+    let cfg = BcpnnRunConfig {
+        n_hcu: 2,
+        n_mcu: 60,
+        receptive_field: 0.30,
+        unsupervised_epochs: 2,
+        supervised_epochs: 4,
+        readout: ReadoutKind::Hybrid,
+        backend,
+        ..Default::default()
+    };
+    let mut network = build_network(&cfg, data.encoded_width(), 23);
+    build_trainer(&cfg, 23)
+        .fit(&mut network, &data.x_train, &data.y_train)
+        .expect("training succeeds");
+    let eval = network.evaluate(&data.x_test, &data.y_test).expect("evaluation succeeds");
+    (eval.accuracy, eval.auc)
+}
+
+#[test]
+fn naive_and_parallel_backends_learn_equivalent_models() {
+    let (acc_naive, auc_naive) = run_with_backend(BackendKind::Naive);
+    let (acc_par, auc_par) = run_with_backend(BackendKind::Parallel);
+    // The two backends perform the same mathematics with different
+    // reduction orders, and the training pipeline (shuffling, noise, mask
+    // init) is seeded identically, so results must agree closely — well
+    // within a percentage point.
+    assert!(
+        (acc_naive - acc_par).abs() < 0.02,
+        "backend accuracy mismatch: naive {acc_naive}, parallel {acc_par}"
+    );
+    assert!(
+        (auc_naive - auc_par).abs() < 0.02,
+        "backend AUC mismatch: naive {auc_naive}, parallel {auc_par}"
+    );
+    // Both backends must also individually beat chance.
+    assert!(acc_naive > 0.55 && acc_par > 0.55);
+}
+
+#[test]
+fn backend_selection_from_names_matches_the_dispatcher() {
+    assert_eq!(BackendKind::parse("naive"), Some(BackendKind::Naive));
+    assert_eq!(BackendKind::parse("openmp"), Some(BackendKind::Parallel));
+    assert_eq!(BackendKind::parse("cuda"), None, "the CUDA backend is hardware we substitute");
+    assert_eq!(BackendKind::default().name(), "parallel");
+}

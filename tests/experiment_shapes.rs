@@ -1,0 +1,169 @@
+//! Scaled-down versions of the paper's experiments, asserting the *shape*
+//! of the results (the trends in Fig. 3 and Fig. 4) rather than absolute
+//! numbers. These are the regression tests that keep the reproduction
+//! honest: if a refactor breaks capacity scaling, receptive-field scaling,
+//! or the timing behaviour, these tests catch it.
+
+use bcpnn_bench::{prepare_higgs, run_repeated, BcpnnRunConfig, HiggsDataConfig};
+
+fn data() -> bcpnn_bench::HiggsExperimentData {
+    prepare_higgs(&HiggsDataConfig {
+        train_per_class: 1500,
+        test_per_class: 750,
+        ..Default::default()
+    })
+}
+
+/// Fig. 3 (capacity axis): more minicolumns per hypercolumn give higher
+/// accuracy, with diminishing returns.
+#[test]
+fn fig3_shape_more_mcus_help_with_diminishing_returns() {
+    let data = data();
+    let run = |n_mcu: usize| {
+        let cfg = BcpnnRunConfig {
+            n_hcu: 1,
+            n_mcu,
+            receptive_field: 0.30,
+            unsupervised_epochs: 2,
+            supervised_epochs: 4,
+            ..Default::default()
+        };
+        run_repeated(&cfg, &data, 2, 31).1
+    };
+    // On the synthetic data the capacity effect saturates earlier than in
+    // the paper (tens of MCUs rather than hundreds — see EXPERIMENTS.md), so
+    // the shape is asserted on the 3 -> 30 -> 300 ladder where it is
+    // unambiguous: a 3-MCU hypercolumn cannot represent the input structure.
+    let small = run(3);
+    let medium = run(30);
+    let large = run(300);
+    assert!(
+        medium.mean_accuracy > small.mean_accuracy + 0.005,
+        "30 MCUs ({:.4}) should clearly beat 3 MCUs ({:.4})",
+        medium.mean_accuracy,
+        small.mean_accuracy
+    );
+    assert!(
+        large.mean_accuracy > small.mean_accuracy,
+        "300 MCUs ({:.4}) should beat 3 MCUs ({:.4})",
+        large.mean_accuracy,
+        small.mean_accuracy
+    );
+    let first_jump = medium.mean_accuracy - small.mean_accuracy;
+    let second_jump = large.mean_accuracy - medium.mean_accuracy;
+    assert!(
+        second_jump < first_jump,
+        "capacity gains must show diminishing returns ({first_jump:.4} then {second_jump:.4})"
+    );
+}
+
+/// Fig. 3 (time axis): training time grows with the total number of units
+/// (HCUs × MCUs).
+#[test]
+fn fig3_shape_training_time_grows_with_network_size() {
+    let data = data();
+    let run = |n_hcu: usize, n_mcu: usize| {
+        let cfg = BcpnnRunConfig {
+            n_hcu,
+            n_mcu,
+            receptive_field: 0.30,
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            ..Default::default()
+        };
+        run_repeated(&cfg, &data, 2, 37).1.mean_time_s
+    };
+    let small = run(1, 50);
+    let large = run(4, 400);
+    assert!(
+        large > small * 1.5,
+        "a 32x bigger network should take clearly longer to train ({small:.3}s vs {large:.3}s)"
+    );
+}
+
+/// Fig. 4 (accuracy axis): a tiny receptive field cannot do much better than
+/// chance; a mid-sized one can.
+#[test]
+fn fig4_shape_tiny_receptive_fields_limit_accuracy() {
+    let data = data();
+    let run = |density: f64| {
+        let cfg = BcpnnRunConfig {
+            n_hcu: 1,
+            n_mcu: 150,
+            receptive_field: density,
+            unsupervised_epochs: 2,
+            supervised_epochs: 4,
+            ..Default::default()
+        };
+        run_repeated(&cfg, &data, 2, 41).1.mean_accuracy
+    };
+    // ~1% density = 3 of 280 inputs: barely any information reaches the HCU.
+    let tiny = run(0.01);
+    let mid = run(0.40);
+    assert!(
+        tiny < 0.62,
+        "a 1% receptive field should stay close to chance, got {tiny:.4}"
+    );
+    assert!(
+        mid > tiny + 0.05,
+        "a 40% receptive field ({mid:.4}) must clearly beat a 1% one ({tiny:.4})"
+    );
+}
+
+/// Fig. 4 (time axis): training time is nearly independent of the
+/// receptive-field density (the trace update touches every connection
+/// regardless of the mask).
+#[test]
+fn fig4_shape_training_time_is_flat_in_density() {
+    let data = data();
+    let run = |density: f64| {
+        let cfg = BcpnnRunConfig {
+            n_hcu: 1,
+            n_mcu: 200,
+            receptive_field: density,
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            ..Default::default()
+        };
+        run_repeated(&cfg, &data, 2, 43).1.mean_time_s
+    };
+    let sparse = run(0.05);
+    let dense = run(0.95);
+    // The paper sees 111s vs 132.9s (a ~20% spread). Allow a factor of two
+    // here to stay robust on noisy CI machines — the point is that time does
+    // NOT scale ~19x with a 19x denser mask.
+    let ratio = dense.max(sparse) / sparse.min(dense).max(1e-9);
+    assert!(
+        ratio < 2.0,
+        "training time should be nearly flat in density (5%: {sparse:.3}s, 95%: {dense:.3}s)"
+    );
+}
+
+/// Headline shape: the hybrid (BCPNN + SGD) head is at least as good as the
+/// associative readout on AUC, mirroring the paper's 76.4 vs 75.5.
+#[test]
+fn headline_shape_hybrid_head_does_not_lose_to_the_associative_readout() {
+    let data = data();
+    let cfg = BcpnnRunConfig {
+        n_hcu: 1,
+        n_mcu: 300,
+        receptive_field: 0.40,
+        unsupervised_epochs: 3,
+        // Enough supervised epochs that the SGD head is not under-fitted on
+        // this reduced training-set size (the paper trains the hybrid head
+        // to convergence before reporting 69.15%).
+        supervised_epochs: 16,
+        ..Default::default()
+    };
+    let (outcomes, agg) = run_repeated(&cfg, &data, 3, 47);
+    let bcpnn_auc: f64 = outcomes
+        .iter()
+        .map(|o| o.bcpnn.as_ref().expect("hybrid trains both heads").auc)
+        .sum::<f64>()
+        / outcomes.len() as f64;
+    assert!(
+        agg.mean_auc >= bcpnn_auc - 0.01,
+        "hybrid AUC ({:.4}) should not fall behind the associative readout ({bcpnn_auc:.4})",
+        agg.mean_auc
+    );
+}

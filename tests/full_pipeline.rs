@@ -1,0 +1,123 @@
+//! End-to-end integration test of the full Higgs pipeline: synthetic data →
+//! balanced subset → quantile one-hot encoding → BCPNN training → evaluation
+//! → persistence, across crate boundaries.
+
+use bcpnn_backend::BackendKind;
+use bcpnn_bench::{prepare_higgs, run_bcpnn, BcpnnRunConfig, HiggsDataConfig};
+use bcpnn_core::{load_network, save_network, ReadoutKind};
+
+fn small_data() -> bcpnn_bench::HiggsExperimentData {
+    prepare_higgs(&HiggsDataConfig {
+        train_per_class: 1200,
+        test_per_class: 600,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn pipeline_reaches_the_paper_accuracy_band() {
+    let data = small_data();
+    let cfg = BcpnnRunConfig {
+        n_hcu: 1,
+        n_mcu: 300,
+        receptive_field: 0.40,
+        ..Default::default()
+    };
+    let outcome = run_bcpnn(&cfg, &data, 7);
+    // The paper's BCPNN configurations sit in the 60–75% accuracy band with
+    // AUC around 0.75. The synthetic data is calibrated to land there, so a
+    // healthy pipeline must clear 0.58 accuracy / 0.62 AUC even at this
+    // reduced training size, and must stay below the ~0.9 that would signal
+    // a data-leakage style bug.
+    assert!(
+        outcome.primary.accuracy > 0.58 && outcome.primary.accuracy < 0.90,
+        "hybrid accuracy {} outside the plausible band",
+        outcome.primary.accuracy
+    );
+    assert!(outcome.primary.auc > 0.62, "AUC {}", outcome.primary.auc);
+    let bcpnn = outcome.bcpnn.expect("hybrid trains the associative head too");
+    assert!(bcpnn.accuracy > 0.58, "BCPNN head accuracy {}", bcpnn.accuracy);
+    assert!(outcome.train_time_s > 0.0);
+}
+
+#[test]
+fn both_heads_agree_with_each_other_within_a_few_points() {
+    let data = small_data();
+    let cfg = BcpnnRunConfig {
+        n_hcu: 1,
+        n_mcu: 200,
+        receptive_field: 0.40,
+        ..Default::default()
+    };
+    let outcome = run_bcpnn(&cfg, &data, 11);
+    let bcpnn = outcome.bcpnn.expect("hybrid trains both heads");
+    let gap = (outcome.primary.accuracy - bcpnn.accuracy).abs();
+    assert!(
+        gap < 0.08,
+        "the SGD head and the associative readout should be within a few points (gap {gap})"
+    );
+}
+
+#[test]
+fn unsupervised_features_carry_class_information() {
+    // Train with *only* unsupervised epochs and a readout trained on top of
+    // frozen features; the readout alone should still beat chance, which is
+    // the core claim behind BCPNN as an unsupervised feature learner.
+    let data = small_data();
+    let cfg = BcpnnRunConfig {
+        n_hcu: 2,
+        n_mcu: 100,
+        receptive_field: 0.30,
+        unsupervised_epochs: 3,
+        supervised_epochs: 4,
+        readout: ReadoutKind::Sgd,
+        ..Default::default()
+    };
+    let outcome = run_bcpnn(&cfg, &data, 13);
+    assert!(
+        outcome.primary.accuracy > 0.58,
+        "SGD on unsupervised BCPNN features should beat chance, got {}",
+        outcome.primary.accuracy
+    );
+}
+
+#[test]
+fn trained_model_survives_a_save_load_roundtrip_across_backends() {
+    let data = small_data();
+    let cfg = BcpnnRunConfig {
+        n_hcu: 1,
+        n_mcu: 100,
+        receptive_field: 0.40,
+        ..Default::default()
+    };
+    let mut network = bcpnn_bench::build_network(&cfg, data.encoded_width(), 17);
+    bcpnn_bench::build_trainer(&cfg, 17)
+        .fit(&mut network, &data.x_train, &data.y_train)
+        .expect("training succeeds");
+    let before = network.evaluate(&data.x_test, &data.y_test).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("bcpnn_pipeline_persist_{}", std::process::id()));
+    save_network(&network, &dir).expect("saving succeeds");
+    // Reloading on the *same* backend reproduces the evaluation exactly.
+    let same_backend = load_network(&dir, BackendKind::Parallel).expect("loading succeeds");
+    let same = same_backend.evaluate(&data.x_test, &data.y_test).unwrap();
+    assert!(
+        (before.accuracy - same.accuracy).abs() < 1e-9,
+        "persisted model must reproduce its accuracy exactly on the same backend ({} vs {})",
+        before.accuracy,
+        same.accuracy
+    );
+    // Reloading on the naive backend changes only floating-point reduction
+    // order, so borderline samples may flip: the evaluation must agree to
+    // within a fraction of a point.
+    let loaded = load_network(&dir, BackendKind::Naive).expect("loading succeeds");
+    let after = loaded.evaluate(&data.x_test, &data.y_test).unwrap();
+    assert!(
+        (before.accuracy - after.accuracy).abs() < 0.01,
+        "cross-backend reload drifted too far ({} vs {})",
+        before.accuracy,
+        after.accuracy
+    );
+    assert!((before.auc - after.auc).abs() < 0.01);
+    std::fs::remove_dir_all(&dir).ok();
+}
