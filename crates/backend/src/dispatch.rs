@@ -75,7 +75,10 @@ mod tests {
     fn parse_accepts_aliases() {
         assert_eq!(BackendKind::parse("naive"), Some(BackendKind::Naive));
         assert_eq!(BackendKind::parse("NumPy"), Some(BackendKind::Naive));
-        assert_eq!(BackendKind::parse(" parallel "), Some(BackendKind::Parallel));
+        assert_eq!(
+            BackendKind::parse(" parallel "),
+            Some(BackendKind::Parallel)
+        );
         assert_eq!(BackendKind::parse("openmp"), Some(BackendKind::Parallel));
         assert_eq!(BackendKind::parse("cuda"), None);
     }

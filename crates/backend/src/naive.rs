@@ -310,7 +310,10 @@ mod tests {
             "informative input must score higher: {:?}",
             out.as_slice()
         );
-        assert!(out.get(0, 1).abs() < 1e-3, "independent input carries ~0 bits");
+        assert!(
+            out.get(0, 1).abs() < 1e-3,
+            "independent input carries ~0 bits"
+        );
     }
 
     #[test]

@@ -187,7 +187,9 @@ mod tests {
         let n_units = n_hcu * n_mcu;
         let x: Matrix<f32> = rng.bernoulli(batch, n_in, 0.3);
         let w: Matrix<f32> = rng.normal(n_in, n_units, 0.0, 0.5);
-        let bias: Vec<f32> = (0..n_units).map(|_| rng.uniform_scalar(-1.0, 0.0)).collect();
+        let bias: Vec<f32> = (0..n_units)
+            .map(|_| rng.uniform_scalar(-1.0, 0.0))
+            .collect();
         let mask: Matrix<f32> = rng.bernoulli(n_hcu, n_in, 0.5);
         (x, w, bias, mask)
     }

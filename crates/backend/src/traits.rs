@@ -146,8 +146,16 @@ pub(crate) fn check_trace_shapes(
         act.rows(),
         "traces: x and activations must share the batch dimension"
     );
-    assert_eq!(x.cols(), pi.len(), "traces: pi must have one entry per input");
-    assert_eq!(act.cols(), pj.len(), "traces: pj must have one entry per unit");
+    assert_eq!(
+        x.cols(),
+        pi.len(),
+        "traces: pi must have one entry per input"
+    );
+    assert_eq!(
+        act.cols(),
+        pj.len(),
+        "traces: pj must have one entry per unit"
+    );
     assert_eq!(
         (x.cols(), act.cols()),
         pij.shape(),

@@ -29,7 +29,9 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
             Matrix::from_vec(
                 batch,
                 n_in,
-                bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+                bits.into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect(),
             )
         });
         let act = prop::collection::vec(0.0f32..1.0, batch * n_units)
@@ -42,7 +44,9 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
             Matrix::from_vec(
                 n_hcu,
                 n_in,
-                bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+                bits.into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect(),
             )
         });
         let weights = prop::collection::vec(-2.0f32..2.0, n_in * n_units)

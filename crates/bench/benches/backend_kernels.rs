@@ -34,7 +34,9 @@ fn problem(n_mcu: usize) -> Problem {
         weights: rng.normal(inputs, units, 0.0, 0.1),
         bias: vec![0.0; units],
         act: rng.uniform(batch, units, 0.0, 1.0),
-        pi: (0..inputs).map(|_| rng.uniform_scalar(0.01, 0.99)).collect(),
+        pi: (0..inputs)
+            .map(|_| rng.uniform_scalar(0.01, 0.99))
+            .collect(),
         pj: (0..units).map(|_| rng.uniform_scalar(0.01, 0.99)).collect(),
         pij: rng.uniform(inputs, units, 0.001, 0.5),
         mask: rng.bernoulli(1, inputs, 0.3),
@@ -53,7 +55,7 @@ fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_linear_forward");
     group.sample_size(10);
     for (name, backend) in &backends {
-        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+        group.bench_with_input(BenchmarkId::new(name, n_mcu), &n_mcu, |b, _| {
             let mut out = Matrix::zeros(p.x.rows(), p.weights.cols());
             b.iter(|| backend.linear_forward(black_box(&p.x), &p.weights, &p.bias, &mut out));
         });
@@ -63,7 +65,7 @@ fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_grouped_softmax");
     group.sample_size(10);
     for (name, backend) in &backends {
-        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+        group.bench_with_input(BenchmarkId::new(name, n_mcu), &n_mcu, |b, _| {
             b.iter_batched(
                 || p.act.clone(),
                 |mut m| backend.grouped_softmax(&mut m, p.n_mcu),
@@ -76,7 +78,7 @@ fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_update_traces");
     group.sample_size(10);
     for (name, backend) in &backends {
-        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+        group.bench_with_input(BenchmarkId::new(name, n_mcu), &n_mcu, |b, _| {
             b.iter_batched(
                 || (p.pi.clone(), p.pj.clone(), p.pij.clone()),
                 |(mut pi, mut pj, mut pij)| {
@@ -91,7 +93,7 @@ fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_recompute_weights");
     group.sample_size(10);
     for (name, backend) in &backends {
-        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+        group.bench_with_input(BenchmarkId::new(name, n_mcu), &n_mcu, |b, _| {
             let mut weights = Matrix::zeros(p.pij.rows(), p.pij.cols());
             let mut bias = vec![0.0f32; p.pj.len()];
             b.iter(|| {
@@ -104,7 +106,7 @@ fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_apply_mask");
     group.sample_size(10);
     for (name, backend) in &backends {
-        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+        group.bench_with_input(BenchmarkId::new(name, n_mcu), &n_mcu, |b, _| {
             let mut out = Matrix::zeros(p.weights.rows(), p.weights.cols());
             b.iter(|| backend.apply_mask(&p.weights, &p.mask, p.n_mcu, &mut out));
         });
@@ -114,7 +116,7 @@ fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_mutual_information");
     group.sample_size(10);
     for (name, backend) in &backends {
-        group.bench_with_input(BenchmarkId::new(*name, n_mcu), &n_mcu, |b, _| {
+        group.bench_with_input(BenchmarkId::new(name, n_mcu), &n_mcu, |b, _| {
             let mut out = Matrix::zeros(1, p.pi.len());
             b.iter(|| backend.mutual_information(&p.pi, &p.pj, &p.pij, p.n_mcu, &mut out));
         });

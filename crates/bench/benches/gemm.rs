@@ -50,7 +50,15 @@ fn bench_trace_gemm(c: &mut Criterion) {
         let act: Matrix<f32> = rng.uniform(batch, units, 0.0, 1.0);
         group.bench_with_input(BenchmarkId::new("gemm_tn", units), &units, |b, _| {
             let mut pij = Matrix::zeros(inputs, units);
-            b.iter(|| gemm_tn(0.05 / batch as f32, black_box(&x), black_box(&act), 0.95, &mut pij));
+            b.iter(|| {
+                gemm_tn(
+                    0.05 / batch as f32,
+                    black_box(&x),
+                    black_box(&act),
+                    0.95,
+                    &mut pij,
+                )
+            });
         });
     }
     group.finish();

@@ -1,0 +1,112 @@
+//! Serving-path benchmarks: vectorized pipeline inference at different
+//! batch sizes (the amortization the micro-batcher exploits) and full
+//! request round-trips through the batching server.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::QuantileEncoder;
+use bcpnn_serve::loadgen::request_stream;
+use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel};
+use bcpnn_tensor::Matrix;
+
+fn trained_pipeline() -> Pipeline {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 2000,
+        seed: 5,
+        ..Default::default()
+    });
+    let encoder = QuantileEncoder::fit(&data, 10);
+    let x = encoder.transform(&data);
+    let mut network = Network::builder()
+        .input(encoder.encoded_width())
+        .hidden(4, 8, 0.4)
+        .classes(2)
+        .readout(ReadoutKind::Hybrid)
+        .backend(BackendKind::Parallel)
+        .seed(5)
+        .build()
+        .unwrap();
+    Trainer::new(TrainingParams {
+        unsupervised_epochs: 1,
+        supervised_epochs: 1,
+        batch_size: 128,
+        ..Default::default()
+    })
+    .fit(&mut network, &x, &data.labels)
+    .unwrap();
+    Pipeline::new(network, Some(encoder)).unwrap()
+}
+
+/// Per-request cost of one vectorized encode → forward → readout pass at
+/// growing batch sizes: the curve whose slope justifies micro-batching.
+fn bench_pipeline_batches(c: &mut Criterion) {
+    let pipeline = trained_pipeline();
+    let stream = request_stream(512, 11);
+    let mut group = c.benchmark_group("serve_pipeline_batch");
+    group.sample_size(10);
+    for &batch in &[1usize, 8, 64, 256] {
+        let mut x = Matrix::zeros(batch, 28);
+        for r in 0..batch {
+            x.row_mut(r).copy_from_slice(&stream[r % stream.len()]);
+        }
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| black_box(pipeline.predict_proba(black_box(&x)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// Full round-trips through the micro-batching server: a single blocking
+/// request (latency floor) and a 64-request burst (amortized throughput).
+fn bench_server_roundtrip(c: &mut Criterion) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(ServedModel::new("higgs", 1, trained_pipeline()));
+    let server = InferenceServer::start(
+        Arc::clone(&registry),
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+        },
+    );
+    let stream = request_stream(256, 12);
+
+    let mut group = c.benchmark_group("serve_roundtrip");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_blocking", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let features = stream[i % stream.len()].clone();
+            i += 1;
+            black_box(server.predict("higgs", features).unwrap())
+        });
+    });
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("burst_64", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..64)
+                .map(|i| {
+                    server
+                        .submit("higgs", stream[i % stream.len()].clone())
+                        .unwrap()
+                })
+                .collect();
+            for handle in handles {
+                black_box(handle.wait().unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(serving, bench_pipeline_batches, bench_server_roundtrip);
+criterion_main!(serving);

@@ -90,5 +90,10 @@ fn bench_plasticity_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_capacity, bench_density, bench_plasticity_step);
+criterion_group!(
+    benches,
+    bench_capacity,
+    bench_density,
+    bench_plasticity_step
+);
 criterion_main!(benches);

@@ -76,9 +76,9 @@ impl Args {
 
     /// A comma-separated list flag parsed element-wise, or `default` when
     /// absent.
-    pub fn get_list_or<T: std::str::FromStr>(&self, name: &str, default: &[T]) -> Vec<T>
+    pub fn get_list_or<T>(&self, name: &str, default: &[T]) -> Vec<T>
     where
-        T: Clone,
+        T: std::str::FromStr + Clone,
     {
         match self.flags.get(name) {
             None => default.to_vec(),

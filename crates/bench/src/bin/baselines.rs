@@ -45,19 +45,20 @@ fn main() {
 
     let mut table = Table::new(&["model", "input", "accuracy", "AUC", "train time"]);
     let mut csv_rows: Vec<String> = Vec::new();
-    let mut record = |name: &str, input: &str, report: &EvalReport, time_s: f64, table: &mut Table| {
-        table.add_row(&[
-            name.into(),
-            input.into(),
-            pct(report.accuracy),
-            format!("{:.3}", report.auc),
-            secs(time_s),
-        ]);
-        csv_rows.push(format!(
-            "{name},{input},{:.6},{:.6},{:.6}",
-            report.accuracy, report.auc, time_s
-        ));
-    };
+    let mut record =
+        |name: &str, input: &str, report: &EvalReport, time_s: f64, table: &mut Table| {
+            table.add_row(&[
+                name.into(),
+                input.into(),
+                pct(report.accuracy),
+                format!("{:.3}", report.auc),
+                secs(time_s),
+            ]);
+            csv_rows.push(format!(
+                "{name},{input},{:.6},{:.6},{:.6}",
+                report.accuracy, report.auc, time_s
+            ));
+        };
 
     // --- BCPNN and BCPNN+SGD ------------------------------------------------
     let cfg = BcpnnRunConfig {
@@ -91,7 +92,9 @@ fn main() {
         .fit(&data.x_train, &data.y_train, epochs, 128, seed ^ 0xa1)
         .expect("logistic regression training failed");
     let lr_time = t0.elapsed().as_secs_f64();
-    let lr_proba = logreg.predict_proba(&data.x_test).expect("prediction failed");
+    let lr_proba = logreg
+        .predict_proba(&data.x_test)
+        .expect("prediction failed");
     record(
         "Logistic regression (SGD)",
         "one-hot quantiles (280)",

@@ -84,13 +84,20 @@ fn main() {
     let eval = network
         .evaluate(&data.x_test, &data.y_test)
         .expect("evaluation failed");
-    println!("\nfinal test accuracy {} (AUC {:.3})", pct(eval.accuracy), eval.auc);
+    println!(
+        "\nfinal test accuracy {} (AUC {:.3})",
+        pct(eval.accuracy),
+        eval.auc
+    );
     println!(
         "mask snapshots per epoch: {} ({}% of connections moved between the first and last epoch)",
         history.len(),
         (history.total_change_fraction() * 100.0).round()
     );
-    println!("VTI/PGM snapshots and timeline.csv written under {}", out_dir.display());
+    println!(
+        "VTI/PGM snapshots and timeline.csv written under {}",
+        out_dir.display()
+    );
     println!(
         "\nExpected shape (paper): the per-epoch VTI snapshots show the receptive fields drifting most\n\
          in the early epochs and stabilising as training progresses (fewer swaps per epoch)."

@@ -25,11 +25,14 @@ fn main() {
     let train_per_class: usize = args.get_or("train", if full { 20_000 } else { 3_000 });
     let test_per_class: usize = args.get_or("test", if full { 10_000 } else { 1_500 });
     let hcus: Vec<usize> = args.get_list_or("hcus", &[1, 2, 4, 6, 8]);
-    let mcus: Vec<usize> = args.get_list_or("mcus", if full {
-        &[30, 300, 3000]
-    } else {
-        &[30, 300, 1000]
-    });
+    let mcus: Vec<usize> = args.get_list_or(
+        "mcus",
+        if full {
+            &[30, 300, 3000]
+        } else {
+            &[30, 300, 1000]
+        },
+    );
     let unsup: usize = args.get_or("unsup-epochs", 3);
     let sup: usize = args.get_or("sup-epochs", 5);
     let seed: u64 = args.get_or("seed", 2021);

@@ -28,8 +28,10 @@ fn main() {
     let test_per_class: usize = args.get_or("test", 500);
     let n_mcu: usize = args.get_or("mcu", if full { 3000 } else { 300 });
     let seed: u64 = args.get_or("seed", 2021);
-    let densities: Vec<f64> =
-        args.get_list_or("densities", &[0.05, 0.10, 0.20, 0.30, 0.40, 0.60, 0.80, 0.95]);
+    let densities: Vec<f64> = args.get_list_or(
+        "densities",
+        &[0.05, 0.10, 0.20, 0.30, 0.40, 0.60, 0.80, 0.95],
+    );
 
     println!("== Fig. 5: evolution of the receptive-field mask with its size ==\n");
     let data = prepare_higgs(&HiggsDataConfig {
@@ -87,7 +89,10 @@ fn main() {
         table.add_row(&[
             format!("{:.0}%", density * 100.0),
             active.len().to_string(),
-            format!("{on_noise} ({:.0}%)", 100.0 * on_noise as f64 / active.len().max(1) as f64),
+            format!(
+                "{on_noise} ({:.0}%)",
+                100.0 * on_noise as f64 / active.len().max(1) as f64
+            ),
             bcpnn_bench::table::pct(eval.accuracy),
         ]);
         // Terminal rendering: per-feature mask occupancy for this density.

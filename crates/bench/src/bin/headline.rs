@@ -32,7 +32,10 @@ fn main() {
     let seed: u64 = args.get_or("seed", 2021);
 
     println!("== Headline: pure BCPNN vs. BCPNN + SGD hybrid ==");
-    println!("1 HCU x {n_mcu} MCUs, {:.0}% receptive field, {reps} repetitions\n", density * 100.0);
+    println!(
+        "1 HCU x {n_mcu} MCUs, {:.0}% receptive field, {reps} repetitions\n",
+        density * 100.0
+    );
     let data = prepare_higgs(&HiggsDataConfig {
         train_per_class,
         test_per_class,
@@ -57,14 +60,21 @@ fn main() {
     let mut csv_rows = Vec::new();
     for r in 0..reps {
         let outcome = run_bcpnn(&cfg, &data, seed + r as u64);
-        let bcpnn = outcome.bcpnn.as_ref().expect("hybrid run trains the BCPNN head");
+        let bcpnn = outcome
+            .bcpnn
+            .as_ref()
+            .expect("hybrid run trains the BCPNN head");
         bcpnn_acc.push(bcpnn.accuracy);
         bcpnn_auc.push(bcpnn.auc);
         hybrid_acc.push(outcome.primary.accuracy);
         hybrid_auc.push(outcome.primary.auc);
         csv_rows.push(format!(
             "{r},{:.6},{:.6},{:.6},{:.6},{:.6}",
-            bcpnn.accuracy, bcpnn.auc, outcome.primary.accuracy, outcome.primary.auc, outcome.train_time_s
+            bcpnn.accuracy,
+            bcpnn.auc,
+            outcome.primary.accuracy,
+            outcome.primary.auc,
+            outcome.train_time_s
         ));
         println!(
             "  rep {r}: BCPNN {} / AUC {:.3} | BCPNN+SGD {} / AUC {:.3} | {:.1}s",

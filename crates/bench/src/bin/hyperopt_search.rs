@@ -14,13 +14,18 @@
 use bcpnn_bench::args::Args;
 use bcpnn_bench::table::{pct, Table};
 use bcpnn_bench::{prepare_higgs, run_bcpnn, BcpnnRunConfig, HiggsDataConfig};
-use bcpnn_hyperopt::{space::bcpnn_higgs_space, EvolutionConfig, EvolutionSearch, ParamSet, RandomSearch};
+use bcpnn_hyperopt::{
+    space::bcpnn_higgs_space, EvolutionConfig, EvolutionSearch, ParamSet, RandomSearch,
+};
 
 /// Translate a sampled parameter set into a run configuration.
 fn config_from(params: &ParamSet) -> BcpnnRunConfig {
     BcpnnRunConfig {
         n_hcu: params["n_hcu"].as_i64() as usize,
-        n_mcu: params["n_mcu"].as_str().parse().expect("categorical MCU count"),
+        n_mcu: params["n_mcu"]
+            .as_str()
+            .parse()
+            .expect("categorical MCU count"),
         receptive_field: params["receptive_field"].as_f64(),
         trace_rate: params["trace_rate"].as_f64() as f32,
         support_noise: params["support_noise"].as_f64() as f32,
@@ -37,7 +42,9 @@ fn main() {
     let test_per_class: usize = args.get_or("test", 750);
     let seed: u64 = args.get_or("seed", 2021);
 
-    println!("== Hyperparameter search over the BCPNN space (budget {budget} evaluations each) ==\n");
+    println!(
+        "== Hyperparameter search over the BCPNN space (budget {budget} evaluations each) ==\n"
+    );
     let data = prepare_higgs(&HiggsDataConfig {
         train_per_class,
         test_per_class,
@@ -107,7 +114,11 @@ fn main() {
     if let Ok(path) = bcpnn_bench::write_csv(
         "hyperopt_evolution.csv",
         "trial,score,best_so_far,params",
-        &es.to_csv().lines().skip(1).map(|s| s.to_string()).collect::<Vec<_>>(),
+        &es.to_csv()
+            .lines()
+            .skip(1)
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
     ) {
         println!("wrote {}", path.display());
     }

@@ -22,9 +22,7 @@
 use std::path::PathBuf;
 
 use bcpnn_backend::BackendKind;
-use bcpnn_core::{
-    EvalReport, HiddenLayerParams, Network, ReadoutKind, Trainer, TrainingParams,
-};
+use bcpnn_core::{EvalReport, HiddenLayerParams, Network, ReadoutKind, Trainer, TrainingParams};
 use bcpnn_data::encode::QuantileEncoder;
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::split::{balanced_subset, stratified_split};
@@ -325,7 +323,11 @@ mod tests {
         let pos = data.y_train.iter().filter(|&&l| l == 1).count();
         assert_eq!(pos, 300, "training subset must be balanced");
         // Binary encoding with one hot bit per feature block.
-        assert!(data.x_train.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(data
+            .x_train
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || v == 1.0));
         let row_sum: f32 = data.x_train.row(0).iter().sum();
         assert_eq!(row_sum, 28.0);
     }
@@ -375,7 +377,12 @@ mod tests {
     fn write_csv_places_files_under_results_dir() {
         let dir = std::env::temp_dir().join(format!("bcpnn_results_{}", std::process::id()));
         std::env::set_var("BCPNN_RESULTS_DIR", &dir);
-        let path = write_csv("unit_test.csv", "a,b", &["1,2".to_string(), "3,4".to_string()]).unwrap();
+        let path = write_csv(
+            "unit_test.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "a,b\n1,2\n3,4\n");
         std::fs::remove_dir_all(&dir).ok();

@@ -97,8 +97,16 @@ mod tests {
     #[test]
     fn renders_aligned_columns() {
         let mut t = Table::new(&["config", "accuracy", "time"]);
-        t.add_row(&["1 HCU".to_string(), "68.58%".to_string(), "86.6s".to_string()]);
-        t.add_row(&["8 HCU x 3000 MCU".to_string(), "69.15%".to_string(), "606.0s".to_string()]);
+        t.add_row(&[
+            "1 HCU".to_string(),
+            "68.58%".to_string(),
+            "86.6s".to_string(),
+        ]);
+        t.add_row(&[
+            "8 HCU x 3000 MCU".to_string(),
+            "69.15%".to_string(),
+            "606.0s".to_string(),
+        ]);
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

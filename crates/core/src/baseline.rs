@@ -52,7 +52,12 @@ pub struct MlpClassifier {
 
 impl MlpClassifier {
     /// Create an MLP with He-style random initialisation.
-    pub fn new(n_inputs: usize, n_classes: usize, params: MlpParams, seed: u64) -> CoreResult<Self> {
+    pub fn new(
+        n_inputs: usize,
+        n_classes: usize,
+        params: MlpParams,
+        seed: u64,
+    ) -> CoreResult<Self> {
         if n_inputs == 0 || n_classes < 2 || params.hidden_units == 0 {
             return Err(CoreError::InvalidParams(
                 "MLP needs inputs, at least two classes and a non-empty hidden layer".into(),
@@ -204,7 +209,11 @@ impl MlpClassifier {
         let lr = self.current_lr;
         let mom = self.params.sgd.momentum;
         fn update(weights: &mut [f32], velocity: &mut [f32], grads: &[f32], lr: f32, mom: f32) {
-            for ((w, v), g) in weights.iter_mut().zip(velocity.iter_mut()).zip(grads.iter()) {
+            for ((w, v), g) in weights
+                .iter_mut()
+                .zip(velocity.iter_mut())
+                .zip(grads.iter())
+            {
                 *v = mom * *v - lr * g;
                 *w += *v;
             }
@@ -339,7 +348,10 @@ mod tests {
         let lp = lin.predict(&xt).unwrap();
         let lacc = lp.iter().zip(yt.iter()).filter(|(a, b)| a == b).count() as f64 / 400.0;
         assert!(lacc < 0.7, "linear model unexpectedly solved XOR: {lacc}");
-        assert!(acc > lacc + 0.15, "MLP must clearly beat the linear baseline");
+        assert!(
+            acc > lacc + 0.15,
+            "MLP must clearly beat the linear baseline"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl BcpnnClassifier {
             ));
         }
         if !(params.trace_rate > 0.0 && params.trace_rate <= 1.0) {
-            return Err(CoreError::InvalidParams("trace_rate must be in (0,1]".into()));
+            return Err(CoreError::InvalidParams(
+                "trace_rate must be in (0,1]".into(),
+            ));
         }
         // The readout is one hypercolumn whose minicolumns are the classes,
         // so the group size equals n_classes. Inputs are hidden activations
@@ -317,15 +319,24 @@ mod tests {
             c.train_batch(&x, &labels).unwrap();
         }
         let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
-        let x = Matrix::from_fn(100, 12, |r, col| {
-            if col / 3 == labels[r] {
-                0.8
-            } else {
-                0.05
-            }
-        });
+        let x = Matrix::from_fn(
+            100,
+            12,
+            |r, col| {
+                if col / 3 == labels[r] {
+                    0.8
+                } else {
+                    0.05
+                }
+            },
+        );
         let preds = c.predict(&x).unwrap();
-        let acc = preds.iter().zip(labels.iter()).filter(|(a, b)| a == b).count() as f64 / 100.0;
+        let acc = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / 100.0;
         assert!(acc > 0.95, "multiclass accuracy only {acc}");
     }
 }

@@ -95,7 +95,12 @@ impl HiddenLayer {
             &mut bias,
         );
         let mut masked_weights = Matrix::zeros(params.n_inputs, n_units);
-        backend.apply_mask(&weights, mask.as_matrix(), params.n_mcu, &mut masked_weights);
+        backend.apply_mask(
+            &weights,
+            mask.as_matrix(),
+            params.n_mcu,
+            &mut masked_weights,
+        );
         let plasticity = StructuralPlasticity::new(PlasticityConfig {
             max_swaps: params.plasticity_swaps,
             min_improvement: 1e-4,

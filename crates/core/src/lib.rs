@@ -75,7 +75,9 @@ pub use metrics::EvalReport;
 pub use network::{Network, NetworkBuilder, ReadoutKind};
 pub use params::{HiddenLayerParams, SgdParams, TrainingParams};
 pub use plasticity::{PlasticityConfig, PlasticityReport, StructuralPlasticity};
-pub use serialize::{load_network, save_network};
+pub use serialize::{
+    load_network, load_network_with_encoder, save_network, save_network_with_encoder,
+};
 pub use sgd::SgdClassifier;
 pub use traces::ProbabilityTraces;
 pub use training::{EpochStats, FitReport, Trainer, TrainingObserver, TrainingPhase};

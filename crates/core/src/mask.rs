@@ -21,8 +21,16 @@ impl ReceptiveFieldMask {
     /// subset of `active_per_hcu` inputs (each HCU draws its own subset, so
     /// different HCUs start looking at different parts of the input, as in
     /// Fig. 1).
-    pub fn random(n_hcu: usize, n_inputs: usize, active_per_hcu: usize, rng: &mut MatrixRng) -> Self {
-        assert!(n_hcu > 0 && n_inputs > 0, "mask dimensions must be positive");
+    pub fn random(
+        n_hcu: usize,
+        n_inputs: usize,
+        active_per_hcu: usize,
+        rng: &mut MatrixRng,
+    ) -> Self {
+        assert!(
+            n_hcu > 0 && n_inputs > 0,
+            "mask dimensions must be positive"
+        );
         let active_per_hcu = active_per_hcu.clamp(1, n_inputs);
         let mut mask = Matrix::zeros(n_hcu, n_inputs);
         for h in 0..n_hcu {

@@ -32,7 +32,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
 ///
 /// # Panics
 /// Panics on length mismatch or out-of-range entries.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut cm = vec![vec![0usize; n_classes]; n_classes];
     for (&p, &l) in predictions.iter().zip(labels.iter()) {

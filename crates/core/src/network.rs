@@ -136,7 +136,11 @@ impl Network {
     /// Class probabilities from a specific head (useful for reporting the
     /// pure-BCPNN and hybrid numbers from the same trained network, as the
     /// paper does).
-    pub fn predict_proba_with(&self, head: ReadoutKind, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+    pub fn predict_proba_with(
+        &self,
+        head: ReadoutKind,
+        x: &Matrix<f32>,
+    ) -> CoreResult<Matrix<f32>> {
         let hidden = self.encode(x)?;
         match head {
             ReadoutKind::Bcpnn => self
@@ -378,6 +382,19 @@ mod tests {
         assert!(net.evaluate(&x, &[0, 1]).is_err());
         let report = net.evaluate(&x, &[0, 1, 0]).unwrap();
         assert!(report.accuracy >= 0.0 && report.accuracy <= 1.0);
+    }
+
+    #[test]
+    fn network_and_backend_handles_are_send_and_sync() {
+        // Static assertions: the serving subsystem shares trained networks
+        // across threads as `Arc<ServedModel>`, which requires these bounds.
+        // A failure here is a compile error, not a runtime failure.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Network>();
+        assert_send_sync::<Arc<dyn Backend>>();
+        assert_send_sync::<HiddenLayer>();
+        assert_send_sync::<crate::BcpnnClassifier>();
+        assert_send_sync::<crate::SgdClassifier>();
     }
 
     #[test]

@@ -73,8 +73,7 @@ impl HiddenLayerParams {
     /// Number of active connections per HCU implied by the receptive field.
     /// Always at least 1 so an HCU is never completely blind.
     pub fn active_connections(&self) -> usize {
-        ((self.n_inputs as f64 * self.receptive_field).round() as usize)
-            .clamp(1, self.n_inputs)
+        ((self.n_inputs as f64 * self.receptive_field).round() as usize).clamp(1, self.n_inputs)
     }
 
     /// Validate the parameter combination, returning a description of the
@@ -273,8 +272,23 @@ mod tests {
 
     #[test]
     fn invalid_sgd_params_are_rejected() {
-        assert!(SgdParams { learning_rate: 0.0, ..Default::default() }.validate().is_err());
-        assert!(SgdParams { momentum: 1.0, ..Default::default() }.validate().is_err());
-        assert!(SgdParams { lr_decay: 0.0, ..Default::default() }.validate().is_err());
+        assert!(SgdParams {
+            learning_rate: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgdParams {
+            momentum: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SgdParams {
+            lr_decay: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

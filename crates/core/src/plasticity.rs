@@ -173,7 +173,11 @@ mod tests {
             plast.update(&mut mask, &scores);
         }
         let active = mask.active_indices(0);
-        assert_eq!(active, vec![0, 1, 2, 3, 4], "mask should cover the informative inputs");
+        assert_eq!(
+            active,
+            vec![0, 1, 2, 3, 4],
+            "mask should cover the informative inputs"
+        );
     }
 
     #[test]

@@ -7,12 +7,22 @@
 //! deterministic functions of the traces and are recomputed on load, which
 //! both keeps the files small and guarantees the loaded model is internally
 //! consistent.
+//!
+//! ## Format versions
+//!
+//! * `v1` — network state only.
+//! * `v2` (current) — additionally records whether a fitted input encoder
+//!   ships with the model (`encoder quantile` + `encoder.txt`), so a model
+//!   directory can be a complete raw-features-in → probabilities-out
+//!   serving artifact (see [`save_network_with_encoder`]). `v1` directories
+//!   still load; they simply carry no encoder.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::Path;
 
 use bcpnn_backend::BackendKind;
+use bcpnn_data::QuantileEncoder;
 use bcpnn_tensor::{load_matrix, save_matrix, Matrix};
 
 use crate::classifier::BcpnnClassifierParams;
@@ -23,8 +33,13 @@ use crate::params::{HiddenLayerParams, SgdParams};
 use crate::traces::ProbabilityTraces;
 
 const MANIFEST: &str = "manifest.txt";
+/// File the fitted input encoder is stored in (v2 directories only).
+const ENCODER_FILE: &str = "encoder.txt";
 const MAGIC: &str = "bcpnn-network";
-const VERSION: &str = "v1";
+/// Version written by [`save_network`] / [`save_network_with_encoder`].
+const VERSION: &str = "v2";
+/// Versions [`load_network`] accepts.
+const READABLE_VERSIONS: [&str; 2] = ["v1", "v2"];
 
 fn vec_to_matrix(v: &[f32]) -> Matrix<f32> {
     Matrix::from_vec(1, v.len(), v.to_vec())
@@ -34,8 +49,19 @@ fn matrix_to_vec(m: Matrix<f32>) -> Vec<f32> {
     m.into_vec()
 }
 
-/// Save a network into `dir` (created if missing).
+/// Save a network into `dir` (created if missing), without an encoder.
 pub fn save_network<P: AsRef<Path>>(network: &Network, dir: P) -> CoreResult<()> {
+    save_network_with_encoder(network, None, dir)
+}
+
+/// Save a network into `dir` (created if missing) together with the fitted
+/// input encoder, making the directory a self-contained serving artifact
+/// that accepts raw (un-encoded) feature vectors.
+pub fn save_network_with_encoder<P: AsRef<Path>>(
+    network: &Network,
+    encoder: Option<&QuantileEncoder>,
+    dir: P,
+) -> CoreResult<()> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
     let hp = network.hidden().params();
@@ -53,9 +79,26 @@ pub fn save_network<P: AsRef<Path>>(network: &Network, dir: P) -> CoreResult<()>
     manifest.push_str(&format!("plasticity_interval {}\n", hp.plasticity_interval));
     manifest.push_str(&format!("n_classes {}\n", network.n_classes()));
     manifest.push_str(&format!("readout {}\n", network.readout_kind().name()));
+    match encoder {
+        Some(enc) => {
+            if enc.encoded_width() != hp.n_inputs {
+                return Err(CoreError::DataMismatch(format!(
+                    "encoder produces {} columns but the network expects {}",
+                    enc.encoded_width(),
+                    hp.n_inputs
+                )));
+            }
+            manifest.push_str("encoder quantile\n");
+            enc.save(dir.join(ENCODER_FILE))?;
+        }
+        None => manifest.push_str("encoder none\n"),
+    }
     fs::write(dir.join(MANIFEST), manifest)?;
 
-    save_matrix(network.hidden().mask().as_matrix(), dir.join("hidden_mask.mat"))?;
+    save_matrix(
+        network.hidden().mask().as_matrix(),
+        dir.join("hidden_mask.mat"),
+    )?;
     let ht = network.hidden().traces();
     save_matrix(&vec_to_matrix(&ht.pi), dir.join("hidden_pi.mat"))?;
     save_matrix(&vec_to_matrix(&ht.pj), dir.join("hidden_pj.mat"))?;
@@ -74,16 +117,21 @@ pub fn save_network<P: AsRef<Path>>(network: &Network, dir: P) -> CoreResult<()>
     Ok(())
 }
 
-fn parse_manifest(path: &Path) -> CoreResult<HashMap<String, String>> {
+fn parse_manifest(path: &Path) -> CoreResult<(String, HashMap<String, String>)> {
     let text = fs::read_to_string(path)?;
     let mut lines = text.lines();
     let header = lines
         .next()
         .ok_or_else(|| CoreError::Format("empty manifest".into()))?;
     let mut hp = header.split_whitespace();
-    if hp.next() != Some(MAGIC) || hp.next() != Some(VERSION) {
-        return Err(CoreError::Format(format!("bad manifest header: {header:?}")));
-    }
+    let version = match (hp.next(), hp.next()) {
+        (Some(m), Some(v)) if m == MAGIC && READABLE_VERSIONS.contains(&v) => v.to_string(),
+        _ => {
+            return Err(CoreError::Format(format!(
+                "bad manifest header: {header:?}"
+            )))
+        }
+    };
     let mut map = HashMap::new();
     for line in lines {
         let line = line.trim();
@@ -95,7 +143,7 @@ fn parse_manifest(path: &Path) -> CoreResult<HashMap<String, String>> {
             .ok_or_else(|| CoreError::Format(format!("bad manifest line: {line:?}")))?;
         map.insert(k.to_string(), v.trim().to_string());
     }
-    Ok(map)
+    Ok((version, map))
 }
 
 fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str) -> CoreResult<T> {
@@ -108,10 +156,27 @@ fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str) -> CoreRe
 
 /// Load a network previously written by [`save_network`], instantiating it
 /// on the given backend (backends are runtime configuration, not model
-/// state, so the caller chooses).
+/// state, so the caller chooses). Any encoder in the directory is ignored;
+/// use [`load_network_with_encoder`] to get it too.
 pub fn load_network<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<Network> {
+    Ok(load_network_with_encoder(dir, backend)?.0)
+}
+
+/// Load a network together with the fitted input encoder, if the directory
+/// carries one (`v2` directories written by [`save_network_with_encoder`];
+/// `v1` directories and encoder-less `v2` directories yield `None`).
+pub fn load_network_with_encoder<P: AsRef<Path>>(
+    dir: P,
+    backend: BackendKind,
+) -> CoreResult<(Network, Option<QuantileEncoder>)> {
     let dir = dir.as_ref();
-    let manifest = parse_manifest(&dir.join(MANIFEST))?;
+    let (_version, manifest) = parse_manifest(&dir.join(MANIFEST))?;
+    let encoder = match manifest.get("encoder").map(String::as_str) {
+        Some("quantile") => Some(QuantileEncoder::load(dir.join(ENCODER_FILE))?),
+        // v1 manifests have no `encoder` key at all.
+        Some("none") | None => None,
+        Some(other) => return Err(CoreError::Format(format!("unknown encoder kind {other:?}"))),
+    };
     let hidden = HiddenLayerParams {
         n_inputs: get(&manifest, "n_inputs")?,
         n_hcu: get(&manifest, "n_hcu")?,
@@ -124,6 +189,16 @@ pub fn load_network<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<
         plasticity_swaps: get(&manifest, "plasticity_swaps")?,
         plasticity_interval: get(&manifest, "plasticity_interval")?,
     };
+    if let Some(enc) = &encoder {
+        if enc.encoded_width() != hidden.n_inputs {
+            return Err(CoreError::Format(format!(
+                "encoder produces {} columns but the network expects {} \
+                 (encoder.txt does not belong to this model)",
+                enc.encoded_width(),
+                hidden.n_inputs
+            )));
+        }
+    }
     let n_classes: usize = get(&manifest, "n_classes")?;
     let readout_name: String = get(&manifest, "readout")?;
     let readout = ReadoutKind::parse(&readout_name)
@@ -170,7 +245,7 @@ pub fn load_network<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<
             .expect("readout checked above")
             .set_parameters(weights, bias)?;
     }
-    Ok(network)
+    Ok((network, encoder))
 }
 
 #[cfg(test)]
@@ -269,6 +344,139 @@ mod tests {
         let a = net.predict_proba(&xt).unwrap();
         let b = loaded.predict_proba(&xt).unwrap();
         assert!(a.max_abs_diff(&b) < 1e-3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoder_rides_along_in_v2_directories() {
+        use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+
+        let data = generate(&SyntheticHiggsConfig {
+            n_samples: 400,
+            seed: 11,
+            ..Default::default()
+        });
+        let encoder = QuantileEncoder::fit(&data, 10);
+        let x = encoder.transform(&data);
+        let mut net = Network::builder()
+            .input(encoder.encoded_width())
+            .hidden(2, 4, 0.3)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(12)
+            .build()
+            .unwrap();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 50,
+            ..Default::default()
+        })
+        .fit(&mut net, &x, &data.labels)
+        .unwrap();
+
+        let dir = temp_dir("with_encoder");
+        save_network_with_encoder(&net, Some(&encoder), &dir).unwrap();
+        let (loaded, enc) = load_network_with_encoder(&dir, BackendKind::Naive).unwrap();
+        let enc = enc.expect("v2 directory must carry the encoder");
+        assert_eq!(enc, encoder);
+
+        // Raw features -> encoded -> predictions match the original model.
+        let fresh = generate(&SyntheticHiggsConfig {
+            n_samples: 30,
+            seed: 13,
+            ..Default::default()
+        });
+        let direct = net.predict_proba(&encoder.transform(&fresh)).unwrap();
+        let served = loaded
+            .predict_proba(&enc.transform_rows(&fresh.features))
+            .unwrap();
+        assert!(direct.max_abs_diff(&served) < 1e-5);
+
+        // Plain load_network still works and ignores the encoder.
+        let plain = load_network(&dir, BackendKind::Naive).unwrap();
+        assert!(
+            plain
+                .predict_proba(&encoder.transform(&fresh))
+                .unwrap()
+                .max_abs_diff(&direct)
+                < 1e-5
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_encoder_width_is_rejected_at_save() {
+        use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+        let data = generate(&SyntheticHiggsConfig {
+            n_samples: 100,
+            seed: 14,
+            ..Default::default()
+        });
+        let encoder = QuantileEncoder::fit(&data, 10); // 280 columns
+        let net = Network::builder()
+            .input(16)
+            .hidden(2, 4, 0.5)
+            .classes(2)
+            .backend(BackendKind::Naive)
+            .build()
+            .unwrap();
+        let dir = temp_dir("bad_encoder_width");
+        let err = save_network_with_encoder(&net, Some(&encoder), &dir).unwrap_err();
+        assert!(matches!(err, CoreError::DataMismatch(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_directories_still_load() {
+        let (x, y) = toy_data(120, 16, 20);
+        let mut net = Network::builder()
+            .input(16)
+            .hidden(2, 3, 0.5)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(21)
+            .build()
+            .unwrap();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 30,
+            ..Default::default()
+        })
+        .fit(&mut net, &x, &y)
+        .unwrap();
+        let dir = temp_dir("v1_compat");
+        save_network(&net, &dir).unwrap();
+
+        // Rewrite the manifest as a v1 writer would have produced it: v1
+        // header, no `encoder` key.
+        let manifest_path = dir.join(MANIFEST);
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let v1_text: String = text
+            .lines()
+            .filter(|l| !l.starts_with("encoder "))
+            .map(|l| {
+                if l.starts_with(MAGIC) {
+                    format!("{MAGIC} v1\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        fs::write(&manifest_path, v1_text).unwrap();
+
+        let (loaded, enc) = load_network_with_encoder(&dir, BackendKind::Naive).unwrap();
+        assert!(enc.is_none(), "v1 directories carry no encoder");
+        let (xt, _) = toy_data(20, 16, 22);
+        assert!(
+            net.predict_proba(&xt)
+                .unwrap()
+                .max_abs_diff(&loaded.predict_proba(&xt).unwrap())
+                < 1e-4
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

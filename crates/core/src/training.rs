@@ -72,10 +72,7 @@ impl FitReport {
 
     /// Total number of structural-plasticity swaps across the run.
     pub fn total_plasticity_swaps(&self) -> usize {
-        self.epochs
-            .iter()
-            .filter_map(|e| e.plasticity_swaps)
-            .sum()
+        self.epochs.iter().filter_map(|e| e.plasticity_swaps).sum()
     }
 
     /// Mean SGD loss of the final supervised epoch, if any.
@@ -156,7 +153,12 @@ impl Trainer {
             // Structural plasticity runs once per `plasticity_interval`
             // epochs (the paper updates the receptive fields every epoch).
             let swaps = if (epoch + 1) % plasticity_interval == 0 {
-                Some(network.hidden_mut().structural_plasticity_step().total_swaps())
+                Some(
+                    network
+                        .hidden_mut()
+                        .structural_plasticity_step()
+                        .total_swaps(),
+                )
             } else {
                 None
             };
@@ -296,7 +298,11 @@ mod tests {
         assert!(report.auc > 0.8, "AUC {}", report.auc);
         // The pure-BCPNN head also learns the task.
         let bcpnn_report = net.evaluate_with(ReadoutKind::Bcpnn, &xt, &yt).unwrap();
-        assert!(bcpnn_report.accuracy > 0.7, "BCPNN head {}", bcpnn_report.accuracy);
+        assert!(
+            bcpnn_report.accuracy > 0.7,
+            "BCPNN head {}",
+            bcpnn_report.accuracy
+        );
     }
 
     #[test]

@@ -86,7 +86,7 @@ mod tests {
         let (x, y) = data(23);
         let it = BatchIterator::new(&x, &y, 5);
         assert_eq!(it.n_batches(), 5);
-        let mut seen = vec![false; 23];
+        let mut seen = [false; 23];
         let mut total = 0;
         for (xb, yb) in it {
             assert_eq!(xb.rows(), yb.len());

@@ -109,7 +109,10 @@ pub fn read_higgs_csv<R: BufRead>(reader: R, max_rows: Option<usize>) -> Result<
 }
 
 /// Load a HIGGS-format CSV file from disk.
-pub fn load_higgs_csv<P: AsRef<Path>>(path: P, max_rows: Option<usize>) -> Result<Dataset, CsvError> {
+pub fn load_higgs_csv<P: AsRef<Path>>(
+    path: P,
+    max_rows: Option<usize>,
+) -> Result<Dataset, CsvError> {
     let f = File::open(path)?;
     read_higgs_csv(BufReader::new(f), max_rows)
 }

@@ -21,7 +21,11 @@ impl Dataset {
     /// # Panics
     /// Panics if the label count does not match the number of rows, or the
     /// name count does not match the number of columns.
-    pub fn new(features: Matrix<f32>, labels: Vec<usize>, feature_names: Option<Vec<String>>) -> Self {
+    pub fn new(
+        features: Matrix<f32>,
+        labels: Vec<usize>,
+        feature_names: Option<Vec<String>>,
+    ) -> Self {
         assert_eq!(
             features.rows(),
             labels.len(),
@@ -177,7 +181,8 @@ mod tests {
         // Every (row, label) pair of the shuffle must exist in the original.
         for r in 0..s.n_samples() {
             let row = s.features.row(r);
-            let found = (0..d.n_samples()).any(|o| d.features.row(o) == row && d.labels[o] == s.labels[r]);
+            let found =
+                (0..d.n_samples()).any(|o| d.features.row(o) == row && d.labels[o] == s.labels[r]);
             assert!(found, "row {r} lost its label during shuffling");
         }
     }

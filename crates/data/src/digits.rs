@@ -53,7 +53,10 @@ impl Pattern {
             Pattern::Box => {
                 in_core(row)
                     && in_core(col)
-                    && (row == margin || row == size - margin - 1 || col == margin || col == size - margin - 1)
+                    && (row == margin
+                        || row == size - margin - 1
+                        || col == margin
+                        || col == size - margin - 1)
             }
             Pattern::Diagonal => in_core(row) && in_core(col) && (row == col || row + 1 == col),
         }
@@ -209,8 +212,14 @@ mod tests {
 
     #[test]
     fn determinism_per_seed() {
-        let a = generate(&DigitsConfig { n_samples: 64, ..Default::default() });
-        let b = generate(&DigitsConfig { n_samples: 64, ..Default::default() });
+        let a = generate(&DigitsConfig {
+            n_samples: 64,
+            ..Default::default()
+        });
+        let b = generate(&DigitsConfig {
+            n_samples: 64,
+            ..Default::default()
+        });
         assert_eq!(a, b);
     }
 }

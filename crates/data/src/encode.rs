@@ -6,10 +6,19 @@
 //! exactly that; [`ThermometerEncoder`] is the interval-code alternative
 //! used by the encoding-ablation example.
 
-use bcpnn_tensor::Matrix;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use bcpnn_tensor::{IoError, Matrix};
 
 use crate::dataset::Dataset;
 use crate::quantile::QuantileBinner;
+
+/// Magic tag of the serialized encoder format.
+const ENCODER_MAGIC: &str = "bcpnn-quantile-encoder";
+/// Encoder format version.
+const ENCODER_VERSION: &str = "v1";
 
 /// One-hot quantile encoder (the paper's preprocessing).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,17 +52,130 @@ impl QuantileEncoder {
     /// Encode a dataset into the binary one-hot representation
     /// (`n_samples x encoded_width`, exactly one hot bit per feature block).
     pub fn transform(&self, dataset: &Dataset) -> Matrix<f32> {
-        let bins = self.binner.transform(dataset);
-        let k = self.n_bins();
-        let mut out = Matrix::zeros(dataset.n_samples(), self.encoded_width());
-        for r in 0..dataset.n_samples() {
-            let bin_row = bins.row(r);
-            let out_row = out.row_mut(r);
-            for (f, &b) in bin_row.iter().enumerate() {
-                out_row[f * k + b as usize] = 1.0;
-            }
+        self.transform_rows(&dataset.features)
+    }
+
+    /// Encode a bare feature matrix (`n_rows x n_features`, no labels or
+    /// names needed). This is the serving entry point: inference requests
+    /// arrive as raw feature vectors, not full datasets.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_rows(&self, features: &Matrix<f32>) -> Matrix<f32> {
+        let mut out = Matrix::zeros(features.rows(), self.encoded_width());
+        for r in 0..features.rows() {
+            self.encode_into(features.row(r), out.row_mut(r));
         }
         out
+    }
+
+    /// Encode one raw feature vector into its binary one-hot code.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn encode_row(&self, features: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.encoded_width()];
+        self.encode_into(features, &mut out);
+        out
+    }
+
+    /// The single authoritative one-hot layout: bit `f * n_bins + bin(f, v)`
+    /// of `out` goes hot for every feature value.
+    fn encode_into(&self, features: &[f32], out: &mut [f32]) {
+        assert_eq!(
+            features.len(),
+            self.binner.n_features(),
+            "encoder was fitted on {} features, row has {}",
+            self.binner.n_features(),
+            features.len()
+        );
+        let k = self.n_bins();
+        for (f, &v) in features.iter().enumerate() {
+            out[f * k + self.binner.bin_of(f, v as f64)] = 1.0;
+        }
+    }
+
+    /// Number of raw features the encoder was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.binner.n_features()
+    }
+
+    /// Write the fitted encoder to any writer in the text format.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), IoError> {
+        writeln!(
+            w,
+            "{ENCODER_MAGIC} {ENCODER_VERSION} {} {}",
+            self.binner.n_features(),
+            self.n_bins()
+        )?;
+        for f in 0..self.binner.n_features() {
+            let bounds = self.binner.feature_boundaries(f);
+            let line: Vec<String> = bounds.iter().map(|b| b.to_string()).collect();
+            writeln!(w, "{}", line.join(" "))?;
+        }
+        Ok(())
+    }
+
+    /// Read an encoder previously written by [`QuantileEncoder::write_to`].
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, IoError> {
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| IoError::Format("empty encoder file".into()))??;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some(ENCODER_MAGIC) || parts.next() != Some(ENCODER_VERSION) {
+            return Err(IoError::Format(format!("bad encoder header: {header:?}")));
+        }
+        let n_features: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| IoError::Format("encoder header missing feature count".into()))?;
+        let n_bins: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| IoError::Format("encoder header missing bin count".into()))?;
+        if n_bins < 2 {
+            return Err(IoError::Format(format!("invalid bin count {n_bins}")));
+        }
+        let mut boundaries = Vec::with_capacity(n_features);
+        for f in 0..n_features {
+            let line = lines.next().ok_or_else(|| {
+                IoError::Format(format!("encoder file ends before feature {f}"))
+            })??;
+            let bounds: Result<Vec<f64>, _> =
+                line.split_whitespace().map(str::parse::<f64>).collect();
+            let bounds = bounds
+                .map_err(|_| IoError::Format(format!("feature {f}: non-numeric boundary")))?;
+            if bounds.len() != n_bins - 1 {
+                return Err(IoError::Format(format!(
+                    "feature {f}: expected {} boundaries, got {}",
+                    n_bins - 1,
+                    bounds.len()
+                )));
+            }
+            if bounds.windows(2).any(|w| w[0] > w[1]) {
+                return Err(IoError::Format(format!(
+                    "feature {f}: boundaries are not ascending"
+                )));
+            }
+            boundaries.push(bounds);
+        }
+        Ok(Self {
+            binner: QuantileBinner::from_parts(boundaries, n_bins),
+        })
+    }
+
+    /// Save the fitted encoder to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), IoError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load an encoder previously written by [`QuantileEncoder::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, IoError> {
+        Self::read_from(BufReader::new(File::open(path)?))
     }
 
     /// Human-readable name of one encoded input column
@@ -209,6 +331,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn transform_rows_matches_dataset_transform() {
+        let d = higgs(300, 6);
+        let enc = QuantileEncoder::fit(&d, 10);
+        let via_dataset = enc.transform(&d);
+        let via_rows = enc.transform_rows(&d.features);
+        assert_eq!(via_dataset, via_rows);
+        // Single-row encoding agrees too.
+        for r in 0..5 {
+            assert_eq!(enc.encode_row(d.features.row(r)), via_dataset.row(r));
+        }
+    }
+
+    #[test]
+    fn encoder_roundtrips_through_text() {
+        let d = higgs(400, 7);
+        let enc = QuantileEncoder::fit(&d, 10);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf).unwrap();
+        let back = QuantileEncoder::read_from(&buf[..]).unwrap();
+        assert_eq!(enc, back);
+        // The loaded encoder produces identical codes on fresh data.
+        let fresh = higgs(50, 8);
+        assert_eq!(enc.transform(&fresh), back.transform(&fresh));
+    }
+
+    #[test]
+    fn encoder_save_load_via_files() {
+        let d = higgs(200, 9);
+        let enc = QuantileEncoder::fit(&d, 8);
+        let path =
+            std::env::temp_dir().join(format!("bcpnn_encoder_test_{}.txt", std::process::id()));
+        enc.save(&path).unwrap();
+        let back = QuantileEncoder::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(enc, back);
+    }
+
+    #[test]
+    fn corrupt_encoder_files_are_rejected() {
+        assert!(QuantileEncoder::read_from(&b""[..]).is_err());
+        assert!(QuantileEncoder::read_from(&b"wrong-magic v1 2 10\n"[..]).is_err());
+        // Truncated: header promises 2 features, provides 1.
+        let text = b"bcpnn-quantile-encoder v1 2 3\n0.5 1.5\n";
+        assert!(QuantileEncoder::read_from(&text[..]).is_err());
+        // Non-ascending boundaries.
+        let text = b"bcpnn-quantile-encoder v1 1 3\n2.0 1.0\n";
+        assert!(QuantileEncoder::read_from(&text[..]).is_err());
     }
 
     #[test]

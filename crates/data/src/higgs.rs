@@ -208,13 +208,15 @@ fn synthesize_features(
         * (1.0 + 0.15 * rng.normal_scalar::<f64>(0.0, lo));
     f.push(lepton_pt);
     f.push(ev.eta_c * 0.8 + rng.normal_scalar::<f64>(0.0, lo)); // lepton_eta
-    f.push(rng.uniform_scalar::<f64>(-std::f64::consts::PI, std::f64::consts::PI)); // lepton_phi (pure noise)
-    // --- low-level: missing energy -----------------------------------------
+                                                                // lepton_phi (pure noise)
+    f.push(rng.uniform_scalar::<f64>(-std::f64::consts::PI, std::f64::consts::PI));
+    // --- low-level: missing energy ----------------------------------------
     let met = (0.6 * ev.mass + 0.4 * ev.pt_scale).abs() * rng.exponential_scalar::<f64>(1.5)
         + 0.3 * rng.normal_scalar::<f64>(0.0, lo).abs();
     f.push(met);
-    f.push(rng.uniform_scalar::<f64>(-std::f64::consts::PI, std::f64::consts::PI)); // met_phi (pure noise)
-    // --- low-level: four jets ----------------------------------------------
+    // met_phi (pure noise)
+    f.push(rng.uniform_scalar::<f64>(-std::f64::consts::PI, std::f64::consts::PI));
+    // --- low-level: four jets ---------------------------------------------
     // Jet pT falls with jet index; each carries a noisy share of the event's
     // momentum scale. b-tags fire more often in signal events.
     for jet in 0..4 {
@@ -223,7 +225,8 @@ fn synthesize_features(
             + 0.2 * rng.normal_scalar::<f64>(0.0, lo).abs();
         f.push(pt); // jetN_pt
         f.push(ev.eta_c * 0.5 + rng.normal_scalar::<f64>(0.0, lo)); // jetN_eta
-        f.push(rng.uniform_scalar::<f64>(-std::f64::consts::PI, std::f64::consts::PI)); // jetN_phi
+                                                                    // jetN_phi
+        f.push(rng.uniform_scalar::<f64>(-std::f64::consts::PI, std::f64::consts::PI));
         // b-tag: a thresholded noisy latent; takes one of a few discrete
         // working-point values like the real feature.
         let tag_latent = ev.btag_bias + rng.normal_scalar::<f64>(0.0, 1.2);
@@ -241,7 +244,8 @@ fn synthesize_features(
     // Derived from the latents with *less* noise than the low-level
     // features, so each carries more class information (as in Baldi et al.).
     let m_jj = ev.mass2 * (1.0 + 0.2 * rng.normal_scalar::<f64>(0.0, hi));
-    let m_jjj = (0.7 * ev.mass2 + 0.5 * ev.pt_scale) * (1.0 + 0.2 * rng.normal_scalar::<f64>(0.0, hi));
+    let m_jjj =
+        (0.7 * ev.mass2 + 0.5 * ev.pt_scale) * (1.0 + 0.2 * rng.normal_scalar::<f64>(0.0, hi));
     let m_lv = (0.8 + 0.15 * ev.pt_scale) * (1.0 + 0.1 * rng.normal_scalar::<f64>(0.0, hi));
     let m_jlv = (0.6 * ev.mass + 0.5) * (1.0 + 0.2 * rng.normal_scalar::<f64>(0.0, hi));
     let m_bb = ev.mass * (1.0 + 0.25 * rng.normal_scalar::<f64>(0.0, hi));
@@ -345,7 +349,11 @@ mod tests {
         assert!(mean_shift(2) < 0.1, "lepton_phi shift {}", mean_shift(2));
         // Averaged over groups, high-level features are more informative
         // than low-level ones.
-        let hi_avg: f64 = high_level_indices().iter().map(|&i| mean_shift(i)).sum::<f64>() / 7.0;
+        let hi_avg: f64 = high_level_indices()
+            .iter()
+            .map(|&i| mean_shift(i))
+            .sum::<f64>()
+            / 7.0;
         let lo_avg: f64 = (0..N_LOW_LEVEL).map(mean_shift).sum::<f64>() / N_LOW_LEVEL as f64;
         assert!(
             hi_avg > lo_avg,
@@ -366,14 +374,30 @@ mod tests {
         let column = d.feature_column(25);
         let sig: Vec<f64> = d.class_indices(1).iter().map(|&i| column[i]).collect();
         let bkg: Vec<f64> = d.class_indices(0).iter().map(|&i| column[i]).collect();
-        let shift = (stats::mean(&sig) - stats::mean(&bkg)).abs() / stats::std_dev(&column).max(1e-9);
+        let shift =
+            (stats::mean(&sig) - stats::mean(&bkg)).abs() / stats::std_dev(&column).max(1e-9);
         assert!(shift < 0.1, "residual shift {shift}");
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(SyntheticHiggsConfig { n_samples: 0, ..Default::default() }.validate().is_err());
-        assert!(SyntheticHiggsConfig { signal_fraction: 1.5, ..Default::default() }.validate().is_err());
-        assert!(SyntheticHiggsConfig { separation: -1.0, ..Default::default() }.validate().is_err());
+        assert!(SyntheticHiggsConfig {
+            n_samples: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticHiggsConfig {
+            signal_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SyntheticHiggsConfig {
+            separation: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

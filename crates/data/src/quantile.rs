@@ -36,6 +36,30 @@ impl QuantileBinner {
         Self { boundaries, n_bins }
     }
 
+    /// Reassemble a binner from previously fitted boundaries (used by the
+    /// encoder's persistence; see [`crate::encode::QuantileEncoder::load`]).
+    ///
+    /// # Panics
+    /// Panics if `n_bins < 2` or any boundary vector has the wrong length
+    /// or is not ascending.
+    pub fn from_parts(boundaries: Vec<Vec<f64>>, n_bins: usize) -> Self {
+        assert!(n_bins >= 2, "need at least two bins");
+        for (f, b) in boundaries.iter().enumerate() {
+            assert_eq!(
+                b.len(),
+                n_bins - 1,
+                "feature {f}: expected {} boundaries, got {}",
+                n_bins - 1,
+                b.len()
+            );
+            assert!(
+                b.windows(2).all(|w| w[0] <= w[1]),
+                "feature {f}: boundaries must be ascending"
+            );
+        }
+        Self { boundaries, n_bins }
+    }
+
     /// Number of bins per feature.
     pub fn n_bins(&self) -> usize {
         self.n_bins

@@ -15,7 +15,10 @@ pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> (Da
         test_fraction > 0.0 && test_fraction < 1.0,
         "test_fraction must be in (0, 1)"
     );
-    assert!(dataset.n_samples() > 1, "need at least two samples to split");
+    assert!(
+        dataset.n_samples() > 1,
+        "need at least two samples to split"
+    );
     let mut rng = MatrixRng::seed_from(seed);
     let order = rng.permutation(dataset.n_samples());
     let n_test = ((dataset.n_samples() as f64 * test_fraction).round() as usize)
@@ -141,8 +144,16 @@ mod tests {
         let d = higgs(2000, 0.3, 3);
         let (train, test) = stratified_split(&d, 0.25, 4);
         let frac = |ds: &Dataset| ds.class_counts()[1] as f64 / ds.n_samples() as f64;
-        assert!((frac(&train) - 0.3).abs() < 0.03, "train fraction {}", frac(&train));
-        assert!((frac(&test) - 0.3).abs() < 0.03, "test fraction {}", frac(&test));
+        assert!(
+            (frac(&train) - 0.3).abs() < 0.03,
+            "train fraction {}",
+            frac(&train)
+        );
+        assert!(
+            (frac(&test) - 0.3).abs() < 0.03,
+            "test fraction {}",
+            frac(&test)
+        );
         assert_eq!(train.n_samples() + test.n_samples(), 2000);
     }
 
@@ -178,8 +189,9 @@ mod tests {
         let features = bcpnn_tensor::Matrix::from_fn(200, 1, |r, _| r as f32);
         let d = Dataset::new(features, (0..200).map(|i| i % 2).collect(), None);
         let (train, test) = stratified_split(&d, 0.25, 12);
-        let train_ids: std::collections::HashSet<i64> =
-            (0..train.n_samples()).map(|r| train.features.get(r, 0) as i64).collect();
+        let train_ids: std::collections::HashSet<i64> = (0..train.n_samples())
+            .map(|r| train.features.get(r, 0) as i64)
+            .collect();
         for r in 0..test.n_samples() {
             assert!(!train_ids.contains(&(test.features.get(r, 0) as i64)));
         }

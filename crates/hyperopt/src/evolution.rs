@@ -74,7 +74,9 @@ impl EvolutionSearch {
                 if evaluations >= budget {
                     break;
                 }
-                let child = self.space.mutate(&parent, self.config.mutation_rate, &mut rng);
+                let child = self
+                    .space
+                    .mutate(&parent, self.config.mutation_rate, &mut rng);
                 let score = objective(&child);
                 history.record(child.clone(), score);
                 evaluations += 1;
@@ -123,7 +125,13 @@ mod tests {
 
     #[test]
     fn improves_over_its_own_first_guess() {
-        let es = EvolutionSearch::new(space(), EvolutionConfig { seed: 5, ..Default::default() });
+        let es = EvolutionSearch::new(
+            space(),
+            EvolutionConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let history = es.run(120, objective);
         let first = history.trials()[0].score;
         let best = history.best().unwrap().score;
@@ -146,7 +154,11 @@ mod tests {
                 },
             );
             es_total += es.run(budget, objective).best().unwrap().score;
-            rs_total += RandomSearch::new(space(), seed).run(budget, objective).best().unwrap().score;
+            rs_total += RandomSearch::new(space(), seed)
+                .run(budget, objective)
+                .best()
+                .unwrap()
+                .score;
         }
         assert!(
             es_total >= rs_total,

@@ -47,12 +47,14 @@ impl ParamSpec {
     fn validate(&self, name: &str) -> Result<(), String> {
         match self {
             ParamSpec::Continuous { low, high } => {
-                if !(low < high) {
+                // `is_finite` also rejects NaN bounds, which a plain
+                // ordering comparison would silently accept.
+                if !low.is_finite() || !high.is_finite() || low >= high {
                     return Err(format!("{name}: low must be < high"));
                 }
             }
             ParamSpec::LogContinuous { low, high } => {
-                if !(*low > 0.0 && low < high) {
+                if !(high.is_finite() && *low > 0.0 && low < high) {
                     return Err(format!("{name}: need 0 < low < high for a log scale"));
                 }
             }
@@ -196,7 +198,9 @@ impl ParamSpace {
                         let v = rng.gen_range(low.ln()..=high.ln()).exp();
                         ParamValue::Float(v)
                     }
-                    ParamSpec::Integer { low, high } => ParamValue::Int(rng.gen_range(*low..=*high)),
+                    ParamSpec::Integer { low, high } => {
+                        ParamValue::Int(rng.gen_range(*low..=*high))
+                    }
                     ParamSpec::Categorical { choices } => {
                         ParamValue::Choice(choices[rng.gen_range(0..choices.len())].clone())
                     }
@@ -226,8 +230,8 @@ impl ParamSpace {
                 let value = match spec {
                     ParamSpec::Continuous { low, high } => {
                         let span = high - low;
-                        let v = (current.as_f64() + rng.gen_range(-0.2..0.2) * span)
-                            .clamp(*low, *high);
+                        let v =
+                            (current.as_f64() + rng.gen_range(-0.2..0.2) * span).clamp(*low, *high);
                         ParamValue::Float(v)
                     }
                     ParamSpec::LogContinuous { low, high } => {
@@ -255,17 +259,21 @@ impl ParamSpace {
         if set.len() != self.dims.len() {
             return false;
         }
-        self.dims.iter().all(|(name, spec)| match (spec, set.get(name)) {
-            (ParamSpec::Continuous { low, high }, Some(ParamValue::Float(v)))
-            | (ParamSpec::LogContinuous { low, high }, Some(ParamValue::Float(v))) => {
-                v >= low && v <= high
-            }
-            (ParamSpec::Integer { low, high }, Some(ParamValue::Int(v))) => v >= low && v <= high,
-            (ParamSpec::Categorical { choices }, Some(ParamValue::Choice(c))) => {
-                choices.contains(c)
-            }
-            _ => false,
-        })
+        self.dims
+            .iter()
+            .all(|(name, spec)| match (spec, set.get(name)) {
+                (ParamSpec::Continuous { low, high }, Some(ParamValue::Float(v)))
+                | (ParamSpec::LogContinuous { low, high }, Some(ParamValue::Float(v))) => {
+                    v >= low && v <= high
+                }
+                (ParamSpec::Integer { low, high }, Some(ParamValue::Int(v))) => {
+                    v >= low && v <= high
+                }
+                (ParamSpec::Categorical { choices }, Some(ParamValue::Choice(c))) => {
+                    choices.contains(c)
+                }
+                _ => false,
+            })
     }
 }
 
@@ -348,14 +356,19 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 40, "full-rate mutation should almost always change the set");
+        assert!(
+            changed > 40,
+            "full-rate mutation should almost always change the set"
+        );
         // Zero mutation rate is the identity.
         assert_eq!(space.mutate(&base, 0.0, &mut r), base);
     }
 
     #[test]
     fn contains_rejects_foreign_or_out_of_range_sets() {
-        let space = ParamSpace::new().integer("n", 1, 5).continuous("x", 0.0, 1.0);
+        let space = ParamSpace::new()
+            .integer("n", 1, 5)
+            .continuous("x", 0.0, 1.0);
         let mut bad: ParamSet = BTreeMap::new();
         bad.insert("n".into(), ParamValue::Int(9));
         bad.insert("x".into(), ParamValue::Float(0.5));

@@ -1,0 +1,161 @@
+//! Dynamic-range reports and format sweeps for the precision ablation.
+//!
+//! Before choosing a narrow storage format one needs to know what the
+//! tensors actually hold: [`DynamicRangeReport`] summarises a buffer's
+//! magnitude distribution, and [`format_sweep`] rounds the same buffer
+//! through a list of candidate formats to compare the damage each would do.
+
+use crate::quantize::{NumericFormat, QuantizationError};
+
+/// Magnitude statistics of one tensor / buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicRangeReport {
+    /// Smallest non-zero magnitude.
+    pub min_abs: f64,
+    /// Largest magnitude.
+    pub max_abs: f64,
+    /// Mean magnitude over all values (zeros included).
+    pub mean_abs: f64,
+    /// `log2(max_abs / min_abs)` — the bits of pure range a format must
+    /// cover before it spends anything on precision.
+    pub log2_dynamic_range: f64,
+    /// Fraction of exactly-zero values.
+    pub zero_fraction: f64,
+    /// Number of values inspected.
+    pub n_values: usize,
+}
+
+impl DynamicRangeReport {
+    /// Measure a buffer. Non-finite values are ignored; an all-zero (or
+    /// empty) buffer reports zero range.
+    pub fn measure(values: &[f32]) -> Self {
+        let mut min_abs = f64::INFINITY;
+        let mut max_abs = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut zeros = 0usize;
+        let mut counted = 0usize;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            counted += 1;
+            let a = (v as f64).abs();
+            sum_abs += a;
+            if a == 0.0 {
+                zeros += 1;
+            } else {
+                min_abs = min_abs.min(a);
+                max_abs = max_abs.max(a);
+            }
+        }
+        if max_abs == 0.0 {
+            return Self {
+                min_abs: 0.0,
+                max_abs: 0.0,
+                mean_abs: 0.0,
+                log2_dynamic_range: 0.0,
+                zero_fraction: if counted == 0 {
+                    0.0
+                } else {
+                    zeros as f64 / counted as f64
+                },
+                n_values: counted,
+            };
+        }
+        Self {
+            min_abs,
+            max_abs,
+            mean_abs: sum_abs / counted.max(1) as f64,
+            log2_dynamic_range: (max_abs / min_abs).log2(),
+            zero_fraction: zeros as f64 / counted.max(1) as f64,
+            n_values: counted,
+        }
+    }
+}
+
+impl std::fmt::Display for DynamicRangeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|x| in [{:.3e}, {:.3e}] ({:.1} bits of range, {:.1}% zeros, n={})",
+            self.min_abs,
+            self.max_abs,
+            self.log2_dynamic_range,
+            self.zero_fraction * 100.0,
+            self.n_values
+        )
+    }
+}
+
+/// One row of a [`format_sweep`]: a candidate format and the error it
+/// introduces on the probed buffer.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The candidate storage format.
+    pub format: NumericFormat,
+    /// Error statistics of rounding the buffer through it.
+    pub error: QuantizationError,
+}
+
+/// Round `values` through every candidate format and report the errors,
+/// in the order given.
+pub fn format_sweep(formats: &[NumericFormat], values: &[f32]) -> Vec<SweepRow> {
+    formats
+        .iter()
+        .map(|&format| SweepRow {
+            format,
+            error: format.quantizer().measure(values),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_report_matches_hand_computation() {
+        let values = [0.0f32, 0.5, -2.0, 4.0, 0.0];
+        let r = DynamicRangeReport::measure(&values);
+        assert_eq!(r.min_abs, 0.5);
+        assert_eq!(r.max_abs, 4.0);
+        assert_eq!(r.log2_dynamic_range, 3.0);
+        assert_eq!(r.zero_fraction, 0.4);
+        assert_eq!(r.n_values, 5);
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let values = [1.0f32, f32::NAN, f32::INFINITY, 2.0];
+        let r = DynamicRangeReport::measure(&values);
+        assert_eq!(r.n_values, 2);
+        assert_eq!(r.max_abs, 2.0);
+    }
+
+    #[test]
+    fn all_zero_buffer_is_degenerate_but_valid() {
+        let r = DynamicRangeReport::measure(&[0.0f32; 8]);
+        assert_eq!(r.max_abs, 0.0);
+        assert_eq!(r.log2_dynamic_range, 0.0);
+        assert_eq!(r.zero_fraction, 1.0);
+    }
+
+    #[test]
+    fn sweep_covers_all_requested_formats() {
+        let values: Vec<f32> = (0..200).map(|i| (i as f32 - 100.0) * 0.03).collect();
+        let suite = NumericFormat::ablation_suite();
+        let rows = format_sweep(&suite, &values);
+        assert_eq!(rows.len(), suite.len());
+        // The f32 row is exact; the 8-bit rows are not.
+        assert_eq!(rows[0].error.rmse, 0.0);
+        assert!(rows.last().unwrap().error.rmse > 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = DynamicRangeReport::measure(&[0.25f32, 8.0]);
+        let s = r.to_string();
+        assert!(s.contains("bits of range"));
+        assert!(s.contains("n=2"));
+    }
+}

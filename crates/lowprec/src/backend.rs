@@ -1,0 +1,250 @@
+//! A [`Backend`] adapter that rounds kernel results through a chosen
+//! [`NumericFormat`], modeling the FPGA-style "wide accumulator, narrow
+//! storage" datapath at algorithm level: every kernel runs in full `f32`
+//! on an inner backend, then the buffers a narrow memory would hold are
+//! rounded before the next kernel sees them.
+
+use bcpnn_backend::Backend;
+use bcpnn_tensor::Matrix;
+
+use crate::quantize::{NumericFormat, Quantizer};
+
+/// Which buffers get rounded after each kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizePolicy {
+    /// Round recomputed weights and biases (narrow weight memory).
+    pub weights: bool,
+    /// Round the probability traces (narrow trace memory).
+    pub traces: bool,
+    /// Round forward-pass supports and activations (narrow activation
+    /// memory / inter-layer links).
+    pub activations: bool,
+}
+
+impl QuantizePolicy {
+    /// Round every buffer (the most aggressive, fully-narrow datapath).
+    pub fn all() -> Self {
+        Self {
+            weights: true,
+            traces: true,
+            activations: true,
+        }
+    }
+
+    /// Round only the weight memory (the usual first FPGA compromise).
+    pub fn weights_only() -> Self {
+        Self {
+            weights: true,
+            traces: false,
+            activations: false,
+        }
+    }
+}
+
+impl Default for QuantizePolicy {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// A backend that delegates to `inner` and rounds results through a format.
+pub struct LowPrecisionBackend {
+    inner: Box<dyn Backend>,
+    quantizer: Quantizer,
+    policy: QuantizePolicy,
+    name: &'static str,
+}
+
+impl LowPrecisionBackend {
+    /// Wrap `inner`, rounding the buffers selected by `policy` through
+    /// `format` after every kernel.
+    pub fn new(inner: Box<dyn Backend>, format: NumericFormat, policy: QuantizePolicy) -> Self {
+        // The format name is embedded in a leaked static string because the
+        // Backend trait hands out `&'static str` names; backends are
+        // created once per process, so the leak is bounded.
+        let name: &'static str = Box::leak(format!("lowprec[{}]", format.name()).into_boxed_str());
+        Self {
+            inner,
+            quantizer: format.quantizer(),
+            policy,
+            name,
+        }
+    }
+
+    /// The format results are rounded through.
+    pub fn format(&self) -> NumericFormat {
+        self.quantizer.format()
+    }
+
+    /// The buffer-rounding policy.
+    pub fn policy(&self) -> QuantizePolicy {
+        self.policy
+    }
+}
+
+impl Backend for LowPrecisionBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn linear_forward(
+        &self,
+        x: &Matrix<f32>,
+        weights: &Matrix<f32>,
+        bias: &[f32],
+        out: &mut Matrix<f32>,
+    ) {
+        self.inner.linear_forward(x, weights, bias, out);
+        if self.policy.activations {
+            self.quantizer.quantize_matrix(out);
+        }
+    }
+
+    fn grouped_softmax(&self, m: &mut Matrix<f32>, group: usize) {
+        self.inner.grouped_softmax(m, group);
+        if self.policy.activations {
+            self.quantizer.quantize_matrix(m);
+        }
+    }
+
+    fn update_traces(
+        &self,
+        x: &Matrix<f32>,
+        act: &Matrix<f32>,
+        rate: f32,
+        pi: &mut [f32],
+        pj: &mut [f32],
+        pij: &mut Matrix<f32>,
+    ) {
+        self.inner.update_traces(x, act, rate, pi, pj, pij);
+        if self.policy.traces {
+            self.quantizer.quantize_slice(pi);
+            self.quantizer.quantize_slice(pj);
+            self.quantizer.quantize_matrix(pij);
+        }
+    }
+
+    fn recompute_weights(
+        &self,
+        pi: &[f32],
+        pj: &[f32],
+        pij: &Matrix<f32>,
+        eps: f32,
+        bias_gain: f32,
+        weights: &mut Matrix<f32>,
+        bias: &mut [f32],
+    ) {
+        self.inner
+            .recompute_weights(pi, pj, pij, eps, bias_gain, weights, bias);
+        if self.policy.weights {
+            self.quantizer.quantize_matrix(weights);
+            self.quantizer.quantize_slice(bias);
+        }
+    }
+
+    fn apply_mask(
+        &self,
+        weights: &Matrix<f32>,
+        mask: &Matrix<f32>,
+        n_mcu: usize,
+        out: &mut Matrix<f32>,
+    ) {
+        self.inner.apply_mask(weights, mask, n_mcu, out);
+        if self.policy.weights {
+            self.quantizer.quantize_matrix(out);
+        }
+    }
+
+    fn mutual_information(
+        &self,
+        pi: &[f32],
+        pj: &[f32],
+        pij: &Matrix<f32>,
+        n_mcu: usize,
+        out: &mut Matrix<f32>,
+    ) {
+        self.inner.mutual_information(pi, pj, pij, n_mcu, out);
+        // MI scores only rank connections; they are never stored, so no
+        // policy knob gates them. Round them with the traces, since they
+        // are derived from trace memory reads.
+        if self.policy.traces {
+            self.quantizer.quantize_matrix(out);
+        }
+    }
+}
+
+impl std::fmt::Debug for LowPrecisionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LowPrecisionBackend")
+            .field("format", &self.quantizer.format())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcpnn_backend::NaiveBackend;
+    use bcpnn_tensor::MatrixRng;
+
+    fn backend(format: NumericFormat) -> LowPrecisionBackend {
+        LowPrecisionBackend::new(Box::new(NaiveBackend::new()), format, QuantizePolicy::all())
+    }
+
+    #[test]
+    fn f32_format_matches_inner_exactly() {
+        let lp = backend(NumericFormat::F32);
+        let naive = NaiveBackend::new();
+        let mut rng = MatrixRng::seed_from(1);
+        let x: Matrix<f32> = rng.bernoulli(6, 10, 0.3);
+        let w: Matrix<f32> = rng.normal(10, 8, 0.0, 0.5);
+        let bias = vec![-0.5f32; 8];
+        let mut a = Matrix::zeros(6, 8);
+        let mut b = Matrix::zeros(6, 8);
+        lp.linear_forward(&x, &w, &bias, &mut a);
+        naive.linear_forward(&x, &w, &bias, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_are_representable_in_the_format() {
+        let lp = backend(NumericFormat::Posit8);
+        let mut rng = MatrixRng::seed_from(2);
+        let x: Matrix<f32> = rng.bernoulli(4, 6, 0.4);
+        let w: Matrix<f32> = rng.normal(6, 4, 0.0, 1.0);
+        let bias = vec![0.0f32; 4];
+        let mut out = Matrix::zeros(4, 4);
+        lp.linear_forward(&x, &w, &bias, &mut out);
+        let q = NumericFormat::Posit8.quantizer();
+        for &v in out.as_slice() {
+            assert_eq!(v, q.quantize_scalar(v), "output {v} not representable");
+        }
+    }
+
+    #[test]
+    fn weights_only_policy_leaves_activations_alone() {
+        let lp = LowPrecisionBackend::new(
+            Box::new(NaiveBackend::new()),
+            NumericFormat::Posit8,
+            QuantizePolicy::weights_only(),
+        );
+        let naive = NaiveBackend::new();
+        let mut rng = MatrixRng::seed_from(3);
+        let x: Matrix<f32> = rng.bernoulli(5, 7, 0.3);
+        let w: Matrix<f32> = rng.normal(7, 6, 0.0, 0.4);
+        let bias = vec![0.1f32; 6];
+        let mut a = Matrix::zeros(5, 6);
+        let mut b = Matrix::zeros(5, 6);
+        lp.linear_forward(&x, &w, &bias, &mut a);
+        naive.linear_forward(&x, &w, &bias, &mut b);
+        assert_eq!(a, b, "activations must pass through untouched");
+    }
+
+    #[test]
+    fn name_mentions_the_format() {
+        assert!(backend(NumericFormat::Posit16)
+            .name()
+            .contains("posit<16,1>"));
+    }
+}

@@ -160,7 +160,10 @@ mod tests {
     fn specials_are_preserved() {
         assert!(Bf16::from_f32(f32::NAN).is_nan());
         assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
-        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
         assert_eq!(Bf16::from_f32(-0.0).to_f32().to_bits(), (-0.0f32).to_bits());
     }
 
@@ -178,7 +181,7 @@ mod tests {
     #[test]
     fn max_is_largest_finite() {
         assert!(Bf16::MAX.to_f32().is_finite());
-        let next = f32::from_bits(((Bf16::MAX.to_bits() as u32 + 1) << 16) as u32);
+        let next = f32::from_bits((Bf16::MAX.to_bits() as u32 + 1) << 16);
         assert!(next.is_infinite());
     }
 

@@ -1,0 +1,419 @@
+//! Software posit emulation (any width up to 32 bits, any exponent-field
+//! size).
+//!
+//! A posit `<n, es>` packs a sign bit, a run-length-encoded *regime*, up to
+//! `es` exponent bits, and the remaining bits of fraction. The regime gives
+//! posits tapered precision: values near 1 get the most fraction bits,
+//! extreme magnitudes trade fraction for range. That taper is exactly why
+//! FPGA BCPNN implementations consider them — probability traces cluster
+//! near `eps..1` and log-odds weights near zero, both in the high-precision
+//! band.
+//!
+//! The implementation works on the standard integer lattice: posit bit
+//! patterns (as two's-complement integers) are monotone in the values they
+//! represent, so round-to-nearest-even in value space is round-to-nearest-
+//! even on the assembled bit string, which `PositFormat::encode` performs
+//! directly with guard/sticky arithmetic on a 128-bit staging word.
+
+/// A posit format: total width `n_bits` (2..=32) and exponent field size
+/// `es` (0..=4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositFormat {
+    n_bits: u32,
+    es: u32,
+}
+
+impl PositFormat {
+    /// Create a `<n_bits, es>` format.
+    ///
+    /// # Panics
+    /// Panics if `n_bits` is outside `2..=32` or `es > 4`.
+    pub fn new(n_bits: u32, es: u32) -> Self {
+        assert!(
+            (2..=32).contains(&n_bits),
+            "posit width must be in 2..=32, got {n_bits}"
+        );
+        assert!(es <= 4, "posit exponent field wider than 4 bits is unused");
+        Self { n_bits, es }
+    }
+
+    /// The standard 16-bit format `posit<16,1>`.
+    pub fn posit16() -> Self {
+        Self::new(16, 1)
+    }
+
+    /// The standard 8-bit format `posit<8,0>`.
+    pub fn posit8() -> Self {
+        Self::new(8, 0)
+    }
+
+    /// The standard 32-bit format `posit<32,2>`.
+    pub fn posit32() -> Self {
+        Self::new(32, 2)
+    }
+
+    /// Total width in bits.
+    pub fn n_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    /// Exponent field size.
+    pub fn es(&self) -> u32 {
+        self.es
+    }
+
+    /// The NaR (not-a-real) bit pattern: sign bit set, everything else zero.
+    pub fn nar_bits(&self) -> u32 {
+        1u32 << (self.n_bits - 1)
+    }
+
+    fn mask(&self) -> u32 {
+        if self.n_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n_bits) - 1
+        }
+    }
+
+    /// Width of the value body (everything after the sign bit).
+    fn body_bits(&self) -> u32 {
+        self.n_bits - 1
+    }
+
+    /// Largest representable value (`useed^(n-2)`).
+    pub fn max_value(&self) -> f64 {
+        let scale = ((self.body_bits() as i64) - 1) << self.es;
+        exp2(scale)
+    }
+
+    /// Smallest positive representable value (`useed^(2-n)`).
+    pub fn min_positive(&self) -> f64 {
+        let scale = (1 - (self.body_bits() as i64)) << self.es;
+        exp2(scale)
+    }
+
+    /// Encode a real value into the nearest posit bit pattern
+    /// (round-to-nearest-even; NaN and infinities map to NaR, values beyond
+    /// the dynamic range saturate at maxpos/minpos).
+    pub fn encode(&self, value: f64) -> u32 {
+        if value == 0.0 {
+            return 0;
+        }
+        if !value.is_finite() {
+            return self.nar_bits();
+        }
+        let negative = value < 0.0;
+        let a = value.abs();
+        // Decompose |value| = (1 + frac52/2^52) * 2^expo (f64 is normal
+        // here: even the subnormal f32 range is normal as f64).
+        let bits = a.to_bits();
+        let expo = ((bits >> 52) & 0x7FF) as i64 - 1023;
+        let frac52 = bits & ((1u64 << 52) - 1);
+
+        let p = self.body_bits() as i64;
+        let k = expo >> self.es; // floor division
+        let e = (expo - (k << self.es)) as u64;
+
+        // Regime run: k >= 0 -> (k+1) ones then a zero; k < 0 -> (-k) zeros
+        // then a one.
+        let (regime_len, regime_val) = if k >= 0 {
+            (k + 2, ((1u128 << (k + 1)) - 1) << 1) // 1..10
+        } else {
+            (-k + 1, 1u128) // 0..01
+        };
+        if regime_len > p {
+            // Regime alone overflows the body: saturate.
+            let body = if k >= 0 { self.mask() >> 1 } else { 1 };
+            return self.apply_sign(body, negative);
+        }
+
+        // Stage the full bit string after the sign: regime, exponent,
+        // 52 fraction bits. Total length always fits in 128 bits.
+        let total_len = regime_len + self.es as i64 + 52;
+        let staged: u128 =
+            (regime_val << (self.es as i64 + 52)) | ((e as u128) << 52) | frac52 as u128;
+
+        let drop = total_len - p;
+        let mut body = if drop <= 0 {
+            (staged << (-drop)) as u32
+        } else {
+            let kept = (staged >> drop) as u32;
+            let remainder = staged & ((1u128 << drop) - 1);
+            let half = 1u128 << (drop - 1);
+            let round_up = remainder > half || (remainder == half && kept & 1 == 1);
+            kept + u32::from(round_up)
+        };
+        // Rounding can carry past maxpos; clamp inside the body.
+        let body_mask = (1u32 << p) - 1;
+        if body > body_mask {
+            body = body_mask;
+        }
+        self.apply_sign(body, negative)
+    }
+
+    fn apply_sign(&self, body: u32, negative: bool) -> u32 {
+        if negative {
+            self.mask() & body.wrapping_neg()
+        } else {
+            body
+        }
+    }
+
+    /// Decode a posit bit pattern back to `f64` (NaR decodes to NaN).
+    pub fn decode(&self, bits: u32) -> f64 {
+        let bits = bits & self.mask();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits == self.nar_bits() {
+            return f64::NAN;
+        }
+        let negative = bits & self.nar_bits() != 0;
+        let body = if negative {
+            (bits.wrapping_neg() & self.mask()) & (self.nar_bits() - 1)
+        } else {
+            bits
+        };
+
+        let p = self.body_bits();
+        // Leading regime run.
+        let first = (body >> (p - 1)) & 1;
+        let mut run = 0u32;
+        while run < p && (body >> (p - 1 - run)) & 1 == first {
+            run += 1;
+        }
+        let k: i64 = if first == 1 {
+            run as i64 - 1
+        } else {
+            -(run as i64)
+        };
+        let consumed = (run + 1).min(p); // regime + terminator
+        let rem = p - consumed;
+
+        let exp_avail = rem.min(self.es);
+        let e = if exp_avail > 0 {
+            let raw = (body >> (rem - exp_avail)) & ((1 << exp_avail) - 1);
+            // Missing low exponent bits are zero.
+            (raw << (self.es - exp_avail)) as i64
+        } else {
+            0
+        };
+
+        let frac_bits = rem - exp_avail;
+        let frac = if frac_bits > 0 {
+            let raw = body & ((1 << frac_bits) - 1);
+            raw as f64 / (1u64 << frac_bits) as f64
+        } else {
+            0.0
+        };
+
+        let scale = (k << self.es) + e;
+        let magnitude = (1.0 + frac) * exp2(scale);
+        if negative {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Round an `f32` through the format and back (the quantization operator
+    /// used by [`crate::NumericFormat::Posit16`] and friends).
+    pub fn round_f32(&self, value: f32) -> f32 {
+        self.decode(self.encode(value as f64)) as f32
+    }
+}
+
+impl std::fmt::Display for PositFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "posit<{},{}>", self.n_bits, self.es)
+    }
+}
+
+/// `2^scale` for scales far beyond the `f64` normal range, by splitting into
+/// two factors (`exp2` of an extreme posit scale like `-240 << 2` would
+/// otherwise flush to zero prematurely in one step for 32-bit formats —
+/// posit<32,2> spans `2^±480`, within f64 range, but the split keeps this
+/// correct for any supported format).
+fn exp2(scale: i64) -> f64 {
+    let half = scale / 2;
+    (half as f64).exp2() * ((scale - half) as f64).exp2()
+}
+
+/// A posit value: a bit pattern tagged with its format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posit {
+    bits: u32,
+    format: PositFormat,
+}
+
+impl Posit {
+    /// Round `value` into the given format.
+    pub fn from_f64(value: f64, format: PositFormat) -> Self {
+        Self {
+            bits: format.encode(value),
+            format,
+        }
+    }
+
+    /// Round an `f32` into the given format.
+    pub fn from_f32(value: f32, format: PositFormat) -> Self {
+        Self::from_f64(value as f64, format)
+    }
+
+    /// Interpret a raw bit pattern in the given format.
+    pub fn from_bits(bits: u32, format: PositFormat) -> Self {
+        Self {
+            bits: bits & format.mask(),
+            format,
+        }
+    }
+
+    /// The represented value.
+    pub fn to_f64(self) -> f64 {
+        self.format.decode(self.bits)
+    }
+
+    /// The represented value as `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The format this value is encoded in.
+    pub fn format(self) -> PositFormat {
+        self.format
+    }
+
+    /// Whether this is the NaR (not-a-real) pattern.
+    pub fn is_nar(self) -> bool {
+        self.bits == self.format.nar_bits()
+    }
+}
+
+impl std::fmt::Display for Posit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_nar() {
+            write!(f, "NaR")
+        } else {
+            write!(f, "{}", self.to_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_nar_are_special_patterns() {
+        let p16 = PositFormat::posit16();
+        assert_eq!(p16.encode(0.0), 0);
+        assert_eq!(p16.decode(0), 0.0);
+        assert_eq!(p16.encode(f64::NAN), 0x8000);
+        assert!(p16.decode(0x8000).is_nan());
+        assert_eq!(p16.encode(f64::INFINITY), 0x8000);
+    }
+
+    #[test]
+    fn powers_of_two_are_exact_in_posit16() {
+        let p16 = PositFormat::posit16();
+        for e in -8..=8 {
+            let v = (e as f64).exp2();
+            assert_eq!(p16.decode(p16.encode(v)), v, "2^{e}");
+            assert_eq!(p16.decode(p16.encode(-v)), -v, "-2^{e}");
+        }
+    }
+
+    #[test]
+    fn known_posit16_encodings() {
+        // Classic worked examples for posit<16,1>: useed = 4.
+        let p16 = PositFormat::posit16();
+        assert_eq!(p16.encode(1.0), 0x4000);
+        assert_eq!(p16.encode(-1.0), 0xC000);
+        // 1.0 + 1 ulp at this scale: regime 10, e=0, frac=1/2^12.
+        assert_eq!(p16.decode(0x4001), 1.0 + 1.0 / 4096.0);
+    }
+
+    #[test]
+    fn maxpos_and_minpos_roundtrip() {
+        for format in [
+            PositFormat::posit8(),
+            PositFormat::posit16(),
+            PositFormat::posit32(),
+        ] {
+            let maxpos = format.max_value();
+            let minpos = format.min_positive();
+            assert_eq!(format.decode(format.encode(maxpos)), maxpos, "{format}");
+            assert_eq!(format.decode(format.encode(minpos)), minpos, "{format}");
+            // Beyond the range saturates rather than overflowing.
+            assert_eq!(format.decode(format.encode(maxpos * 8.0)), maxpos);
+            let tiny = format.decode(format.encode(minpos / 8.0));
+            assert_eq!(tiny, minpos, "{format} must saturate at minpos");
+        }
+    }
+
+    #[test]
+    fn posit8_is_coarse_but_ordered() {
+        let p8 = PositFormat::posit8();
+        let values: Vec<f64> = (0..=255u32)
+            .filter(|&b| b != 0x80)
+            .map(|b| p8.decode(b))
+            .collect();
+        // All distinct patterns decode to distinct values.
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        assert_eq!(sorted.len(), 255);
+    }
+
+    #[test]
+    fn tapered_precision_is_best_near_one() {
+        let p16 = PositFormat::posit16();
+        let near_one = 1.2345678;
+        let far = 1.2345678e6;
+        let err_near = (p16.decode(p16.encode(near_one)) - near_one).abs() / near_one;
+        let err_far = (p16.decode(p16.encode(far)) - far).abs() / far;
+        assert!(err_near < err_far, "taper: {err_near} vs {err_far}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn roundtrip_is_idempotent(v in -1e6f64..1e6, n in 3u32..=32, es in 0u32..=2) {
+            let format = PositFormat::new(n, es);
+            let once = format.decode(format.encode(v));
+            let twice = format.decode(format.encode(once));
+            prop_assert!(once == twice || (once.is_nan() && twice.is_nan()));
+        }
+
+        #[test]
+        fn encoding_is_monotone(a in -1e4f64..1e4, b in -1e4f64..1e4) {
+            let p16 = PositFormat::posit16();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(p16.decode(p16.encode(lo)) <= p16.decode(p16.encode(hi)));
+        }
+
+        #[test]
+        fn decode_encode_is_identity_on_patterns(bits in 0u32..65536) {
+            let p16 = PositFormat::posit16();
+            if bits != p16.nar_bits() {
+                prop_assert_eq!(p16.encode(p16.decode(bits)), bits & 0xFFFF);
+            }
+        }
+
+        #[test]
+        fn posit16_relative_error_is_small_in_core_range(v in 0.001f64..1000.0) {
+            let p16 = PositFormat::posit16();
+            let r = p16.decode(p16.encode(v));
+            // >= 8 fraction bits anywhere in this range (the worst case is
+            // the |x| ~ 1000 end, where the regime takes 6 of 15 body bits).
+            prop_assert!(((r - v) / v).abs() <= 2f64.powi(-9), "{} -> {}", v, r);
+        }
+    }
+}

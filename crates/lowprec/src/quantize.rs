@@ -1,0 +1,221 @@
+//! The uniform "round this `f32` through format X" interface shared by the
+//! precision ablation: [`NumericFormat`] names a representation,
+//! [`Quantizer`] applies it to scalars / slices / matrices, and
+//! [`QuantizationError`] summarises the damage.
+
+use bcpnn_tensor::Matrix;
+
+use crate::bf16::Bf16;
+use crate::fixed::FixedFormat;
+use crate::posit::PositFormat;
+
+/// A storage number format the ablation can round through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericFormat {
+    /// IEEE-754 single precision (the identity; baseline).
+    F32,
+    /// bfloat16 (truncated f32, round-to-nearest-even).
+    Bf16,
+    /// Standard 16-bit posit (`posit<16,1>`).
+    Posit16,
+    /// Standard 8-bit posit (`posit<8,0>`).
+    Posit8,
+    /// An arbitrary posit format.
+    Posit(PositFormat),
+    /// Signed Qm.n fixed point with saturation.
+    Fixed(FixedFormat),
+}
+
+impl NumericFormat {
+    /// The formats swept by the precision-ablation benchmark, from least to
+    /// most aggressive.
+    pub fn ablation_suite() -> Vec<NumericFormat> {
+        vec![
+            NumericFormat::F32,
+            NumericFormat::Bf16,
+            NumericFormat::Posit16,
+            NumericFormat::Fixed(FixedFormat::q4_11()),
+            NumericFormat::Fixed(FixedFormat::q2_13()),
+            NumericFormat::Posit8,
+            NumericFormat::Fixed(FixedFormat::q4_3()),
+        ]
+    }
+
+    /// Storage width in bits.
+    pub fn storage_bits(&self) -> u32 {
+        match self {
+            NumericFormat::F32 => 32,
+            NumericFormat::Bf16 => 16,
+            NumericFormat::Posit16 => 16,
+            NumericFormat::Posit8 => 8,
+            NumericFormat::Posit(p) => p.n_bits(),
+            NumericFormat::Fixed(q) => q.word_bits(),
+        }
+    }
+
+    /// Build the quantization operator for this format.
+    pub fn quantizer(&self) -> Quantizer {
+        Quantizer { format: *self }
+    }
+
+    /// Short name used in tables (`f32`, `bf16`, `posit<16,1>`, `Q4.11`...).
+    pub fn name(&self) -> String {
+        match self {
+            NumericFormat::F32 => "f32".to_string(),
+            NumericFormat::Bf16 => "bf16".to_string(),
+            NumericFormat::Posit16 => "posit<16,1>".to_string(),
+            NumericFormat::Posit8 => "posit<8,0>".to_string(),
+            NumericFormat::Posit(p) => p.to_string(),
+            NumericFormat::Fixed(q) => q.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for NumericFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Rounds `f32` values through a [`NumericFormat`].
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    format: NumericFormat,
+}
+
+impl Quantizer {
+    /// The format this quantizer rounds through.
+    pub fn format(&self) -> NumericFormat {
+        self.format
+    }
+
+    /// Round one value.
+    pub fn quantize_scalar(&self, value: f32) -> f32 {
+        match self.format {
+            NumericFormat::F32 => value,
+            NumericFormat::Bf16 => Bf16::round_f32(value),
+            NumericFormat::Posit16 => PositFormat::posit16().round_f32(value),
+            NumericFormat::Posit8 => PositFormat::posit8().round_f32(value),
+            NumericFormat::Posit(p) => p.round_f32(value),
+            NumericFormat::Fixed(q) => q.round_f32(value),
+        }
+    }
+
+    /// Round a slice in place.
+    pub fn quantize_slice(&self, values: &mut [f32]) {
+        if matches!(self.format, NumericFormat::F32) {
+            return;
+        }
+        for v in values {
+            *v = self.quantize_scalar(*v);
+        }
+    }
+
+    /// Round a matrix in place.
+    pub fn quantize_matrix(&self, m: &mut Matrix<f32>) {
+        self.quantize_slice(m.as_mut_slice());
+    }
+
+    /// Round a copy of `values` and report the introduced error.
+    pub fn measure(&self, values: &[f32]) -> QuantizationError {
+        let mut max_abs = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut max_rel = 0.0f64;
+        for &v in values {
+            let q = self.quantize_scalar(v);
+            let err = (q as f64 - v as f64).abs();
+            max_abs = max_abs.max(err);
+            sum_abs += err;
+            sum_sq += err * err;
+            if v != 0.0 {
+                max_rel = max_rel.max(err / (v as f64).abs());
+            }
+        }
+        let n = values.len().max(1) as f64;
+        QuantizationError {
+            max_abs_error: max_abs,
+            mean_abs_error: sum_abs / n,
+            rmse: (sum_sq / n).sqrt(),
+            max_rel_error: max_rel,
+            n_values: values.len(),
+        }
+    }
+}
+
+/// Error statistics of rounding a value set through a format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationError {
+    /// Largest absolute error.
+    pub max_abs_error: f64,
+    /// Mean absolute error.
+    pub mean_abs_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Largest relative error over the non-zero values.
+    pub max_rel_error: f64,
+    /// Number of values measured.
+    pub n_values: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_values() -> Vec<f32> {
+        (0..500).map(|i| (i as f32 - 250.0) * 0.0137).collect()
+    }
+
+    #[test]
+    fn f32_is_the_identity() {
+        let q = NumericFormat::F32.quantizer();
+        let values = probe_values();
+        let err = q.measure(&values);
+        assert_eq!(err.max_abs_error, 0.0);
+        assert_eq!(err.rmse, 0.0);
+        assert_eq!(err.n_values, 500);
+    }
+
+    #[test]
+    fn posit16_error_is_small() {
+        let q = NumericFormat::Posit16.quantizer();
+        let x = 0.123_f32;
+        let rounded = q.quantize_scalar(x);
+        assert!((rounded - x).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wider_formats_have_smaller_error() {
+        let values = probe_values();
+        let e8 = NumericFormat::Posit8.quantizer().measure(&values);
+        let e16 = NumericFormat::Posit16.quantizer().measure(&values);
+        assert!(e16.rmse < e8.rmse);
+        let ebf = NumericFormat::Bf16.quantizer().measure(&values);
+        let ef32 = NumericFormat::F32.quantizer().measure(&values);
+        assert!(ef32.rmse <= ebf.rmse);
+    }
+
+    #[test]
+    fn quantize_matrix_rounds_every_entry() {
+        let mut m = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f32 * 0.017 - 0.5);
+        let original = m.clone();
+        NumericFormat::Fixed(FixedFormat::q4_3())
+            .quantizer()
+            .quantize_matrix(&mut m);
+        let q = FixedFormat::q4_3();
+        for (a, b) in original.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(q.round_f32(*a), *b);
+        }
+    }
+
+    #[test]
+    fn ablation_suite_is_ordered_and_named() {
+        let suite = NumericFormat::ablation_suite();
+        assert_eq!(suite[0], NumericFormat::F32);
+        assert!(suite.len() >= 5);
+        for f in &suite {
+            assert!(!f.name().is_empty());
+            assert!(f.storage_bits() >= 8 && f.storage_bits() <= 32);
+        }
+    }
+}

@@ -92,7 +92,6 @@ impl<'scope, 'pool> Scope<'scope, 'pool> {
         }
     }
 
-
     /// Spawn a task that may borrow data living at least as long as the
     /// scope. Panics inside the task are captured and re-raised by
     /// [`ThreadPool::scope`] once every task has completed.

@@ -147,11 +147,15 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
-    par_chunks_mut(&mut out, SEQUENTIAL_CUTOFF.min(len.max(1)), |start, chunk| {
-        for (offset, slot) in chunk.iter_mut().enumerate() {
-            *slot = Some(f(start + offset));
-        }
-    });
+    par_chunks_mut(
+        &mut out,
+        SEQUENTIAL_CUTOFF.min(len.max(1)),
+        |start, chunk| {
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(f(start + offset));
+            }
+        },
+    );
     out.into_iter()
         .map(|x| x.expect("par_map_collect slot not filled"))
         .collect()

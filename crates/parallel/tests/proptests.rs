@@ -1,9 +1,7 @@
 //! Property-based tests for the data-parallel substrate: the parallel
 //! helpers must always agree with their sequential counterparts.
 
-use bcpnn_parallel::{
-    chunk_ranges, even_ranges, par_map_collect, parallel_map_reduce, Range,
-};
+use bcpnn_parallel::{chunk_ranges, even_ranges, par_map_collect, parallel_map_reduce, Range};
 use proptest::prelude::*;
 
 fn covers(ranges: &[Range], len: usize) -> bool {

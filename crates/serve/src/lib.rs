@@ -1,0 +1,84 @@
+//! # bcpnn-serve
+//!
+//! Micro-batched inference serving for StreamBrain-rs: the subsystem that
+//! turns trained BCPNN models into a concurrent, hot-swappable prediction
+//! service.
+//!
+//! The paper's throughput story is batch-parallel HCU updates — amortize
+//! per-item overhead by processing vectorized batches. This crate applies
+//! the same insight to the serving workload:
+//!
+//! * [`Pipeline`] — a self-contained artifact bundling the fitted input
+//!   encoder (from `bcpnn-data`) with a trained [`bcpnn_core::Network`], so
+//!   requests carry *raw* feature vectors.
+//! * [`ModelRegistry`] — named, versioned models shared as
+//!   `Arc<ServedModel>`, with atomic zero-downtime **hot-swap**: in-flight
+//!   batches finish on the version they started with.
+//! * [`InferenceServer`] — the micro-batching scheduler: a collector thread
+//!   coalesces single-vector requests into batches (bounded by
+//!   [`BatchConfig::max_batch`] / [`BatchConfig::max_wait`]) and worker
+//!   threads run each batch as one vectorized encode → forward → readout
+//!   pass.
+//! * [`ServingMetrics`] — request/batch counters, batch-size histogram, and
+//!   p50/p99 latency estimates, exposed as a [`MetricsSnapshot`].
+//! * [`loadgen`] — a synthetic-Higgs load generator used by the
+//!   `bcpnn-serve` demo binary and the serving benchmarks.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bcpnn_backend::BackendKind;
+//! use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+//! use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+//! use bcpnn_data::QuantileEncoder;
+//! use bcpnn_serve::{
+//!     BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel,
+//! };
+//!
+//! // Train a tiny model on synthetic Higgs collisions.
+//! let data = generate(&SyntheticHiggsConfig { n_samples: 300, ..Default::default() });
+//! let encoder = QuantileEncoder::fit(&data, 10);
+//! let x = encoder.transform(&data);
+//! let mut network = Network::builder()
+//!     .input(encoder.encoded_width())
+//!     .hidden(2, 4, 0.3)
+//!     .classes(2)
+//!     .readout(ReadoutKind::Hybrid)
+//!     .backend(BackendKind::Naive)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
+//! Trainer::new(TrainingParams {
+//!     unsupervised_epochs: 1,
+//!     supervised_epochs: 1,
+//!     batch_size: 50,
+//!     ..Default::default()
+//! })
+//! .fit(&mut network, &x, &data.labels)
+//! .unwrap();
+//!
+//! // Publish it and serve raw feature vectors through the micro-batcher.
+//! let registry = Arc::new(ModelRegistry::new());
+//! let pipeline = Pipeline::new(network, Some(encoder)).unwrap();
+//! registry.publish(ServedModel::new("higgs", 1, pipeline));
+//! let server = InferenceServer::start(Arc::clone(&registry), BatchConfig::default());
+//!
+//! let proba = server.predict("higgs", data.features.row(0).to_vec()).unwrap();
+//! assert_eq!(proba.len(), 2);
+//! assert!((proba.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+//! assert_eq!(server.metrics().responses, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod loadgen;
+mod metrics;
+mod pipeline;
+mod registry;
+mod server;
+
+pub use error::{ServeError, ServeResult};
+pub use metrics::{MetricsSnapshot, ServingMetrics};
+pub use pipeline::Pipeline;
+pub use registry::{ModelRegistry, ServedModel};
+pub use server::{BatchConfig, InferenceServer, PredictionHandle};

@@ -1,0 +1,170 @@
+//! Synthetic-Higgs load generator: drives an [`InferenceServer`] from
+//! concurrent client threads, verifying responses as they arrive.
+//!
+//! Used by the `bcpnn-serve` demo binary, the serving benchmark, and the
+//! hot-swap integration test to put realistic concurrent load on the
+//! micro-batcher.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+
+use crate::server::InferenceServer;
+
+/// Load-generation knobs.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Registry name of the model to hit.
+    pub model: String,
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Seed of the synthetic-Higgs request stream.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            model: "higgs".to_string(),
+            clients: 4,
+            requests_per_client: 250,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Successful responses received across all clients.
+    pub responses: u64,
+    /// Error responses received across all clients.
+    pub errors: u64,
+    /// Responses whose probabilities failed validation (wrong length or not
+    /// summing to one) — always zero for a healthy server.
+    pub invalid: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Successful responses per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.responses as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// A deterministic stream of raw Higgs feature vectors for requests.
+pub fn request_stream(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: n.max(1),
+        seed,
+        ..Default::default()
+    });
+    (0..data.n_samples())
+        .map(|r| data.features.row(r).to_vec())
+        .collect()
+}
+
+/// Drive the server from `config.clients` concurrent threads, each sending
+/// its slice of a shared synthetic request stream and validating every
+/// response. Blocks until all clients finish.
+pub fn run(server: &InferenceServer, config: &LoadGenConfig) -> LoadReport {
+    let total = config.clients * config.requests_per_client;
+    let stream = request_stream(total, config.seed);
+    let n_classes = server
+        .registry()
+        .lookup(&config.model)
+        .map(|m| m.pipeline().n_classes())
+        .unwrap_or(2);
+    let responses = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let invalid = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let stream = &stream;
+            let responses = &responses;
+            let errors = &errors;
+            let invalid = &invalid;
+            let model = &config.model;
+            let per_client = config.requests_per_client;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let features = stream[client * per_client + i].clone();
+                    match server.predict(model, features) {
+                        Ok(proba) => {
+                            responses.fetch_add(1, Ordering::Relaxed);
+                            let sum: f32 = proba.iter().sum();
+                            if proba.len() != n_classes || (sum - 1.0).abs() > 1e-3 {
+                                invalid.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    LoadReport {
+        responses: responses.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        invalid: invalid.load(Ordering::Relaxed),
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tests::tiny_pipeline;
+    use crate::registry::{ModelRegistry, ServedModel};
+    use crate::server::BatchConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn stream_is_deterministic_and_wide_enough() {
+        let a = request_stream(50, 3);
+        let b = request_stream(50, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|row| row.len() == 28));
+        assert_ne!(a, request_stream(50, 4));
+    }
+
+    #[test]
+    fn concurrent_load_completes_without_invalid_responses() {
+        let (pipeline, _) = tiny_pipeline(40);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = InferenceServer::start(registry, BatchConfig::default());
+        let report = run(
+            &server,
+            &LoadGenConfig {
+                clients: 4,
+                requests_per_client: 25,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.responses, 100);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.invalid, 0);
+        assert!(report.throughput_rps() > 0.0);
+        let m = server.metrics();
+        assert_eq!(m.responses, 100);
+        assert!(
+            m.mean_batch_size > 1.0,
+            "4 concurrent clients must co-batch at least sometimes (mean {})",
+            m.mean_batch_size
+        );
+    }
+}

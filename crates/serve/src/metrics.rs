@@ -1,0 +1,246 @@
+//! Serving metrics: request/batch counters, a batch-size histogram, and a
+//! log-bucketed latency histogram with p50/p99 estimates.
+//!
+//! Everything is lock-free atomics so the hot path (one `fetch_add` per
+//! event) never contends with readers; [`ServingMetrics::snapshot`] folds
+//! the counters into an owned [`MetricsSnapshot`] for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1)) µs`, with the last bucket open-ended.
+const LATENCY_BUCKETS: usize = 28;
+/// Number of batch-size buckets: bucket `i` holds sizes in
+/// `[2^i, 2^(i+1))`, with the last bucket open-ended.
+const BATCH_BUCKETS: usize = 16;
+
+/// Lock-free serving counters; shared by the scheduler threads.
+#[derive(Debug, Default)]
+pub struct ServingMetrics {
+    /// Requests accepted by `submit`.
+    requests: AtomicU64,
+    /// Successful responses delivered.
+    responses: AtomicU64,
+    /// Error responses delivered.
+    errors: AtomicU64,
+    /// Batches dispatched to workers.
+    batches: AtomicU64,
+    /// Sum of batch sizes (for the mean).
+    batched_requests: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    /// Sum of request latencies in microseconds (for the mean).
+    latency_sum_us: AtomicU64,
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+fn bucket_of(value: u64, buckets: usize) -> usize {
+    // value 0 and 1 land in bucket 0; otherwise floor(log2(value)).
+    ((64 - value.max(1).leading_zeros() as usize) - 1).min(buckets - 1)
+}
+
+impl ServingMetrics {
+    /// Create zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count an accepted request.
+    pub fn record_submit(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a dispatched batch of the given size.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_hist[bucket_of(size as u64, BATCH_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a delivered response and its end-to-end latency.
+    pub fn record_response(&self, latency: Duration) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_hist[bucket_of(us, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an error response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold the live counters into an owned snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency_hist: Vec<u64> = self
+            .latency_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let batch_hist: Vec<u64> = self
+            .batch_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let responses = self.responses.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses,
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            mean_latency_us: if responses == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / responses as f64
+            },
+            p50_latency_us: percentile_from_hist(&latency_hist, 0.50),
+            p99_latency_us: percentile_from_hist(&latency_hist, 0.99),
+            batch_size_hist: batch_hist,
+            latency_hist_us: latency_hist,
+        }
+    }
+}
+
+/// Estimate a percentile from a log2-bucketed histogram: find the bucket the
+/// rank falls in and return its geometric midpoint (`2^i * sqrt(2)`), which
+/// is within a factor of `sqrt(2)` of the true value.
+fn percentile_from_hist(hist: &[u64], q: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+        }
+    }
+    2f64.powi(hist.len() as i32 - 1) * std::f64::consts::SQRT_2
+}
+
+/// A point-in-time copy of the serving counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Successful responses delivered.
+    pub responses: u64,
+    /// Error responses delivered.
+    pub errors: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch_size: f64,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Median end-to-end latency in microseconds (log-bucket estimate).
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency in microseconds (log-bucket
+    /// estimate).
+    pub p99_latency_us: f64,
+    /// Batch-size histogram; bucket `i` counts batches of `2^i..2^(i+1)`
+    /// requests.
+    pub batch_size_hist: Vec<u64>,
+    /// Latency histogram; bucket `i` counts responses in
+    /// `2^i..2^(i+1)` µs.
+    pub latency_hist_us: Vec<u64>,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests {}  responses {}  errors {}  batches {}  mean batch {:.2}",
+            self.requests, self.responses, self.errors, self.batches, self.mean_batch_size
+        )?;
+        write!(
+            f,
+            "latency µs: mean {:.0}  p50 ~{:.0}  p99 ~{:.0}",
+            self.mean_latency_us, self.p50_latency_us, self.p99_latency_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0, 16), 0);
+        assert_eq!(bucket_of(1, 16), 0);
+        assert_eq!(bucket_of(2, 16), 1);
+        assert_eq!(bucket_of(3, 16), 1);
+        assert_eq!(bucket_of(4, 16), 2);
+        assert_eq!(bucket_of(1023, 16), 9);
+        assert_eq!(bucket_of(u64::MAX, 16), 15, "clamped to the last bucket");
+    }
+
+    #[test]
+    fn snapshot_aggregates_counts() {
+        let m = ServingMetrics::new();
+        for _ in 0..10 {
+            m.record_submit();
+        }
+        m.record_batch(4);
+        m.record_batch(6);
+        for i in 0..10u64 {
+            m.record_response(Duration::from_micros(100 + i));
+        }
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.responses, 10);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_size - 5.0).abs() < 1e-9);
+        assert!(s.mean_latency_us >= 100.0 && s.mean_latency_us < 110.0);
+        // 100 µs lands in bucket 6 (64..128): midpoint ~90.5.
+        assert!(s.p50_latency_us > 64.0 && s.p50_latency_us < 128.0);
+        assert_eq!(s.batch_size_hist[2], 2, "4 and 6 both land in bucket 2");
+    }
+
+    #[test]
+    fn percentiles_split_a_bimodal_distribution() {
+        let m = ServingMetrics::new();
+        // 98 fast responses (~8 µs), 2 slow (~8192 µs).
+        for _ in 0..98 {
+            m.record_response(Duration::from_micros(8));
+        }
+        for _ in 0..2 {
+            m.record_response(Duration::from_micros(8192));
+        }
+        let s = m.snapshot();
+        assert!(s.p50_latency_us < 32.0, "p50 {}", s.p50_latency_us);
+        assert!(s.p99_latency_us > 4000.0, "p99 {}", s.p99_latency_us);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_estimates() {
+        let s = ServingMetrics::new().snapshot();
+        assert_eq!(s.p50_latency_us, 0.0);
+        assert_eq!(s.mean_batch_size, 0.0);
+        assert_eq!(s.mean_latency_us, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_the_headline_numbers() {
+        let m = ServingMetrics::new();
+        m.record_submit();
+        m.record_batch(1);
+        m.record_response(Duration::from_micros(500));
+        let text = m.snapshot().to_string();
+        assert!(text.contains("requests 1"));
+        assert!(text.contains("p50"));
+    }
+}

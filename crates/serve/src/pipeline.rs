@@ -1,0 +1,205 @@
+//! The [`Pipeline`] serving artifact: a fitted input encoder bundled with a
+//! trained network, so the server accepts *raw* feature vectors end-to-end.
+//!
+//! Offline experiments encode the whole dataset once and train on the
+//! binary code; a serving system cannot ask its clients to do that. The
+//! pipeline closes the gap: requests carry the 28 raw Higgs features, and
+//! encode → hidden forward → readout all happen inside one batched call.
+
+use std::path::Path;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{load_network_with_encoder, save_network_with_encoder, Network};
+use bcpnn_data::QuantileEncoder;
+use bcpnn_tensor::Matrix;
+
+use crate::error::{ServeError, ServeResult};
+
+/// A complete inference artifact: optional raw-feature encoder + network.
+///
+/// With an encoder, [`Pipeline::predict_proba`] expects raw feature rows
+/// (e.g. 28 columns for Higgs); without one it expects already-encoded
+/// rows matching the network's input width.
+#[derive(Debug)]
+pub struct Pipeline {
+    network: Network,
+    encoder: Option<QuantileEncoder>,
+}
+
+impl Pipeline {
+    /// Bundle a network with an optional fitted encoder.
+    ///
+    /// Fails if the encoder's output width does not match the network's
+    /// input width.
+    pub fn new(network: Network, encoder: Option<QuantileEncoder>) -> ServeResult<Self> {
+        if let Some(enc) = &encoder {
+            let expected = network.hidden().params().n_inputs;
+            if enc.encoded_width() != expected {
+                return Err(ServeError::Model(format!(
+                    "encoder produces {} columns but the network expects {}",
+                    enc.encoded_width(),
+                    expected
+                )));
+            }
+        }
+        Ok(Self { network, encoder })
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The bundled encoder, if any.
+    pub fn encoder(&self) -> Option<&QuantileEncoder> {
+        self.encoder.as_ref()
+    }
+
+    /// Width of the feature vectors requests must supply: the raw feature
+    /// count when an encoder is bundled, the encoded width otherwise.
+    pub fn input_width(&self) -> usize {
+        match &self.encoder {
+            Some(enc) => enc.n_features(),
+            None => self.network.hidden().params().n_inputs,
+        }
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.network.n_classes()
+    }
+
+    /// Class probabilities for a batch of feature rows (raw features when an
+    /// encoder is bundled). This is the single vectorized pass the
+    /// micro-batcher amortizes request overhead into.
+    pub fn predict_proba(&self, rows: &Matrix<f32>) -> ServeResult<Matrix<f32>> {
+        if rows.cols() != self.input_width() {
+            return Err(ServeError::ShapeMismatch {
+                expected: self.input_width(),
+                got: rows.cols(),
+            });
+        }
+        let proba = match &self.encoder {
+            Some(enc) => self.network.predict_proba(&enc.transform_rows(rows))?,
+            None => self.network.predict_proba(rows)?,
+        };
+        Ok(proba)
+    }
+
+    /// Save the artifact as a (v2) model directory.
+    pub fn save<P: AsRef<Path>>(&self, dir: P) -> ServeResult<()> {
+        save_network_with_encoder(&self.network, self.encoder.as_ref(), dir)?;
+        Ok(())
+    }
+
+    /// Load an artifact from a model directory, instantiating the network
+    /// on the given backend.
+    pub fn load<P: AsRef<Path>>(dir: P, backend: BackendKind) -> ServeResult<Self> {
+        let (network, encoder) = load_network_with_encoder(dir, backend)?;
+        Pipeline::new(network, encoder)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use bcpnn_core::{ReadoutKind, Trainer, TrainingParams};
+    use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+
+    pub(crate) fn tiny_pipeline(seed: u64) -> (Pipeline, bcpnn_data::Dataset) {
+        let data = generate(&SyntheticHiggsConfig {
+            n_samples: 400,
+            seed,
+            ..Default::default()
+        });
+        let encoder = QuantileEncoder::fit(&data, 10);
+        let x = encoder.transform(&data);
+        let mut network = Network::builder()
+            .input(encoder.encoded_width())
+            .hidden(2, 4, 0.3)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(seed)
+            .build()
+            .unwrap();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 50,
+            ..Default::default()
+        })
+        .fit(&mut network, &x, &data.labels)
+        .unwrap();
+        (Pipeline::new(network, Some(encoder)).unwrap(), data)
+    }
+
+    #[test]
+    fn pipeline_accepts_raw_features() {
+        let (pipeline, data) = tiny_pipeline(1);
+        assert_eq!(pipeline.input_width(), 28);
+        assert_eq!(pipeline.n_classes(), 2);
+        let proba = pipeline.predict_proba(&data.features).unwrap();
+        assert_eq!(proba.shape(), (data.n_samples(), 2));
+        for r in 0..proba.rows() {
+            let s: f32 = proba.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_manual_encode_then_predict() {
+        let (pipeline, data) = tiny_pipeline(2);
+        let manual = pipeline
+            .network()
+            .predict_proba(&pipeline.encoder().unwrap().transform_rows(&data.features))
+            .unwrap();
+        let auto = pipeline.predict_proba(&data.features).unwrap();
+        assert!(manual.max_abs_diff(&auto) < 1e-6);
+    }
+
+    #[test]
+    fn wrong_width_is_rejected() {
+        let (pipeline, _) = tiny_pipeline(3);
+        let bad = Matrix::zeros(2, 5);
+        assert!(matches!(
+            pipeline.predict_proba(&bad),
+            Err(ServeError::ShapeMismatch {
+                expected: 28,
+                got: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn mismatched_encoder_is_rejected_at_construction() {
+        let (pipeline, _) = tiny_pipeline(4);
+        let (other, _) = tiny_pipeline(5);
+        let narrow_net = Network::builder()
+            .input(16)
+            .hidden(2, 4, 0.5)
+            .classes(2)
+            .backend(BackendKind::Naive)
+            .build()
+            .unwrap();
+        let enc = other.encoder.unwrap();
+        assert!(Pipeline::new(narrow_net, Some(enc)).is_err());
+        drop(pipeline);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_serving_behavior() {
+        let (pipeline, data) = tiny_pipeline(6);
+        let dir = std::env::temp_dir()
+            .join("bcpnn_serve_pipeline_tests")
+            .join(format!("roundtrip_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        pipeline.save(&dir).unwrap();
+        let loaded = Pipeline::load(&dir, BackendKind::Naive).unwrap();
+        assert!(loaded.encoder().is_some());
+        let a = pipeline.predict_proba(&data.features).unwrap();
+        let b = loaded.predict_proba(&data.features).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

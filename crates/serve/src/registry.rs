@@ -1,0 +1,200 @@
+//! The [`ModelRegistry`]: named, versioned models shared across threads as
+//! `Arc<ServedModel>`, with atomic hot-swap.
+//!
+//! The swap protocol is the standard read-copy-update shape: readers clone
+//! the `Arc` out of the registry under a short read lock and then work
+//! entirely off their clone, so publishing a new version never blocks or
+//! invalidates an in-flight batch — old versions die when the last batch
+//! holding them finishes.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bcpnn_backend::BackendKind;
+use parking_lot::RwLock;
+
+use crate::error::{ServeError, ServeResult};
+use crate::pipeline::Pipeline;
+
+/// A named, versioned, immutable serving artifact.
+#[derive(Debug)]
+pub struct ServedModel {
+    name: String,
+    version: u64,
+    pipeline: Pipeline,
+}
+
+impl ServedModel {
+    /// Wrap a pipeline under a model name and version.
+    pub fn new(name: impl Into<String>, version: u64, pipeline: Pipeline) -> Self {
+        Self {
+            name: name.into(),
+            version,
+            pipeline,
+        }
+    }
+
+    /// The model's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model's version number.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The serving pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+}
+
+/// Thread-safe map of model name → current [`ServedModel`] version.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ServedModel>>>,
+    swaps: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a model, atomically replacing any existing version under the
+    /// same name (hot-swap). Returns the shared handle, plus the displaced
+    /// version if there was one.
+    pub fn publish(&self, model: ServedModel) -> (Arc<ServedModel>, Option<Arc<ServedModel>>) {
+        let handle = Arc::new(model);
+        let previous = self
+            .models
+            .write()
+            .insert(handle.name().to_string(), Arc::clone(&handle));
+        if previous.is_some() {
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        (handle, previous)
+    }
+
+    /// Load a model directory (see [`Pipeline::load`]) and publish it.
+    pub fn load_and_publish<P: AsRef<Path>>(
+        &self,
+        name: &str,
+        version: u64,
+        dir: P,
+        backend: BackendKind,
+    ) -> ServeResult<Arc<ServedModel>> {
+        let pipeline = Pipeline::load(dir, backend)?;
+        Ok(self.publish(ServedModel::new(name, version, pipeline)).0)
+    }
+
+    /// Current version of a model, or an [`ServeError::UnknownModel`] error.
+    pub fn get(&self, name: &str) -> ServeResult<Arc<ServedModel>> {
+        self.models
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Current version of a model, if registered.
+    pub fn lookup(&self, name: &str) -> Option<Arc<ServedModel>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// Unregister a model, returning its last version.
+    pub fn remove(&self, name: &str) -> Option<Arc<ServedModel>> {
+        self.models.write().remove(name)
+    }
+
+    /// Names of all registered models, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+
+    /// How many publishes replaced an existing version (hot-swaps).
+    pub fn hot_swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tests::tiny_pipeline;
+
+    #[test]
+    fn publish_get_remove_lifecycle() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.get("higgs"),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        let (pipeline, _) = tiny_pipeline(10);
+        let (handle, previous) = registry.publish(ServedModel::new("higgs", 1, pipeline));
+        assert!(previous.is_none());
+        assert_eq!(handle.version(), 1);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.model_names(), vec!["higgs".to_string()]);
+
+        let got = registry.get("higgs").unwrap();
+        assert_eq!(got.version(), 1);
+        assert!(Arc::ptr_eq(&handle, &got));
+
+        let removed = registry.remove("higgs").unwrap();
+        assert_eq!(removed.version(), 1);
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn hot_swap_replaces_atomically_and_keeps_old_handles_alive() {
+        let registry = ModelRegistry::new();
+        let (v1, _) = tiny_pipeline(11);
+        let (v2, data) = tiny_pipeline(12);
+        registry.publish(ServedModel::new("higgs", 1, v1));
+        assert_eq!(registry.hot_swaps(), 0);
+
+        // A "request in flight" holds the old version.
+        let in_flight = registry.get("higgs").unwrap();
+
+        let (new_handle, displaced) = registry.publish(ServedModel::new("higgs", 2, v2));
+        assert_eq!(registry.hot_swaps(), 1);
+        assert_eq!(displaced.unwrap().version(), 1);
+        assert_eq!(registry.get("higgs").unwrap().version(), 2);
+
+        // The displaced version still serves its in-flight work.
+        assert_eq!(in_flight.version(), 1);
+        let proba = in_flight.pipeline().predict_proba(&data.features).unwrap();
+        assert_eq!(proba.rows(), data.n_samples());
+        drop(new_handle);
+    }
+
+    #[test]
+    fn served_model_is_send_and_sync() {
+        // Static assertion: the scheduler moves Arc<ServedModel> across the
+        // collector and worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServedModel>();
+        assert_send_sync::<Arc<ServedModel>>();
+        assert_send_sync::<ModelRegistry>();
+        assert_send_sync::<Pipeline>();
+    }
+}

@@ -1,0 +1,500 @@
+//! The micro-batching inference server.
+//!
+//! Callers submit single raw feature vectors through a synchronous API; a
+//! *collector* thread coalesces them into per-model batches bounded by
+//! [`BatchConfig::max_batch`] and [`BatchConfig::max_wait`], and a pool of
+//! *worker* threads runs each batch as one vectorized
+//! [`Pipeline::predict_proba`](crate::Pipeline::predict_proba) pass —
+//! encode → hidden-layer forward → readout — then fans the per-row results
+//! back to the callers over channels. This is the same amortization the
+//! paper applies to training (batch-parallel HCU updates) turned toward
+//! the serving workload.
+//!
+//! Hot-swap safety: the model `Arc` is resolved from the registry once per
+//! batch, at dispatch time. Every request in a batch therefore sees one
+//! consistent model version, swaps never stall the pipeline, and displaced
+//! versions finish their in-flight batches before being dropped.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::{ServeError, ServeResult};
+use crate::metrics::{MetricsSnapshot, ServingMetrics};
+use crate::registry::{ModelRegistry, ServedModel};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Dispatch a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once its oldest request has waited this
+    /// long.
+    pub max_wait: Duration,
+    /// Number of worker threads running batches.
+    pub workers: usize,
+}
+
+impl BatchConfig {
+    /// Latency-leaning defaults: batches of up to 64, 2 ms linger, 2
+    /// workers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            workers: 2,
+        }
+    }
+}
+
+/// One queued request.
+struct Request {
+    model: String,
+    features: Vec<f32>,
+    enqueued: Instant,
+    reply: Sender<ServeResult<Vec<f32>>>,
+}
+
+/// A dispatched batch: one resolved model version plus its requests.
+struct Batch {
+    model: Arc<ServedModel>,
+    requests: Vec<Request>,
+}
+
+/// Handle to one in-flight prediction.
+#[derive(Debug)]
+pub struct PredictionHandle {
+    rx: Receiver<ServeResult<Vec<f32>>>,
+}
+
+impl PredictionHandle {
+    /// Block until the prediction (class probabilities) arrives.
+    pub fn wait(self) -> ServeResult<Vec<f32>> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Block for at most `timeout`; `None` means it is still in flight.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult<Vec<f32>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+/// The running server: collector + workers over a shared [`ModelRegistry`].
+pub struct InferenceServer {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServingMetrics>,
+    // Option so Drop can disconnect the channel before joining.
+    submit_tx: Option<Sender<Request>>,
+    collector: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl InferenceServer {
+    /// Start the collector and worker threads.
+    pub fn start(registry: Arc<ModelRegistry>, config: BatchConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.workers > 0, "need at least one worker");
+        let metrics = Arc::new(ServingMetrics::new());
+        let (submit_tx, submit_rx) = unbounded::<Request>();
+        let (batch_tx, batch_rx) = unbounded::<Batch>();
+
+        let collector = {
+            let registry = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name("bcpnn-serve-collector".into())
+                .spawn(move || run_collector(&submit_rx, &batch_tx, &registry, config))
+                .expect("failed to spawn collector thread")
+        };
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let batch_rx = batch_rx.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("bcpnn-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(batch) = batch_rx.recv() {
+                            run_batch(batch, &metrics);
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        Self {
+            registry,
+            metrics,
+            submit_tx: Some(submit_tx),
+            collector: Some(collector),
+            workers,
+        }
+    }
+
+    /// The registry this server resolves models from. Publishing to it
+    /// hot-swaps what subsequent batches use.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Enqueue one raw feature vector for the named model; returns a handle
+    /// to wait on. Unknown models and wrong feature widths fail fast,
+    /// before entering the batch queue.
+    pub fn submit(&self, model: &str, features: Vec<f32>) -> ServeResult<PredictionHandle> {
+        let served = self.registry.get(model)?;
+        let expected = served.pipeline().input_width();
+        if features.len() != expected {
+            return Err(ServeError::ShapeMismatch {
+                expected,
+                got: features.len(),
+            });
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        let request = Request {
+            model: model.to_string(),
+            features,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        self.submit_tx
+            .as_ref()
+            .ok_or(ServeError::Disconnected)?
+            .send(request)
+            .map_err(|_| ServeError::Disconnected)?;
+        self.metrics.record_submit();
+        Ok(PredictionHandle { rx: reply_rx })
+    }
+
+    /// Submit and block until the class probabilities arrive.
+    pub fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>> {
+        self.submit(model, features)?.wait()
+    }
+
+    /// Point-in-time copy of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        // Disconnect the submit channel; the collector flushes what it
+        // holds, drops the batch channel, and the workers drain and exit.
+        drop(self.submit_tx.take());
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for InferenceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceServer")
+            .field("models", &self.registry.model_names())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// A model's requests accumulating toward a dispatch.
+struct Pending {
+    requests: Vec<Request>,
+    deadline: Instant,
+}
+
+/// Collector loop: coalesce requests into per-model batches and dispatch
+/// them when full (`max_batch`) or ripe (`max_wait`).
+fn run_collector(
+    submit_rx: &Receiver<Request>,
+    batch_tx: &Sender<Batch>,
+    registry: &ModelRegistry,
+    config: BatchConfig,
+) {
+    // Idle poll period when nothing is pending (bounds shutdown latency in
+    // the absence of a deadline to wake for).
+    const IDLE_WAIT: Duration = Duration::from_millis(50);
+    let mut pending: HashMap<String, Pending> = HashMap::new();
+    loop {
+        let now = Instant::now();
+        let timeout = pending
+            .values()
+            .map(|p| p.deadline.saturating_duration_since(now))
+            .min()
+            .unwrap_or(IDLE_WAIT);
+        match submit_rx.recv_timeout(timeout) {
+            Ok(request) => {
+                let model = request.model.clone();
+                let slot = pending.entry(model.clone()).or_insert_with(|| Pending {
+                    requests: Vec::with_capacity(config.max_batch),
+                    deadline: request.enqueued + config.max_wait,
+                });
+                slot.requests.push(request);
+                if slot.requests.len() >= config.max_batch {
+                    let slot = pending.remove(&model).expect("the slot just filled");
+                    dispatch(batch_tx, registry, &model, slot.requests);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Shutdown: flush everything still pending, then stop.
+                for (model, slot) in pending.drain() {
+                    dispatch(batch_tx, registry, &model, slot.requests);
+                }
+                return;
+            }
+        }
+        // Flush every batch whose linger window has expired.
+        let now = Instant::now();
+        let ripe: Vec<String> = pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for model in ripe {
+            let slot = pending.remove(&model).expect("ripe slot exists");
+            dispatch(batch_tx, registry, &model, slot.requests);
+        }
+    }
+}
+
+/// Resolve the model's *current* version and hand the batch to a worker.
+fn dispatch(
+    batch_tx: &Sender<Batch>,
+    registry: &ModelRegistry,
+    model: &str,
+    requests: Vec<Request>,
+) {
+    match registry.get(model) {
+        Ok(served) => {
+            // Workers exiting early (server drop) orphans the batch; the
+            // per-request reply channels then disconnect, which callers
+            // observe as `Disconnected`.
+            let _ = batch_tx.send(Batch {
+                model: served,
+                requests,
+            });
+        }
+        Err(err) => {
+            // The model was removed after the requests were accepted.
+            for request in requests {
+                let _ = request.reply.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+/// Worker body: run one batch as a single vectorized pass and fan out the
+/// per-row results.
+fn run_batch(batch: Batch, metrics: &ServingMetrics) {
+    let Batch { model, requests } = batch;
+    metrics.record_batch(requests.len());
+    let pipeline = model.pipeline();
+    let width = pipeline.input_width();
+
+    // A hot-swap may have changed the expected width between submit-time
+    // validation and dispatch; reject mismatching rows individually.
+    let mut rows: Vec<&Request> = Vec::with_capacity(requests.len());
+    for request in &requests {
+        if request.features.len() == width {
+            rows.push(request);
+        } else {
+            metrics.record_error();
+            let _ = request.reply.send(Err(ServeError::ShapeMismatch {
+                expected: width,
+                got: request.features.len(),
+            }));
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+
+    let mut x = bcpnn_tensor::Matrix::zeros(rows.len(), width);
+    for (r, request) in rows.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(&request.features);
+    }
+    match pipeline.predict_proba(&x) {
+        Ok(proba) => {
+            let now = Instant::now();
+            for (r, request) in rows.iter().enumerate() {
+                metrics.record_response(now.saturating_duration_since(request.enqueued));
+                let _ = request.reply.send(Ok(proba.row(r).to_vec()));
+            }
+        }
+        Err(err) => {
+            for request in rows {
+                metrics.record_error();
+                let _ = request.reply.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tests::tiny_pipeline;
+    use crate::registry::ServedModel;
+
+    fn server_with_model(seed: u64) -> (InferenceServer, bcpnn_data::Dataset) {
+        let (pipeline, data) = tiny_pipeline(seed);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = InferenceServer::start(
+            registry,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                workers: 2,
+            },
+        );
+        (server, data)
+    }
+
+    #[test]
+    fn single_prediction_round_trips() {
+        let (server, data) = server_with_model(30);
+        let proba = server
+            .predict("higgs", data.features.row(0).to_vec())
+            .unwrap();
+        assert_eq!(proba.len(), 2);
+        let s: f32 = proba.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batched_predictions_match_direct_inference() {
+        let (server, data) = server_with_model(31);
+        let direct = server
+            .registry()
+            .get("higgs")
+            .unwrap()
+            .pipeline()
+            .predict_proba(&data.features)
+            .unwrap();
+        let handles: Vec<_> = (0..40)
+            .map(|r| {
+                server
+                    .submit("higgs", data.features.row(r).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        for (r, handle) in handles.into_iter().enumerate() {
+            let got = handle.wait().unwrap();
+            for (c, v) in got.iter().enumerate() {
+                assert!(
+                    (v - direct.get(r, c)).abs() < 1e-5,
+                    "row {r} col {c}: {v} vs {}",
+                    direct.get(r, c)
+                );
+            }
+        }
+        let m = server.metrics();
+        assert_eq!(m.responses, 40 + m.errors);
+        assert!(m.batches >= 1);
+        assert!(m.mean_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn unknown_model_fails_fast() {
+        let (server, data) = server_with_model(32);
+        let err = server
+            .submit("nope", data.features.row(0).to_vec())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn wrong_width_fails_fast() {
+        let (server, _) = server_with_model(33);
+        let err = server.submit("higgs", vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::ShapeMismatch {
+                expected: 28,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn batches_respect_max_batch() {
+        let (server, data) = server_with_model(34);
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                server
+                    .submit("higgs", data.features.row(i % data.n_samples()).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let m = server.metrics();
+        // max_batch = 8 in this fixture: 64 requests need >= 8 batches.
+        assert!(m.batches >= 8, "batches {}", m.batches);
+        let max_bucket_with_counts = m.batch_size_hist.iter().rposition(|&c| c > 0).unwrap();
+        assert!(
+            max_bucket_with_counts <= 3,
+            "no batch may exceed 8 requests (bucket {max_bucket_with_counts})"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_clean_with_requests_in_flight() {
+        let (server, data) = server_with_model(35);
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                server
+                    .submit("higgs", data.features.row(i).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        drop(server); // joins collector + workers, flushing pending batches
+        for handle in handles {
+            // Every request gets *some* terminal answer: a prediction or a
+            // disconnect — never a hang.
+            match handle.wait() {
+                Ok(proba) => assert_eq!(proba.len(), 2),
+                Err(ServeError::Disconnected) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_model_errors_queued_requests() {
+        let (server, data) = server_with_model(36);
+        // Race removal against the linger window; whichever side wins, the
+        // caller must get a terminal answer.
+        let handle = server
+            .submit("higgs", data.features.row(0).to_vec())
+            .unwrap();
+        server.registry().remove("higgs");
+        match handle.wait() {
+            Ok(proba) => assert_eq!(proba.len(), 2),
+            Err(ServeError::UnknownModel(_)) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        // New submissions fail fast.
+        assert!(matches!(
+            server.submit("higgs", data.features.row(0).to_vec()),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+}

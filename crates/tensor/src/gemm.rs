@@ -26,7 +26,14 @@ const BLOCK_K: usize = 256;
 /// single-threaded (thread handoff would dominate).
 const PARALLEL_FLOP_CUTOFF: usize = 1 << 17;
 
-fn check_gemm_dims<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>, c: &Matrix<S>, m: usize, n: usize, k: usize) {
+fn check_gemm_dims<S: Scalar>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    c: &Matrix<S>,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
     assert_eq!(a.shape().0 * a.shape().1, a.len());
     assert_eq!(
         (m, k),
@@ -59,8 +66,8 @@ pub fn gemm_naive<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c:
         for v in c_row.iter_mut() {
             *v *= beta;
         }
-        for p in 0..k {
-            let aik = alpha * a_row[p];
+        for (p, &av) in a_row.iter().enumerate() {
+            let aik = alpha * av;
             if aik == S::ZERO {
                 continue;
             }
@@ -313,7 +320,12 @@ mod tests {
     #[test]
     fn blocked_matches_naive() {
         let mut rng = MatrixRng::seed_from(7);
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 3, 7), (33, 65, 17), (128, 70, 200)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 3, 7),
+            (33, 65, 17),
+            (128, 70, 200),
+        ] {
             let a: Matrix<f32> = rng.uniform(m, k, -1.0, 1.0);
             let b: Matrix<f32> = rng.uniform(k, n, -1.0, 1.0);
             let mut c1: Matrix<f32> = rng.uniform(m, n, -1.0, 1.0);

@@ -68,7 +68,13 @@ impl MatrixRng {
     }
 
     /// Matrix with i.i.d. normal entries.
-    pub fn normal<S: Scalar>(&mut self, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix<S> {
+    pub fn normal<S: Scalar>(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        mean: f64,
+        std: f64,
+    ) -> Matrix<S> {
         let mut m = Matrix::zeros(rows, cols);
         for v in m.as_mut_slice() {
             *v = self.normal_scalar(mean, std);
@@ -81,7 +87,11 @@ impl MatrixRng {
         assert!((0.0..=1.0).contains(&p), "Bernoulli p must be in [0,1]");
         let mut m = Matrix::zeros(rows, cols);
         for v in m.as_mut_slice() {
-            *v = if self.rng.gen::<f64>() < p { S::ONE } else { S::ZERO };
+            *v = if self.rng.gen::<f64>() < p {
+                S::ONE
+            } else {
+                S::ZERO
+            };
         }
         m
     }

@@ -14,10 +14,10 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
 /// Strategy: a compatible (A, B) pair for GEMM with bounded dimensions.
 fn gemm_pair(max_dim: usize) -> impl Strategy<Value = (Matrix<f64>, Matrix<f64>)> {
     (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
-        let a = prop::collection::vec(-5.0f64..5.0, m * k)
-            .prop_map(move |d| Matrix::from_vec(m, k, d));
-        let b = prop::collection::vec(-5.0f64..5.0, k * n)
-            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        let a =
+            prop::collection::vec(-5.0f64..5.0, m * k).prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b =
+            prop::collection::vec(-5.0f64..5.0, k * n).prop_map(move |d| Matrix::from_vec(k, n, d));
         (a, b)
     })
 }

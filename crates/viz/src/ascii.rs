@@ -12,7 +12,11 @@ pub fn render_field(field: &Matrix<f32>) -> String {
     if field.rows() == 0 || field.cols() == 0 {
         return String::new();
     }
-    let lo = field.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
+    let lo = field
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min);
     let hi = field
         .as_slice()
         .iter()
@@ -63,9 +67,15 @@ pub fn render_feature_mask(mask_row: &[f32], feature_names: &[String], n_bins: u
     for (f, name) in feature_names.iter().enumerate() {
         out.push_str(&format!("{name:width$} |"));
         for b in 0..n_bins {
-            out.push(if mask_row[f * n_bins + b] >= 0.5 { '#' } else { '.' });
+            out.push(if mask_row[f * n_bins + b] >= 0.5 {
+                '#'
+            } else {
+                '.'
+            });
         }
-        let active = (0..n_bins).filter(|&b| mask_row[f * n_bins + b] >= 0.5).count();
+        let active = (0..n_bins)
+            .filter(|&b| mask_row[f * n_bins + b] >= 0.5)
+            .count();
         out.push_str(&format!("| {active}/{n_bins}\n"));
     }
     out

@@ -69,7 +69,8 @@ impl InSituObserver {
             TrainingPhase::Unsupervised => "unsup",
             TrainingPhase::Supervised => "sup",
         };
-        self.output_dir.join(format!("{phase}_epoch_{:03}", stats.epoch))
+        self.output_dir
+            .join(format!("{phase}_epoch_{:03}", stats.epoch))
     }
 }
 
@@ -84,7 +85,10 @@ impl TrainingObserver for InSituObserver {
                 .plasticity_swaps
                 .map(|s| s.to_string())
                 .unwrap_or_default(),
-            stats.sgd_loss.map(|l| format!("{l:.6}")).unwrap_or_default(),
+            stats
+                .sgd_loss
+                .map(|l| format!("{l:.6}"))
+                .unwrap_or_default(),
         ));
         // Masks only change during unsupervised epochs.
         if stats.phase != TrainingPhase::Unsupervised {
@@ -172,7 +176,11 @@ mod tests {
         let mut rng = MatrixRng::seed_from(seed);
         let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let x = Matrix::from_fn(n, d, |r, c| {
-            let hot = if labels[r] == 0 { c < d / 2 } else { c >= d / 2 };
+            let hot = if labels[r] == 0 {
+                c < d / 2
+            } else {
+                c >= d / 2
+            };
             f32::from(rng.uniform_scalar::<f64>(0.0, 1.0) < if hot { 0.5 } else { 0.1 })
         });
         (x, labels)
@@ -204,10 +212,17 @@ mod tests {
         .unwrap();
         assert!(obs.errors().is_empty(), "viz errors: {:?}", obs.errors());
         for epoch in 0..3 {
-            assert!(dir.join(format!("unsup_epoch_{epoch:03}/mask.vti")).exists());
-            assert!(dir.join(format!("unsup_epoch_{epoch:03}/mask.pgm")).exists());
+            assert!(dir
+                .join(format!("unsup_epoch_{epoch:03}/mask.vti"))
+                .exists());
+            assert!(dir
+                .join(format!("unsup_epoch_{epoch:03}/mask.pgm"))
+                .exists());
         }
-        assert!(!dir.join("sup_epoch_000").exists(), "no masks for supervised epochs");
+        assert!(
+            !dir.join("sup_epoch_000").exists(),
+            "no masks for supervised epochs"
+        );
         let timeline = obs.write_timeline().unwrap();
         let text = std::fs::read_to_string(timeline).unwrap();
         assert_eq!(text.lines().count(), 1 + 5, "header + 5 epochs");

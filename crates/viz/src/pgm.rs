@@ -96,7 +96,9 @@ pub fn read_pgm(text: &str) -> Result<Matrix<f32>, PgmError> {
         .lines()
         .filter(|l| !l.trim_start().starts_with('#'))
         .flat_map(|l| l.split_whitespace());
-    let magic = tokens.next().ok_or_else(|| PgmError::BadShape("empty file".into()))?;
+    let magic = tokens
+        .next()
+        .ok_or_else(|| PgmError::BadShape("empty file".into()))?;
     if magic != "P2" {
         return Err(PgmError::BadShape(format!("expected P2, got {magic:?}")));
     }
@@ -187,6 +189,9 @@ mod tests {
     #[test]
     fn empty_images_are_rejected() {
         let img = Matrix::zeros(0, 3);
-        assert!(matches!(write_pgm(&img, Vec::new()), Err(PgmError::BadShape(_))));
+        assert!(matches!(
+            write_pgm(&img, Vec::new()),
+            Err(PgmError::BadShape(_))
+        ));
     }
 }

@@ -18,7 +18,12 @@ use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::split::stratified_split;
 use bcpnn_tensor::Matrix;
 
-fn train_bcpnn(x_train: &Matrix<f32>, y_train: &[usize], x_test: &Matrix<f32>, y_test: &[usize]) -> EvalReport {
+fn train_bcpnn(
+    x_train: &Matrix<f32>,
+    y_train: &[usize],
+    x_test: &Matrix<f32>,
+    y_test: &[usize],
+) -> EvalReport {
     let mut network = Network::builder()
         .input(x_train.cols())
         .hidden(1, 200, 0.40)
@@ -37,7 +42,9 @@ fn train_bcpnn(x_train: &Matrix<f32>, y_train: &[usize], x_test: &Matrix<f32>, y
     })
     .fit(&mut network, x_train, y_train)
     .expect("training succeeds");
-    network.evaluate(x_test, y_test).expect("evaluation succeeds")
+    network
+        .evaluate(x_test, y_test)
+        .expect("evaluation succeeds")
 }
 
 fn main() {

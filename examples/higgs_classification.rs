@@ -43,8 +43,18 @@ fn main() {
 
     // Balanced subset + split, as in §V.
     let (train_pool, test_pool) = stratified_split(&collisions, 0.3, 11);
-    let per_class_train = train_pool.class_counts().into_iter().min().unwrap_or(0).min(6_000);
-    let per_class_test = test_pool.class_counts().into_iter().min().unwrap_or(0).min(3_000);
+    let per_class_train = train_pool
+        .class_counts()
+        .into_iter()
+        .min()
+        .unwrap_or(0)
+        .min(6_000);
+    let per_class_test = test_pool
+        .class_counts()
+        .into_iter()
+        .min()
+        .unwrap_or(0)
+        .min(3_000);
     let train = balanced_subset(&train_pool, per_class_train, 12);
     let test = balanced_subset(&test_pool, per_class_test, 13);
 
@@ -77,7 +87,9 @@ fn main() {
     );
 
     // Evaluation: the numbers the paper reports, plus the confusion matrix.
-    let eval = network.evaluate(&x_test, &test.labels).expect("evaluation succeeds");
+    let eval = network
+        .evaluate(&x_test, &test.labels)
+        .expect("evaluation succeeds");
     println!("test performance: {eval}");
     let predictions = network.predict(&x_test).expect("prediction succeeds");
     let cm = metrics::confusion_matrix(&predictions, &test.labels, 2);
@@ -90,8 +102,10 @@ fn main() {
     let mask = network.hidden().receptive_field_snapshot();
     let n_bins = encoder.n_bins();
     for h in 0..mask.rows() {
-        println!("--- receptive field of HCU {h} (density {:.0}%) ---",
-            network.hidden().mask().density() * 100.0);
+        println!(
+            "--- receptive field of HCU {h} (density {:.0}%) ---",
+            network.hidden().mask().density() * 100.0
+        );
         println!(
             "{}",
             bcpnn_viz::ascii::render_feature_mask(mask.row(h), &train.feature_names, n_bins)
@@ -113,7 +127,7 @@ fn main() {
             (name.clone(), count)
         })
         .collect();
-    per_feature.sort_by(|a, b| b.1.cmp(&a.1));
+    per_feature.sort_by_key(|entry| std::cmp::Reverse(entry.1));
     println!("most-attended physics features (active connections across all HCUs):");
     for (name, count) in per_feature.iter().take(8) {
         println!("  {name:<26} {count}");

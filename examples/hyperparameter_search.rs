@@ -67,7 +67,10 @@ fn main() {
             .accuracy
     };
 
-    println!("searching {} dimensions with a (1+4) evolution strategy, budget 20 evaluations\n", 3);
+    println!(
+        "searching {} dimensions with a (1+4) evolution strategy, budget 20 evaluations\n",
+        3
+    );
     let history = EvolutionSearch::new(
         space,
         EvolutionConfig {

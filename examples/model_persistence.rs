@@ -46,7 +46,9 @@ fn main() {
     trainer
         .fit(&mut network, &x_train, &train.labels)
         .expect("training succeeds");
-    let before = network.evaluate(&x_test, &test.labels).expect("evaluation succeeds");
+    let before = network
+        .evaluate(&x_test, &test.labels)
+        .expect("evaluation succeeds");
     println!("freshly trained model : {before}");
 
     // Save and reload (on a different backend, to show the two are
@@ -56,7 +58,9 @@ fn main() {
     let n_files = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
     println!("saved to {} ({n_files} files)", dir.display());
     let mut reloaded = load_network(&dir, BackendKind::Naive).expect("loading succeeds");
-    let after = reloaded.evaluate(&x_test, &test.labels).expect("evaluation succeeds");
+    let after = reloaded
+        .evaluate(&x_test, &test.labels)
+        .expect("evaluation succeeds");
     println!("reloaded model        : {after}");
     let drift = (before.accuracy - after.accuracy).abs();
     assert!(drift < 1e-9, "reloaded model must predict identically");
@@ -67,7 +71,9 @@ fn main() {
     trainer
         .fit(&mut reloaded, &x_train, &train.labels)
         .expect("continued training succeeds");
-    let continued = reloaded.evaluate(&x_test, &test.labels).expect("evaluation succeeds");
+    let continued = reloaded
+        .evaluate(&x_test, &test.labels)
+        .expect("evaluation succeeds");
     println!("after more training   : {continued}");
 
     std::fs::remove_dir_all(&dir).ok();

@@ -70,7 +70,5 @@ fn main() {
         .expect("evaluation succeeds");
     println!("BCPNN readout : {pure}");
     println!("BCPNN + SGD   : {hybrid}");
-    println!(
-        "(paper reference: 68.58% / 0.755 AUC pure, 69.15% / 0.764 AUC hybrid)"
-    );
+    println!("(paper reference: 68.58% / 0.755 AUC pure, 69.15% / 0.764 AUC hybrid)");
 }

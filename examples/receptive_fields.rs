@@ -91,7 +91,12 @@ fn main() {
         seed: 4,
         shuffle: true,
     })
-    .fit_with_observers(&mut network, &digits.features, &digits.labels, &mut [&mut printer])
+    .fit_with_observers(
+        &mut network,
+        &digits.features,
+        &digits.labels,
+        &mut [&mut printer],
+    )
     .expect("training succeeds");
 
     // How much of the final receptive fields sits in the informative centre
@@ -105,7 +110,9 @@ fn main() {
             for col in 0..SIZE {
                 if mask.get(h, row * SIZE + col) == 1.0 {
                     total += 1;
-                    if (margin..SIZE - margin).contains(&row) && (margin..SIZE - margin).contains(&col) {
+                    if (margin..SIZE - margin).contains(&row)
+                        && (margin..SIZE - margin).contains(&col)
+                    {
                         centre += 1;
                     }
                 }
@@ -130,5 +137,8 @@ fn main() {
     let eval = network
         .evaluate(&digits.features, &digits.labels)
         .expect("evaluation succeeds");
-    println!("training-set accuracy of the pattern classifier: {:.1}%", eval.accuracy * 100.0);
+    println!(
+        "training-set accuracy of the pattern classifier: {:.1}%",
+        eval.accuracy * 100.0
+    );
 }

@@ -1,0 +1,90 @@
+//! Serving walkthrough: train a model, save it as a self-contained (v2)
+//! artifact with its encoder, load it into a registry, and serve raw
+//! feature vectors through the micro-batching server — including a
+//! hot-swap to a retrained version.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use std::sync::Arc;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::QuantileEncoder;
+use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel};
+
+fn train(seed: u64) -> Pipeline {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 4000,
+        seed,
+        ..Default::default()
+    });
+    let encoder = QuantileEncoder::fit(&data, 10);
+    let x = encoder.transform(&data);
+    let mut network = Network::builder()
+        .input(encoder.encoded_width())
+        .hidden(4, 8, 0.4)
+        .classes(2)
+        .readout(ReadoutKind::Hybrid)
+        .backend(BackendKind::Parallel)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
+    Trainer::new(TrainingParams {
+        unsupervised_epochs: 2,
+        supervised_epochs: 2,
+        batch_size: 128,
+        ..Default::default()
+    })
+    .fit(&mut network, &x, &data.labels)
+    .expect("training succeeds");
+    Pipeline::new(network, Some(encoder)).expect("encoder matches network")
+}
+
+fn main() {
+    // 1. Train and persist a self-contained serving artifact.
+    let dir = std::env::temp_dir().join("bcpnn_serving_example");
+    let _ = std::fs::remove_dir_all(&dir);
+    train(1).save(&dir).expect("saving succeeds");
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap();
+    println!("saved model artifact to {}:", dir.display());
+    for line in manifest.lines().take(3) {
+        println!("  {line}");
+    }
+    println!("  ... ({} manifest keys)", manifest.lines().count() - 1);
+
+    // 2. Load it into a registry and start the micro-batching server.
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_and_publish("higgs", 1, &dir, BackendKind::Parallel)
+        .expect("artifact loads");
+    let server = InferenceServer::start(Arc::clone(&registry), BatchConfig::default());
+
+    // 3. Serve raw 28-feature collision vectors.
+    let requests = generate(&SyntheticHiggsConfig {
+        n_samples: 64,
+        seed: 99,
+        ..Default::default()
+    });
+    let proba = server
+        .predict("higgs", requests.features.row(0).to_vec())
+        .expect("prediction succeeds");
+    println!("\nP(background, signal) for one collision: {proba:?}");
+
+    // 4. Hot-swap a retrained version; in-flight work is unaffected.
+    let (_, displaced) = registry.publish(ServedModel::new("higgs", 2, train(2)));
+    println!(
+        "hot-swapped v{} -> v2; next prediction served by v{}",
+        displaced.map(|m| m.version()).unwrap_or_default(),
+        registry.get("higgs").unwrap().version()
+    );
+    let proba2 = server
+        .predict("higgs", requests.features.row(0).to_vec())
+        .expect("post-swap prediction succeeds");
+    println!("same collision under v2: {proba2:?}");
+
+    println!("\n{}", server.metrics());
+    std::fs::remove_dir_all(&dir).ok();
+}

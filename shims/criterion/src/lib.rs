@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this replacement. It keeps the authoring surface of the real
+//! crate (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, throughput
+//! annotations) but implements a deliberately simple timer: each benchmark
+//! runs a short warm-up, then a fixed number of timed samples whose median
+//! per-iteration time (and derived throughput) is printed to stdout.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing driver handed to the closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time the closure: warm up, then run timed batches and record the
+    /// median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~20 ms have elapsed to settle caches and size
+        // the batch so one timed sample lasts ~10 ms.
+        let warmup_deadline = Instant::now() + Duration::from_millis(20);
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let batch = ((0.010 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        const SAMPLES: usize = 9;
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            *sample = start.elapsed().as_secs_f64() / batch as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_ns_per_iter = samples[SAMPLES / 2] * 1e9;
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; only the routine
+    /// is measured. The stand-in runs setup before every timed call, so the
+    /// `BatchSize` hint is accepted but unused.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        const SAMPLES: usize = 9;
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            *sample = start.elapsed().as_secs_f64();
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_ns_per_iter = samples[SAMPLES / 2] * 1e9;
+    }
+}
+
+/// How much input `iter_batched` materialises per batch (accepted for API
+/// compatibility; the stand-in always runs setup once per measured call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark (subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (accepted for API compatibility; the stand-in's
+    /// sample count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Target measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the per-iteration throughput used when reporting rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, None, |b| f(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            last_ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        let ns = bencher.last_ns_per_iter;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.3} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{name:<60} {:>12.1} ns/iter{rate}", ns);
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Define a group of benchmark functions (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main` (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..128u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

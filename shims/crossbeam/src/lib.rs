@@ -1,0 +1,10 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! the MPMC `channel` module with unbounded channels.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this replacement built on `std::sync` primitives. It keeps
+//! crossbeam's semantics for the operations the thread pool and the serving
+//! scheduler rely on: cloneable senders *and* receivers, FIFO delivery, and
+//! disconnect detection when all handles on the other side are gone.
+
+pub mod channel;

@@ -1,0 +1,241 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this replacement. It keeps the authoring surface the test files
+//! use — the `proptest!` macro with `#![proptest_config]`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::bool::ANY`, `prop_map` /
+//! `prop_flat_map`, and the `prop_assert*` macros — but not shrinking:
+//! a failing case panics with the case index and seed so it can be replayed
+//! by setting `PROPTEST_SEED`.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+/// Strategy namespace mirroring `proptest::prop` usage (`prop::collection`,
+/// `prop::bool`).
+pub mod prop {
+    pub use crate::collection;
+
+    /// Numeric strategies covering special values (subset of `proptest::num`).
+    pub mod num {
+        /// `f32` strategies.
+        pub mod f32 {
+            use crate::strategy::Strategy;
+            use crate::test_runner::TestRng;
+            use rand::Rng;
+
+            /// Strategy producing arbitrary `f32` bit patterns (may include
+            /// infinities and NaN, like the real `ANY`).
+            #[derive(Debug, Clone, Copy)]
+            pub struct AnyF32;
+
+            /// Any `f32` bit pattern.
+            pub const ANY: AnyF32 = AnyF32;
+
+            impl Strategy for AnyF32 {
+                type Value = f32;
+
+                fn generate(&self, rng: &mut TestRng) -> f32 {
+                    f32::from_bits(rng.gen::<u32>())
+                }
+            }
+
+            /// Strategy producing normal (non-zero, non-subnormal, finite)
+            /// `f32` values of either sign.
+            #[derive(Debug, Clone, Copy)]
+            pub struct NormalF32;
+
+            /// Normal `f32` values.
+            pub const NORMAL: NormalF32 = NormalF32;
+
+            impl Strategy for NormalF32 {
+                type Value = f32;
+
+                fn generate(&self, rng: &mut TestRng) -> f32 {
+                    let sign = u32::from(rng.gen_bool(0.5)) << 31;
+                    let exponent: u32 = rng.gen_range(1u32..255);
+                    let mantissa: u32 = rng.gen::<u32>() >> 9;
+                    f32::from_bits(sign | (exponent << 23) | mantissa)
+                }
+            }
+        }
+    }
+
+    /// Boolean strategies (subset of `proptest::bool`).
+    pub mod bool {
+        /// Strategy producing uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolStrategy;
+
+        /// The canonical boolean strategy.
+        pub const ANY: BoolStrategy = BoolStrategy;
+
+        impl crate::strategy::Strategy for BoolStrategy {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+                use rand::Rng;
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+/// Test-runner types (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-test configuration (subset of `proptest::test_runner::ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+#[doc(hidden)]
+pub mod __support {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Base seed for a property: `PROPTEST_SEED` when set (for replaying a
+    /// reported failure), otherwise a stable hash of the test's full path so
+    /// every property explores a distinct but reproducible stream.
+    pub fn seed_for(test_path: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(parsed) = seed.trim().parse::<u64>() {
+                return parsed;
+            }
+        }
+        // FNV-1a over the path.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_path.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Define property tests (subset of the `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let __seed = $crate::__support::seed_for(__path);
+            let mut __rng = <$crate::__support::StdRng as $crate::__support::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ($($pat,)+) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    $body
+                }));
+                if let Err(__payload) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed (replay with PROPTEST_SEED={})",
+                        __case + 1,
+                        __config.cases,
+                        __path,
+                        __seed,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property (maps to `assert!` in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<f64>)> {
+        (1usize..10).prop_flat_map(|n| (1usize..=n, prop::collection::vec(-1.0f64..1.0, n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size_and_bounds(v in prop::collection::vec(0.0f32..1.0, 5..40)) {
+            prop_assert!(v.len() >= 5 && v.len() < 40);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn flat_map_links_dimensions((k, v) in pair()) {
+            prop_assert!(k <= v.len());
+        }
+
+        #[test]
+        fn bool_any_generates_both_values(b in prop::bool::ANY) {
+            // Record the value; over 32 cases both sides show up with
+            // probability 1 - 2^-31.
+            prop_assert!(matches!(b, true | false));
+        }
+
+        #[test]
+        fn map_transforms_values(s in (1usize..5).prop_map(|n| n * 10)) {
+            prop_assert!(s % 10 == 0 && (10..50).contains(&s));
+        }
+    }
+}

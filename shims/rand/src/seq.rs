@@ -1,0 +1,23 @@
+//! Slice helpers (subset of `rand::seq`).
+
+use crate::Rng;
+
+/// In-place random reordering of slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type of the sequence.
+    type Item;
+
+    /// Fisher–Yates shuffle of the whole slice.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j: usize = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

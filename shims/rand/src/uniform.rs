@@ -1,0 +1,67 @@
+//! Uniform range sampling (subset of `rand::distributions::uniform`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::Rng;
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let extra = i128::from(inclusive);
+                let width = (hi as i128 - lo as i128 + extra) as u128;
+                assert!(width > 0, "cannot sample from an empty range");
+                // Two raw draws give 128 uniform bits; the modulo bias over a
+                // <= 2^64 width is at most 2^-64, far below anything the
+                // statistical assertions in this workspace can observe.
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo as i128 + (raw % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "cannot sample from an empty range"
+                );
+                let frac = rng.next_f64() as $t;
+                lo + frac * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Ranges a uniform value can be drawn from (subset of `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}

@@ -26,7 +26,9 @@ fn run_with_backend(backend: BackendKind) -> (f64, f64) {
     build_trainer(&cfg, 23)
         .fit(&mut network, &data.x_train, &data.y_train)
         .expect("training succeeds");
-    let eval = network.evaluate(&data.x_test, &data.y_test).expect("evaluation succeeds");
+    let eval = network
+        .evaluate(&data.x_test, &data.y_test)
+        .expect("evaluation succeeds");
     (eval.accuracy, eval.auc)
 }
 
@@ -54,6 +56,10 @@ fn naive_and_parallel_backends_learn_equivalent_models() {
 fn backend_selection_from_names_matches_the_dispatcher() {
     assert_eq!(BackendKind::parse("naive"), Some(BackendKind::Naive));
     assert_eq!(BackendKind::parse("openmp"), Some(BackendKind::Parallel));
-    assert_eq!(BackendKind::parse("cuda"), None, "the CUDA backend is hardware we substitute");
+    assert_eq!(
+        BackendKind::parse("cuda"),
+        None,
+        "the CUDA backend is hardware we substitute"
+    );
     assert_eq!(BackendKind::default().name(), "parallel");
 }

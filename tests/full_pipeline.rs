@@ -35,8 +35,14 @@ fn pipeline_reaches_the_paper_accuracy_band() {
         outcome.primary.accuracy
     );
     assert!(outcome.primary.auc > 0.62, "AUC {}", outcome.primary.auc);
-    let bcpnn = outcome.bcpnn.expect("hybrid trains the associative head too");
-    assert!(bcpnn.accuracy > 0.58, "BCPNN head accuracy {}", bcpnn.accuracy);
+    let bcpnn = outcome
+        .bcpnn
+        .expect("hybrid trains the associative head too");
+    assert!(
+        bcpnn.accuracy > 0.58,
+        "BCPNN head accuracy {}",
+        bcpnn.accuracy
+    );
     assert!(outcome.train_time_s > 0.0);
 }
 

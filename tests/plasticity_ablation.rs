@@ -66,7 +66,10 @@ fn train_network(
     })
     .fit(&mut network, &data.x_train, &data.y_train)
     .unwrap();
-    let acc = network.evaluate(&data.x_test, &data.y_test).unwrap().accuracy;
+    let acc = network
+        .evaluate(&data.x_test, &data.y_test)
+        .unwrap()
+        .accuracy;
     (acc, network.hidden().receptive_field_snapshot())
 }
 

@@ -1,0 +1,192 @@
+//! End-to-end serving test: train → save (v2 artifact) → load into the
+//! registry → concurrent batched predictions through the micro-batcher
+//! equal direct `predict_proba`, on both backends, across a mid-flight
+//! hot-swap, with no dropped or mismatched responses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::QuantileEncoder;
+use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline};
+use bcpnn_tensor::Matrix;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 100;
+
+/// Train a tiny Higgs pipeline and save it as a (v2) model directory.
+fn train_and_save(seed: u64, dir: &std::path::Path) {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 500,
+        seed,
+        ..Default::default()
+    });
+    let encoder = QuantileEncoder::fit(&data, 10);
+    let x = encoder.transform(&data);
+    let mut network = Network::builder()
+        .input(encoder.encoded_width())
+        .hidden(2, 4, 0.3)
+        .classes(2)
+        .readout(ReadoutKind::Hybrid)
+        .backend(BackendKind::Naive)
+        .seed(seed)
+        .build()
+        .unwrap();
+    Trainer::new(TrainingParams {
+        unsupervised_epochs: 1,
+        supervised_epochs: 2,
+        batch_size: 64,
+        ..Default::default()
+    })
+    .fit(&mut network, &x, &data.labels)
+    .unwrap();
+    let pipeline = Pipeline::new(network, Some(encoder)).unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+    pipeline.save(dir).unwrap();
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir()
+        .join("bcpnn_serve_roundtrip")
+        .join(format!("{name}_{}", std::process::id()))
+}
+
+/// Raw request stream shared by all clients, as a matrix for direct
+/// reference predictions.
+fn request_matrix(n: usize) -> Matrix<f32> {
+    generate(&SyntheticHiggsConfig {
+        n_samples: n,
+        seed: 999,
+        ..Default::default()
+    })
+    .features
+}
+
+fn rows_match(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+}
+
+fn serve_roundtrip_on(backend: BackendKind) {
+    let dir_v1 = temp_dir(&format!("v1_{}", backend.name()));
+    let dir_v2 = temp_dir(&format!("v2_{}", backend.name()));
+    train_and_save(1, &dir_v1);
+    train_and_save(2, &dir_v2);
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_and_publish("higgs", 1, &dir_v1, backend)
+        .unwrap();
+
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    let requests = request_matrix(total);
+
+    // Direct reference predictions from the *identical* loaded artifacts
+    // (same object the server will run, so agreement must be exact up to
+    // f32 noise).
+    let v1_model = registry.get("higgs").unwrap();
+    let direct_v1 = v1_model.pipeline().predict_proba(&requests).unwrap();
+    let v2_pipeline = Pipeline::load(&dir_v2, backend).unwrap();
+    let direct_v2 = v2_pipeline.predict_proba(&requests).unwrap();
+    assert!(
+        direct_v1.max_abs_diff(&direct_v2) > 1e-3,
+        "v1 and v2 must be distinguishable for the swap assertion to mean anything"
+    );
+
+    let server = InferenceServer::start(
+        Arc::clone(&registry),
+        BatchConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+        },
+    );
+
+    let matched_v1 = AtomicU64::new(0);
+    let matched_v2 = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = &server;
+            let requests = &requests;
+            let direct_v1 = &direct_v1;
+            let direct_v2 = &direct_v2;
+            let matched_v1 = &matched_v1;
+            let matched_v2 = &matched_v2;
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let row = client * REQUESTS_PER_CLIENT + i;
+                    let proba = server
+                        .predict("higgs", requests.row(row).to_vec())
+                        .expect("no request may be dropped or errored");
+                    // Across the hot-swap every response must match one of
+                    // the two published versions exactly — never a blend,
+                    // never garbage.
+                    if rows_match(&proba, direct_v1.row(row), 1e-5) {
+                        matched_v1.fetch_add(1, Ordering::Relaxed);
+                    } else if rows_match(&proba, direct_v2.row(row), 1e-5) {
+                        matched_v2.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        panic!(
+                            "row {row}: response {proba:?} matches neither v1 {:?} nor v2 {:?}",
+                            direct_v1.row(row),
+                            direct_v2.row(row)
+                        );
+                    }
+                }
+            });
+        }
+        // Hot-swap to v2 while the clients hammer the server.
+        std::thread::sleep(Duration::from_millis(20));
+        registry
+            .load_and_publish("higgs", 2, &dir_v2, backend)
+            .unwrap();
+    });
+
+    let v1_hits = matched_v1.load(Ordering::Relaxed);
+    let v2_hits = matched_v2.load(Ordering::Relaxed);
+    assert_eq!(
+        v1_hits + v2_hits,
+        total as u64,
+        "every request must get a response matching a published version"
+    );
+    assert_eq!(registry.get("higgs").unwrap().version(), 2);
+    assert_eq!(registry.hot_swaps(), 1);
+
+    // After the swap has been observed, new predictions come from v2.
+    let post = server.predict("higgs", requests.row(0).to_vec()).unwrap();
+    assert!(
+        rows_match(&post, direct_v2.row(0), 1e-5),
+        "post-swap prediction must come from v2"
+    );
+
+    // The scheduler actually batched the concurrent load and measured it.
+    let metrics = server.metrics();
+    assert_eq!(metrics.requests, total as u64 + 1);
+    assert_eq!(metrics.responses, total as u64 + 1);
+    assert_eq!(metrics.errors, 0);
+    assert!(metrics.batches >= 1);
+    assert!(
+        metrics.mean_batch_size > 1.0,
+        "{CLIENTS} concurrent clients must co-batch (mean batch {})",
+        metrics.mean_batch_size
+    );
+    assert!(metrics.p50_latency_us > 0.0);
+    assert!(metrics.p99_latency_us >= metrics.p50_latency_us);
+    assert_eq!(metrics.batch_size_hist.iter().sum::<u64>(), metrics.batches);
+
+    drop(server);
+    std::fs::remove_dir_all(&dir_v1).ok();
+    std::fs::remove_dir_all(&dir_v2).ok();
+}
+
+#[test]
+fn serve_roundtrip_naive_backend() {
+    serve_roundtrip_on(BackendKind::Naive);
+}
+
+#[test]
+fn serve_roundtrip_parallel_backend() {
+    serve_roundtrip_on(BackendKind::Parallel);
+}
