@@ -13,7 +13,10 @@ use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::QuantileEncoder;
 use bcpnn_serve::loadgen::request_stream;
-use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel};
+use bcpnn_serve::{
+    BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel, ShardConfig, ShardRouting,
+    ShardedServer,
+};
 use bcpnn_tensor::Matrix;
 
 fn trained_pipeline() -> Pipeline {
@@ -108,5 +111,50 @@ fn bench_server_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(serving, bench_pipeline_batches, bench_server_roundtrip);
+/// The same 64-request burst through 1, 2, and 4 shards: the scaling curve
+/// the sharded router buys once a single collector saturates.
+fn bench_sharded_burst(c: &mut Criterion) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(ServedModel::new("higgs", 1, trained_pipeline()));
+    let stream = request_stream(256, 13);
+    let mut group = c.benchmark_group("serve_sharded_burst_64");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4] {
+        let server = ShardedServer::start(
+            Arc::clone(&registry),
+            ShardConfig {
+                shards,
+                batch: BatchConfig {
+                    max_batch: 64,
+                    max_wait: Duration::from_micros(200),
+                    workers: 1,
+                },
+                routing: ShardRouting::FeatureHash,
+            },
+        );
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, _| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..64)
+                    .map(|i| {
+                        server
+                            .submit("higgs", stream[i % stream.len()].clone())
+                            .unwrap()
+                    })
+                    .collect();
+                for handle in handles {
+                    black_box(handle.wait().unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    serving,
+    bench_pipeline_batches,
+    bench_server_roundtrip,
+    bench_sharded_burst
+);
 criterion_main!(serving);

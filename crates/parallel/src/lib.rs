@@ -45,7 +45,7 @@ mod pool;
 mod scope;
 mod slice_ops;
 
-pub use config::PoolConfig;
+pub use config::{PoolConfig, NUM_THREADS_ENV};
 pub use partition::{chunk_ranges, even_ranges, Range};
 pub use pool::{global_pool, ThreadPool};
 pub use scope::Scope;

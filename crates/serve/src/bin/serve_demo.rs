@@ -5,6 +5,7 @@
 //! ```text
 //! bcpnn-serve [--clients N] [--requests N] [--train-samples N]
 //!             [--max-batch N] [--max-wait-us N] [--workers N]
+//!             [--shards N] [--prometheus]
 //! ```
 
 use std::sync::Arc;
@@ -15,7 +16,9 @@ use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::QuantileEncoder;
 use bcpnn_serve::loadgen::{self, LoadGenConfig};
-use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel};
+use bcpnn_serve::{
+    BatchConfig, ModelRegistry, Pipeline, ServedModel, ShardConfig, ShardRouting, ShardedServer,
+};
 
 struct Args {
     clients: usize,
@@ -24,6 +27,8 @@ struct Args {
     max_batch: usize,
     max_wait: Duration,
     workers: usize,
+    shards: usize,
+    prometheus: bool,
 }
 
 impl Args {
@@ -35,6 +40,8 @@ impl Args {
             max_batch: 64,
             max_wait: Duration::from_millis(2),
             workers: 2,
+            shards: 2,
+            prometheus: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -51,6 +58,8 @@ impl Args {
                 "--max-batch" => args.max_batch = value("size") as usize,
                 "--max-wait-us" => args.max_wait = Duration::from_micros(value("duration")),
                 "--workers" => args.workers = value("count") as usize,
+                "--shards" => args.shards = value("count") as usize,
+                "--prometheus" => args.prometheus = true,
                 other => {
                     eprintln!("unknown flag {other}");
                     std::process::exit(2);
@@ -102,17 +111,22 @@ fn main() {
 
     let registry = Arc::new(ModelRegistry::new());
     registry.publish(ServedModel::new("higgs", 1, v1));
-    let server = InferenceServer::start(
+    let server = ShardedServer::start(
         Arc::clone(&registry),
-        BatchConfig {
-            max_batch: args.max_batch,
-            max_wait: args.max_wait,
-            workers: args.workers,
+        ShardConfig {
+            shards: args.shards,
+            batch: BatchConfig {
+                max_batch: args.max_batch,
+                max_wait: args.max_wait,
+                workers: args.workers,
+            },
+            routing: ShardRouting::FeatureHash,
         },
     );
     println!(
-        "serving {:?} with max_batch={} max_wait={:?} workers={}",
+        "serving {:?} across {} shard(s) with max_batch={} max_wait={:?} workers={}/shard",
         registry.model_names(),
+        args.shards,
         args.max_batch,
         args.max_wait,
         args.workers
@@ -156,7 +170,10 @@ fn main() {
     );
     let metrics = server.metrics();
     println!();
-    println!("== serving metrics ==");
+    println!(
+        "== serving metrics (aggregated over {} shards) ==",
+        args.shards
+    );
     println!("{metrics}");
     print!("batch-size histogram:");
     for (i, &count) in metrics.batch_size_hist.iter().enumerate() {
@@ -165,6 +182,17 @@ fn main() {
         }
     }
     println!();
+    for (i, shard) in server.shard_metrics().iter().enumerate() {
+        println!(
+            "shard {i}: requests {}  responses {}  mean batch {:.2}  p99 ~{:.0} µs",
+            shard.requests, shard.responses, shard.mean_batch_size, shard.p99_latency_us
+        );
+    }
+    if args.prometheus {
+        println!();
+        println!("== prometheus exposition ==");
+        print!("{}", server.to_prometheus());
+    }
     println!(
         "registry: models {:?}, current version {}, hot swaps {}",
         registry.model_names(),

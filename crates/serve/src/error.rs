@@ -23,6 +23,9 @@ pub enum ServeError {
     Model(String),
     /// Loading or saving a model artifact failed.
     Io(String),
+    /// The request's deadline passed before a worker could run it; the
+    /// forward pass was skipped entirely.
+    DeadlineExceeded,
     /// The server is shutting down (or already shut down) and the request
     /// cannot be served.
     Disconnected,
@@ -38,6 +41,9 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Model(msg) => write!(f, "model error: {msg}"),
             ServeError::Io(msg) => write!(f, "artifact I/O error: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline passed before it could be served")
+            }
             ServeError::Disconnected => write!(f, "inference server is shut down"),
         }
     }

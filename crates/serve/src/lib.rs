@@ -19,8 +19,17 @@
 //!   [`BatchConfig::max_batch`] / [`BatchConfig::max_wait`]) and worker
 //!   threads run each batch as one vectorized encode → forward → readout
 //!   pass.
+//! * [`ShardedServer`] — one model partitioned across `N` independent
+//!   collector+worker pools sharing a registry, routed by a stable hash of
+//!   the feature vector (or round-robin), with per-shard and aggregated
+//!   metrics.
+//! * [`SubmitOptions`] — per-request [`Priority`] (high-priority requests
+//!   drain first) and deadline (expired requests fail with
+//!   [`ServeError::DeadlineExceeded`] instead of wasting a forward pass).
 //! * [`ServingMetrics`] — request/batch counters, batch-size histogram, and
-//!   p50/p99 latency estimates, exposed as a [`MetricsSnapshot`].
+//!   p50/p99 latency estimates, exposed as a [`MetricsSnapshot`] that also
+//!   renders Prometheus text exposition format
+//!   ([`MetricsSnapshot::to_prometheus`]).
 //! * [`loadgen`] — a synthetic-Higgs load generator used by the
 //!   `bcpnn-serve` demo binary and the serving benchmarks.
 //!
@@ -76,9 +85,11 @@ mod metrics;
 mod pipeline;
 mod registry;
 mod server;
+mod shard;
 
 pub use error::{ServeError, ServeResult};
 pub use metrics::{MetricsSnapshot, ServingMetrics};
 pub use pipeline::Pipeline;
 pub use registry::{ModelRegistry, ServedModel};
-pub use server::{BatchConfig, InferenceServer, PredictionHandle};
+pub use server::{BatchConfig, InferenceServer, PredictionHandle, Priority, SubmitOptions};
+pub use shard::{ShardConfig, ShardRouting, ShardedServer};

@@ -10,7 +10,42 @@ use std::time::{Duration, Instant};
 
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 
+use crate::error::ServeResult;
 use crate::server::InferenceServer;
+use crate::shard::ShardedServer;
+
+/// Anything the load generator can drive: the single-pool
+/// [`InferenceServer`] or the [`ShardedServer`].
+pub trait ServeTarget: Sync {
+    /// Blocking single-request round trip.
+    fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>>;
+    /// Class count of the named model, for response validation.
+    fn n_classes_of(&self, model: &str) -> Option<usize>;
+}
+
+impl ServeTarget for InferenceServer {
+    fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>> {
+        InferenceServer::predict(self, model, features)
+    }
+
+    fn n_classes_of(&self, model: &str) -> Option<usize> {
+        self.registry()
+            .lookup(model)
+            .map(|m| m.pipeline().n_classes())
+    }
+}
+
+impl ServeTarget for ShardedServer {
+    fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>> {
+        ShardedServer::predict(self, model, features)
+    }
+
+    fn n_classes_of(&self, model: &str) -> Option<usize> {
+        self.registry()
+            .lookup(model)
+            .map(|m| m.pipeline().n_classes())
+    }
+}
 
 /// Load-generation knobs.
 #[derive(Debug, Clone)]
@@ -73,17 +108,13 @@ pub fn request_stream(n: usize, seed: u64) -> Vec<Vec<f32>> {
         .collect()
 }
 
-/// Drive the server from `config.clients` concurrent threads, each sending
-/// its slice of a shared synthetic request stream and validating every
-/// response. Blocks until all clients finish.
-pub fn run(server: &InferenceServer, config: &LoadGenConfig) -> LoadReport {
+/// Drive a server (single-pool or sharded) from `config.clients` concurrent
+/// threads, each sending its slice of a shared synthetic request stream and
+/// validating every response. Blocks until all clients finish.
+pub fn run<T: ServeTarget>(server: &T, config: &LoadGenConfig) -> LoadReport {
     let total = config.clients * config.requests_per_client;
     let stream = request_stream(total, config.seed);
-    let n_classes = server
-        .registry()
-        .lookup(&config.model)
-        .map(|m| m.pipeline().n_classes())
-        .unwrap_or(2);
+    let n_classes = server.n_classes_of(&config.model).unwrap_or(2);
     let responses = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
     let invalid = AtomicU64::new(0);
@@ -139,6 +170,56 @@ mod tests {
         assert_eq!(a.len(), 50);
         assert!(a.iter().all(|row| row.len() == 28));
         assert_ne!(a, request_stream(50, 4));
+    }
+
+    #[test]
+    fn throughput_is_zero_for_empty_or_instant_runs() {
+        // A run that finished in zero wall-clock time (or never ran) must
+        // report 0 req/s, not inf or NaN.
+        let instant = LoadReport {
+            responses: 100,
+            errors: 0,
+            invalid: 0,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(instant.throughput_rps(), 0.0);
+        let empty = LoadReport {
+            responses: 0,
+            errors: 0,
+            invalid: 0,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(empty.throughput_rps(), 0.0);
+        assert!(empty.throughput_rps().is_finite());
+        // A normal run still divides.
+        let normal = LoadReport {
+            responses: 100,
+            errors: 0,
+            invalid: 0,
+            wall: Duration::from_secs(2),
+        };
+        assert_eq!(normal.throughput_rps(), 50.0);
+    }
+
+    #[test]
+    fn loadgen_drives_a_sharded_server() {
+        use crate::shard::{ShardConfig, ShardedServer};
+        let (pipeline, _) = tiny_pipeline(41);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = ShardedServer::start(registry, ShardConfig::new(2));
+        let report = run(
+            &server,
+            &LoadGenConfig {
+                clients: 2,
+                requests_per_client: 20,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.responses, 40);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.invalid, 0);
+        assert_eq!(server.metrics().responses, 40);
     }
 
     #[test]

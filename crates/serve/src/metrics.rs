@@ -4,7 +4,12 @@
 //! Everything is lock-free atomics so the hot path (one `fetch_add` per
 //! event) never contends with readers; [`ServingMetrics::snapshot`] folds
 //! the counters into an owned [`MetricsSnapshot`] for reporting.
+//!
+//! Snapshots can be merged across shards with
+//! [`MetricsSnapshot::aggregate`] and rendered in Prometheus text
+//! exposition format with [`MetricsSnapshot::to_prometheus`].
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -24,6 +29,8 @@ pub struct ServingMetrics {
     responses: AtomicU64,
     /// Error responses delivered.
     errors: AtomicU64,
+    /// Requests expired past their deadline without running.
+    expired: AtomicU64,
     /// Batches dispatched to workers.
     batches: AtomicU64,
     /// Sum of batch sizes (for the mean).
@@ -71,6 +78,12 @@ impl ServingMetrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a request expired past its deadline (also an error response).
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Fold the live counters into an owned snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let latency_hist: Vec<u64> = self
@@ -83,30 +96,32 @@ impl ServingMetrics {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
-        let responses = self.responses.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
-        MetricsSnapshot {
+        MetricsSnapshot::from_sums(Sums {
             requests: self.requests.load(Ordering::Relaxed),
-            responses,
+            responses: self.responses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            batches,
-            mean_batch_size: if batches == 0 {
-                0.0
-            } else {
-                batched as f64 / batches as f64
-            },
-            mean_latency_us: if responses == 0 {
-                0.0
-            } else {
-                self.latency_sum_us.load(Ordering::Relaxed) as f64 / responses as f64
-            },
-            p50_latency_us: percentile_from_hist(&latency_hist, 0.50),
-            p99_latency_us: percentile_from_hist(&latency_hist, 0.99),
-            batch_size_hist: batch_hist,
-            latency_hist_us: latency_hist,
-        }
+            expired: self.expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            batch_hist,
+            latency_hist,
+        })
     }
+}
+
+/// Raw sums a snapshot derives its means and percentiles from. Kept
+/// internal so merging shards stays exact (sums add; means don't).
+struct Sums {
+    requests: u64,
+    responses: u64,
+    errors: u64,
+    expired: u64,
+    batches: u64,
+    batched_requests: u64,
+    latency_sum_us: u64,
+    batch_hist: Vec<u64>,
+    latency_hist: Vec<u64>,
 }
 
 /// Estimate a percentile from a log2-bucketed histogram: find the bucket the
@@ -135,8 +150,10 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Successful responses delivered.
     pub responses: u64,
-    /// Error responses delivered.
+    /// Error responses delivered (includes `expired`).
     pub errors: u64,
+    /// Requests that expired past their deadline without being executed.
+    pub expired: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Mean requests per batch.
@@ -154,14 +171,251 @@ pub struct MetricsSnapshot {
     /// Latency histogram; bucket `i` counts responses in
     /// `2^i..2^(i+1)` µs.
     pub latency_hist_us: Vec<u64>,
+    /// Exact sum of batch sizes (`mean_batch_size` = this / `batches`).
+    pub batched_requests: u64,
+    /// Exact sum of response latencies in microseconds
+    /// (`mean_latency_us` = this / `responses`).
+    pub latency_sum_us: u64,
+}
+
+impl MetricsSnapshot {
+    fn from_sums(sums: Sums) -> Self {
+        MetricsSnapshot {
+            requests: sums.requests,
+            responses: sums.responses,
+            errors: sums.errors,
+            expired: sums.expired,
+            batches: sums.batches,
+            mean_batch_size: if sums.batches == 0 {
+                0.0
+            } else {
+                sums.batched_requests as f64 / sums.batches as f64
+            },
+            mean_latency_us: if sums.responses == 0 {
+                0.0
+            } else {
+                sums.latency_sum_us as f64 / sums.responses as f64
+            },
+            p50_latency_us: percentile_from_hist(&sums.latency_hist, 0.50),
+            p99_latency_us: percentile_from_hist(&sums.latency_hist, 0.99),
+            batch_size_hist: sums.batch_hist,
+            latency_hist_us: sums.latency_hist,
+            batched_requests: sums.batched_requests,
+            latency_sum_us: sums.latency_sum_us,
+        }
+    }
+
+    /// Merge per-shard snapshots into one: counters, histograms, and the
+    /// carried raw sums add exactly; means and percentiles are recomputed
+    /// from the merged sums, so the aggregate is what a single combined
+    /// server would have reported.
+    pub fn aggregate<'a, I: IntoIterator<Item = &'a MetricsSnapshot>>(snapshots: I) -> Self {
+        let mut sums = Sums {
+            requests: 0,
+            responses: 0,
+            errors: 0,
+            expired: 0,
+            batches: 0,
+            batched_requests: 0,
+            latency_sum_us: 0,
+            batch_hist: vec![0; BATCH_BUCKETS],
+            latency_hist: vec![0; LATENCY_BUCKETS],
+        };
+        for s in snapshots {
+            sums.requests += s.requests;
+            sums.responses += s.responses;
+            sums.errors += s.errors;
+            sums.expired += s.expired;
+            sums.batches += s.batches;
+            sums.batched_requests += s.batched_requests;
+            sums.latency_sum_us += s.latency_sum_us;
+            for (acc, &v) in sums.batch_hist.iter_mut().zip(&s.batch_size_hist) {
+                *acc += v;
+            }
+            for (acc, &v) in sums.latency_hist.iter_mut().zip(&s.latency_hist_us) {
+                *acc += v;
+            }
+        }
+        MetricsSnapshot::from_sums(sums)
+    }
+
+    /// Render the snapshot in Prometheus text exposition format with no
+    /// extra labels. See [`MetricsSnapshot::to_prometheus_labeled`].
+    pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(&[])
+    }
+
+    /// Render the snapshot in Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` comments plus `name{labels} value` samples),
+    /// attaching `labels` (e.g. `[("shard", "0")]`) to every sample.
+    ///
+    /// Counters become `_total` counters, the batch-size and latency
+    /// histograms become cumulative-`le` Prometheus histograms with `_sum`
+    /// and `_count`, and the latency quantile estimates are exported as
+    /// gauges.
+    pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        render_prometheus(&[(labels.to_vec(), self)])
+    }
+}
+
+/// One labeled snapshot in a multi-series exposition: the label set (e.g.
+/// `[("shard", "0")]`) and the snapshot its samples come from.
+pub(crate) type LabeledSnapshot<'a> = (Vec<(&'a str, &'a str)>, &'a MetricsSnapshot);
+
+/// A metric definition: name suffix, help text, and value accessor.
+type MetricDef<T> = (&'static str, &'static str, fn(&MetricsSnapshot) -> T);
+
+/// Render one or more labeled snapshots as a single Prometheus text
+/// exposition: `# HELP` / `# TYPE` appear exactly once per metric name,
+/// followed by one sample per snapshot — the grouping the format requires
+/// when the same metrics are exported under several label sets (e.g. one
+/// per shard).
+pub(crate) fn render_prometheus(series: &[LabeledSnapshot<'_>]) -> String {
+    let mut out = String::new();
+
+    let counters: [MetricDef<u64>; 5] = [
+        ("requests", "Requests accepted by submit.", |s| s.requests),
+        ("responses", "Successful responses delivered.", |s| {
+            s.responses
+        }),
+        ("errors", "Error responses delivered.", |s| s.errors),
+        (
+            "deadline_expired",
+            "Requests expired past their deadline without running.",
+            |s| s.expired,
+        ),
+        ("batches", "Batches dispatched to workers.", |s| s.batches),
+    ];
+    for (name, help, value) in counters {
+        let full = format!("bcpnn_serve_{name}_total");
+        let _ = writeln!(out, "# HELP {full} {help}");
+        let _ = writeln!(out, "# TYPE {full} counter");
+        for (labels, snapshot) in series {
+            let _ = writeln!(
+                out,
+                "{full}{} {}",
+                render_labels(labels, &[]),
+                value(snapshot)
+            );
+        }
+    }
+
+    write_histogram(
+        &mut out,
+        "bcpnn_serve_batch_size",
+        "Requests per dispatched batch.",
+        series,
+        |s| (&s.batch_size_hist, s.batched_requests),
+    );
+    write_histogram(
+        &mut out,
+        "bcpnn_serve_latency_microseconds",
+        "End-to-end request latency in microseconds.",
+        series,
+        |s| (&s.latency_hist_us, s.latency_sum_us),
+    );
+
+    let gauges: [MetricDef<f64>; 3] = [
+        (
+            "latency_p50_microseconds",
+            "Estimated median end-to-end latency.",
+            |s| s.p50_latency_us,
+        ),
+        (
+            "latency_p99_microseconds",
+            "Estimated 99th-percentile end-to-end latency.",
+            |s| s.p99_latency_us,
+        ),
+        (
+            "mean_batch_size",
+            "Mean requests per dispatched batch.",
+            |s| s.mean_batch_size,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        let full = format!("bcpnn_serve_{name}");
+        let _ = writeln!(out, "# HELP {full} {help}");
+        let _ = writeln!(out, "# TYPE {full} gauge");
+        for (labels, snapshot) in series {
+            let _ = writeln!(
+                out,
+                "{full}{} {}",
+                render_labels(labels, &[]),
+                value(snapshot)
+            );
+        }
+    }
+    out
+}
+
+/// Render a `{k="v",...}` label set (empty string when there are none).
+/// `extra` is appended after the shared labels.
+fn render_labels(labels: &[(&str, &str)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .chain(extra)
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Append one log2-bucketed histogram as a Prometheus histogram, one
+/// label-set at a time under a single `# HELP`/`# TYPE` pair: cumulative
+/// `_bucket{le="..."}` samples (upper bound of bucket `i` is `2^(i+1)-1`,
+/// the largest integer it holds), then `+Inf`, `_sum`, and `_count`.
+fn write_histogram<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &'a [LabeledSnapshot<'a>],
+    select: fn(&'a MetricsSnapshot) -> (&'a Vec<u64>, u64),
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (labels, snapshot) in series {
+        let (hist, sum) = select(snapshot);
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.iter().enumerate() {
+            cumulative += count;
+            // The last bucket is open-ended, so its only bound is +Inf
+            // below.
+            if i + 1 < hist.len() {
+                let le = format!("{}", (1u128 << (i + 1)) - 1);
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    render_labels(labels, &[("le", &le)])
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            render_labels(labels, &[("le", "+Inf")])
+        );
+        let _ = writeln!(out, "{name}_sum{} {sum}", render_labels(labels, &[]));
+        let _ = writeln!(
+            out,
+            "{name}_count{} {cumulative}",
+            render_labels(labels, &[])
+        );
+    }
 }
 
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests {}  responses {}  errors {}  batches {}  mean batch {:.2}",
-            self.requests, self.responses, self.errors, self.batches, self.mean_batch_size
+            "requests {}  responses {}  errors {} (expired {})  batches {}  mean batch {:.2}",
+            self.requests,
+            self.responses,
+            self.errors,
+            self.expired,
+            self.batches,
+            self.mean_batch_size
         )?;
         write!(
             f,
@@ -202,6 +456,7 @@ mod tests {
         assert_eq!(s.requests, 10);
         assert_eq!(s.responses, 10);
         assert_eq!(s.errors, 1);
+        assert_eq!(s.expired, 0);
         assert_eq!(s.batches, 2);
         assert!((s.mean_batch_size - 5.0).abs() < 1e-9);
         assert!(s.mean_latency_us >= 100.0 && s.mean_latency_us < 110.0);
@@ -231,6 +486,211 @@ mod tests {
         assert_eq!(s.p50_latency_us, 0.0);
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.mean_latency_us, 0.0);
+    }
+
+    #[test]
+    fn expired_requests_count_as_errors_too() {
+        let m = ServingMetrics::new();
+        m.record_expired();
+        m.record_expired();
+        m.record_error();
+        let s = m.snapshot();
+        assert_eq!(s.expired, 2);
+        assert_eq!(s.errors, 3);
+    }
+
+    #[test]
+    fn aggregate_matches_a_single_combined_recorder() {
+        let a = ServingMetrics::new();
+        let b = ServingMetrics::new();
+        let combined = ServingMetrics::new();
+        for i in 0..6u64 {
+            let (shard, latency) = if i % 2 == 0 {
+                (&a, Duration::from_micros(10 + i))
+            } else {
+                (&b, Duration::from_micros(5000 + i))
+            };
+            shard.record_submit();
+            shard.record_response(latency);
+            combined.record_submit();
+            combined.record_response(latency);
+        }
+        a.record_batch(4);
+        b.record_batch(2);
+        combined.record_batch(4);
+        combined.record_batch(2);
+        b.record_expired();
+        combined.record_expired();
+
+        let merged = MetricsSnapshot::aggregate([&a.snapshot(), &b.snapshot()]);
+        let reference = combined.snapshot();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_empty() {
+        let s = MetricsSnapshot::aggregate([]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_latency_us, 0.0);
+        assert_eq!(s.p99_latency_us, 0.0);
+    }
+
+    /// Minimal validity check for Prometheus text exposition format: every
+    /// line is a `# HELP`/`# TYPE` comment or a `name{labels} value`
+    /// sample with a parseable float value and balanced, quoted labels,
+    /// and no metric name is declared (`HELP`/`TYPE`) more than once — the
+    /// constraint real scrapers enforce when several label sets share a
+    /// metric.
+    fn assert_valid_prometheus(text: &str) {
+        fn valid_name(s: &str) -> bool {
+            !s.is_empty()
+                && s.chars().next().unwrap().is_ascii_alphabetic()
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        let mut samples = 0usize;
+        let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let kind = parts.next().unwrap();
+                let name = parts.next().unwrap_or("");
+                assert!(
+                    kind == "HELP" || kind == "TYPE",
+                    "unknown comment kind in {line:?}"
+                );
+                assert!(valid_name(name), "bad metric name in {line:?}");
+                assert!(
+                    declared.insert(format!("{kind} {name}")),
+                    "duplicate {kind} declaration for {name}"
+                );
+                if kind == "TYPE" {
+                    let t = parts.next().unwrap_or("");
+                    assert!(
+                        ["counter", "gauge", "histogram", "summary", "untyped"].contains(&t),
+                        "bad type {t:?} in {line:?}"
+                    );
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (name_part, value_part) = line.rsplit_once(' ').expect("sample has a value");
+            let value_ok = value_part.parse::<f64>().is_ok() || value_part == "+Inf";
+            assert!(value_ok, "unparseable value in {line:?}");
+            let name = if let Some((name, labels)) = name_part.split_once('{') {
+                let labels = labels.strip_suffix('}').expect("balanced braces");
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label has =");
+                    assert!(valid_name(k) || k == "le", "bad label key in {line:?}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value in {line:?}"
+                    );
+                }
+                name
+            } else {
+                name_part
+            };
+            assert!(valid_name(name), "bad sample name in {line:?}");
+            samples += 1;
+        }
+        assert!(samples > 0, "exposition must contain samples");
+    }
+
+    #[test]
+    fn prometheus_export_is_valid_and_complete() {
+        let m = ServingMetrics::new();
+        for _ in 0..5 {
+            m.record_submit();
+        }
+        m.record_batch(3);
+        m.record_batch(2);
+        for _ in 0..5 {
+            m.record_response(Duration::from_micros(120));
+        }
+        m.record_expired();
+        let s = m.snapshot();
+        let text = s.to_prometheus();
+        assert_valid_prometheus(&text);
+        assert!(text.contains("bcpnn_serve_requests_total 5"));
+        assert!(text.contains("bcpnn_serve_responses_total 5"));
+        assert!(text.contains("bcpnn_serve_deadline_expired_total 1"));
+        assert!(text.contains("bcpnn_serve_batch_size_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("bcpnn_serve_batch_size_sum 5"));
+        assert!(text.contains("bcpnn_serve_batch_size_count 2"));
+        assert!(text.contains("bcpnn_serve_latency_microseconds_count 5"));
+        assert!(text.contains("bcpnn_serve_latency_p99_microseconds"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let m = ServingMetrics::new();
+        m.record_batch(1); // bucket 0 (le="1")
+        m.record_batch(2); // bucket 1 (le="3")
+        m.record_batch(2);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("bcpnn_serve_batch_size_bucket{le=\"1\"} 1"));
+        assert!(text.contains("bcpnn_serve_batch_size_bucket{le=\"3\"} 3"));
+        assert!(text.contains("bcpnn_serve_batch_size_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_labels_are_attached_to_every_sample() {
+        let m = ServingMetrics::new();
+        m.record_submit();
+        m.record_batch(1);
+        m.record_response(Duration::from_micros(10));
+        let text = m.snapshot().to_prometheus_labeled(&[("shard", "2")]);
+        assert_valid_prometheus(&text);
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.contains("shard=\"2\""),
+                "sample missing shard label: {line:?}"
+            );
+        }
+        assert!(text.contains("bcpnn_serve_batch_size_bucket{shard=\"2\",le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn multi_series_render_declares_each_metric_once() {
+        let a = ServingMetrics::new();
+        a.record_submit();
+        a.record_batch(1);
+        a.record_response(Duration::from_micros(50));
+        let b = ServingMetrics::new();
+        b.record_submit();
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let text = render_prometheus(&[
+            (
+                vec![("shard", "all")],
+                &MetricsSnapshot::aggregate([&sa, &sb]),
+            ),
+            (vec![("shard", "0")], &sa),
+            (vec![("shard", "1")], &sb),
+        ]);
+        // The uniqueness assertion inside the parser is the real check: a
+        // scraper rejects a second HELP/TYPE for the same metric name.
+        assert_valid_prometheus(&text);
+        assert!(text.contains("bcpnn_serve_requests_total{shard=\"all\"} 2"));
+        assert!(text.contains("bcpnn_serve_requests_total{shard=\"0\"} 1"));
+        assert!(text.contains("bcpnn_serve_requests_total{shard=\"1\"} 1"));
+    }
+
+    #[test]
+    fn snapshot_carries_exact_sums() {
+        let m = ServingMetrics::new();
+        m.record_batch(3);
+        m.record_batch(4);
+        m.record_response(Duration::from_micros(100));
+        m.record_response(Duration::from_micros(250));
+        let s = m.snapshot();
+        assert_eq!(s.batched_requests, 7);
+        assert_eq!(s.latency_sum_us, 350);
+        let merged = MetricsSnapshot::aggregate([&s, &s]);
+        assert_eq!(merged.batched_requests, 14);
+        assert_eq!(merged.latency_sum_us, 700);
     }
 
     #[test]

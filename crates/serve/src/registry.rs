@@ -17,13 +17,16 @@ use parking_lot::RwLock;
 
 use crate::error::{ServeError, ServeResult};
 use crate::pipeline::Pipeline;
+use crate::server::BatchConfig;
 
-/// A named, versioned, immutable serving artifact.
+/// A named, versioned, immutable serving artifact, optionally carrying its
+/// own batching policy (see [`ServedModel::with_batch_policy`]).
 #[derive(Debug)]
 pub struct ServedModel {
     name: String,
     version: u64,
     pipeline: Pipeline,
+    batch_policy: Option<BatchConfig>,
 }
 
 impl ServedModel {
@@ -33,7 +36,23 @@ impl ServedModel {
             name: name.into(),
             version,
             pipeline,
+            batch_policy: None,
         }
+    }
+
+    /// Attach a per-model batching policy. The collector applies this
+    /// model's `max_batch`/`max_wait` instead of the server defaults (the
+    /// policy's `workers` field is ignored — the worker pool is shared).
+    /// Publishing a new version with a different policy changes batching
+    /// live, with no server restart.
+    pub fn with_batch_policy(mut self, policy: BatchConfig) -> Self {
+        self.batch_policy = Some(policy);
+        self
+    }
+
+    /// The model's own batching policy, if one was attached.
+    pub fn batch_policy(&self) -> Option<BatchConfig> {
+        self.batch_policy
     }
 
     /// The model's registry name.
@@ -78,6 +97,26 @@ impl ModelRegistry {
             self.swaps.fetch_add(1, Ordering::Relaxed);
         }
         (handle, previous)
+    }
+
+    /// Publish a model with an optional per-model batching policy; `None`
+    /// keeps whatever policy `model` already carries. See
+    /// [`ServedModel::with_batch_policy`].
+    pub fn publish_with_policy(
+        &self,
+        model: ServedModel,
+        policy: Option<BatchConfig>,
+    ) -> (Arc<ServedModel>, Option<Arc<ServedModel>>) {
+        match policy {
+            Some(p) => self.publish(model.with_batch_policy(p)),
+            None => self.publish(model),
+        }
+    }
+
+    /// The current version's batching policy for a model, if the model is
+    /// registered and carries one.
+    pub fn batch_policy(&self, name: &str) -> Option<BatchConfig> {
+        self.models.read().get(name).and_then(|m| m.batch_policy())
     }
 
     /// Load a model directory (see [`Pipeline::load`]) and publish it.
@@ -185,6 +224,25 @@ mod tests {
         let proba = in_flight.pipeline().predict_proba(&data.features).unwrap();
         assert_eq!(proba.rows(), data.n_samples());
         drop(new_handle);
+    }
+
+    #[test]
+    fn per_model_batch_policy_follows_hot_swap() {
+        let registry = ModelRegistry::new();
+        let (v1, _) = tiny_pipeline(13);
+        let (v2, _) = tiny_pipeline(14);
+        registry.publish(ServedModel::new("higgs", 1, v1));
+        assert_eq!(registry.batch_policy("higgs"), None);
+        assert_eq!(registry.batch_policy("nope"), None);
+
+        let policy = BatchConfig {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_micros(100),
+            workers: 1,
+        };
+        registry.publish_with_policy(ServedModel::new("higgs", 2, v2), Some(policy));
+        assert_eq!(registry.batch_policy("higgs"), Some(policy));
+        assert_eq!(registry.get("higgs").unwrap().batch_policy(), Some(policy));
     }
 
     #[test]

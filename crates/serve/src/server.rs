@@ -10,6 +10,16 @@
 //! paper applies to training (batch-parallel HCU updates) turned toward
 //! the serving workload.
 //!
+//! Per-model policy: a [`ServedModel`] published with
+//! [`with_batch_policy`](crate::ServedModel::with_batch_policy) overrides
+//! the server-wide `max_batch`/`max_wait` for its own requests, and a
+//! hot-swap that changes the policy takes effect on the next batch.
+//!
+//! Requests carry [`SubmitOptions`]: the collector drains high-[`Priority`]
+//! requests first when a dispatch cannot take everything pending, and
+//! requests whose deadline has passed are expired with
+//! [`ServeError::DeadlineExceeded`] instead of wasting forward-pass work.
+//!
 //! Hot-swap safety: the model `Arc` is resolved from the registry once per
 //! batch, at dispatch time. Every request in a batch therefore sees one
 //! consistent model version, swaps never stall the pipeline, and displaced
@@ -34,7 +44,8 @@ pub struct BatchConfig {
     /// Dispatch a partial batch once its oldest request has waited this
     /// long.
     pub max_wait: Duration,
-    /// Number of worker threads running batches.
+    /// Number of worker threads running batches. Ignored when the config
+    /// is used as a *per-model* policy (the worker pool is shared).
     pub workers: usize,
 }
 
@@ -56,11 +67,69 @@ impl Default for BatchConfig {
     }
 }
 
+/// Scheduling priority of a request. When a dispatch cannot take every
+/// pending request, higher priorities go first (FIFO within a priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Served before Normal and Low traffic.
+    High,
+    /// The default.
+    #[default]
+    Normal,
+    /// Served after everything else.
+    Low,
+}
+
+impl Priority {
+    /// Drain order: smaller drains first.
+    fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-request scheduling options for
+/// [`InferenceServer::submit_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Drain order relative to other pending requests.
+    pub priority: Priority,
+    /// Give up on the request this long after submission: if no worker has
+    /// started its forward pass by then, it fails with
+    /// [`ServeError::DeadlineExceeded`] instead of being executed.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Default options: normal priority, no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the deadline (measured from submission).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// One queued request.
 struct Request {
     model: String,
     features: Vec<f32>,
     enqueued: Instant,
+    priority: Priority,
+    /// Absolute expiry instant, if the caller set a deadline.
+    deadline: Option<Instant>,
     reply: Sender<ServeResult<Vec<f32>>>,
 }
 
@@ -113,9 +182,10 @@ impl InferenceServer {
 
         let collector = {
             let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name("bcpnn-serve-collector".into())
-                .spawn(move || run_collector(&submit_rx, &batch_tx, &registry, config))
+                .spawn(move || run_collector(&submit_rx, &batch_tx, &registry, &metrics, config))
                 .expect("failed to spawn collector thread")
         };
 
@@ -149,10 +219,21 @@ impl InferenceServer {
         &self.registry
     }
 
-    /// Enqueue one raw feature vector for the named model; returns a handle
-    /// to wait on. Unknown models and wrong feature widths fail fast,
-    /// before entering the batch queue.
+    /// Enqueue one raw feature vector for the named model with default
+    /// [`SubmitOptions`]; returns a handle to wait on. Unknown models and
+    /// wrong feature widths fail fast, before entering the batch queue.
     pub fn submit(&self, model: &str, features: Vec<f32>) -> ServeResult<PredictionHandle> {
+        self.submit_with_options(model, features, SubmitOptions::default())
+    }
+
+    /// Enqueue one raw feature vector with explicit priority/deadline
+    /// options; returns a handle to wait on.
+    pub fn submit_with_options(
+        &self,
+        model: &str,
+        features: Vec<f32>,
+        options: SubmitOptions,
+    ) -> ServeResult<PredictionHandle> {
         let served = self.registry.get(model)?;
         let expected = served.pipeline().input_width();
         if features.len() != expected {
@@ -162,10 +243,13 @@ impl InferenceServer {
             });
         }
         let (reply_tx, reply_rx) = unbounded();
+        let enqueued = Instant::now();
         let request = Request {
             model: model.to_string(),
             features,
-            enqueued: Instant::now(),
+            enqueued,
+            priority: options.priority,
+            deadline: options.deadline.map(|d| enqueued + d),
             reply: reply_tx,
         };
         self.submit_tx
@@ -211,18 +295,77 @@ impl std::fmt::Debug for InferenceServer {
     }
 }
 
-/// A model's requests accumulating toward a dispatch.
+/// A model's requests accumulating toward a dispatch, under that model's
+/// effective batching policy (resolved when the slot was opened).
 struct Pending {
     requests: Vec<Request>,
     deadline: Instant,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+/// Stable-sort pending requests into drain order: priority first, FIFO
+/// within a priority (insertion order is FIFO and the sort is stable).
+fn order_for_dispatch(requests: &mut [Request]) {
+    requests.sort_by_key(|r| r.priority.rank());
+}
+
+/// Split one batch off an over-full slot: the highest-priority `max_batch`
+/// requests leave (FIFO within a priority); lower-priority requests stay
+/// queued for a later dispatch. This is where [`Priority`] bites — a burst
+/// bigger than one batch drains High before Normal before Low.
+fn take_batch(requests: &mut Vec<Request>, max_batch: usize) -> Vec<Request> {
+    order_for_dispatch(requests);
+    let take = requests.len().min(max_batch);
+    requests.drain(..take).collect()
+}
+
+/// Split off the requests whose deadline has already passed.
+fn split_expired(requests: Vec<Request>, now: Instant) -> (Vec<Request>, Vec<Request>) {
+    requests
+        .into_iter()
+        .partition(|r| !matches!(r.deadline, Some(d) if now >= d))
+}
+
+/// Reply `DeadlineExceeded` to every expired request and count it.
+fn expire(requests: Vec<Request>, metrics: &ServingMetrics) {
+    for request in requests {
+        metrics.record_expired();
+        let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+    }
+}
+
+/// Add a request to its model's pending slot, opening the slot under the
+/// model's effective batching policy (which a hot-swap may have just
+/// changed) if this is its first request.
+fn enqueue(
+    pending: &mut HashMap<String, Pending>,
+    request: Request,
+    registry: &ModelRegistry,
+    config: BatchConfig,
+) {
+    let enqueued = request.enqueued;
+    let slot = pending
+        .entry(request.model.clone())
+        .or_insert_with_key(|model| {
+            let policy = registry.batch_policy(model).unwrap_or(config);
+            Pending {
+                requests: Vec::with_capacity(policy.max_batch),
+                deadline: enqueued + policy.max_wait,
+                max_batch: policy.max_batch.max(1),
+                max_wait: policy.max_wait,
+            }
+        });
+    slot.requests.push(request);
 }
 
 /// Collector loop: coalesce requests into per-model batches and dispatch
-/// them when full (`max_batch`) or ripe (`max_wait`).
+/// them when full (the model's `max_batch`) or ripe (its `max_wait`).
 fn run_collector(
     submit_rx: &Receiver<Request>,
     batch_tx: &Sender<Batch>,
     registry: &ModelRegistry,
+    metrics: &ServingMetrics,
     config: BatchConfig,
 ) {
     // Idle poll period when nothing is pending (bounds shutdown latency in
@@ -238,22 +381,44 @@ fn run_collector(
             .unwrap_or(IDLE_WAIT);
         match submit_rx.recv_timeout(timeout) {
             Ok(request) => {
-                let model = request.model.clone();
-                let slot = pending.entry(model.clone()).or_insert_with(|| Pending {
-                    requests: Vec::with_capacity(config.max_batch),
-                    deadline: request.enqueued + config.max_wait,
-                });
-                slot.requests.push(request);
-                if slot.requests.len() >= config.max_batch {
-                    let slot = pending.remove(&model).expect("the slot just filled");
-                    dispatch(batch_tx, registry, &model, slot.requests);
+                // Drain the whole burst before dispatching, so a slot can
+                // hold more than max_batch and priority ordering has
+                // something to choose between.
+                enqueue(&mut pending, request, registry, config);
+                while let Ok(more) = submit_rx.try_recv() {
+                    enqueue(&mut pending, more, registry, config);
+                }
+                let full: Vec<String> = pending
+                    .iter()
+                    .filter(|(_, p)| p.requests.len() >= p.max_batch)
+                    .map(|(name, _)| name.clone())
+                    .collect();
+                for model in full {
+                    let slot = pending.get_mut(&model).expect("slot is full");
+                    while slot.requests.len() >= slot.max_batch {
+                        let batch = take_batch(&mut slot.requests, slot.max_batch);
+                        dispatch(batch_tx, registry, metrics, &model, batch);
+                    }
+                    if slot.requests.is_empty() {
+                        pending.remove(&model);
+                    } else {
+                        // The leftovers (lowest-priority tail) linger under
+                        // a window anchored at their oldest member.
+                        let oldest = slot
+                            .requests
+                            .iter()
+                            .map(|r| r.enqueued)
+                            .min()
+                            .expect("slot is non-empty");
+                        slot.deadline = oldest + slot.max_wait;
+                    }
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
                 // Shutdown: flush everything still pending, then stop.
                 for (model, slot) in pending.drain() {
-                    dispatch(batch_tx, registry, &model, slot.requests);
+                    dispatch(batch_tx, registry, metrics, &model, slot.requests);
                 }
                 return;
             }
@@ -267,18 +432,26 @@ fn run_collector(
             .collect();
         for model in ripe {
             let slot = pending.remove(&model).expect("ripe slot exists");
-            dispatch(batch_tx, registry, &model, slot.requests);
+            dispatch(batch_tx, registry, metrics, &model, slot.requests);
         }
     }
 }
 
-/// Resolve the model's *current* version and hand the batch to a worker.
+/// Expire dead requests, order the rest by priority, resolve the model's
+/// *current* version, and hand the batch to a worker.
 fn dispatch(
     batch_tx: &Sender<Batch>,
     registry: &ModelRegistry,
+    metrics: &ServingMetrics,
     model: &str,
     requests: Vec<Request>,
 ) {
+    let (mut live, expired) = split_expired(requests, Instant::now());
+    expire(expired, metrics);
+    if live.is_empty() {
+        return;
+    }
+    order_for_dispatch(&mut live);
     match registry.get(model) {
         Ok(served) => {
             // Workers exiting early (server drop) orphans the batch; the
@@ -286,12 +459,12 @@ fn dispatch(
             // observe as `Disconnected`.
             let _ = batch_tx.send(Batch {
                 model: served,
-                requests,
+                requests: live,
             });
         }
         Err(err) => {
             // The model was removed after the requests were accepted.
-            for request in requests {
+            for request in live {
                 let _ = request.reply.send(Err(err.clone()));
             }
         }
@@ -299,9 +472,16 @@ fn dispatch(
 }
 
 /// Worker body: run one batch as a single vectorized pass and fan out the
-/// per-row results.
+/// per-row results. Requests whose deadline passed while the batch sat in
+/// the queue are expired here, before any forward-pass work is spent on
+/// them.
 fn run_batch(batch: Batch, metrics: &ServingMetrics) {
     let Batch { model, requests } = batch;
+    let (requests, expired) = split_expired(requests, Instant::now());
+    expire(expired, metrics);
+    if requests.is_empty() {
+        return;
+    }
     metrics.record_batch(requests.len());
     let pipeline = model.pipeline();
     let width = pipeline.input_width();
@@ -453,6 +633,158 @@ mod tests {
             max_bucket_with_counts <= 3,
             "no batch may exceed 8 requests (bucket {max_bucket_with_counts})"
         );
+    }
+
+    #[test]
+    fn per_model_batch_policy_overrides_server_default() {
+        let (pipeline, data) = tiny_pipeline(37);
+        let registry = Arc::new(ModelRegistry::new());
+        // The model caps its own batches at 2, far below the server's 64.
+        registry.publish(
+            ServedModel::new("higgs", 1, pipeline).with_batch_policy(BatchConfig {
+                max_batch: 2,
+                max_wait: Duration::from_millis(1),
+                workers: 1,
+            }),
+        );
+        let server = InferenceServer::start(Arc::clone(&registry), BatchConfig::default());
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                server
+                    .submit("higgs", data.features.row(i).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let m = server.metrics();
+        assert!(m.batches >= 8, "16 requests at max_batch 2: {}", m.batches);
+        let biggest = m.batch_size_hist.iter().rposition(|&c| c > 0).unwrap();
+        assert!(
+            biggest <= 1,
+            "no batch may exceed the per-model cap of 2 (bucket {biggest})"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_requests_expire_unexecuted() {
+        let (server, data) = server_with_model(38);
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                server
+                    .submit_with_options(
+                        "higgs",
+                        data.features.row(i).to_vec(),
+                        SubmitOptions::new().deadline(Duration::ZERO),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            assert!(matches!(handle.wait(), Err(ServeError::DeadlineExceeded)));
+        }
+        let m = server.metrics();
+        assert_eq!(m.expired, 6);
+        assert_eq!(m.errors, 6);
+        assert_eq!(m.responses, 0, "expired requests must never be executed");
+        assert_eq!(m.batches, 0, "an all-expired slot dispatches no batch");
+    }
+
+    #[test]
+    fn generous_deadlines_do_not_expire() {
+        let (server, data) = server_with_model(39);
+        let proba = server
+            .submit_with_options(
+                "higgs",
+                data.features.row(0).to_vec(),
+                SubmitOptions::new()
+                    .priority(Priority::High)
+                    .deadline(Duration::from_secs(30)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(proba.len(), 2);
+        assert_eq!(server.metrics().expired, 0);
+    }
+
+    #[test]
+    fn dispatch_order_is_priority_then_fifo() {
+        let (reply, _keep) = unbounded();
+        let now = Instant::now();
+        let mk = |priority: Priority, tag: f32| Request {
+            model: "m".into(),
+            features: vec![tag],
+            enqueued: now,
+            priority,
+            deadline: None,
+            reply: reply.clone(),
+        };
+        let mut requests = vec![
+            mk(Priority::Low, 0.0),
+            mk(Priority::Normal, 1.0),
+            mk(Priority::High, 2.0),
+            mk(Priority::Normal, 3.0),
+            mk(Priority::High, 4.0),
+        ];
+        order_for_dispatch(&mut requests);
+        let tags: Vec<f32> = requests.iter().map(|r| r.features[0]).collect();
+        assert_eq!(tags, vec![2.0, 4.0, 1.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn take_batch_drains_high_priority_and_leaves_the_low_tail() {
+        let (reply, _keep) = unbounded();
+        let now = Instant::now();
+        let mk = |priority: Priority, tag: f32| Request {
+            model: "m".into(),
+            features: vec![tag],
+            enqueued: now,
+            priority,
+            deadline: None,
+            reply: reply.clone(),
+        };
+        let mut slot = vec![
+            mk(Priority::Low, 0.0),
+            mk(Priority::Normal, 1.0),
+            mk(Priority::High, 2.0),
+            mk(Priority::Low, 3.0),
+            mk(Priority::High, 4.0),
+        ];
+        // A burst of 5 with room for 3: both Highs and the first Normal
+        // leave; the Lows stay queued for the next dispatch.
+        let batch = take_batch(&mut slot, 3);
+        let taken: Vec<f32> = batch.iter().map(|r| r.features[0]).collect();
+        assert_eq!(taken, vec![2.0, 4.0, 1.0]);
+        let left: Vec<f32> = slot.iter().map(|r| r.features[0]).collect();
+        assert_eq!(left, vec![0.0, 3.0]);
+        // The tail drains next, still in FIFO order.
+        let rest = take_batch(&mut slot, 3);
+        assert_eq!(rest.len(), 2);
+        assert!(slot.is_empty());
+    }
+
+    #[test]
+    fn split_expired_partitions_on_the_deadline() {
+        let (reply, _keep) = unbounded();
+        let now = Instant::now();
+        let mk = |deadline: Option<Instant>| Request {
+            model: "m".into(),
+            features: vec![],
+            enqueued: now,
+            priority: Priority::Normal,
+            deadline,
+            reply: reply.clone(),
+        };
+        let requests = vec![
+            mk(None),
+            mk(Some(now - Duration::from_millis(1))),
+            mk(Some(now + Duration::from_secs(60))),
+        ];
+        let (live, expired) = split_expired(requests, now);
+        assert_eq!(live.len(), 2);
+        assert_eq!(expired.len(), 1);
     }
 
     #[test]

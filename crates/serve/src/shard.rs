@@ -1,0 +1,364 @@
+//! Sharded serving: one model partitioned across several independent
+//! collector+worker pools.
+//!
+//! Once a single micro-batching pool saturates — one collector thread, one
+//! batch queue — the next scaling step is the one the message-passing
+//! cluster literature takes for Swendsen-Wang: partition the work across
+//! independent workers and keep the per-worker batch vectorization. A
+//! [`ShardedServer`] owns `N` full [`InferenceServer`] pools over one
+//! shared [`ModelRegistry`], so a hot-swap still flips every shard
+//! atomically, and each shard batches, schedules, and measures
+//! independently.
+//!
+//! Routing is deterministic by default: a stable FNV-1a hash of the raw
+//! feature bytes picks the shard, so identical requests land on the same
+//! pool (cache-friendly, reproducible). [`ShardRouting::RoundRobin`]
+//! spreads strictly uniformly instead, for workloads with hot duplicate
+//! vectors.
+//!
+//! Per-shard [`MetricsSnapshot`]s aggregate exactly (counters and
+//! histograms add) into one server-wide view, and both levels render in
+//! Prometheus text exposition format via [`ShardedServer::to_prometheus`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::ServeResult;
+use crate::metrics::MetricsSnapshot;
+use crate::registry::ModelRegistry;
+use crate::server::{BatchConfig, InferenceServer, PredictionHandle, SubmitOptions};
+
+/// How a [`ShardedServer`] assigns requests to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardRouting {
+    /// Stable FNV-1a hash of the request's feature bytes: identical
+    /// vectors always hit the same shard.
+    #[default]
+    FeatureHash,
+    /// Strict rotation across shards: perfectly uniform load regardless of
+    /// the feature distribution.
+    RoundRobin,
+}
+
+/// Configuration for a [`ShardedServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of independent collector+worker pools.
+    pub shards: usize,
+    /// Batching defaults applied inside every shard (per-model policies
+    /// published to the registry still override them).
+    pub batch: BatchConfig,
+    /// Request-to-shard assignment strategy.
+    pub routing: ShardRouting,
+}
+
+impl ShardConfig {
+    /// `shards` pools with default batching and hash routing.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            batch: BatchConfig::default(),
+            routing: ShardRouting::default(),
+        }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// `N` independent [`InferenceServer`] pools over one shared registry,
+/// with deterministic request routing and aggregated metrics.
+pub struct ShardedServer {
+    registry: Arc<ModelRegistry>,
+    shards: Vec<InferenceServer>,
+    routing: ShardRouting,
+    next: AtomicUsize,
+}
+
+impl ShardedServer {
+    /// Start `config.shards` full collector+worker pools over `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, config: ShardConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let shards = (0..config.shards)
+            .map(|_| InferenceServer::start(Arc::clone(&registry), config.batch))
+            .collect();
+        Self {
+            registry,
+            shards,
+            routing: config.routing,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared registry. Publishing to it hot-swaps the model on every
+    /// shard at once (each shard resolves the current version per batch).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a feature vector routes to under the configured policy.
+    /// Round-robin routing advances the rotation, so consecutive calls
+    /// return consecutive shards.
+    pub fn route(&self, features: &[f32]) -> usize {
+        match self.routing {
+            ShardRouting::FeatureHash => fnv1a_f32(features) as usize % self.shards.len(),
+            ShardRouting::RoundRobin => {
+                self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+            }
+        }
+    }
+
+    /// Enqueue one feature vector with default options on its shard.
+    pub fn submit(&self, model: &str, features: Vec<f32>) -> ServeResult<PredictionHandle> {
+        self.submit_with_options(model, features, SubmitOptions::default())
+    }
+
+    /// Enqueue one feature vector with explicit priority/deadline options
+    /// on its shard.
+    pub fn submit_with_options(
+        &self,
+        model: &str,
+        features: Vec<f32>,
+        options: SubmitOptions,
+    ) -> ServeResult<PredictionHandle> {
+        let shard = self.route(&features);
+        self.shards[shard].submit_with_options(model, features, options)
+    }
+
+    /// Submit and block until the class probabilities arrive.
+    pub fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>> {
+        self.submit(model, features)?.wait()
+    }
+
+    /// Aggregated metrics across every shard (counters and histograms add
+    /// exactly; means and percentiles are recomputed from the merged
+    /// histograms).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::aggregate(&self.shard_metrics())
+    }
+
+    /// Point-in-time metrics of each shard, indexed by shard id.
+    pub fn shard_metrics(&self) -> Vec<MetricsSnapshot> {
+        self.shards.iter().map(|s| s.metrics()).collect()
+    }
+
+    /// Prometheus text exposition for the whole server. Each metric is
+    /// declared (`# HELP`/`# TYPE`) exactly once and carries one sample
+    /// per shard labeled `shard="0"`..`shard="N-1"`, plus the aggregate
+    /// labeled `shard="all"` — distinguishable so a PromQL
+    /// `sum by (...) (metric{shard!="all"})` never double-counts.
+    pub fn to_prometheus(&self) -> String {
+        let per_shard = self.shard_metrics();
+        let aggregate = MetricsSnapshot::aggregate(&per_shard);
+        let shard_ids: Vec<String> = (0..per_shard.len()).map(|i| i.to_string()).collect();
+        let mut series: Vec<(Vec<(&str, &str)>, &MetricsSnapshot)> =
+            vec![(vec![("shard", "all")], &aggregate)];
+        for (id, snapshot) in shard_ids.iter().zip(&per_shard) {
+            series.push((vec![("shard", id.as_str())], snapshot));
+        }
+        crate::metrics::render_prometheus(&series)
+    }
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("shards", &self.shards.len())
+            .field("routing", &self.routing)
+            .field("models", &self.registry.model_names())
+            .finish()
+    }
+}
+
+/// FNV-1a over the IEEE-754 bit patterns of the features: stable across
+/// runs and platforms, cheap enough to sit on the submit path.
+fn fnv1a_f32(features: &[f32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &f in features {
+        for byte in f.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tests::tiny_pipeline;
+    use crate::registry::ServedModel;
+    use crate::server::Priority;
+    use crate::ServeError;
+    use std::time::Duration;
+
+    fn sharded(seed: u64, routing: ShardRouting) -> (ShardedServer, bcpnn_data::Dataset) {
+        let (pipeline, data) = tiny_pipeline(seed);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = ShardedServer::start(
+            registry,
+            ShardConfig {
+                shards: 4,
+                batch: BatchConfig {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(1),
+                    workers: 1,
+                },
+                routing,
+            },
+        );
+        (server, data)
+    }
+
+    #[test]
+    fn hash_routing_is_stable_and_in_range() {
+        let (server, data) = sharded(50, ShardRouting::FeatureHash);
+        for r in 0..20 {
+            let row = data.features.row(r);
+            let shard = server.route(row);
+            assert!(shard < 4);
+            assert_eq!(shard, server.route(row), "same vector, same shard");
+        }
+        // 20 distinct vectors across 4 shards: the hash must actually
+        // spread (a constant router would put all 20 on one shard).
+        let distinct: std::collections::HashSet<usize> = (0..20)
+            .map(|r| server.route(data.features.row(r)))
+            .collect();
+        assert!(distinct.len() > 1, "hash routing must spread load");
+    }
+
+    #[test]
+    fn round_robin_routing_rotates_uniformly() {
+        let (server, data) = sharded(51, ShardRouting::RoundRobin);
+        let row = data.features.row(0);
+        let shards: Vec<usize> = (0..8).map(|_| server.route(row)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_predictions_match_direct_inference() {
+        let (server, data) = sharded(52, ShardRouting::FeatureHash);
+        let direct = server
+            .registry()
+            .get("higgs")
+            .unwrap()
+            .pipeline()
+            .predict_proba(&data.features)
+            .unwrap();
+        let handles: Vec<_> = (0..40)
+            .map(|r| {
+                server
+                    .submit("higgs", data.features.row(r).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        for (r, handle) in handles.into_iter().enumerate() {
+            let got = handle.wait().unwrap();
+            for (c, v) in got.iter().enumerate() {
+                assert!(
+                    (v - direct.get(r, c)).abs() < 1e-5,
+                    "row {r} col {c}: {v} vs {}",
+                    direct.get(r, c)
+                );
+            }
+        }
+        let m = server.metrics();
+        assert_eq!(m.responses, 40);
+        assert_eq!(m.errors, 0);
+        assert_eq!(
+            m.responses,
+            server
+                .shard_metrics()
+                .iter()
+                .map(|s| s.responses)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_load_across_all_shards() {
+        let (server, data) = sharded(53, ShardRouting::RoundRobin);
+        let handles: Vec<_> = (0..40)
+            .map(|r| {
+                server
+                    .submit("higgs", data.features.row(r).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let per_shard = server.shard_metrics();
+        assert_eq!(per_shard.len(), 4);
+        for (i, m) in per_shard.iter().enumerate() {
+            assert_eq!(m.requests, 10, "shard {i} must take exactly 1/4 the load");
+        }
+    }
+
+    #[test]
+    fn options_flow_through_to_the_shard() {
+        let (server, data) = sharded(54, ShardRouting::FeatureHash);
+        let expired = server
+            .submit_with_options(
+                "higgs",
+                data.features.row(0).to_vec(),
+                SubmitOptions::new().deadline(Duration::ZERO),
+            )
+            .unwrap()
+            .wait();
+        assert!(matches!(expired, Err(ServeError::DeadlineExceeded)));
+        let ok = server
+            .submit_with_options(
+                "higgs",
+                data.features.row(1).to_vec(),
+                SubmitOptions::new().priority(Priority::High),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(ok.len(), 2);
+        let m = server.metrics();
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.responses, 1);
+    }
+
+    #[test]
+    fn prometheus_export_covers_aggregate_and_every_shard() {
+        let (server, data) = sharded(55, ShardRouting::RoundRobin);
+        for r in 0..8 {
+            server
+                .predict("higgs", data.features.row(r).to_vec())
+                .unwrap();
+        }
+        let text = server.to_prometheus();
+        // One declaration per metric; the aggregate is labeled shard="all"
+        // so summing over the real shards never double-counts.
+        assert_eq!(text.matches("# TYPE bcpnn_serve_requests_total").count(), 1);
+        assert!(text.contains("bcpnn_serve_requests_total{shard=\"all\"} 8"));
+        for shard in 0..4 {
+            assert!(
+                text.contains(&format!(
+                    "bcpnn_serve_requests_total{{shard=\"{shard}\"}} 2"
+                )),
+                "missing shard {shard} samples"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedServer>();
+    }
+}

@@ -1,19 +1,24 @@
 //! Serving walkthrough: train a model, save it as a self-contained (v2)
 //! artifact with its encoder, load it into a registry, and serve raw
 //! feature vectors through the micro-batching server — including a
-//! hot-swap to a retrained version.
+//! hot-swap to a retrained version, sharded serving with a per-model
+//! batch policy, priority/deadline requests, and a Prometheus scrape.
 //!
 //! ```sh
 //! cargo run --release --example serving
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use bcpnn_backend::BackendKind;
 use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::QuantileEncoder;
-use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel};
+use bcpnn_serve::{
+    BatchConfig, InferenceServer, ModelRegistry, Pipeline, Priority, ServedModel, ShardConfig,
+    ShardRouting, ShardedServer, SubmitOptions,
+};
 
 fn train(seed: u64) -> Pipeline {
     let data = generate(&SyntheticHiggsConfig {
@@ -84,7 +89,79 @@ fn main() {
         .predict("higgs", requests.features.row(0).to_vec())
         .expect("post-swap prediction succeeds");
     println!("same collision under v2: {proba2:?}");
-
     println!("\n{}", server.metrics());
+    drop(server);
+
+    // 5. Scale out: shard the model across 4 independent pools. Requests
+    //    route by a stable hash of their feature vector; the per-model
+    //    batch policy (small batches, short linger) overrides the
+    //    server-wide defaults and can itself be hot-swapped.
+    let policy = BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_micros(500),
+        workers: 1,
+    };
+    registry.publish_with_policy(ServedModel::new("higgs", 3, train(3)), Some(policy));
+    let sharded = ShardedServer::start(
+        Arc::clone(&registry),
+        ShardConfig {
+            shards: 4,
+            batch: BatchConfig::default(),
+            routing: ShardRouting::FeatureHash,
+        },
+    );
+    let handles: Vec<_> = (0..requests.n_samples())
+        .map(|r| {
+            sharded
+                .submit("higgs", requests.features.row(r).to_vec())
+                .expect("submit succeeds")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("sharded prediction succeeds");
+    }
+    println!(
+        "\nserved {} collisions across 4 shards:",
+        requests.n_samples()
+    );
+    for (i, m) in sharded.shard_metrics().iter().enumerate() {
+        println!(
+            "  shard {i}: {} requests, mean batch {:.2}",
+            m.requests, m.mean_batch_size
+        );
+    }
+
+    // 6. Priority and deadline options. A high-priority request drains
+    //    ahead of normal traffic; an already-expired deadline fails with
+    //    DeadlineExceeded before any forward-pass work is spent on it.
+    let urgent = sharded
+        .submit_with_options(
+            "higgs",
+            requests.features.row(1).to_vec(),
+            SubmitOptions::new()
+                .priority(Priority::High)
+                .deadline(Duration::from_millis(250)),
+        )
+        .expect("submit succeeds")
+        .wait()
+        .expect("within deadline");
+    println!("\nhigh-priority prediction: {urgent:?}");
+    let expired = sharded
+        .submit_with_options(
+            "higgs",
+            requests.features.row(2).to_vec(),
+            SubmitOptions::new().deadline(Duration::ZERO),
+        )
+        .expect("submit succeeds")
+        .wait();
+    println!("zero-deadline request: {}", expired.unwrap_err());
+
+    // 7. Prometheus scrape: aggregated samples first, then per-shard ones
+    //    labeled shard="i".
+    println!("\nprometheus exposition (first 12 lines):");
+    for line in sharded.to_prometheus().lines().take(12) {
+        println!("  {line}");
+    }
+
     std::fs::remove_dir_all(&dir).ok();
 }

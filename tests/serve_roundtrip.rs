@@ -11,7 +11,10 @@ use bcpnn_backend::BackendKind;
 use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::QuantileEncoder;
-use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, Pipeline};
+use bcpnn_serve::{
+    BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServeError, ShardConfig, ShardRouting,
+    ShardedServer, SubmitOptions,
+};
 use bcpnn_tensor::Matrix;
 
 const CLIENTS: usize = 4;
@@ -189,4 +192,186 @@ fn serve_roundtrip_naive_backend() {
 #[test]
 fn serve_roundtrip_parallel_backend() {
     serve_roundtrip_on(BackendKind::Parallel);
+}
+
+/// Sharded (4 pools) == single-pool == direct `predict_proba`, before and
+/// after a hot-swap, with the mid-flight swap itself crossed under
+/// concurrent load: every response matches one of the two published
+/// versions exactly, on every shard.
+#[test]
+fn sharded_equals_single_pool_equals_direct_across_hot_swap() {
+    let backend = BackendKind::Parallel;
+    let dir_v1 = temp_dir("shard_v1");
+    let dir_v2 = temp_dir("shard_v2");
+    train_and_save(1, &dir_v1);
+    train_and_save(2, &dir_v2);
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_and_publish("higgs", 1, &dir_v1, backend)
+        .unwrap();
+
+    let total = CLIENTS * REQUESTS_PER_CLIENT;
+    let requests = request_matrix(total);
+    let direct_v1 = registry
+        .get("higgs")
+        .unwrap()
+        .pipeline()
+        .predict_proba(&requests)
+        .unwrap();
+    let v2_pipeline = Pipeline::load(&dir_v2, backend).unwrap();
+    let direct_v2 = v2_pipeline.predict_proba(&requests).unwrap();
+
+    let batch = BatchConfig {
+        max_batch: 16,
+        max_wait: Duration::from_millis(1),
+        workers: 2,
+    };
+    let single = InferenceServer::start(Arc::clone(&registry), batch);
+    let sharded = ShardedServer::start(
+        Arc::clone(&registry),
+        ShardConfig {
+            shards: 4,
+            batch,
+            routing: ShardRouting::FeatureHash,
+        },
+    );
+    assert_eq!(sharded.n_shards(), 4);
+
+    // Pre-swap: sharded == single-pool == direct, row-exact.
+    for row in 0..32 {
+        let features = requests.row(row).to_vec();
+        let from_sharded = sharded.predict("higgs", features.clone()).unwrap();
+        let from_single = single.predict("higgs", features).unwrap();
+        assert!(rows_match(&from_sharded, direct_v1.row(row), 1e-5));
+        assert!(rows_match(&from_single, direct_v1.row(row), 1e-5));
+        assert!(rows_match(&from_sharded, &from_single, 1e-5));
+    }
+
+    // Mid-flight: concurrent clients hammer the sharded server while v2 is
+    // hot-swapped in; every response matches v1 or v2 exactly.
+    let matched_v1 = AtomicU64::new(0);
+    let matched_v2 = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let sharded = &sharded;
+            let requests = &requests;
+            let direct_v1 = &direct_v1;
+            let direct_v2 = &direct_v2;
+            let matched_v1 = &matched_v1;
+            let matched_v2 = &matched_v2;
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let row = client * REQUESTS_PER_CLIENT + i;
+                    let proba = sharded
+                        .predict("higgs", requests.row(row).to_vec())
+                        .expect("no request may be dropped or errored");
+                    if rows_match(&proba, direct_v1.row(row), 1e-5) {
+                        matched_v1.fetch_add(1, Ordering::Relaxed);
+                    } else if rows_match(&proba, direct_v2.row(row), 1e-5) {
+                        matched_v2.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        panic!("row {row}: response matches neither published version");
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        registry
+            .load_and_publish("higgs", 2, &dir_v2, backend)
+            .unwrap();
+    });
+    assert_eq!(
+        matched_v1.load(Ordering::Relaxed) + matched_v2.load(Ordering::Relaxed),
+        total as u64
+    );
+
+    // Post-swap: both servers now agree with direct v2.
+    for row in 0..32 {
+        let features = requests.row(row).to_vec();
+        assert!(rows_match(
+            &sharded.predict("higgs", features.clone()).unwrap(),
+            direct_v2.row(row),
+            1e-5
+        ));
+        assert!(rows_match(
+            &single.predict("higgs", features).unwrap(),
+            direct_v2.row(row),
+            1e-5
+        ));
+    }
+
+    // The shards really shared the load, and the aggregate adds up.
+    let per_shard = sharded.shard_metrics();
+    let aggregate = sharded.metrics();
+    assert_eq!(
+        aggregate.responses,
+        per_shard.iter().map(|m| m.responses).sum::<u64>()
+    );
+    assert!(
+        per_shard.iter().filter(|m| m.requests > 0).count() > 1,
+        "hash routing must use more than one shard"
+    );
+    assert_eq!(aggregate.errors, 0);
+
+    // The Prometheus view exposes both levels: the aggregate under
+    // shard="all" and every individual shard.
+    let text = sharded.to_prometheus();
+    assert!(text.contains("bcpnn_serve_responses_total{shard=\"all\"}"));
+    assert!(text.contains("shard=\"3\""));
+
+    drop(sharded);
+    drop(single);
+    std::fs::remove_dir_all(&dir_v1).ok();
+    std::fs::remove_dir_all(&dir_v2).ok();
+}
+
+/// Requests whose deadline has already passed error with
+/// `DeadlineExceeded` and are never executed: no responses, no batches, no
+/// forward-pass work.
+#[test]
+fn expired_deadlines_error_without_execution() {
+    let dir = temp_dir("deadline");
+    train_and_save(3, &dir);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_and_publish("higgs", 1, &dir, BackendKind::Naive)
+        .unwrap();
+    let sharded = ShardedServer::start(Arc::clone(&registry), ShardConfig::new(2));
+
+    let requests = request_matrix(16);
+    let handles: Vec<_> = (0..16)
+        .map(|row| {
+            sharded
+                .submit_with_options(
+                    "higgs",
+                    requests.row(row).to_vec(),
+                    SubmitOptions::new().deadline(Duration::ZERO),
+                )
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        assert!(matches!(handle.wait(), Err(ServeError::DeadlineExceeded)));
+    }
+    let m = sharded.metrics();
+    assert_eq!(m.expired, 16);
+    assert_eq!(m.errors, 16);
+    assert_eq!(m.responses, 0, "expired requests must not be executed");
+    assert_eq!(m.batches, 0, "expired requests must not form batches");
+
+    // A request with a generous deadline still round-trips afterwards.
+    let proba = sharded
+        .submit_with_options(
+            "higgs",
+            requests.row(0).to_vec(),
+            SubmitOptions::new().deadline(Duration::from_secs(30)),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(proba.len(), 2);
+
+    drop(sharded);
+    std::fs::remove_dir_all(&dir).ok();
 }
