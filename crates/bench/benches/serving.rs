@@ -9,9 +9,9 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use bcpnn_backend::BackendKind;
-use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_core::model::Predictor;
+use bcpnn_core::{Network, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
-use bcpnn_data::QuantileEncoder;
 use bcpnn_serve::loadgen::request_stream;
 use bcpnn_serve::{
     BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel, ShardConfig, ShardRouting,
@@ -25,26 +25,24 @@ fn trained_pipeline() -> Pipeline {
         seed: 5,
         ..Default::default()
     });
-    let encoder = QuantileEncoder::fit(&data, 10);
-    let x = encoder.transform(&data);
-    let mut network = Network::builder()
-        .input(encoder.encoded_width())
-        .hidden(4, 8, 0.4)
-        .classes(2)
-        .readout(ReadoutKind::Hybrid)
-        .backend(BackendKind::Parallel)
-        .seed(5)
-        .build()
-        .unwrap();
-    Trainer::new(TrainingParams {
-        unsupervised_epochs: 1,
-        supervised_epochs: 1,
-        batch_size: 128,
-        ..Default::default()
-    })
-    .fit(&mut network, &x, &data.labels)
+    let (pipeline, _) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(5),
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
     .unwrap();
-    Pipeline::new(network, Some(encoder)).unwrap()
+    pipeline
 }
 
 /// Per-request cost of one vectorized encode → forward → readout pass at

@@ -22,6 +22,7 @@
 use std::path::PathBuf;
 
 use bcpnn_backend::BackendKind;
+use bcpnn_core::model::NetworkEstimator;
 use bcpnn_core::{EvalReport, HiddenLayerParams, Network, ReadoutKind, Trainer, TrainingParams};
 use bcpnn_data::encode::QuantileEncoder;
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
@@ -170,9 +171,22 @@ pub struct RunOutcome {
     pub train_time_s: f64,
 }
 
-/// Build the network for a run configuration (exposed so the Fig. 2 and
-/// Fig. 5 binaries can attach observers before training).
-pub fn build_network(config: &BcpnnRunConfig, input_width: usize, seed: u64) -> Network {
+/// The training schedule for a run configuration (shuffling seed derived
+/// from the run seed via [`TRAIN_SEED_MASK`]).
+fn training_params(config: &BcpnnRunConfig, seed: u64) -> TrainingParams {
+    TrainingParams {
+        unsupervised_epochs: config.unsupervised_epochs,
+        supervised_epochs: config.supervised_epochs,
+        batch_size: config.batch_size,
+        seed: seed ^ TRAIN_SEED_MASK,
+        shuffle: true,
+    }
+}
+
+/// The [`NetworkEstimator`] (topology + training schedule) for a run
+/// configuration: the single spelling every binary and the hyperopt search
+/// train through.
+pub fn build_estimator(config: &BcpnnRunConfig, input_width: usize, seed: u64) -> NetworkEstimator {
     let hidden = HiddenLayerParams {
         n_inputs: input_width,
         n_hcu: config.n_hcu,
@@ -182,34 +196,37 @@ pub fn build_network(config: &BcpnnRunConfig, input_width: usize, seed: u64) -> 
         support_noise: config.support_noise,
         ..Default::default()
     };
-    Network::builder()
-        .hidden_params(hidden)
-        .classes(2)
-        .readout(config.readout)
-        .backend(config.backend)
-        .seed(seed)
+    NetworkEstimator::new(
+        Network::builder()
+            .hidden_params(hidden)
+            .classes(2)
+            .readout(config.readout)
+            .backend(config.backend)
+            .seed(seed),
+        training_params(config, seed),
+    )
+}
+
+/// Build the (untrained) network for a run configuration (exposed so the
+/// Fig. 2 and Fig. 5 binaries can attach observers before training).
+pub fn build_network(config: &BcpnnRunConfig, input_width: usize, seed: u64) -> Network {
+    build_estimator(config, input_width, seed)
+        .builder
         .build()
         .expect("invalid run configuration")
 }
 
 /// The trainer matching a run configuration.
 pub fn build_trainer(config: &BcpnnRunConfig, seed: u64) -> Trainer {
-    Trainer::new(TrainingParams {
-        unsupervised_epochs: config.unsupervised_epochs,
-        supervised_epochs: config.supervised_epochs,
-        batch_size: config.batch_size,
-        seed: seed ^ TRAIN_SEED_MASK,
-        shuffle: true,
-    })
+    Trainer::new(training_params(config, seed))
 }
 
 /// Train one network with the given configuration and seed, and evaluate it
 /// on the test set.
 pub fn run_bcpnn(config: &BcpnnRunConfig, data: &HiggsExperimentData, seed: u64) -> RunOutcome {
-    let mut network = build_network(config, data.encoded_width(), seed);
-    let trainer = build_trainer(config, seed);
-    let report = trainer
-        .fit(&mut network, &data.x_train, &data.y_train)
+    let estimator = build_estimator(config, data.encoded_width(), seed);
+    let (network, report) = estimator
+        .fit_report(&data.x_train, &data.y_train)
         .expect("training failed");
     let primary = network
         .evaluate(&data.x_test, &data.y_test)

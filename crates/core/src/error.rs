@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors surfaced by model construction, training and persistence.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// breaking change, so downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A hyperparameter combination failed validation.
     InvalidParams(String),

@@ -58,6 +58,7 @@ mod error;
 mod hcu;
 mod mask;
 pub mod metrics;
+pub mod model;
 mod network;
 mod params;
 mod plasticity;
@@ -72,11 +73,15 @@ pub use error::{CoreError, CoreResult};
 pub use hcu::HiddenLayer;
 pub use mask::ReceptiveFieldMask;
 pub use metrics::EvalReport;
+pub use model::{
+    Estimator, NetworkEstimator, Pipeline, PipelineEstimator, Predictor, Stage, Transformer,
+};
 pub use network::{Network, NetworkBuilder, ReadoutKind};
 pub use params::{HiddenLayerParams, SgdParams, TrainingParams};
 pub use plasticity::{PlasticityConfig, PlasticityReport, StructuralPlasticity};
 pub use serialize::{
-    load_network, load_network_with_encoder, save_network, save_network_with_encoder,
+    load_network, load_network_with_encoder, load_pipeline, save_network,
+    save_network_with_encoder, save_pipeline,
 };
 pub use sgd::SgdClassifier;
 pub use traces::ProbabilityTraces;

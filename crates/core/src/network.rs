@@ -217,6 +217,7 @@ impl Default for NetworkBuilder {
 
 impl NetworkBuilder {
     /// Set the input width (e.g. 280 for the encoded Higgs features).
+    #[must_use]
     pub fn input(mut self, n_inputs: usize) -> Self {
         self.hidden.n_inputs = n_inputs;
         self
@@ -224,6 +225,7 @@ impl NetworkBuilder {
 
     /// Configure the hidden layer: number of HCUs, MCUs per HCU, and the
     /// receptive-field density.
+    #[must_use]
     pub fn hidden(mut self, n_hcu: usize, n_mcu: usize, receptive_field: f64) -> Self {
         self.hidden.n_hcu = n_hcu;
         self.hidden.n_mcu = n_mcu;
@@ -232,42 +234,49 @@ impl NetworkBuilder {
     }
 
     /// Replace the full hidden-layer parameter struct.
+    #[must_use]
     pub fn hidden_params(mut self, params: HiddenLayerParams) -> Self {
         self.hidden = params;
         self
     }
 
     /// Set the number of output classes (2 for signal vs background).
+    #[must_use]
     pub fn classes(mut self, n_classes: usize) -> Self {
         self.n_classes = n_classes;
         self
     }
 
     /// Select the classification head.
+    #[must_use]
     pub fn readout(mut self, readout: ReadoutKind) -> Self {
         self.readout = readout;
         self
     }
 
     /// Select the compute backend.
+    #[must_use]
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
     }
 
     /// Parameters for the BCPNN readout.
+    #[must_use]
     pub fn classifier_params(mut self, params: BcpnnClassifierParams) -> Self {
         self.classifier_params = params;
         self
     }
 
     /// Parameters for the SGD readout.
+    #[must_use]
     pub fn sgd_params(mut self, params: SgdParams) -> Self {
         self.sgd_params = params;
         self
     }
 
     /// RNG seed controlling initial masks, weights and shuffling.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self

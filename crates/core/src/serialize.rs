@@ -11,23 +11,32 @@
 //! ## Format versions
 //!
 //! * `v1` — network state only.
-//! * `v2` (current) — additionally records whether a fitted input encoder
-//!   ships with the model (`encoder quantile` + `encoder.txt`), so a model
-//!   directory can be a complete raw-features-in → probabilities-out
-//!   serving artifact (see [`save_network_with_encoder`]). `v1` directories
-//!   still load; they simply carry no encoder.
+//! * `v2` — additionally records whether a fitted input encoder ships with
+//!   the model (`encoder quantile` + `encoder.txt`), so a model directory
+//!   can be a complete raw-features-in → probabilities-out serving
+//!   artifact.
+//! * `v3` (current) — self-describing **stage-tagged** format: the
+//!   manifest carries a `stages N` count plus one `stage<i> <kind>` line
+//!   per fitted transformer stage (kinds: `quantile`, `thermometer`,
+//!   `standardize`; state in `stage<i>.txt`), so an arbitrary
+//!   [`Pipeline`](crate::model::Pipeline) chain persists and reloads
+//!   exactly (see [`save_pipeline`] / [`load_pipeline`]). `v1` and `v2`
+//!   directories still load; an unknown stage tag is a typed
+//!   [`CoreError::Format`], never a panic.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::Path;
 
 use bcpnn_backend::BackendKind;
+use bcpnn_data::encode::{Standardizer, ThermometerEncoder};
 use bcpnn_data::QuantileEncoder;
 use bcpnn_tensor::{load_matrix, save_matrix, Matrix};
 
 use crate::classifier::BcpnnClassifierParams;
 use crate::error::{CoreError, CoreResult};
 use crate::mask::ReceptiveFieldMask;
+use crate::model::{Pipeline, Stage, Transformer};
 use crate::network::{Network, NetworkBuilder, ReadoutKind};
 use crate::params::{HiddenLayerParams, SgdParams};
 use crate::traces::ProbabilityTraces;
@@ -36,10 +45,35 @@ const MANIFEST: &str = "manifest.txt";
 /// File the fitted input encoder is stored in (v2 directories only).
 const ENCODER_FILE: &str = "encoder.txt";
 const MAGIC: &str = "bcpnn-network";
-/// Version written by [`save_network`] / [`save_network_with_encoder`].
-const VERSION: &str = "v2";
+/// Version written by [`save_network`] / [`save_pipeline`].
+const VERSION: &str = "v3";
 /// Versions [`load_network`] accepts.
-const READABLE_VERSIONS: [&str; 2] = ["v1", "v2"];
+const READABLE_VERSIONS: [&str; 3] = ["v1", "v2", "v3"];
+
+/// File one fitted stage is stored in (v3 directories).
+fn stage_file(i: usize) -> String {
+    format!("stage{i}.txt")
+}
+
+fn save_stage(stage: &Stage, path: &Path) -> CoreResult<()> {
+    match stage {
+        Stage::Quantile(enc) => enc.save(path)?,
+        Stage::Thermometer(enc) => enc.save(path)?,
+        Stage::Standardize(std) => std.save(path)?,
+    }
+    Ok(())
+}
+
+fn load_stage(kind: &str, path: &Path) -> CoreResult<Stage> {
+    match kind {
+        "quantile" => Ok(Stage::Quantile(QuantileEncoder::load(path)?)),
+        "thermometer" => Ok(Stage::Thermometer(ThermometerEncoder::load(path)?)),
+        "standardize" => Ok(Stage::Standardize(Standardizer::load(path)?)),
+        other => Err(CoreError::Format(format!(
+            "unknown pipeline stage kind {other:?}"
+        ))),
+    }
+}
 
 fn vec_to_matrix(v: &[f32]) -> Matrix<f32> {
     Matrix::from_vec(1, v.len(), v.to_vec())
@@ -49,22 +83,40 @@ fn matrix_to_vec(m: Matrix<f32>) -> Vec<f32> {
     m.into_vec()
 }
 
-/// Save a network into `dir` (created if missing), without an encoder.
+/// Save a network into `dir` (created if missing), without any stages.
 pub fn save_network<P: AsRef<Path>>(network: &Network, dir: P) -> CoreResult<()> {
-    save_network_with_encoder(network, None, dir)
+    save_stages(network, &[], dir.as_ref())
 }
 
 /// Save a network into `dir` (created if missing) together with the fitted
 /// input encoder, making the directory a self-contained serving artifact
 /// that accepts raw (un-encoded) feature vectors.
+///
+/// Compatibility spelling for the canonical single-encoder chain; prefer
+/// [`save_pipeline`], which persists arbitrary stage chains.
 pub fn save_network_with_encoder<P: AsRef<Path>>(
     network: &Network,
     encoder: Option<&QuantileEncoder>,
     dir: P,
 ) -> CoreResult<()> {
-    let dir = dir.as_ref();
-    fs::create_dir_all(dir)?;
+    let stages: Vec<Stage> = encoder
+        .map(|enc| Stage::Quantile(enc.clone()))
+        .into_iter()
+        .collect();
+    save_stages(network, &stages, dir.as_ref())
+}
+
+/// Save a [`Pipeline`] — its fitted stage chain plus the trained network —
+/// as a self-describing `v3` model directory.
+pub fn save_pipeline<P: AsRef<Path>>(pipeline: &Pipeline, dir: P) -> CoreResult<()> {
+    save_stages(pipeline.network(), pipeline.stages(), dir.as_ref())
+}
+
+fn save_stages(network: &Network, stages: &[Stage], dir: &Path) -> CoreResult<()> {
     let hp = network.hidden().params();
+    // Validate the chain before touching the filesystem.
+    crate::model::validate_chain(stages, hp.n_inputs)?;
+    fs::create_dir_all(dir)?;
     let mut manifest = String::new();
     manifest.push_str(&format!("{MAGIC} {VERSION}\n"));
     manifest.push_str(&format!("n_inputs {}\n", hp.n_inputs));
@@ -79,19 +131,10 @@ pub fn save_network_with_encoder<P: AsRef<Path>>(
     manifest.push_str(&format!("plasticity_interval {}\n", hp.plasticity_interval));
     manifest.push_str(&format!("n_classes {}\n", network.n_classes()));
     manifest.push_str(&format!("readout {}\n", network.readout_kind().name()));
-    match encoder {
-        Some(enc) => {
-            if enc.encoded_width() != hp.n_inputs {
-                return Err(CoreError::DataMismatch(format!(
-                    "encoder produces {} columns but the network expects {}",
-                    enc.encoded_width(),
-                    hp.n_inputs
-                )));
-            }
-            manifest.push_str("encoder quantile\n");
-            enc.save(dir.join(ENCODER_FILE))?;
-        }
-        None => manifest.push_str("encoder none\n"),
+    manifest.push_str(&format!("stages {}\n", stages.len()));
+    for (i, stage) in stages.iter().enumerate() {
+        manifest.push_str(&format!("stage{i} {}\n", stage.kind()));
+        save_stage(stage, &dir.join(stage_file(i)))?;
     }
     fs::write(dir.join(MANIFEST), manifest)?;
 
@@ -156,26 +199,61 @@ fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str) -> CoreRe
 
 /// Load a network previously written by [`save_network`], instantiating it
 /// on the given backend (backends are runtime configuration, not model
-/// state, so the caller chooses). Any encoder in the directory is ignored;
-/// use [`load_network_with_encoder`] to get it too.
+/// state, so the caller chooses). Any stages in the directory are ignored;
+/// use [`load_pipeline`] to get the full artifact.
 pub fn load_network<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<Network> {
-    Ok(load_network_with_encoder(dir, backend)?.0)
+    Ok(load_stages(dir.as_ref(), backend)?.0)
 }
 
 /// Load a network together with the fitted input encoder, if the directory
-/// carries one (`v2` directories written by [`save_network_with_encoder`];
-/// `v1` directories and encoder-less `v2` directories yield `None`).
+/// carries the canonical single-encoder chain (`v2` directories written by
+/// [`save_network_with_encoder`], or `v3` directories whose only stage is
+/// a quantile encoder). `v1` directories and stage-less directories yield
+/// `None`; use [`load_pipeline`] for arbitrary stage chains.
 pub fn load_network_with_encoder<P: AsRef<Path>>(
     dir: P,
     backend: BackendKind,
 ) -> CoreResult<(Network, Option<QuantileEncoder>)> {
-    let dir = dir.as_ref();
-    let (_version, manifest) = parse_manifest(&dir.join(MANIFEST))?;
-    let encoder = match manifest.get("encoder").map(String::as_str) {
-        Some("quantile") => Some(QuantileEncoder::load(dir.join(ENCODER_FILE))?),
-        // v1 manifests have no `encoder` key at all.
-        Some("none") | None => None,
-        Some(other) => return Err(CoreError::Format(format!("unknown encoder kind {other:?}"))),
+    let (network, mut stages) = load_stages(dir.as_ref(), backend)?;
+    let encoder = match (stages.len(), stages.pop()) {
+        (1, Some(Stage::Quantile(enc))) => Some(enc),
+        _ => None,
+    };
+    Ok((network, encoder))
+}
+
+/// Load a full [`Pipeline`] — the fitted stage chain plus the trained
+/// network — from a `v1`, `v2` or `v3` model directory, instantiating the
+/// network on the given backend.
+pub fn load_pipeline<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<Pipeline> {
+    let (network, stages) = load_stages(dir.as_ref(), backend)?;
+    Pipeline::from_stages(stages, network)
+}
+
+fn load_stages(dir: &Path, backend: BackendKind) -> CoreResult<(Network, Vec<Stage>)> {
+    let (version, manifest) = parse_manifest(&dir.join(MANIFEST))?;
+    let stages: Vec<Stage> = if version == "v3" {
+        let n_stages: usize = get(&manifest, "stages")?;
+        (0..n_stages)
+            .map(|i| {
+                let key = format!("stage{i}");
+                let kind = manifest
+                    .get(&key)
+                    .ok_or_else(|| CoreError::Format(format!("manifest missing key {key:?}")))?;
+                load_stage(kind, &dir.join(stage_file(i)))
+            })
+            .collect::<CoreResult<_>>()?
+    } else {
+        // v1 manifests have no `encoder` key at all; v2 tags one encoder.
+        match manifest.get("encoder").map(String::as_str) {
+            Some("quantile") => vec![Stage::Quantile(QuantileEncoder::load(
+                dir.join(ENCODER_FILE),
+            )?)],
+            Some("none") | None => Vec::new(),
+            Some(other) => {
+                return Err(CoreError::Format(format!("unknown encoder kind {other:?}")))
+            }
+        }
     };
     let hidden = HiddenLayerParams {
         n_inputs: get(&manifest, "n_inputs")?,
@@ -189,12 +267,12 @@ pub fn load_network_with_encoder<P: AsRef<Path>>(
         plasticity_swaps: get(&manifest, "plasticity_swaps")?,
         plasticity_interval: get(&manifest, "plasticity_interval")?,
     };
-    if let Some(enc) = &encoder {
-        if enc.encoded_width() != hidden.n_inputs {
+    let chain_out = stages.last().map(Transformer::output_width);
+    if let Some(width) = chain_out {
+        if width != hidden.n_inputs {
             return Err(CoreError::Format(format!(
-                "encoder produces {} columns but the network expects {} \
-                 (encoder.txt does not belong to this model)",
-                enc.encoded_width(),
+                "pipeline stages produce {width} columns but the network expects {} \
+                 (the stage files do not belong to this model)",
                 hidden.n_inputs
             )));
         }
@@ -245,7 +323,7 @@ pub fn load_network_with_encoder<P: AsRef<Path>>(
             .expect("readout checked above")
             .set_parameters(weights, bias)?;
     }
-    Ok((network, encoder))
+    Ok((network, stages))
 }
 
 #[cfg(test)]
@@ -452,12 +530,12 @@ mod tests {
         save_network(&net, &dir).unwrap();
 
         // Rewrite the manifest as a v1 writer would have produced it: v1
-        // header, no `encoder` key.
+        // header, no `encoder` or `stage*` keys.
         let manifest_path = dir.join(MANIFEST);
         let text = fs::read_to_string(&manifest_path).unwrap();
         let v1_text: String = text
             .lines()
-            .filter(|l| !l.starts_with("encoder "))
+            .filter(|l| !l.starts_with("encoder ") && !l.starts_with("stage"))
             .map(|l| {
                 if l.starts_with(MAGIC) {
                     format!("{MAGIC} v1\n")
@@ -478,6 +556,188 @@ mod tests {
                 < 1e-4
         );
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Write the directory the pre-v3 (`v2`) writer would have produced:
+    /// `v2` header, `encoder quantile` key, state in `encoder.txt`.
+    fn downgrade_to_v2(dir: &Path) {
+        let manifest_path = dir.join(MANIFEST);
+        let text = fs::read_to_string(&manifest_path).unwrap();
+        let v2_text: String = text
+            .lines()
+            .filter_map(|l| {
+                if l.starts_with(MAGIC) {
+                    Some(format!("{MAGIC} v2\n"))
+                } else if l == "stages 1" {
+                    Some("encoder quantile\n".into())
+                } else if l == "stages 0" {
+                    Some("encoder none\n".into())
+                } else if l.starts_with("stage0 ") {
+                    None
+                } else {
+                    Some(format!("{l}\n"))
+                }
+            })
+            .collect();
+        fs::write(&manifest_path, v2_text).unwrap();
+        if dir.join(stage_file(0)).exists() {
+            fs::rename(dir.join(stage_file(0)), dir.join(ENCODER_FILE)).unwrap();
+        }
+    }
+
+    #[test]
+    fn v2_directories_load_into_the_v3_world() {
+        let (pipeline, data) = crate::model::tests::tiny_pipeline(30);
+        let dir = temp_dir("v2_compat");
+        save_pipeline(&pipeline, &dir).unwrap();
+        downgrade_to_v2(&dir);
+        assert!(
+            fs::read_to_string(dir.join(MANIFEST))
+                .unwrap()
+                .contains("encoder quantile"),
+            "fixture must be a genuine v2 directory"
+        );
+
+        // Loads as a pipeline, as a (network, encoder) pair, and as a bare
+        // network — all agreeing with the original model.
+        let loaded = load_pipeline(&dir, BackendKind::Naive).unwrap();
+        assert_eq!(loaded.stages().len(), 1);
+        use crate::model::Predictor;
+        let a = pipeline.predict_proba(&data.features).unwrap();
+        let b = loaded.predict_proba(&data.features).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-6);
+        let (_, enc) = load_network_with_encoder(&dir, BackendKind::Naive).unwrap();
+        assert_eq!(enc.as_ref(), pipeline.encoder());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_roundtrip_is_bit_exact() {
+        let (pipeline, data) = crate::model::tests::tiny_pipeline(31);
+        let dir_a = temp_dir("v3_exact_a");
+        let dir_b = temp_dir("v3_exact_b");
+        save_pipeline(&pipeline, &dir_a).unwrap();
+        let loaded = load_pipeline(&dir_a, BackendKind::Naive).unwrap();
+        // Re-saving the loaded pipeline reproduces every file byte-exactly.
+        save_pipeline(&loaded, &dir_b).unwrap();
+        let mut names: Vec<String> = fs::read_dir(&dir_a)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert!(names.contains(&MANIFEST.to_string()));
+        assert!(names.contains(&stage_file(0)));
+        for name in &names {
+            let a = fs::read(dir_a.join(name)).unwrap();
+            let b = fs::read(dir_b.join(name)).unwrap();
+            assert_eq!(a, b, "file {name} must round-trip bit-exactly");
+        }
+        // And predictions agree exactly.
+        use crate::model::Predictor;
+        let pa = pipeline.predict_proba(&data.features).unwrap();
+        let pb = loaded.predict_proba(&data.features).unwrap();
+        assert_eq!(pa, pb);
+        fs::remove_dir_all(&dir_a).ok();
+        fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn multi_stage_chains_persist_and_reload() {
+        use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+        let data = generate(&SyntheticHiggsConfig {
+            n_samples: 300,
+            seed: 32,
+            ..Default::default()
+        });
+        let standardizer = Standardizer::fit_matrix(&data.features);
+        let z = standardizer.transform_rows(&data.features);
+        let encoder = QuantileEncoder::fit_matrix(&z, 8);
+        let x = encoder.transform_rows(&z);
+        let mut net = Network::builder()
+            .input(encoder.encoded_width())
+            .hidden(2, 3, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(33)
+            .build()
+            .unwrap();
+        Trainer::new(TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 50,
+            ..Default::default()
+        })
+        .fit(&mut net, &x, &data.labels)
+        .unwrap();
+        let pipeline = Pipeline::from_stages(
+            vec![Stage::Standardize(standardizer), Stage::Quantile(encoder)],
+            net,
+        )
+        .unwrap();
+        let dir = temp_dir("multi_stage");
+        save_pipeline(&pipeline, &dir).unwrap();
+        let manifest = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        assert!(manifest.contains("stages 2"));
+        assert!(manifest.contains("stage0 standardize"));
+        assert!(manifest.contains("stage1 quantile"));
+
+        let loaded = load_pipeline(&dir, BackendKind::Naive).unwrap();
+        assert_eq!(loaded.stages(), pipeline.stages());
+        use crate::model::Predictor;
+        let a = pipeline.predict_proba(&data.features).unwrap();
+        let b = loaded.predict_proba(&data.features).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-6);
+        // The multi-stage chain is not the canonical encoder one.
+        let (_, enc) = load_network_with_encoder(&dir, BackendKind::Naive).unwrap();
+        assert!(enc.is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_stage_tag_is_a_typed_error() {
+        let (pipeline, _) = crate::model::tests::tiny_pipeline(34);
+        let dir = temp_dir("unknown_stage");
+        save_pipeline(&pipeline, &dir).unwrap();
+        let manifest_path = dir.join(MANIFEST);
+        let text = fs::read_to_string(&manifest_path)
+            .unwrap()
+            .replace("stage0 quantile", "stage0 wavelet");
+        fs::write(&manifest_path, text).unwrap();
+        let err = load_pipeline(&dir, BackendKind::Naive).unwrap_err();
+        assert!(matches!(err, CoreError::Format(_)), "got {err:?}");
+        assert!(err.to_string().contains("wavelet"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_stage_file_is_a_typed_error() {
+        let (pipeline, _) = crate::model::tests::tiny_pipeline(35);
+        let dir = temp_dir("corrupt_stage");
+        save_pipeline(&pipeline, &dir).unwrap();
+        fs::write(dir.join(stage_file(0)), "not an encoder\n").unwrap();
+        let err = load_pipeline(&dir, BackendKind::Naive).unwrap_err();
+        assert!(matches!(err, CoreError::Format(_)), "got {err:?}");
+        // NaN boundaries parse as floats but must surface as a typed error
+        // (not a panic deep inside the binner's ordering assertions).
+        fs::write(
+            dir.join(stage_file(0)),
+            "bcpnn-quantile-encoder v1 1 3\nNaN 1.0\n",
+        )
+        .unwrap();
+        let err = load_pipeline(&dir, BackendKind::Naive).unwrap_err();
+        assert!(matches!(err, CoreError::Format(_)), "got {err:?}");
+        // A stage file swapped in from a different model is caught by the
+        // width check.
+        let (other, _) = crate::model::tests::tiny_pipeline(36);
+        let wrong_width = temp_dir("wrong_width_stage");
+        save_pipeline(&other, &wrong_width).unwrap();
+        let narrower = QuantileEncoder::fit_matrix(&Matrix::zeros(4, 28), 4);
+        narrower.save(wrong_width.join(stage_file(0))).unwrap();
+        let err = load_pipeline(&wrong_width, BackendKind::Naive).unwrap_err();
+        assert!(matches!(err, CoreError::Format(_)), "got {err:?}");
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&wrong_width).ok();
     }
 
     #[test]

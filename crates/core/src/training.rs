@@ -66,16 +66,19 @@ pub struct FitReport {
 impl FitReport {
     /// Total training time in seconds (the quantity on the right axis of
     /// Fig. 3 / Fig. 4).
+    #[must_use]
     pub fn train_time_seconds(&self) -> f64 {
         self.total_duration.as_secs_f64()
     }
 
     /// Total number of structural-plasticity swaps across the run.
+    #[must_use]
     pub fn total_plasticity_swaps(&self) -> usize {
         self.epochs.iter().filter_map(|e| e.plasticity_swaps).sum()
     }
 
     /// Mean SGD loss of the final supervised epoch, if any.
+    #[must_use]
     pub fn final_sgd_loss(&self) -> Option<f32> {
         self.epochs.iter().rev().find_map(|e| e.sgd_loss)
     }

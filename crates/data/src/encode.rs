@@ -15,10 +15,80 @@ use bcpnn_tensor::{IoError, Matrix};
 use crate::dataset::Dataset;
 use crate::quantile::QuantileBinner;
 
-/// Magic tag of the serialized encoder format.
+/// Magic tag of the serialized one-hot quantile encoder format.
 const ENCODER_MAGIC: &str = "bcpnn-quantile-encoder";
+/// Magic tag of the serialized thermometer encoder format.
+const THERMOMETER_MAGIC: &str = "bcpnn-thermometer-encoder";
+/// Magic tag of the serialized standardizer format.
+const STANDARDIZER_MAGIC: &str = "bcpnn-standardizer";
 /// Encoder format version.
 const ENCODER_VERSION: &str = "v1";
+
+/// Write a fitted binner in the shared text format (`<magic> v1 n_features
+/// n_bins` header, one line of ascending boundaries per feature).
+fn write_binner<W: Write>(mut w: W, magic: &str, binner: &QuantileBinner) -> Result<(), IoError> {
+    writeln!(
+        w,
+        "{magic} {ENCODER_VERSION} {} {}",
+        binner.n_features(),
+        binner.n_bins()
+    )?;
+    for f in 0..binner.n_features() {
+        let bounds = binner.feature_boundaries(f);
+        let line: Vec<String> = bounds.iter().map(|b| b.to_string()).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Read a binner previously written by [`write_binner`] under `magic`.
+fn read_binner<R: BufRead>(r: R, magic: &str) -> Result<QuantileBinner, IoError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty encoder file".into()))??;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(magic) || parts.next() != Some(ENCODER_VERSION) {
+        return Err(IoError::Format(format!("bad encoder header: {header:?}")));
+    }
+    let n_features: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| IoError::Format("encoder header missing feature count".into()))?;
+    let n_bins: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| IoError::Format("encoder header missing bin count".into()))?;
+    if n_bins < 2 {
+        return Err(IoError::Format(format!("invalid bin count {n_bins}")));
+    }
+    let mut boundaries = Vec::with_capacity(n_features);
+    for f in 0..n_features {
+        let line = lines
+            .next()
+            .ok_or_else(|| IoError::Format(format!("encoder file ends before feature {f}")))??;
+        let bounds: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse::<f64>).collect();
+        let bounds =
+            bounds.map_err(|_| IoError::Format(format!("feature {f}: non-numeric boundary")))?;
+        if bounds.len() != n_bins - 1 {
+            return Err(IoError::Format(format!(
+                "feature {f}: expected {} boundaries, got {}",
+                n_bins - 1,
+                bounds.len()
+            )));
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return Err(IoError::Format(format!("feature {f}: non-finite boundary")));
+        }
+        if bounds.windows(2).any(|w| w[0] > w[1]) {
+            return Err(IoError::Format(format!(
+                "feature {f}: boundaries are not ascending"
+            )));
+        }
+        boundaries.push(bounds);
+    }
+    Ok(QuantileBinner::from_parts(boundaries, n_bins))
+}
 
 /// One-hot quantile encoder (the paper's preprocessing).
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +101,17 @@ impl QuantileEncoder {
     pub fn fit(dataset: &Dataset, n_bins: usize) -> Self {
         Self {
             binner: QuantileBinner::fit(dataset, n_bins),
+        }
+    }
+
+    /// Fit on a bare feature matrix (no labels or names needed) — the
+    /// entry point the `bcpnn_core::model::Transformer` trait uses.
+    ///
+    /// # Panics
+    /// Panics if the matrix has no rows or `n_bins < 2`.
+    pub fn fit_matrix(features: &Matrix<f32>, n_bins: usize) -> Self {
+        Self {
+            binner: QuantileBinner::fit_matrix(features, n_bins),
         }
     }
 
@@ -101,67 +182,14 @@ impl QuantileEncoder {
     }
 
     /// Write the fitted encoder to any writer in the text format.
-    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), IoError> {
-        writeln!(
-            w,
-            "{ENCODER_MAGIC} {ENCODER_VERSION} {} {}",
-            self.binner.n_features(),
-            self.n_bins()
-        )?;
-        for f in 0..self.binner.n_features() {
-            let bounds = self.binner.feature_boundaries(f);
-            let line: Vec<String> = bounds.iter().map(|b| b.to_string()).collect();
-            writeln!(w, "{}", line.join(" "))?;
-        }
-        Ok(())
+    pub fn write_to<W: Write>(&self, w: W) -> Result<(), IoError> {
+        write_binner(w, ENCODER_MAGIC, &self.binner)
     }
 
     /// Read an encoder previously written by [`QuantileEncoder::write_to`].
     pub fn read_from<R: BufRead>(r: R) -> Result<Self, IoError> {
-        let mut lines = r.lines();
-        let header = lines
-            .next()
-            .ok_or_else(|| IoError::Format("empty encoder file".into()))??;
-        let mut parts = header.split_whitespace();
-        if parts.next() != Some(ENCODER_MAGIC) || parts.next() != Some(ENCODER_VERSION) {
-            return Err(IoError::Format(format!("bad encoder header: {header:?}")));
-        }
-        let n_features: usize = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| IoError::Format("encoder header missing feature count".into()))?;
-        let n_bins: usize = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| IoError::Format("encoder header missing bin count".into()))?;
-        if n_bins < 2 {
-            return Err(IoError::Format(format!("invalid bin count {n_bins}")));
-        }
-        let mut boundaries = Vec::with_capacity(n_features);
-        for f in 0..n_features {
-            let line = lines.next().ok_or_else(|| {
-                IoError::Format(format!("encoder file ends before feature {f}"))
-            })??;
-            let bounds: Result<Vec<f64>, _> =
-                line.split_whitespace().map(str::parse::<f64>).collect();
-            let bounds = bounds
-                .map_err(|_| IoError::Format(format!("feature {f}: non-numeric boundary")))?;
-            if bounds.len() != n_bins - 1 {
-                return Err(IoError::Format(format!(
-                    "feature {f}: expected {} boundaries, got {}",
-                    n_bins - 1,
-                    bounds.len()
-                )));
-            }
-            if bounds.windows(2).any(|w| w[0] > w[1]) {
-                return Err(IoError::Format(format!(
-                    "feature {f}: boundaries are not ascending"
-                )));
-            }
-            boundaries.push(bounds);
-        }
         Ok(Self {
-            binner: QuantileBinner::from_parts(boundaries, n_bins),
+            binner: read_binner(r, ENCODER_MAGIC)?,
         })
     }
 
@@ -204,6 +232,26 @@ impl ThermometerEncoder {
         }
     }
 
+    /// Fit on a bare feature matrix (no labels or names needed).
+    ///
+    /// # Panics
+    /// Panics if the matrix has no rows or `n_bins < 2`.
+    pub fn fit_matrix(features: &Matrix<f32>, n_bins: usize) -> Self {
+        Self {
+            binner: QuantileBinner::fit_matrix(features, n_bins),
+        }
+    }
+
+    /// Number of bins per feature.
+    pub fn n_bins(&self) -> usize {
+        self.binner.n_bins()
+    }
+
+    /// Number of raw features the encoder was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.binner.n_features()
+    }
+
     /// Width of the encoded representation.
     pub fn encoded_width(&self) -> usize {
         self.binner.n_features() * self.binner.n_bins()
@@ -211,19 +259,60 @@ impl ThermometerEncoder {
 
     /// Encode a dataset into the cumulative binary representation.
     pub fn transform(&self, dataset: &Dataset) -> Matrix<f32> {
-        let bins = self.binner.transform(dataset);
+        self.transform_rows(&dataset.features)
+    }
+
+    /// Encode a bare feature matrix (`n_rows x n_features`).
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_rows(&self, features: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(
+            features.cols(),
+            self.n_features(),
+            "encoder was fitted on {} features, matrix has {}",
+            self.n_features(),
+            features.cols()
+        );
         let k = self.binner.n_bins();
-        let mut out = Matrix::zeros(dataset.n_samples(), self.encoded_width());
-        for r in 0..dataset.n_samples() {
-            let bin_row = bins.row(r);
+        let mut out = Matrix::zeros(features.rows(), self.encoded_width());
+        for r in 0..features.rows() {
+            let in_row = features.row(r);
             let out_row = out.row_mut(r);
-            for (f, &b) in bin_row.iter().enumerate() {
-                for bit in 0..=(b as usize) {
+            for (f, &v) in in_row.iter().enumerate() {
+                let b = self.binner.bin_of(f, v as f64);
+                for bit in 0..=b {
                     out_row[f * k + bit] = 1.0;
                 }
             }
         }
         out
+    }
+
+    /// Write the fitted encoder to any writer in the text format.
+    pub fn write_to<W: Write>(&self, w: W) -> Result<(), IoError> {
+        write_binner(w, THERMOMETER_MAGIC, &self.binner)
+    }
+
+    /// Read an encoder previously written by
+    /// [`ThermometerEncoder::write_to`].
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, IoError> {
+        Ok(Self {
+            binner: read_binner(r, THERMOMETER_MAGIC)?,
+        })
+    }
+
+    /// Save the fitted encoder to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), IoError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load an encoder previously written by [`ThermometerEncoder::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, IoError> {
+        Self::read_from(BufReader::new(File::open(path)?))
     }
 }
 
@@ -239,22 +328,114 @@ pub struct Standardizer {
 impl Standardizer {
     /// Fit per-feature means and standard deviations.
     pub fn fit(dataset: &Dataset) -> Self {
-        let means = bcpnn_tensor::reduce::col_means(&dataset.features);
-        let vars = bcpnn_tensor::reduce::col_variances(&dataset.features);
+        Self::fit_matrix(&dataset.features)
+    }
+
+    /// Fit on a bare feature matrix (no labels or names needed).
+    pub fn fit_matrix(features: &Matrix<f32>) -> Self {
+        let means = bcpnn_tensor::reduce::col_means(features);
+        let vars = bcpnn_tensor::reduce::col_variances(features);
         let stds = vars.iter().map(|v| v.sqrt().max(1e-6)).collect();
         Self { means, stds }
     }
 
+    /// Number of features the standardizer was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
     /// Standardise a dataset's features.
     pub fn transform(&self, dataset: &Dataset) -> Matrix<f32> {
+        self.transform_rows(&dataset.features)
+    }
+
+    /// Standardise a bare feature matrix (`n_rows x n_features`).
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_rows(&self, features: &Matrix<f32>) -> Matrix<f32> {
         assert_eq!(
-            dataset.n_features(),
-            self.means.len(),
+            features.cols(),
+            self.n_features(),
             "standardizer was fitted on a different schema"
         );
-        Matrix::from_fn(dataset.n_samples(), dataset.n_features(), |r, c| {
-            (dataset.features.get(r, c) - self.means[c]) / self.stds[c]
+        Matrix::from_fn(features.rows(), features.cols(), |r, c| {
+            (features.get(r, c) - self.means[c]) / self.stds[c]
         })
+    }
+
+    /// Write the fitted standardizer to any writer in the text format.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), IoError> {
+        writeln!(
+            w,
+            "{STANDARDIZER_MAGIC} {ENCODER_VERSION} {}",
+            self.n_features()
+        )?;
+        let means: Vec<String> = self.means.iter().map(|m| m.to_string()).collect();
+        let stds: Vec<String> = self.stds.iter().map(|s| s.to_string()).collect();
+        writeln!(w, "{}", means.join(" "))?;
+        writeln!(w, "{}", stds.join(" "))?;
+        Ok(())
+    }
+
+    /// Read a standardizer previously written by [`Standardizer::write_to`].
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, IoError> {
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| IoError::Format("empty standardizer file".into()))??;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some(STANDARDIZER_MAGIC) || parts.next() != Some(ENCODER_VERSION) {
+            return Err(IoError::Format(format!(
+                "bad standardizer header: {header:?}"
+            )));
+        }
+        let n_features: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| IoError::Format("standardizer header missing feature count".into()))?;
+        let mut read_row = |what: &str| -> Result<Vec<f32>, IoError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| IoError::Format(format!("standardizer file missing {what}")))??;
+            let values: Result<Vec<f32>, _> =
+                line.split_whitespace().map(str::parse::<f32>).collect();
+            let values =
+                values.map_err(|_| IoError::Format(format!("non-numeric {what} value")))?;
+            if values.len() != n_features {
+                return Err(IoError::Format(format!(
+                    "expected {n_features} {what} values, got {}",
+                    values.len()
+                )));
+            }
+            Ok(values)
+        };
+        let means = read_row("means")?;
+        let stds = read_row("stds")?;
+        if means.iter().any(|m| !m.is_finite()) {
+            return Err(IoError::Format("means must be finite".into()));
+        }
+        // The finiteness check rejects NaN, which `s <= 0.0` alone would
+        // silently let through (NaN fails every ordering comparison).
+        if stds.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+            return Err(IoError::Format(
+                "standard deviations must be positive and finite".into(),
+            ));
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Save the fitted standardizer to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), IoError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load a standardizer previously written by [`Standardizer::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, IoError> {
+        Self::read_from(BufReader::new(File::open(path)?))
     }
 }
 
@@ -381,6 +562,91 @@ mod tests {
         // Non-ascending boundaries.
         let text = b"bcpnn-quantile-encoder v1 1 3\n2.0 1.0\n";
         assert!(QuantileEncoder::read_from(&text[..]).is_err());
+        // NaN boundaries parse as floats and defeat ordering comparisons;
+        // they must be rejected with a typed error, not a downstream panic.
+        let text = b"bcpnn-quantile-encoder v1 1 3\nNaN 1.0\n";
+        assert!(QuantileEncoder::read_from(&text[..]).is_err());
+    }
+
+    #[test]
+    fn matrix_fitting_matches_dataset_fitting() {
+        let d = higgs(600, 10);
+        assert_eq!(
+            QuantileEncoder::fit(&d, 10),
+            QuantileEncoder::fit_matrix(&d.features, 10)
+        );
+        assert_eq!(
+            ThermometerEncoder::fit(&d, 10),
+            ThermometerEncoder::fit_matrix(&d.features, 10)
+        );
+        assert_eq!(Standardizer::fit(&d), Standardizer::fit_matrix(&d.features));
+    }
+
+    #[test]
+    fn thermometer_transform_rows_matches_independent_expectation() {
+        let d = higgs(200, 11);
+        let enc = ThermometerEncoder::fit(&d, 8);
+        assert_eq!(enc.n_bins(), 8);
+        assert_eq!(enc.n_features(), 28);
+        let got = enc.transform_rows(&d.features);
+        // Independent expectation: the binner's bin-index matrix with a
+        // cumulative fill, computed without going through transform_rows.
+        let bins = enc.binner.transform(&d);
+        let k = enc.n_bins();
+        let mut expected = Matrix::zeros(d.n_samples(), enc.encoded_width());
+        for r in 0..d.n_samples() {
+            let bin_row = bins.row(r);
+            let out_row = expected.row_mut(r);
+            for (f, &b) in bin_row.iter().enumerate() {
+                for bit in 0..=(b as usize) {
+                    out_row[f * k + bit] = 1.0;
+                }
+            }
+        }
+        assert_eq!(got, expected);
+        assert_eq!(enc.transform(&d), got);
+    }
+
+    #[test]
+    fn thermometer_encoder_roundtrips_through_text() {
+        let d = higgs(300, 12);
+        let enc = ThermometerEncoder::fit(&d, 10);
+        let mut buf = Vec::new();
+        enc.write_to(&mut buf).unwrap();
+        let back = ThermometerEncoder::read_from(&buf[..]).unwrap();
+        assert_eq!(enc, back);
+        // A quantile-encoder file is rejected (wrong magic), and vice versa.
+        assert!(QuantileEncoder::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn standardizer_roundtrips_through_text() {
+        let d = higgs(250, 13);
+        let std = Standardizer::fit(&d);
+        let mut buf = Vec::new();
+        std.write_to(&mut buf).unwrap();
+        let back = Standardizer::read_from(&buf[..]).unwrap();
+        assert_eq!(std, back);
+        let fresh = higgs(40, 14);
+        assert_eq!(
+            std.transform_rows(&fresh.features),
+            back.transform_rows(&fresh.features)
+        );
+        // Corrupt inputs give typed errors, not panics.
+        assert!(Standardizer::read_from(&b""[..]).is_err());
+        assert!(Standardizer::read_from(&b"wrong v1 2\n0 0\n1 1\n"[..]).is_err());
+        let truncated = b"bcpnn-standardizer v1 2\n0.0 1.0\n";
+        assert!(Standardizer::read_from(&truncated[..]).is_err());
+        let bad_std = b"bcpnn-standardizer v1 1\n0.0\n-1.0\n";
+        assert!(Standardizer::read_from(&bad_std[..]).is_err());
+        // NaN/inf parse as valid floats but must still be rejected — `NaN
+        // <= 0.0` is false, so a naive positivity check would let them in.
+        let nan_std = b"bcpnn-standardizer v1 1\n0.0\nNaN\n";
+        assert!(Standardizer::read_from(&nan_std[..]).is_err());
+        let nan_mean = b"bcpnn-standardizer v1 1\nNaN\n1.0\n";
+        assert!(Standardizer::read_from(&nan_mean[..]).is_err());
+        let inf_std = b"bcpnn-standardizer v1 1\n0.0\ninf\n";
+        assert!(Standardizer::read_from(&inf_std[..]).is_err());
     }
 
     #[test]

@@ -28,10 +28,25 @@ impl QuantileBinner {
     /// # Panics
     /// Panics if the dataset is empty or `n_bins < 2`.
     pub fn fit(dataset: &Dataset, n_bins: usize) -> Self {
+        Self::fit_matrix(&dataset.features, n_bins)
+    }
+
+    /// Fit `n_bins`-quantile boundaries on every column of a bare feature
+    /// matrix (no labels or names needed) — the entry point the
+    /// `bcpnn_core::model::Transformer` trait uses.
+    ///
+    /// # Panics
+    /// Panics if the matrix has no rows or `n_bins < 2`.
+    pub fn fit_matrix(features: &Matrix<f32>, n_bins: usize) -> Self {
         assert!(n_bins >= 2, "need at least two bins");
-        assert!(dataset.n_samples() > 0, "cannot fit on an empty dataset");
-        let boundaries = (0..dataset.n_features())
-            .map(|c| quantile_boundaries(&dataset.feature_column(c), n_bins))
+        assert!(features.rows() > 0, "cannot fit on an empty matrix");
+        let boundaries = (0..features.cols())
+            .map(|c| {
+                let column: Vec<f64> = (0..features.rows())
+                    .map(|r| features.get(r, c) as f64)
+                    .collect();
+                quantile_boundaries(&column, n_bins)
+            })
             .collect();
         Self { boundaries, n_bins }
     }
@@ -140,6 +155,15 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fit_matrix_matches_dataset_fit() {
+        let d = higgs(800, 9);
+        assert_eq!(
+            QuantileBinner::fit(&d, 10),
+            QuantileBinner::fit_matrix(&d.features, 10)
+        );
     }
 
     #[test]

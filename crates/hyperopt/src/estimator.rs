@@ -1,0 +1,273 @@
+//! Scoring [`Estimator`] factories: the bridge between the search drivers
+//! and the core model API.
+//!
+//! Both search drivers ([`RandomSearch`], [`EvolutionSearch`]) optimise an
+//! opaque `ParamSet → f64` objective. This module supplies the canonical
+//! objective for model selection: a *factory* maps each sampled parameter
+//! set to an [`Estimator`] (any estimator — network-only, or a full
+//! pipeline estimator whose encoder parameters are themselves searched),
+//! the estimator is fitted on a training split, and the fitted
+//! [`Predictor`] is scored by validation accuracy. Configurations that
+//! fail to fit score `-∞` rather than aborting the search.
+//!
+//! ```
+//! use bcpnn_backend::BackendKind;
+//! use bcpnn_core::model::{NetworkEstimator, PipelineEstimator};
+//! use bcpnn_core::{Network, TrainingParams};
+//! use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+//! use bcpnn_hyperopt::{search_estimator, EvalSplit, ParamSpace, RandomSearch};
+//!
+//! let train = generate(&SyntheticHiggsConfig { n_samples: 300, ..Default::default() });
+//! let valid = generate(&SyntheticHiggsConfig { n_samples: 150, seed: 9, ..Default::default() });
+//! let split = EvalSplit {
+//!     x_train: &train.features,
+//!     y_train: &train.labels,
+//!     x_valid: &valid.features,
+//!     y_valid: &valid.labels,
+//! };
+//!
+//! // Encoder parameters (n_bins) search right alongside network ones.
+//! let space = ParamSpace::new()
+//!     .integer("n_bins", 4, 12)
+//!     .continuous("receptive_field", 0.1, 0.9);
+//! let history = search_estimator(&RandomSearch::new(space, 1), 3, &split, |params| {
+//!     Ok(PipelineEstimator::new(
+//!         params["n_bins"].as_i64() as usize,
+//!         NetworkEstimator::new(
+//!             Network::builder()
+//!                 .hidden(1, 4, params["receptive_field"].as_f64())
+//!                 .classes(2)
+//!                 .backend(BackendKind::Naive),
+//!             TrainingParams {
+//!                 unsupervised_epochs: 1,
+//!                 supervised_epochs: 1,
+//!                 batch_size: 50,
+//!                 ..Default::default()
+//!             },
+//!         ),
+//!     ))
+//! });
+//! assert_eq!(history.len(), 3);
+//! ```
+
+use bcpnn_core::model::{Estimator, Predictor};
+use bcpnn_core::CoreResult;
+use bcpnn_tensor::Matrix;
+
+use crate::evolution::EvolutionSearch;
+use crate::random_search::RandomSearch;
+use crate::result::SearchHistory;
+use crate::space::ParamSet;
+
+/// A fixed train/validation split the search evaluates candidates on.
+///
+/// For pipeline estimators the matrices hold *raw* features (the encoder
+/// is part of the candidate); for network estimators they hold whatever
+/// representation the network consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalSplit<'a> {
+    /// Training rows.
+    pub x_train: &'a Matrix<f32>,
+    /// Training labels.
+    pub y_train: &'a [usize],
+    /// Validation rows.
+    pub x_valid: &'a Matrix<f32>,
+    /// Validation labels.
+    pub y_valid: &'a [usize],
+}
+
+/// Fit an estimator on the split's training half and score the fitted
+/// predictor by validation accuracy. Failures (invalid configuration,
+/// fitting error, evaluation error) score `-∞` so the search simply moves
+/// past them.
+pub fn fit_and_score<E: Estimator>(estimator: &E, split: &EvalSplit<'_>) -> f64 {
+    match estimator.fit(split.x_train, split.y_train) {
+        Ok(fitted) => fitted
+            .evaluate(split.x_valid, split.y_valid)
+            .map(|report| report.accuracy)
+            .unwrap_or(f64::NEG_INFINITY),
+        Err(_) => f64::NEG_INFINITY,
+    }
+}
+
+/// A search driver that can optimise an arbitrary objective — the common
+/// face of [`RandomSearch`] and [`EvolutionSearch`], so estimator-factory
+/// scoring is written once for both.
+pub trait SearchStrategy {
+    /// Evaluate up to `budget` candidates with `objective` (higher is
+    /// better) and return the trial history.
+    fn search(&self, budget: usize, objective: &mut dyn FnMut(&ParamSet) -> f64) -> SearchHistory;
+}
+
+impl SearchStrategy for RandomSearch {
+    fn search(&self, budget: usize, objective: &mut dyn FnMut(&ParamSet) -> f64) -> SearchHistory {
+        self.run(budget, objective)
+    }
+}
+
+impl SearchStrategy for EvolutionSearch {
+    fn search(&self, budget: usize, objective: &mut dyn FnMut(&ParamSet) -> f64) -> SearchHistory {
+        self.run(budget, objective)
+    }
+}
+
+/// Drive a search over an [`Estimator`] factory: each candidate parameter
+/// set is turned into an estimator, fitted on `split.x_train`, and scored
+/// by validation accuracy. Factories may reject a parameter set by
+/// returning `Err`; it scores `-∞`.
+pub fn search_estimator<S, E, F>(
+    strategy: &S,
+    budget: usize,
+    split: &EvalSplit<'_>,
+    factory: F,
+) -> SearchHistory
+where
+    S: SearchStrategy + ?Sized,
+    E: Estimator,
+    F: Fn(&ParamSet) -> CoreResult<E>,
+{
+    let mut objective = |params: &ParamSet| match factory(params) {
+        Ok(estimator) => fit_and_score(&estimator, split),
+        Err(_) => f64::NEG_INFINITY,
+    };
+    strategy.search(budget, &mut objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::EvolutionConfig;
+    use crate::space::ParamSpace;
+    use bcpnn_backend::BackendKind;
+    use bcpnn_core::model::{NetworkEstimator, PipelineEstimator};
+    use bcpnn_core::{CoreError, Network, TrainingParams};
+    use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+    use bcpnn_data::Dataset;
+
+    fn higgs(n: usize, seed: u64) -> Dataset {
+        generate(&SyntheticHiggsConfig {
+            n_samples: n,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn tiny_training() -> TrainingParams {
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_and_score_returns_accuracy_in_unit_range() {
+        let train = higgs(300, 1);
+        let valid = higgs(150, 2);
+        let split = EvalSplit {
+            x_train: &train.features,
+            y_train: &train.labels,
+            x_valid: &valid.features,
+            y_valid: &valid.labels,
+        };
+        let estimator = PipelineEstimator::new(
+            8,
+            NetworkEstimator::new(
+                Network::builder()
+                    .hidden(1, 4, 0.4)
+                    .classes(2)
+                    .backend(BackendKind::Naive)
+                    .seed(3),
+                tiny_training(),
+            ),
+        );
+        let score = fit_and_score(&estimator, &split);
+        assert!((0.0..=1.0).contains(&score), "score {score}");
+    }
+
+    #[test]
+    fn failing_configurations_score_negative_infinity() {
+        let train = higgs(100, 4);
+        let split = EvalSplit {
+            x_train: &train.features,
+            y_train: &train.labels,
+            x_valid: &train.features,
+            y_valid: &train.labels,
+        };
+        // n_bins = 1 is an invalid encoder configuration.
+        let bad = PipelineEstimator::new(
+            1,
+            NetworkEstimator::new(
+                Network::builder().classes(2).backend(BackendKind::Naive),
+                tiny_training(),
+            ),
+        );
+        assert_eq!(fit_and_score(&bad, &split), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn both_strategies_search_an_estimator_factory() {
+        let train = higgs(250, 5);
+        let valid = higgs(120, 6);
+        let split = EvalSplit {
+            x_train: &train.features,
+            y_train: &train.labels,
+            x_valid: &valid.features,
+            y_valid: &valid.labels,
+        };
+        let space =
+            ParamSpace::new()
+                .integer("n_bins", 4, 10)
+                .continuous("receptive_field", 0.1, 0.9);
+        let factory = |params: &ParamSet| -> CoreResult<PipelineEstimator> {
+            let n_bins = params["n_bins"].as_i64();
+            if n_bins < 2 {
+                return Err(CoreError::InvalidParams("n_bins too small".into()));
+            }
+            Ok(PipelineEstimator::new(
+                n_bins as usize,
+                NetworkEstimator::new(
+                    Network::builder()
+                        .hidden(1, 3, params["receptive_field"].as_f64())
+                        .classes(2)
+                        .backend(BackendKind::Naive)
+                        .seed(7),
+                    tiny_training(),
+                ),
+            ))
+        };
+        let random = RandomSearch::new(space.clone(), 8);
+        let history = search_estimator(&random, 3, &split, factory);
+        assert_eq!(history.len(), 3);
+        assert!(history.best().unwrap().score > 0.4);
+        let evolution = EvolutionSearch::new(
+            space,
+            EvolutionConfig {
+                offspring: 2,
+                mutation_rate: 0.5,
+                seed: 9,
+            },
+        );
+        let history = search_estimator(&evolution, 3, &split, factory);
+        assert_eq!(history.len(), 3);
+        // The searched encoder parameter stays inside its bounds.
+        for trial in history.trials() {
+            let bins = trial.params["n_bins"].as_i64();
+            assert!((4..=10).contains(&bins));
+        }
+    }
+
+    #[test]
+    fn strategies_are_object_safe() {
+        let space = ParamSpace::new().continuous("x", 0.0, 1.0);
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(RandomSearch::new(space.clone(), 1)),
+            Box::new(EvolutionSearch::new(space, EvolutionConfig::default())),
+        ];
+        for strategy in &strategies {
+            let history = strategy.search(4, &mut |p: &ParamSet| -p["x"].as_f64());
+            assert_eq!(history.len(), 4);
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //!   [`space::bcpnn_higgs_space`] used by the Higgs experiments.
 //! * [`RandomSearch`] — uniform random search.
 //! * [`EvolutionSearch`] — a (1 + λ) evolution strategy.
+//! * [`search_estimator`] / [`fit_and_score`] — score any
+//!   [`bcpnn_core::model::Estimator`] factory on a train/validation
+//!   [`EvalSplit`], so encoder parameters search right alongside network
+//!   hyperparameters through one surface.
 //! * [`SearchHistory`] — trial bookkeeping, best-so-far curves, CSV export.
 //!
 //! ```
@@ -28,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod estimator;
 pub mod evolution;
 pub mod random_search;
 pub mod result;
 pub mod space;
 
+pub use estimator::{fit_and_score, search_estimator, EvalSplit, SearchStrategy};
 pub use evolution::{EvolutionConfig, EvolutionSearch};
 pub use random_search::RandomSearch;
 pub use result::{SearchHistory, Trial};

@@ -128,6 +128,7 @@ impl ParamSpace {
     }
 
     /// Add a uniformly sampled real parameter.
+    #[must_use]
     pub fn continuous(mut self, name: &str, low: f64, high: f64) -> Self {
         self.dims
             .insert(name.to_string(), ParamSpec::Continuous { low, high });
@@ -135,6 +136,7 @@ impl ParamSpace {
     }
 
     /// Add a log-uniformly sampled real parameter.
+    #[must_use]
     pub fn log_continuous(mut self, name: &str, low: f64, high: f64) -> Self {
         self.dims
             .insert(name.to_string(), ParamSpec::LogContinuous { low, high });
@@ -142,6 +144,7 @@ impl ParamSpace {
     }
 
     /// Add an integer parameter.
+    #[must_use]
     pub fn integer(mut self, name: &str, low: i64, high: i64) -> Self {
         self.dims
             .insert(name.to_string(), ParamSpec::Integer { low, high });
@@ -149,6 +152,7 @@ impl ParamSpace {
     }
 
     /// Add a categorical parameter.
+    #[must_use]
     pub fn categorical(mut self, name: &str, choices: &[&str]) -> Self {
         self.dims.insert(
             name.to_string(),

@@ -12,9 +12,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bcpnn_backend::BackendKind;
-use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_core::{Network, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
-use bcpnn_data::QuantileEncoder;
 use bcpnn_serve::loadgen::{self, LoadGenConfig};
 use bcpnn_serve::{
     BatchConfig, ModelRegistry, Pipeline, ServedModel, ShardConfig, ShardRouting, ShardedServer,
@@ -70,33 +69,32 @@ impl Args {
     }
 }
 
-/// Train one model version on synthetic Higgs data.
+/// Train one model version on synthetic Higgs data through the shared
+/// `Pipeline::fit` entry point (encoder + network in one call).
 fn train_version(n_samples: usize, seed: u64) -> Pipeline {
     let data = generate(&SyntheticHiggsConfig {
         n_samples,
         seed,
         ..Default::default()
     });
-    let encoder = QuantileEncoder::fit(&data, 10);
-    let x = encoder.transform(&data);
-    let mut network = Network::builder()
-        .input(encoder.encoded_width())
-        .hidden(4, 8, 0.4)
-        .classes(2)
-        .readout(ReadoutKind::Hybrid)
-        .backend(BackendKind::Parallel)
-        .seed(seed)
-        .build()
-        .expect("valid network configuration");
-    Trainer::new(TrainingParams {
-        unsupervised_epochs: 2,
-        supervised_epochs: 2,
-        batch_size: 128,
-        ..Default::default()
-    })
-    .fit(&mut network, &x, &data.labels)
+    let (pipeline, _report) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
     .expect("training on synthetic data succeeds");
-    Pipeline::new(network, Some(encoder)).expect("encoder matches the network")
+    pipeline
 }
 
 fn main() {

@@ -8,7 +8,11 @@ use bcpnn_core::CoreError;
 ///
 /// Cloneable (unlike [`CoreError`]) because one failed batch fans the same
 /// error out to every caller waiting on it.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// breaking change, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// No model is registered under the requested name.
     UnknownModel(String),

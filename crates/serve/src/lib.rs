@@ -8,9 +8,12 @@
 //! per-item overhead by processing vectorized batches. This crate applies
 //! the same insight to the serving workload:
 //!
-//! * [`Pipeline`] — a self-contained artifact bundling the fitted input
-//!   encoder (from `bcpnn-data`) with a trained [`bcpnn_core::Network`], so
-//!   requests carry *raw* feature vectors.
+//! * Models are served through the core
+//!   [`Predictor`](bcpnn_core::model::Predictor) trait: any fitted
+//!   artifact publishes. The common case is [`Pipeline`] (re-exported from
+//!   `bcpnn_core::model`) — a chain of fitted transformer stages bundled
+//!   with a trained [`bcpnn_core::Network`], so requests carry *raw*
+//!   feature vectors.
 //! * [`ModelRegistry`] — named, versioned models shared as
 //!   `Arc<ServedModel>`, with atomic zero-downtime **hot-swap**: in-flight
 //!   batches finish on the version they started with.
@@ -36,38 +39,33 @@
 //! ```
 //! use std::sync::Arc;
 //! use bcpnn_backend::BackendKind;
-//! use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+//! use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams};
 //! use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
-//! use bcpnn_data::QuantileEncoder;
-//! use bcpnn_serve::{
-//!     BatchConfig, InferenceServer, ModelRegistry, Pipeline, ServedModel,
-//! };
+//! use bcpnn_serve::{BatchConfig, InferenceServer, ModelRegistry, ServedModel};
 //!
-//! // Train a tiny model on synthetic Higgs collisions.
+//! // Train a tiny model on synthetic Higgs collisions: the one-call
+//! // fit → (encoder + network) pipeline from the core model API.
 //! let data = generate(&SyntheticHiggsConfig { n_samples: 300, ..Default::default() });
-//! let encoder = QuantileEncoder::fit(&data, 10);
-//! let x = encoder.transform(&data);
-//! let mut network = Network::builder()
-//!     .input(encoder.encoded_width())
-//!     .hidden(2, 4, 0.3)
-//!     .classes(2)
-//!     .readout(ReadoutKind::Hybrid)
-//!     .backend(BackendKind::Naive)
-//!     .seed(1)
-//!     .build()
-//!     .unwrap();
-//! Trainer::new(TrainingParams {
-//!     unsupervised_epochs: 1,
-//!     supervised_epochs: 1,
-//!     batch_size: 50,
-//!     ..Default::default()
-//! })
-//! .fit(&mut network, &x, &data.labels)
+//! let (pipeline, _report) = Pipeline::fit(
+//!     &data,
+//!     10,
+//!     Network::builder()
+//!         .hidden(2, 4, 0.3)
+//!         .classes(2)
+//!         .readout(ReadoutKind::Hybrid)
+//!         .backend(BackendKind::Naive)
+//!         .seed(1),
+//!     TrainingParams {
+//!         unsupervised_epochs: 1,
+//!         supervised_epochs: 1,
+//!         batch_size: 50,
+//!         ..Default::default()
+//!     },
+//! )
 //! .unwrap();
 //!
 //! // Publish it and serve raw feature vectors through the micro-batcher.
 //! let registry = Arc::new(ModelRegistry::new());
-//! let pipeline = Pipeline::new(network, Some(encoder)).unwrap();
 //! registry.publish(ServedModel::new("higgs", 1, pipeline));
 //! let server = InferenceServer::start(Arc::clone(&registry), BatchConfig::default());
 //!
@@ -82,14 +80,17 @@
 mod error;
 pub mod loadgen;
 mod metrics;
-mod pipeline;
 mod registry;
 mod server;
 mod shard;
+#[cfg(test)]
+mod testutil;
 
+/// The serving artifact: re-exported from `bcpnn_core::model`, where the
+/// unified estimator/transformer API lives.
+pub use bcpnn_core::model::Pipeline;
 pub use error::{ServeError, ServeResult};
 pub use metrics::{MetricsSnapshot, ServingMetrics};
-pub use pipeline::Pipeline;
 pub use registry::{ModelRegistry, ServedModel};
 pub use server::{BatchConfig, InferenceServer, PredictionHandle, Priority, SubmitOptions};
 pub use shard::{ShardConfig, ShardRouting, ShardedServer};

@@ -31,7 +31,7 @@ impl ServeTarget for InferenceServer {
     fn n_classes_of(&self, model: &str) -> Option<usize> {
         self.registry()
             .lookup(model)
-            .map(|m| m.pipeline().n_classes())
+            .map(|m| m.predictor().n_classes())
     }
 }
 
@@ -43,7 +43,7 @@ impl ServeTarget for ShardedServer {
     fn n_classes_of(&self, model: &str) -> Option<usize> {
         self.registry()
             .lookup(model)
-            .map(|m| m.pipeline().n_classes())
+            .map(|m| m.predictor().n_classes())
     }
 }
 
@@ -157,9 +157,9 @@ pub fn run<T: ServeTarget>(server: &T, config: &LoadGenConfig) -> LoadReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::tests::tiny_pipeline;
     use crate::registry::{ModelRegistry, ServedModel};
     use crate::server::BatchConfig;
+    use crate::testutil::tiny_pipeline;
     use std::sync::Arc;
 
     #[test]

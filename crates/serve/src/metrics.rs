@@ -85,6 +85,7 @@ impl ServingMetrics {
     }
 
     /// Fold the live counters into an owned snapshot.
+    #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         let latency_hist: Vec<u64> = self
             .latency_hist
@@ -241,6 +242,7 @@ impl MetricsSnapshot {
 
     /// Render the snapshot in Prometheus text exposition format with no
     /// extra labels. See [`MetricsSnapshot::to_prometheus_labeled`].
+    #[must_use]
     pub fn to_prometheus(&self) -> String {
         self.to_prometheus_labeled(&[])
     }
@@ -253,6 +255,7 @@ impl MetricsSnapshot {
     /// histograms become cumulative-`le` Prometheus histograms with `_sum`
     /// and `_count`, and the latency quantile estimates are exported as
     /// gauges.
+    #[must_use]
     pub fn to_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
         render_prometheus(&[(labels.to_vec(), self)])
     }

@@ -13,29 +13,48 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bcpnn_backend::BackendKind;
+use bcpnn_core::model::{Pipeline, Predictor};
 use parking_lot::RwLock;
 
 use crate::error::{ServeError, ServeResult};
-use crate::pipeline::Pipeline;
 use crate::server::BatchConfig;
 
 /// A named, versioned, immutable serving artifact, optionally carrying its
 /// own batching policy (see [`ServedModel::with_batch_policy`]).
-#[derive(Debug)]
+///
+/// A served model is any fitted
+/// [`Predictor`](bcpnn_core::model::Predictor) — a loaded [`Pipeline`] is
+/// the common case, but a bare `Network` or a custom head serve just the
+/// same: the scheduler only talks through the trait.
 pub struct ServedModel {
     name: String,
     version: u64,
-    pipeline: Pipeline,
+    predictor: Box<dyn Predictor + Send + Sync>,
     batch_policy: Option<BatchConfig>,
 }
 
+impl std::fmt::Debug for ServedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedModel")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("n_inputs", &self.predictor.n_inputs())
+            .field("n_classes", &self.predictor.n_classes())
+            .finish()
+    }
+}
+
 impl ServedModel {
-    /// Wrap a pipeline under a model name and version.
-    pub fn new(name: impl Into<String>, version: u64, pipeline: Pipeline) -> Self {
+    /// Wrap a fitted predictor under a model name and version.
+    pub fn new(
+        name: impl Into<String>,
+        version: u64,
+        predictor: impl Predictor + Send + Sync + 'static,
+    ) -> Self {
         Self {
             name: name.into(),
             version,
-            pipeline,
+            predictor: Box::new(predictor),
             batch_policy: None,
         }
     }
@@ -45,6 +64,7 @@ impl ServedModel {
     /// policy's `workers` field is ignored — the worker pool is shared).
     /// Publishing a new version with a different policy changes batching
     /// live, with no server restart.
+    #[must_use]
     pub fn with_batch_policy(mut self, policy: BatchConfig) -> Self {
         self.batch_policy = Some(policy);
         self
@@ -65,9 +85,9 @@ impl ServedModel {
         self.version
     }
 
-    /// The serving pipeline.
-    pub fn pipeline(&self) -> &Pipeline {
-        &self.pipeline
+    /// The fitted model behind this artifact.
+    pub fn predictor(&self) -> &(dyn Predictor + Send + Sync) {
+        self.predictor.as_ref()
     }
 }
 
@@ -100,8 +120,12 @@ impl ModelRegistry {
     }
 
     /// Publish a model with an optional per-model batching policy; `None`
-    /// keeps whatever policy `model` already carries. See
-    /// [`ServedModel::with_batch_policy`].
+    /// keeps whatever policy `model` already carries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach the policy on the builder path instead: \
+                `registry.publish(model.with_batch_policy(policy))`"
+    )]
     pub fn publish_with_policy(
         &self,
         model: ServedModel,
@@ -176,7 +200,7 @@ impl ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::tests::tiny_pipeline;
+    use crate::testutil::tiny_pipeline;
 
     #[test]
     fn publish_get_remove_lifecycle() {
@@ -221,7 +245,7 @@ mod tests {
 
         // The displaced version still serves its in-flight work.
         assert_eq!(in_flight.version(), 1);
-        let proba = in_flight.pipeline().predict_proba(&data.features).unwrap();
+        let proba = in_flight.predictor().predict_proba(&data.features).unwrap();
         assert_eq!(proba.rows(), data.n_samples());
         drop(new_handle);
     }
@@ -240,9 +264,44 @@ mod tests {
             max_wait: std::time::Duration::from_micros(100),
             workers: 1,
         };
-        registry.publish_with_policy(ServedModel::new("higgs", 2, v2), Some(policy));
+        registry.publish(ServedModel::new("higgs", 2, v2).with_batch_policy(policy));
         assert_eq!(registry.batch_policy("higgs"), Some(policy));
         assert_eq!(registry.get("higgs").unwrap().batch_policy(), Some(policy));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn publish_with_policy_shim_still_forwards() {
+        let registry = ModelRegistry::new();
+        let (v1, _) = tiny_pipeline(15);
+        let policy = BatchConfig {
+            max_batch: 3,
+            max_wait: std::time::Duration::from_micros(50),
+            workers: 1,
+        };
+        registry.publish_with_policy(ServedModel::new("higgs", 1, v1), Some(policy));
+        assert_eq!(registry.batch_policy("higgs"), Some(policy));
+    }
+
+    #[test]
+    fn any_predictor_can_be_served() {
+        // The registry is generic over Predictor: a bare readout head (an
+        // SGD classifier over hidden activations) publishes just like a
+        // full pipeline.
+        let (pipeline, data) = tiny_pipeline(16);
+        let hidden = pipeline
+            .network()
+            .encode(&pipeline.encode(&data.features).unwrap())
+            .unwrap();
+        let head = pipeline.network().sgd_readout().unwrap().clone();
+        let direct = head.predict_proba(&hidden).unwrap();
+        let registry = ModelRegistry::new();
+        registry.publish(ServedModel::new("sgd-head", 1, head));
+        let got = registry.get("sgd-head").unwrap();
+        assert_eq!(got.predictor().n_classes(), 2);
+        assert_eq!(got.predictor().n_inputs(), hidden.cols());
+        let via_trait = got.predictor().predict_proba(&hidden).unwrap();
+        assert!(via_trait.max_abs_diff(&direct) < 1e-6);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! *collector* thread coalesces them into per-model batches bounded by
 //! [`BatchConfig::max_batch`] and [`BatchConfig::max_wait`], and a pool of
 //! *worker* threads runs each batch as one vectorized
-//! [`Pipeline::predict_proba`](crate::Pipeline::predict_proba) pass —
-//! encode → hidden-layer forward → readout — then fans the per-row results
-//! back to the callers over channels. This is the same amortization the
-//! paper applies to training (batch-parallel HCU updates) turned toward
-//! the serving workload.
+//! [`Predictor::predict_proba`](bcpnn_core::model::Predictor::predict_proba)
+//! pass — for a [`Pipeline`](crate::Pipeline), encode → hidden-layer
+//! forward → readout — then fans the per-row results back to the callers
+//! over channels. This is the same amortization the paper applies to
+//! training (batch-parallel HCU updates) turned toward the serving
+//! workload. The scheduler only talks to models through the
+//! `Predictor` trait, so any fitted artifact serves.
 //!
 //! Per-model policy: a [`ServedModel`] published with
 //! [`with_batch_policy`](crate::ServedModel::with_batch_policy) overrides
@@ -110,12 +112,14 @@ impl SubmitOptions {
     }
 
     /// Set the priority.
+    #[must_use]
     pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self
     }
 
     /// Set the deadline (measured from submission).
+    #[must_use]
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
@@ -235,7 +239,7 @@ impl InferenceServer {
         options: SubmitOptions,
     ) -> ServeResult<PredictionHandle> {
         let served = self.registry.get(model)?;
-        let expected = served.pipeline().input_width();
+        let expected = served.predictor().n_inputs();
         if features.len() != expected {
             return Err(ServeError::ShapeMismatch {
                 expected,
@@ -267,6 +271,7 @@ impl InferenceServer {
     }
 
     /// Point-in-time copy of the serving metrics.
+    #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
@@ -483,8 +488,8 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics) {
         return;
     }
     metrics.record_batch(requests.len());
-    let pipeline = model.pipeline();
-    let width = pipeline.input_width();
+    let predictor = model.predictor();
+    let width = predictor.n_inputs();
 
     // A hot-swap may have changed the expected width between submit-time
     // validation and dispatch; reject mismatching rows individually.
@@ -508,7 +513,7 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics) {
     for (r, request) in rows.iter().enumerate() {
         x.row_mut(r).copy_from_slice(&request.features);
     }
-    match pipeline.predict_proba(&x) {
+    match predictor.predict_proba(&x) {
         Ok(proba) => {
             let now = Instant::now();
             for (r, request) in rows.iter().enumerate() {
@@ -517,6 +522,7 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics) {
             }
         }
         Err(err) => {
+            let err = ServeError::from(err);
             for request in rows {
                 metrics.record_error();
                 let _ = request.reply.send(Err(err.clone()));
@@ -528,8 +534,8 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::tests::tiny_pipeline;
     use crate::registry::ServedModel;
+    use crate::testutil::tiny_pipeline;
 
     fn server_with_model(seed: u64) -> (InferenceServer, bcpnn_data::Dataset) {
         let (pipeline, data) = tiny_pipeline(seed);
@@ -564,7 +570,7 @@ mod tests {
             .registry()
             .get("higgs")
             .unwrap()
-            .pipeline()
+            .predictor()
             .predict_proba(&data.features)
             .unwrap();
         let handles: Vec<_> = (0..40)

@@ -141,11 +141,13 @@ impl ShardedServer {
     /// Aggregated metrics across every shard (counters and histograms add
     /// exactly; means and percentiles are recomputed from the merged
     /// histograms).
+    #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot::aggregate(&self.shard_metrics())
     }
 
     /// Point-in-time metrics of each shard, indexed by shard id.
+    #[must_use]
     pub fn shard_metrics(&self) -> Vec<MetricsSnapshot> {
         self.shards.iter().map(|s| s.metrics()).collect()
     }
@@ -155,6 +157,7 @@ impl ShardedServer {
     /// per shard labeled `shard="0"`..`shard="N-1"`, plus the aggregate
     /// labeled `shard="all"` — distinguishable so a PromQL
     /// `sum by (...) (metric{shard!="all"})` never double-counts.
+    #[must_use]
     pub fn to_prometheus(&self) -> String {
         let per_shard = self.shard_metrics();
         let aggregate = MetricsSnapshot::aggregate(&per_shard);
@@ -196,9 +199,9 @@ fn fnv1a_f32(features: &[f32]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::tests::tiny_pipeline;
     use crate::registry::ServedModel;
     use crate::server::Priority;
+    use crate::testutil::tiny_pipeline;
     use crate::ServeError;
     use std::time::Duration;
 
@@ -253,7 +256,7 @@ mod tests {
             .registry()
             .get("higgs")
             .unwrap()
-            .pipeline()
+            .predictor()
             .predict_proba(&data.features)
             .unwrap();
         let handles: Vec<_> = (0..40)

@@ -1,0 +1,34 @@
+//! Shared test fixtures for the serving crate.
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::Dataset;
+
+/// Train a tiny synthetic-Higgs pipeline (quantile encoder + hybrid
+/// network) for scheduler/registry tests.
+pub(crate) fn tiny_pipeline(seed: u64) -> (Pipeline, Dataset) {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 400,
+        seed,
+        ..Default::default()
+    });
+    let (pipeline, _) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(2, 4, 0.3)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 50,
+            ..Default::default()
+        },
+    )
+    .expect("tiny pipeline trains");
+    (pipeline, data)
+}

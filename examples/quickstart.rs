@@ -1,18 +1,19 @@
-//! Quickstart: train a small BCPNN network on synthetic Higgs collisions.
+//! Quickstart: train a small BCPNN pipeline on synthetic Higgs collisions.
 //!
-//! This is the five-minute tour of the library: generate data, preprocess
-//! it the way the paper does (balanced subset → per-feature deciles →
-//! one-hot), build a network with the Keras-like builder, train it with the
-//! two-phase trainer (unsupervised hidden layer, supervised readout), and
-//! evaluate accuracy and AUC.
+//! This is the five-minute tour of the library: generate data, then let
+//! the shared [`Pipeline::fit`] entry point do what the paper describes —
+//! fit per-feature decile boundaries, one-hot encode, train the two-phase
+//! network (unsupervised hidden layer, supervised readout) — and evaluate
+//! accuracy and AUC on *raw* held-out features through the `Predictor`
+//! trait. The same fitted pipeline object is what `bcpnn-serve` publishes.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use bcpnn_backend::BackendKind;
-use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
-use bcpnn_data::encode::QuantileEncoder;
+use bcpnn_core::model::Predictor;
+use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_data::split::stratified_split;
 
@@ -25,48 +26,52 @@ fn main() {
     println!("dataset: {}", collisions.summary());
     let (train, test) = stratified_split(&collisions, 0.25, 7);
 
-    // 2. Preprocessing (§V of the paper): decile binning + one-hot encoding.
-    let encoder = QuantileEncoder::fit(&train, 10);
-    let x_train = encoder.transform(&train);
-    let x_test = encoder.transform(&test);
-    println!("encoded width: {} binary inputs", x_train.cols());
-
-    // 3. Model: one hypercolumn of 300 minicolumns looking at 40% of the
-    //    input, with the hybrid (BCPNN features + SGD head) readout.
-    let mut network = Network::builder()
-        .input(x_train.cols())
-        .hidden(1, 300, 0.40)
-        .classes(2)
-        .readout(ReadoutKind::Hybrid)
-        .backend(BackendKind::Parallel)
-        .seed(42)
-        .build()
-        .expect("valid configuration");
-
-    // 4. Training: a few unsupervised epochs for the hidden layer, then the
-    //    supervised readout.
-    let trainer = Trainer::new(TrainingParams {
-        unsupervised_epochs: 3,
-        supervised_epochs: 8,
-        batch_size: 128,
-        seed: 42,
-        shuffle: true,
-    });
-    let report = trainer
-        .fit(&mut network, &x_train, &train.labels)
-        .expect("training succeeds");
+    // 2 + 3 + 4. Preprocessing (§V: decile binning + one-hot encoding),
+    //    model (one hypercolumn of 300 minicolumns looking at 40% of the
+    //    input, hybrid BCPNN + SGD readout), and two-phase training — all
+    //    through the one fit → predict pipeline entry point. The encoder
+    //    fixes the input width, so the builder doesn't need `.input()`.
+    let (pipeline, report) = Pipeline::fit(
+        &train,
+        10,
+        Network::builder()
+            .hidden(1, 300, 0.40)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(42),
+        TrainingParams {
+            unsupervised_epochs: 3,
+            supervised_epochs: 8,
+            batch_size: 128,
+            seed: 42,
+            shuffle: true,
+        },
+    )
+    .expect("valid configuration");
+    println!(
+        "encoded width: {} binary inputs",
+        pipeline.network().hidden().params().n_inputs
+    );
     println!(
         "trained {} epochs in {:.1}s",
         report.epochs.len(),
         report.train_time_seconds()
     );
 
-    // 5. Evaluation: accuracy + AUC for both heads, as in the paper.
-    let hybrid = network
-        .evaluate(&x_test, &test.labels)
+    // 5. Evaluation on raw test features: accuracy + AUC for both heads,
+    //    as in the paper. The hybrid head is the pipeline's default; the
+    //    pure-BCPNN head is read off the same trained network.
+    let hybrid = pipeline
+        .evaluate(&test.features, &test.labels)
         .expect("evaluation succeeds");
-    let pure = network
-        .evaluate_with(ReadoutKind::Bcpnn, &x_test, &test.labels)
+    let pure = pipeline
+        .network()
+        .evaluate_with(
+            ReadoutKind::Bcpnn,
+            &pipeline.encode(&test.features).expect("schema matches"),
+            &test.labels,
+        )
         .expect("evaluation succeeds");
     println!("BCPNN readout : {pure}");
     println!("BCPNN + SGD   : {hybrid}");

@@ -1,8 +1,9 @@
-//! Serving walkthrough: train a model, save it as a self-contained (v2)
-//! artifact with its encoder, load it into a registry, and serve raw
-//! feature vectors through the micro-batching server — including a
-//! hot-swap to a retrained version, sharded serving with a per-model
-//! batch policy, priority/deadline requests, and a Prometheus scrape.
+//! Serving walkthrough: train a model, save it as a self-contained
+//! stage-tagged (v3) artifact with its encoder, load it into a registry,
+//! and serve raw feature vectors through the micro-batching server —
+//! including a hot-swap to a retrained version, sharded serving with a
+//! per-model batch policy, priority/deadline requests, and a Prometheus
+//! scrape.
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -12,9 +13,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bcpnn_backend::BackendKind;
-use bcpnn_core::{Network, ReadoutKind, Trainer, TrainingParams};
+use bcpnn_core::{Network, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
-use bcpnn_data::QuantileEncoder;
 use bcpnn_serve::{
     BatchConfig, InferenceServer, ModelRegistry, Pipeline, Priority, ServedModel, ShardConfig,
     ShardRouting, ShardedServer, SubmitOptions,
@@ -26,26 +26,26 @@ fn train(seed: u64) -> Pipeline {
         seed,
         ..Default::default()
     });
-    let encoder = QuantileEncoder::fit(&data, 10);
-    let x = encoder.transform(&data);
-    let mut network = Network::builder()
-        .input(encoder.encoded_width())
-        .hidden(4, 8, 0.4)
-        .classes(2)
-        .readout(ReadoutKind::Hybrid)
-        .backend(BackendKind::Parallel)
-        .seed(seed)
-        .build()
-        .expect("valid configuration");
-    Trainer::new(TrainingParams {
-        unsupervised_epochs: 2,
-        supervised_epochs: 2,
-        batch_size: 128,
-        ..Default::default()
-    })
-    .fit(&mut network, &x, &data.labels)
+    // The shared fit → (encoder + network) entry point from the core
+    // model API; the encoder fixes the network's input width.
+    let (pipeline, _report) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
     .expect("training succeeds");
-    Pipeline::new(network, Some(encoder)).expect("encoder matches network")
+    pipeline
 }
 
 fn main() {
@@ -101,7 +101,7 @@ fn main() {
         max_wait: Duration::from_micros(500),
         workers: 1,
     };
-    registry.publish_with_policy(ServedModel::new("higgs", 3, train(3)), Some(policy));
+    registry.publish(ServedModel::new("higgs", 3, train(3)).with_batch_policy(policy));
     let sharded = ShardedServer::start(
         Arc::clone(&registry),
         ShardConfig {
