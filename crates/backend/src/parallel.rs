@@ -65,14 +65,25 @@ impl Backend for ParallelBackend {
             return;
         }
         let inv_b = 1.0 / batch as f32;
-        // pi / pj: EMA towards the batch column means.
-        let x_means = bcpnn_tensor::reduce::col_sums(x);
-        for (p, s) in pi.iter_mut().zip(x_means.iter()) {
-            *p = trace_update(*p, *s * inv_b, rate);
+        // pi / pj: EMA towards the batch column means, accumulated straight
+        // into the trace vectors. Summing rows top-to-bottom per column is
+        // the same addition order `reduce::col_sums` uses, so this stays
+        // bit-identical to the previous temporary-vector formulation while
+        // keeping the kernel allocation-free (these sums are O(B·N) next to
+        // the O(B·N·U) GEMM below, so serial is fine).
+        for (i, p) in pi.iter_mut().enumerate() {
+            let mut s = 0.0f32;
+            for b in 0..batch {
+                s += x.get(b, i);
+            }
+            *p = trace_update(*p, s * inv_b, rate);
         }
-        let a_means = bcpnn_tensor::reduce::col_sums(act);
-        for (p, s) in pj.iter_mut().zip(a_means.iter()) {
-            *p = trace_update(*p, *s * inv_b, rate);
+        for (j, p) in pj.iter_mut().enumerate() {
+            let mut s = 0.0f32;
+            for b in 0..batch {
+                s += act.get(b, j);
+            }
+            *p = trace_update(*p, s * inv_b, rate);
         }
         // pij: EMA towards (xᵀ·act)/B, computed as a transposed GEMM with
         // alpha = rate/B and beta = (1 - rate), i.e. the whole trace update

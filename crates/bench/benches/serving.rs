@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use bcpnn_backend::BackendKind;
 use bcpnn_core::model::Predictor;
-use bcpnn_core::{Network, ReadoutKind, TrainingParams};
+use bcpnn_core::{Network, ReadoutKind, TrainingParams, Workspace};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_serve::loadgen::request_stream;
 use bcpnn_serve::{
@@ -55,12 +55,54 @@ fn bench_pipeline_batches(c: &mut Criterion) {
     for &batch in &[1usize, 8, 64, 256] {
         let mut x = Matrix::zeros(batch, 28);
         for r in 0..batch {
-            x.row_mut(r).copy_from_slice(&stream[r % stream.len()]);
+            x.row_mut(r).copy_from_slice(stream.row(r % stream.len()));
         }
         group.throughput(Throughput::Elements(batch as u64));
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
             b.iter(|| black_box(pipeline.predict_proba(black_box(&x)).unwrap()));
         });
+    }
+    group.finish();
+}
+
+/// The allocating `predict_proba` against the zero-allocation
+/// `predict_proba_into` (persistent workspace + output buffer) on the same
+/// batch — the tentpole data-plane comparison. Recorded by the CI
+/// bench-smoke job; `_into` must at least match the allocating path.
+fn bench_forward_into_vs_alloc(c: &mut Criterion) {
+    let pipeline = trained_pipeline();
+    let stream = request_stream(512, 14);
+    let mut group = c.benchmark_group("serve_forward_into_vs_alloc");
+    group.sample_size(10);
+    for &batch in &[1usize, 64, 256] {
+        let mut x = Matrix::zeros(batch, 28);
+        for r in 0..batch {
+            x.row_mut(r).copy_from_slice(stream.row(r % stream.len()));
+        }
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("alloc_predict_proba", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| black_box(pipeline.predict_proba(black_box(&x)).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("into_predict_proba", batch),
+            &batch,
+            |b, _| {
+                let mut ws = Workspace::new();
+                let mut out = Matrix::zeros(0, 0);
+                // Warm the buffers so the measured loop is the steady state.
+                pipeline.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+                b.iter(|| {
+                    pipeline
+                        .predict_proba_into(black_box(&x), &mut ws, &mut out)
+                        .unwrap();
+                    black_box(&out);
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -86,7 +128,7 @@ fn bench_server_roundtrip(c: &mut Criterion) {
     group.bench_function("single_blocking", |b| {
         let mut i = 0usize;
         b.iter(|| {
-            let features = stream[i % stream.len()].clone();
+            let features = stream.row(i % stream.len()).to_vec();
             i += 1;
             black_box(server.predict("higgs", features).unwrap())
         });
@@ -97,7 +139,7 @@ fn bench_server_roundtrip(c: &mut Criterion) {
             let handles: Vec<_> = (0..64)
                 .map(|i| {
                     server
-                        .submit("higgs", stream[i % stream.len()].clone())
+                        .submit("higgs", stream.row(i % stream.len()).to_vec())
                         .unwrap()
                 })
                 .collect();
@@ -136,7 +178,7 @@ fn bench_sharded_burst(c: &mut Criterion) {
                 let handles: Vec<_> = (0..64)
                     .map(|i| {
                         server
-                            .submit("higgs", stream[i % stream.len()].clone())
+                            .submit("higgs", stream.row(i % stream.len()).to_vec())
                             .unwrap()
                     })
                     .collect();
@@ -152,6 +194,7 @@ fn bench_sharded_burst(c: &mut Criterion) {
 criterion_group!(
     serving,
     bench_pipeline_batches,
+    bench_forward_into_vs_alloc,
     bench_server_roundtrip,
     bench_sharded_burst
 );

@@ -13,6 +13,7 @@ use bcpnn_tensor::Matrix;
 
 use crate::error::{CoreError, CoreResult};
 use crate::traces::ProbabilityTraces;
+use crate::workspace::Workspace;
 
 /// Configuration of the BCPNN classification layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,7 +133,18 @@ impl BcpnnClassifier {
     /// # Errors
     /// Fails if a label is out of range.
     pub fn one_hot(&self, labels: &[usize]) -> CoreResult<Matrix<f32>> {
-        let mut t = Matrix::zeros(labels.len(), self.n_classes);
+        let mut t = Matrix::zeros(0, 0);
+        self.one_hot_into(labels, &mut t)?;
+        Ok(t)
+    }
+
+    /// Encode integer labels as a one-hot matrix written into a
+    /// caller-provided buffer (reset to `labels.len() x n_classes`).
+    ///
+    /// # Errors
+    /// Fails if a label is out of range.
+    pub fn one_hot_into(&self, labels: &[usize], out: &mut Matrix<f32>) -> CoreResult<()> {
+        out.reset(labels.len(), self.n_classes);
         for (r, &l) in labels.iter().enumerate() {
             if l >= self.n_classes {
                 return Err(CoreError::DataMismatch(format!(
@@ -140,24 +152,53 @@ impl BcpnnClassifier {
                     self.n_classes
                 )));
             }
-            t.set(r, l, 1.0);
+            out.set(r, l, 1.0);
         }
-        Ok(t)
+        Ok(())
     }
 
     /// Train on one labeled batch of hidden activations.
+    ///
+    /// Allocating convenience over
+    /// [`BcpnnClassifier::train_batch_with`].
     pub fn train_batch(&mut self, hidden: &Matrix<f32>, labels: &[usize]) -> CoreResult<()> {
+        let mut targets = Matrix::zeros(0, 0);
+        self.train_batch_core(hidden, labels, &mut targets)
+    }
+
+    /// Train on one labeled batch, drawing the one-hot target scratch from
+    /// `ws` — zero allocations once the workspace has seen the batch shape.
+    pub fn train_batch_with(
+        &mut self,
+        hidden: &Matrix<f32>,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> CoreResult<()> {
+        let mut targets = std::mem::take(&mut ws.targets);
+        let result = self.train_batch_core(hidden, labels, &mut targets);
+        ws.targets = targets;
+        result
+    }
+
+    /// The one authoritative supervised trace update both spellings route
+    /// through.
+    fn train_batch_core(
+        &mut self,
+        hidden: &Matrix<f32>,
+        labels: &[usize],
+        targets: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
         self.check_input(hidden)?;
         if hidden.rows() != labels.len() {
             return Err(CoreError::DataMismatch(
                 "batch size and label count differ".into(),
             ));
         }
-        let targets = self.one_hot(labels)?;
+        self.one_hot_into(labels, targets)?;
         self.traces.update(
             self.backend.as_ref(),
             hidden,
-            &targets,
+            targets,
             self.params.trace_rate,
         );
         self.refresh_weights();
@@ -176,13 +217,28 @@ impl BcpnnClassifier {
     }
 
     /// Class-probability predictions (`batch x n_classes`, rows sum to 1).
+    ///
+    /// Allocating convenience over
+    /// [`BcpnnClassifier::predict_proba_into`].
     pub fn predict_proba(&self, hidden: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
-        self.check_input(hidden)?;
-        let mut out = Matrix::zeros(hidden.rows(), self.n_classes);
-        self.backend
-            .linear_forward(hidden, &self.weights, &self.bias, &mut out);
-        self.backend.grouped_softmax(&mut out, self.n_classes);
+        let mut out = Matrix::zeros(0, 0);
+        self.predict_proba_into(hidden, &mut out)?;
         Ok(out)
+    }
+
+    /// Class-probability predictions written into a caller-provided buffer
+    /// (reset to `batch x n_classes` and fully overwritten).
+    pub fn predict_proba_into(
+        &self,
+        hidden: &Matrix<f32>,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        self.check_input(hidden)?;
+        out.reset(hidden.rows(), self.n_classes);
+        self.backend
+            .linear_forward(hidden, &self.weights, &self.bias, out);
+        self.backend.grouped_softmax(out, self.n_classes);
+        Ok(())
     }
 
     /// Hard class predictions.

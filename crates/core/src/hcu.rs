@@ -16,6 +16,7 @@ use crate::mask::ReceptiveFieldMask;
 use crate::params::HiddenLayerParams;
 use crate::plasticity::{PlasticityConfig, PlasticityReport, StructuralPlasticity};
 use crate::traces::ProbabilityTraces;
+use crate::workspace::Workspace;
 
 /// The HCU/MCU hidden layer.
 pub struct HiddenLayer {
@@ -162,33 +163,50 @@ impl HiddenLayer {
 
     /// Deterministic forward pass: masked support plus per-HCU softmax.
     /// Returns the `batch x n_units` activation matrix.
+    ///
+    /// Allocating convenience over [`HiddenLayer::forward_into`] — there is
+    /// exactly one kernel-call sequence behind both spellings.
     pub fn forward(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
-        self.check_input(x)?;
-        let mut out = Matrix::zeros(x.rows(), self.n_units());
-        self.backend
-            .linear_forward(x, &self.masked_weights, &self.bias, &mut out);
-        self.backend.grouped_softmax(&mut out, self.params.n_mcu);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out)?;
         Ok(out)
     }
 
-    /// Training forward pass: like [`HiddenLayer::forward`] but with
-    /// Gaussian support noise for symmetry breaking between minicolumns.
-    fn forward_noisy(&mut self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+    /// Deterministic forward pass into a caller-provided buffer: `out` is
+    /// reset to `batch x n_units` and fully overwritten. Reusing `out`
+    /// across batches keeps the inference hot path off the allocator.
+    pub fn forward_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
         self.check_input(x)?;
-        let mut out = Matrix::zeros(x.rows(), self.n_units());
+        out.reset(x.rows(), self.n_units());
         self.backend
-            .linear_forward(x, &self.masked_weights, &self.bias, &mut out);
+            .linear_forward(x, &self.masked_weights, &self.bias, out);
+        self.backend.grouped_softmax(out, self.params.n_mcu);
+        Ok(())
+    }
+
+    /// Training forward pass: like [`HiddenLayer::forward_into`] but with
+    /// Gaussian support noise for symmetry breaking between minicolumns.
+    /// `noise` is scratch (resized and fully overwritten when support noise
+    /// is enabled); the sample stream is identical to drawing a fresh noise
+    /// matrix, so reuse does not change training trajectories.
+    fn forward_noisy_into(
+        &mut self,
+        x: &Matrix<f32>,
+        noise: &mut Matrix<f32>,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        self.check_input(x)?;
+        out.reset(x.rows(), self.n_units());
+        self.backend
+            .linear_forward(x, &self.masked_weights, &self.bias, out);
         if self.params.support_noise > 0.0 {
-            let noise: Matrix<f32> = self.rng.normal(
-                out.rows(),
-                out.cols(),
-                0.0,
-                self.params.support_noise as f64,
-            );
-            bcpnn_tensor::elementwise::add_assign(&mut out, &noise);
+            noise.resize(out.rows(), out.cols());
+            self.rng
+                .fill_normal(noise, 0.0, self.params.support_noise as f64);
+            bcpnn_tensor::elementwise::add_assign(out, noise);
         }
-        self.backend.grouped_softmax(&mut out, self.params.n_mcu);
-        Ok(out)
+        self.backend.grouped_softmax(out, self.params.n_mcu);
+        Ok(())
     }
 
     /// Recompute weights and bias from the traces and re-apply the mask.
@@ -211,12 +229,43 @@ impl HiddenLayer {
     /// Train on one unlabeled batch: noisy forward pass, trace update, and
     /// weight refresh. Returns the batch activations (useful for chaining /
     /// diagnostics).
+    ///
+    /// Allocating convenience over [`HiddenLayer::train_batch_with`]; epoch
+    /// loops should prefer the workspace variant so the allocator stays off
+    /// the training hot path.
     pub fn train_batch(&mut self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
-        let act = self.forward_noisy(x)?;
-        self.traces
-            .update(self.backend.as_ref(), x, &act, self.params.trace_rate);
-        self.refresh_weights();
+        let mut act = Matrix::zeros(0, 0);
+        let mut noise = Matrix::zeros(0, 0);
+        self.train_batch_core(x, &mut noise, &mut act)?;
         Ok(act)
+    }
+
+    /// Train on one unlabeled batch using workspace scratch for the
+    /// activations and the support noise — zero allocations once the
+    /// workspace has seen the batch shape. Bit-identical to
+    /// [`HiddenLayer::train_batch`].
+    pub fn train_batch_with(&mut self, x: &Matrix<f32>, ws: &mut Workspace) -> CoreResult<()> {
+        let mut act = std::mem::take(&mut ws.hidden);
+        let mut noise = std::mem::take(&mut ws.noise);
+        let result = self.train_batch_core(x, &mut noise, &mut act);
+        ws.hidden = act;
+        ws.noise = noise;
+        result
+    }
+
+    /// The one authoritative unsupervised training step both spellings
+    /// route through.
+    fn train_batch_core(
+        &mut self,
+        x: &Matrix<f32>,
+        noise: &mut Matrix<f32>,
+        act: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        self.forward_noisy_into(x, noise, act)?;
+        self.traces
+            .update(self.backend.as_ref(), x, act, self.params.trace_rate);
+        self.refresh_weights();
+        Ok(())
     }
 
     /// Run one structural-plasticity update (normally once per epoch):
@@ -397,6 +446,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn forward_into_reuses_a_stale_buffer_bit_exactly() {
+        let l = layer(20);
+        let mut rng = MatrixRng::seed_from(21);
+        let mut out = Matrix::filled(3, 3, f32::NAN); // wrong shape, poisoned
+        for n in [6usize, 2, 9] {
+            let x = toy_batch(&mut rng, n);
+            l.forward_into(&x, &mut out).unwrap();
+            assert_eq!(out, l.forward(&x).unwrap(), "batch of {n}");
+        }
+    }
+
+    #[test]
+    fn train_batch_with_matches_the_allocating_twin() {
+        let mut a = layer(22);
+        let mut b = layer(22);
+        let mut ws = Workspace::new();
+        let mut rng1 = MatrixRng::seed_from(23);
+        let mut rng2 = MatrixRng::seed_from(23);
+        for _ in 0..10 {
+            let xa = toy_batch(&mut rng1, 16);
+            let xb = toy_batch(&mut rng2, 16);
+            let act = a.train_batch(&xa).unwrap();
+            b.train_batch_with(&xb, &mut ws).unwrap();
+            assert_eq!(act, ws.hidden, "activations must be bit-identical");
+        }
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+        assert_eq!(a.traces(), b.traces());
     }
 
     #[test]

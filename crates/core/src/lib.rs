@@ -66,6 +66,7 @@ mod serialize;
 mod sgd;
 mod traces;
 mod training;
+pub mod workspace;
 
 pub use baseline::{MlpClassifier, MlpParams};
 pub use classifier::{BcpnnClassifier, BcpnnClassifierParams};
@@ -86,3 +87,4 @@ pub use serialize::{
 pub use sgd::SgdClassifier;
 pub use traces::ProbabilityTraces;
 pub use training::{EpochStats, FitReport, Trainer, TrainingObserver, TrainingPhase};
+pub use workspace::Workspace;

@@ -108,6 +108,7 @@ use crate::network::{Network, NetworkBuilder};
 use crate::params::TrainingParams;
 use crate::sgd::SgdClassifier;
 use crate::training::{FitReport, Trainer};
+use crate::workspace::Workspace;
 
 /// A fittable feature map: `fit` learns parameters from training rows,
 /// `transform` applies them to any rows with the same schema.
@@ -118,6 +119,18 @@ pub trait Transformer {
 
     /// Apply the fitted map to a batch of rows.
     fn transform(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>>;
+
+    /// Apply the fitted map into a caller-provided buffer (resized to
+    /// `rows x output_width`, every element overwritten).
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`Transformer::transform`], so foreign transformers keep working;
+    /// the built-in encoders override it with true in-place encoding, which
+    /// is what keeps the serving data plane allocation-free.
+    fn transform_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
+        *out = self.transform(x)?;
+        Ok(())
+    }
 
     /// Fit on `x`, then transform it.
     fn fit_transform(&mut self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
@@ -141,6 +154,27 @@ pub trait Predictor {
     /// Class probabilities for a batch of rows (`batch x n_classes`, rows
     /// sum to 1).
     fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>>;
+
+    /// Class probabilities written into a caller-provided buffer, drawing
+    /// all intermediate scratch (stage encodings, hidden activations) from
+    /// `ws`. A warmed-up `(workspace, out)` pair makes repeated batched
+    /// inference allocation-free — the serving workers' steady state.
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`Predictor::predict_proba`], so foreign `Predictor` impls keep
+    /// working unchanged; every built-in model overrides it with the true
+    /// zero-allocation path, bit-identical to the allocating one. Object
+    /// safe: callable through `dyn Predictor`.
+    fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        let _ = ws;
+        *out = self.predict_proba(x)?;
+        Ok(())
+    }
 
     /// Hard class predictions (argmax over [`Predictor::predict_proba`]).
     fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
@@ -206,6 +240,18 @@ macro_rules! impl_transformer_for_binned_encoder {
                 Ok(self.transform_rows(x))
             }
 
+            fn transform_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
+                if x.cols() != self.n_features() {
+                    return Err(CoreError::DataMismatch(format!(
+                        "encoder was fitted on {} features, matrix has {}",
+                        self.n_features(),
+                        x.cols()
+                    )));
+                }
+                self.transform_rows_into(x, out);
+                Ok(())
+            }
+
             fn input_width(&self) -> usize {
                 self.n_features()
             }
@@ -242,6 +288,18 @@ impl Transformer for Standardizer {
         Ok(self.transform_rows(x))
     }
 
+    fn transform_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
+        if x.cols() != self.n_features() {
+            return Err(CoreError::DataMismatch(format!(
+                "standardizer was fitted on {} features, matrix has {}",
+                self.n_features(),
+                x.cols()
+            )));
+        }
+        self.transform_rows_into(x, out);
+        Ok(())
+    }
+
     fn input_width(&self) -> usize {
         self.n_features()
     }
@@ -254,6 +312,15 @@ impl Transformer for Standardizer {
 impl Predictor for Network {
     fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
         Network::predict_proba(self, x)
+    }
+
+    fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        Network::predict_proba_into(self, x, ws, out)
     }
 
     fn n_inputs(&self) -> usize {
@@ -270,6 +337,15 @@ impl Predictor for BcpnnClassifier {
         BcpnnClassifier::predict_proba(self, x)
     }
 
+    fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        _ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        BcpnnClassifier::predict_proba_into(self, x, out)
+    }
+
     fn n_inputs(&self) -> usize {
         BcpnnClassifier::n_inputs(self)
     }
@@ -282,6 +358,15 @@ impl Predictor for BcpnnClassifier {
 impl Predictor for SgdClassifier {
     fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
         SgdClassifier::predict_proba(self, x)
+    }
+
+    fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        _ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        SgdClassifier::predict_proba_into(self, x, out)
     }
 
     fn n_inputs(&self) -> usize {
@@ -449,6 +534,10 @@ impl Transformer for Stage {
         self.as_transformer().transform(x)
     }
 
+    fn transform_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
+        self.as_transformer().transform_into(x, out)
+    }
+
     fn input_width(&self) -> usize {
         self.as_transformer().input_width()
     }
@@ -569,6 +658,49 @@ impl Pipeline {
         Ok(current.unwrap_or_else(|| x.clone()))
     }
 
+    /// Class probabilities written into `out`, drawing every intermediate
+    /// (stage encodings, hidden activations) from `ws`: the zero-allocation
+    /// spelling of [`Predictor::predict_proba`] the serving workers run.
+    /// Bit-identical to the allocating path.
+    pub fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        if x.cols() != self.input_width() {
+            return Err(CoreError::DataMismatch(format!(
+                "pipeline expects {} columns, rows have {}",
+                self.input_width(),
+                x.cols()
+            )));
+        }
+        // Stage-less pipelines feed the rows straight through — no copy on
+        // the serving hot path.
+        if self.stages.is_empty() {
+            return self.network.predict_proba_into(x, ws, out);
+        }
+        // Ping-pong the chain through the two workspace encode buffers:
+        // stage 0 fills `src`, every later stage reads `src` and writes
+        // `dst`, then the two swap — so the freshest encoding always ends
+        // up in `src`, and the common single-stage chain touches only one
+        // buffer.
+        let mut src = std::mem::take(&mut ws.encode_a);
+        let mut dst = std::mem::take(&mut ws.encode_b);
+        let chained = (|| -> CoreResult<()> {
+            self.stages[0].transform_into(x, &mut src)?;
+            for stage in &self.stages[1..] {
+                stage.transform_into(&src, &mut dst)?;
+                std::mem::swap(&mut src, &mut dst);
+            }
+            Ok(())
+        })();
+        let result = chained.and_then(|()| self.network.predict_proba_into(&src, ws, out));
+        ws.encode_a = src;
+        ws.encode_b = dst;
+        result
+    }
+
     /// Save the artifact as a stage-tagged (`v3`) model directory.
     pub fn save<P: AsRef<std::path::Path>>(&self, dir: P) -> CoreResult<()> {
         crate::serialize::save_pipeline(self, dir)
@@ -588,20 +720,22 @@ impl Pipeline {
 impl Predictor for Pipeline {
     /// One vectorized encode → hidden forward → readout pass — the call
     /// the serving micro-batcher amortizes request overhead into.
+    /// Allocating convenience over [`Pipeline::predict_proba_into`], the
+    /// one authoritative kernel sequence.
     fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
-        if x.cols() != self.input_width() {
-            return Err(CoreError::DataMismatch(format!(
-                "pipeline expects {} columns, rows have {}",
-                self.input_width(),
-                x.cols()
-            )));
-        }
-        // Stage-less pipelines feed the rows straight through — no copy on
-        // the serving hot path.
-        if self.stages.is_empty() {
-            return self.network.predict_proba(x);
-        }
-        self.network.predict_proba(&self.encode(x)?)
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        Pipeline::predict_proba_into(self, x, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        Pipeline::predict_proba_into(self, x, ws, out)
     }
 
     fn n_inputs(&self) -> usize {
@@ -835,6 +969,97 @@ pub(crate) mod tests {
         assert_eq!(report.epochs.len(), 2);
         assert!(report.train_time_seconds() > 0.0);
         assert_eq!(Predictor::n_classes(&pipeline), 2);
+    }
+
+    #[test]
+    fn pipeline_predict_proba_into_is_bit_identical_including_multi_stage() {
+        let (pipeline, data) = tiny_pipeline(20);
+        let mut ws = Workspace::new();
+        let mut out = Matrix::filled(1, 1, f32::NAN);
+        pipeline
+            .predict_proba_into(&data.features, &mut ws, &mut out)
+            .unwrap();
+        assert_eq!(out, pipeline.predict_proba(&data.features).unwrap());
+        let warmed = ws.allocated_elems();
+        // A second call with the same shapes keeps the buffers stable.
+        pipeline
+            .predict_proba_into(&data.features, &mut ws, &mut out)
+            .unwrap();
+        assert_eq!(ws.allocated_elems(), warmed);
+
+        // Multi-stage chain: standardize → quantile ping-pongs through both
+        // encode buffers and still matches the allocating path exactly.
+        let standardizer = Standardizer::fit_matrix(&data.features);
+        let z = standardizer.transform_rows(&data.features);
+        let encoder = QuantileEncoder::fit_matrix(&z, 10);
+        let encoded = encoder.transform_rows(&z);
+        let network = NetworkEstimator::new(
+            tiny_builder().input(encoder.encoded_width()),
+            tiny_training(),
+        )
+        .fit(&encoded, &data.labels)
+        .unwrap();
+        let chained = Pipeline::from_stages(
+            vec![Stage::Standardize(standardizer), Stage::Quantile(encoder)],
+            network,
+        )
+        .unwrap();
+        chained
+            .predict_proba_into(&data.features, &mut ws, &mut out)
+            .unwrap();
+        assert_eq!(out, chained.predict_proba(&data.features).unwrap());
+
+        // Wrong widths stay typed errors and leave the workspace reusable.
+        assert!(chained
+            .predict_proba_into(&Matrix::zeros(2, 3), &mut ws, &mut out)
+            .is_err());
+        chained
+            .predict_proba_into(&data.features, &mut ws, &mut out)
+            .unwrap();
+        assert_eq!(out, chained.predict_proba(&data.features).unwrap());
+    }
+
+    #[test]
+    fn default_predict_proba_into_serves_foreign_predictors() {
+        /// A foreign Predictor that only implements the allocating surface.
+        struct Constant;
+        impl Predictor for Constant {
+            fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+                Ok(Matrix::filled(x.rows(), 2, 0.5))
+            }
+            fn n_inputs(&self) -> usize {
+                3
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+        }
+        let boxed: Box<dyn Predictor + Send + Sync> = Box::new(Constant);
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        boxed
+            .predict_proba_into(&Matrix::zeros(4, 3), &mut ws, &mut out)
+            .unwrap();
+        assert_eq!(out, Matrix::filled(4, 2, 0.5));
+    }
+
+    #[test]
+    fn transform_into_matches_transform_for_every_stage_kind() {
+        let data = higgs(120, 21);
+        let stages = vec![
+            Stage::Quantile(QuantileEncoder::fit_matrix(&data.features, 8)),
+            Stage::Thermometer(ThermometerEncoder::fit_matrix(&data.features, 8)),
+            Stage::Standardize(Standardizer::fit_matrix(&data.features)),
+        ];
+        let mut out = Matrix::filled(2, 2, f32::NAN);
+        for stage in &stages {
+            stage.transform_into(&data.features, &mut out).unwrap();
+            assert_eq!(out, stage.transform(&data.features).unwrap());
+            // Schema mismatches are typed errors through _into too.
+            assert!(stage
+                .transform_into(&Matrix::zeros(2, 3), &mut out)
+                .is_err());
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::hcu::HiddenLayer;
 use crate::metrics::EvalReport;
 use crate::params::{HiddenLayerParams, SgdParams};
 use crate::sgd::SgdClassifier;
+use crate::workspace::Workspace;
 
 /// Which classification head produces the network's predictions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,12 +125,40 @@ impl Network {
         self.hidden.forward(x)
     }
 
+    /// Encode inputs into a caller-provided buffer (reset to
+    /// `batch x n_units`): the buffer-reusing twin of [`Network::encode`].
+    pub fn encode_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
+        self.hidden.forward_into(x, out)
+    }
+
     /// Class probabilities using the head selected by the readout kind
     /// (hybrid networks predict with the SGD head).
+    ///
+    /// Allocating convenience over [`Network::predict_proba_into`] — there
+    /// is exactly one encode → readout kernel sequence behind every
+    /// spelling.
     pub fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
         match self.readout_kind {
             ReadoutKind::Bcpnn => self.predict_proba_with(ReadoutKind::Bcpnn, x),
             ReadoutKind::Sgd | ReadoutKind::Hybrid => self.predict_proba_with(ReadoutKind::Sgd, x),
+        }
+    }
+
+    /// Class probabilities written into `out` (reset to
+    /// `batch x n_classes`), drawing the hidden-activation scratch from
+    /// `ws`. Zero allocations once the workspace has seen the batch shape;
+    /// bit-identical to [`Network::predict_proba`].
+    pub fn predict_proba_into(
+        &self,
+        x: &Matrix<f32>,
+        ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        match self.readout_kind {
+            ReadoutKind::Bcpnn => self.predict_proba_with_into(ReadoutKind::Bcpnn, x, ws, out),
+            ReadoutKind::Sgd | ReadoutKind::Hybrid => {
+                self.predict_proba_with_into(ReadoutKind::Sgd, x, ws, out)
+            }
         }
     }
 
@@ -141,19 +170,40 @@ impl Network {
         head: ReadoutKind,
         x: &Matrix<f32>,
     ) -> CoreResult<Matrix<f32>> {
-        let hidden = self.encode(x)?;
-        match head {
-            ReadoutKind::Bcpnn => self
-                .bcpnn_readout
-                .as_ref()
-                .ok_or_else(|| CoreError::InvalidParams("network has no BCPNN readout".into()))?
-                .predict_proba(&hidden),
-            ReadoutKind::Sgd | ReadoutKind::Hybrid => self
-                .sgd_readout
-                .as_ref()
-                .ok_or_else(|| CoreError::InvalidParams("network has no SGD readout".into()))?
-                .predict_proba(&hidden),
-        }
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.predict_proba_with_into(head, x, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// Class probabilities from a specific head written into `out`: the one
+    /// authoritative encode → readout kernel sequence every predict
+    /// spelling routes through.
+    pub fn predict_proba_with_into(
+        &self,
+        head: ReadoutKind,
+        x: &Matrix<f32>,
+        ws: &mut Workspace,
+        out: &mut Matrix<f32>,
+    ) -> CoreResult<()> {
+        let mut hidden = std::mem::take(&mut ws.hidden);
+        let result = self
+            .hidden
+            .forward_into(x, &mut hidden)
+            .and_then(|()| match head {
+                ReadoutKind::Bcpnn => self
+                    .bcpnn_readout
+                    .as_ref()
+                    .ok_or_else(|| CoreError::InvalidParams("network has no BCPNN readout".into()))?
+                    .predict_proba_into(&hidden, out),
+                ReadoutKind::Sgd | ReadoutKind::Hybrid => self
+                    .sgd_readout
+                    .as_ref()
+                    .ok_or_else(|| CoreError::InvalidParams("network has no SGD readout".into()))?
+                    .predict_proba_into(&hidden, out),
+            });
+        ws.hidden = hidden;
+        result
     }
 
     /// Hard class predictions via [`Network::predict_proba`].
@@ -374,6 +424,28 @@ mod tests {
         let preds = net.predict(&x).unwrap();
         assert_eq!(preds.len(), 5);
         assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn predict_proba_into_matches_the_allocating_path_bit_exactly() {
+        let net = tiny_builder().readout(ReadoutKind::Hybrid).build().unwrap();
+        let mut ws = Workspace::new();
+        let mut out = Matrix::filled(2, 2, f32::NAN);
+        for n in [5usize, 1, 9] {
+            let x = Matrix::from_fn(n, 20, |r, c| f32::from((r + 2 * c) % 3 == 0));
+            net.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+            assert_eq!(out, net.predict_proba(&x).unwrap(), "batch of {n}");
+            // Head-specific spelling agrees too.
+            net.predict_proba_with_into(ReadoutKind::Bcpnn, &x, &mut ws, &mut out)
+                .unwrap();
+            assert_eq!(out, net.predict_proba_with(ReadoutKind::Bcpnn, &x).unwrap());
+        }
+        // Missing heads are still typed errors through the _into spelling.
+        let sgd_only = tiny_builder().readout(ReadoutKind::Sgd).build().unwrap();
+        let x = Matrix::zeros(2, 20);
+        assert!(sgd_only
+            .predict_proba_with_into(ReadoutKind::Bcpnn, &x, &mut ws, &mut out)
+            .is_err());
     }
 
     #[test]

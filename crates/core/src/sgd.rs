@@ -11,6 +11,7 @@ use bcpnn_tensor::{gemm, gemm_tn, Matrix, MatrixRng};
 
 use crate::error::{CoreError, CoreResult};
 use crate::params::SgdParams;
+use crate::workspace::Workspace;
 
 /// Softmax-regression classifier trained by mini-batch SGD.
 #[derive(Debug, Clone)]
@@ -108,17 +109,27 @@ impl SgdClassifier {
     }
 
     /// Class-probability predictions (`batch x n_classes`).
+    ///
+    /// Allocating convenience over [`SgdClassifier::predict_proba_into`].
     pub fn predict_proba(&self, x: &Matrix<f32>) -> CoreResult<Matrix<f32>> {
+        let mut out = Matrix::zeros(0, 0);
+        self.predict_proba_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Class-probability predictions written into a caller-provided buffer
+    /// (reset to `batch x n_classes` and fully overwritten).
+    pub fn predict_proba_into(&self, x: &Matrix<f32>, out: &mut Matrix<f32>) -> CoreResult<()> {
         self.check_input(x)?;
-        let mut logits = Matrix::zeros(x.rows(), self.n_classes);
-        gemm(1.0, x, &self.weights, 0.0, &mut logits);
-        for r in 0..logits.rows() {
-            for (v, &b) in logits.row_mut(r).iter_mut().zip(self.bias.iter()) {
+        out.reset(x.rows(), self.n_classes);
+        gemm(1.0, x, &self.weights, 0.0, out);
+        for r in 0..out.rows() {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(self.bias.iter()) {
                 *v += b;
             }
         }
-        bcpnn_tensor::reduce::softmax_rows(&mut logits);
-        Ok(logits)
+        bcpnn_tensor::reduce::softmax_rows(out);
+        Ok(())
     }
 
     /// Hard class predictions.
@@ -128,7 +139,44 @@ impl SgdClassifier {
 
     /// Run one SGD step on a mini-batch. Returns the batch's mean
     /// cross-entropy loss.
+    ///
+    /// Allocating convenience over [`SgdClassifier::train_batch_with`];
+    /// epoch loops should prefer the workspace variant.
     pub fn train_batch(&mut self, x: &Matrix<f32>, labels: &[usize]) -> CoreResult<f32> {
+        let mut proba = Matrix::zeros(0, 0);
+        let mut grad_w = Matrix::zeros(0, 0);
+        let mut grad_b = Vec::new();
+        self.train_batch_core(x, labels, &mut proba, &mut grad_w, &mut grad_b)
+    }
+
+    /// Run one SGD step drawing the probability and gradient scratch from
+    /// `ws` — zero allocations once the workspace has seen the batch shape.
+    /// Bit-identical to [`SgdClassifier::train_batch`].
+    pub fn train_batch_with(
+        &mut self,
+        x: &Matrix<f32>,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> CoreResult<f32> {
+        let mut proba = std::mem::take(&mut ws.proba);
+        let mut grad_w = std::mem::take(&mut ws.grad_w);
+        let mut grad_b = std::mem::take(&mut ws.grad_b);
+        let result = self.train_batch_core(x, labels, &mut proba, &mut grad_w, &mut grad_b);
+        ws.proba = proba;
+        ws.grad_w = grad_w;
+        ws.grad_b = grad_b;
+        result
+    }
+
+    /// The one authoritative SGD step both spellings route through.
+    fn train_batch_core(
+        &mut self,
+        x: &Matrix<f32>,
+        labels: &[usize],
+        proba: &mut Matrix<f32>,
+        grad_w: &mut Matrix<f32>,
+        grad_b: &mut Vec<f32>,
+    ) -> CoreResult<f32> {
         self.check_input(x)?;
         if x.rows() != labels.len() {
             return Err(CoreError::DataMismatch(
@@ -147,7 +195,7 @@ impl SgdClassifier {
             }
         }
         let batch = x.rows() as f32;
-        let mut proba = self.predict_proba(x)?;
+        self.predict_proba_into(x, proba)?;
         // Loss before turning proba into the gradient.
         let mut loss = 0.0f32;
         for (r, &l) in labels.iter().enumerate() {
@@ -159,8 +207,8 @@ impl SgdClassifier {
             proba.add_at(r, l, -1.0);
         }
         // grad_W = xᵀ · (p - y) / B  + weight_decay · W
-        let mut grad_w = Matrix::zeros(self.n_inputs, self.n_classes);
-        gemm_tn(1.0 / batch, x, &proba, 0.0, &mut grad_w);
+        grad_w.reset(self.n_inputs, self.n_classes);
+        gemm_tn(1.0 / batch, x, proba, 0.0, grad_w);
         if self.params.weight_decay > 0.0 {
             let wd = self.params.weight_decay;
             let w = self.weights.as_slice();
@@ -168,10 +216,10 @@ impl SgdClassifier {
                 *g += wd * wv;
             }
         }
-        let grad_b: Vec<f32> = bcpnn_tensor::reduce::col_sums(&proba)
-            .into_iter()
-            .map(|v| v / batch)
-            .collect();
+        bcpnn_tensor::reduce::col_sums_into(proba, grad_b);
+        for v in grad_b.iter_mut() {
+            *v /= batch;
+        }
         // Momentum update.
         let lr = self.current_lr;
         let mom = self.params.momentum;
@@ -221,14 +269,23 @@ impl SgdClassifier {
         let batch_size = batch_size.max(1);
         let mut rng = MatrixRng::seed_from(seed);
         let mut losses = Vec::with_capacity(epochs);
+        // One workspace for the whole fit: batch assembly, probabilities
+        // and gradients stop hitting the allocator after the first chunk.
+        let mut ws = Workspace::new();
         for _ in 0..epochs {
             let order = rng.permutation(x.rows());
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                let xb = x.select_rows(chunk);
-                let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-                epoch_loss += self.train_batch(&xb, &yb)?;
+                let mut xb = std::mem::take(&mut ws.batch);
+                let mut yb = std::mem::take(&mut ws.labels);
+                x.select_rows_into(chunk, &mut xb);
+                yb.clear();
+                yb.extend(chunk.iter().map(|&i| labels[i]));
+                let step = self.train_batch_with(&xb, &yb, &mut ws);
+                ws.batch = xb;
+                ws.labels = yb;
+                epoch_loss += step?;
                 batches += 1;
             }
             self.end_epoch();
@@ -315,6 +372,28 @@ mod tests {
         assert!(c.train_batch(&x, &[0, 5]).is_err());
         assert!(c.train_batch(&x, &[0]).is_err());
         assert!(c.predict(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn workspace_training_matches_the_allocating_twin_bit_exactly() {
+        let mut a = SgdClassifier::new(8, 2, SgdParams::default(), 30).unwrap();
+        let mut b = a.clone();
+        let mut ws = Workspace::new();
+        let (x, y) = toy(96, 8, 31);
+        for chunk in (0..96).collect::<Vec<_>>().chunks(32) {
+            let xb = x.select_rows(chunk);
+            let yb: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+            let la = a.train_batch(&xb, &yb).unwrap();
+            let lb = b.train_batch_with(&xb, &yb, &mut ws).unwrap();
+            assert_eq!(la, lb);
+        }
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+        // predict_proba_into on a stale buffer equals the allocating path.
+        let direct = a.predict_proba(&x).unwrap();
+        let mut reused = Matrix::filled(1, 5, f32::NAN);
+        a.predict_proba_into(&x, &mut reused).unwrap();
+        assert_eq!(direct, reused);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use bcpnn_tensor::{Matrix, MatrixRng};
 use crate::error::{CoreError, CoreResult};
 use crate::network::Network;
 use crate::params::TrainingParams;
+use crate::workspace::Workspace;
 
 /// Which phase of training an epoch belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,14 +145,21 @@ impl Trainer {
         let mut rng = MatrixRng::seed_from(self.params.seed);
         let batch = self.params.batch_size;
         let plasticity_interval = network.hidden().params().plasticity_interval;
+        // One workspace across every epoch of both phases: batch assembly,
+        // activations, noise, targets and gradients all reach a steady
+        // state after the first batch and stop churning the allocator.
+        let mut ws = Workspace::new();
 
         // ---- Phase 1: unsupervised hidden-layer training -----------------
         for epoch in 0..self.params.unsupervised_epochs {
             let t0 = Instant::now();
             let order = self.epoch_order(&mut rng, x.rows());
             for chunk in order.chunks(batch) {
-                let xb = x.select_rows(chunk);
-                network.hidden_mut().train_batch(&xb)?;
+                let mut xb = std::mem::take(&mut ws.batch);
+                x.select_rows_into(chunk, &mut xb);
+                let step = network.hidden_mut().train_batch_with(&xb, &mut ws);
+                ws.batch = xb;
+                step?;
             }
             // Structural plasticity runs once per `plasticity_interval`
             // epochs (the paper updates the receptive fields every epoch).
@@ -185,16 +193,27 @@ impl Trainer {
             let mut sgd_loss_acc = 0.0f32;
             let mut sgd_batches = 0usize;
             for chunk in order.chunks(batch) {
-                let xb = x.select_rows(chunk);
-                let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-                let hidden = network.hidden().forward(&xb)?;
-                if let Some(readout) = network.bcpnn_readout_mut() {
-                    readout.train_batch(&hidden, &yb)?;
-                }
-                if let Some(readout) = network.sgd_readout_mut() {
-                    sgd_loss_acc += readout.train_batch(&hidden, &yb)?;
-                    sgd_batches += 1;
-                }
+                let mut xb = std::mem::take(&mut ws.batch);
+                let mut yb = std::mem::take(&mut ws.labels);
+                let mut hidden = std::mem::take(&mut ws.hidden);
+                x.select_rows_into(chunk, &mut xb);
+                yb.clear();
+                yb.extend(chunk.iter().map(|&i| labels[i]));
+                let step = (|| -> CoreResult<()> {
+                    network.hidden().forward_into(&xb, &mut hidden)?;
+                    if let Some(readout) = network.bcpnn_readout_mut() {
+                        readout.train_batch_with(&hidden, &yb, &mut ws)?;
+                    }
+                    if let Some(readout) = network.sgd_readout_mut() {
+                        sgd_loss_acc += readout.train_batch_with(&hidden, &yb, &mut ws)?;
+                        sgd_batches += 1;
+                    }
+                    Ok(())
+                })();
+                ws.batch = xb;
+                ws.labels = yb;
+                ws.hidden = hidden;
+                step?;
             }
             if let Some(readout) = network.sgd_readout_mut() {
                 readout.end_epoch();

@@ -1,0 +1,133 @@
+//! Reusable scratch buffers for the zero-allocation inference and training
+//! data plane.
+//!
+//! Every stage of a forward pass — stage-chain encoding, the hidden-layer
+//! support/softmax, the readout probabilities — needs a batch-sized
+//! temporary. The simple API ([`Network::predict_proba`],
+//! [`Pipeline::predict_proba`]) allocates those temporaries per call, which
+//! is fine for offline experiments but puts the allocator on the serving
+//! hot path: a micro-batching worker would create and drop several matrices
+//! per batch, forever. A [`Workspace`] owns those temporaries instead. The
+//! `_into` variants ([`Network::predict_proba_into`],
+//! [`Predictor::predict_proba_into`], `HiddenLayer::train_batch_with`, …)
+//! borrow their scratch from the workspace and write the result into a
+//! caller-provided output matrix, so a warmed-up worker performs **zero
+//! heap allocations per batch** (`tests/alloc_regression.rs` enforces this
+//! with a counting allocator).
+//!
+//! Buffers grow on demand ([`bcpnn_tensor::Matrix::resize`]) and never
+//! shrink, so the steady state is reached after the largest batch shape has
+//! been seen once.
+//!
+//! [`Network::predict_proba`]: crate::Network::predict_proba
+//! [`Network::predict_proba_into`]: crate::Network::predict_proba_into
+//! [`Pipeline::predict_proba`]: crate::model::Predictor::predict_proba
+//! [`Predictor::predict_proba_into`]: crate::model::Predictor::predict_proba_into
+
+use bcpnn_tensor::Matrix;
+
+/// Preallocated, named scratch buffers threaded through the `_into` compute
+/// paths (see the [module docs](self)).
+///
+/// A workspace is plain mutable state: keep one per worker thread (they are
+/// `Send`, not shared). Buffer contents between calls are unspecified —
+/// every `_into` kernel fully overwrites the slots it uses.
+///
+/// ```
+/// use bcpnn_backend::BackendKind;
+/// use bcpnn_core::model::Predictor;
+/// use bcpnn_core::{Network, Pipeline, TrainingParams, Workspace};
+/// use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+/// use bcpnn_tensor::Matrix;
+///
+/// let data = generate(&SyntheticHiggsConfig { n_samples: 200, ..Default::default() });
+/// let (pipeline, _) = Pipeline::fit(
+///     &data,
+///     10,
+///     Network::builder().hidden(1, 4, 0.4).classes(2).backend(BackendKind::Naive),
+///     TrainingParams {
+///         unsupervised_epochs: 1,
+///         supervised_epochs: 1,
+///         batch_size: 50,
+///         ..Default::default()
+///     },
+/// )
+/// .unwrap();
+///
+/// // One workspace + one output buffer serve any number of batches.
+/// let mut ws = Workspace::new();
+/// let mut proba = Matrix::zeros(0, 0);
+/// for batch in 0..3 {
+///     pipeline
+///         .predict_proba_into(&data.features, &mut ws, &mut proba)
+///         .unwrap();
+///     assert_eq!(proba.shape(), (200, 2), "batch {batch}");
+/// }
+/// // Identical (bit-for-bit) to the allocating path.
+/// assert_eq!(proba, pipeline.predict_proba(&data.features).unwrap());
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Stage-chain ping buffer (first/odd stage outputs).
+    pub(crate) encode_a: Matrix<f32>,
+    /// Stage-chain pong buffer (even stage outputs of multi-stage chains).
+    pub(crate) encode_b: Matrix<f32>,
+    /// Hidden activations (`batch x n_units`).
+    pub(crate) hidden: Matrix<f32>,
+    /// Gaussian support noise for training forward passes.
+    pub(crate) noise: Matrix<f32>,
+    /// Readout probabilities / logits scratch (`batch x n_classes`).
+    pub(crate) proba: Matrix<f32>,
+    /// One-hot target scratch for the BCPNN readout (`batch x n_classes`).
+    pub(crate) targets: Matrix<f32>,
+    /// SGD weight-gradient scratch (`n_inputs x n_classes`).
+    pub(crate) grad_w: Matrix<f32>,
+    /// SGD bias-gradient scratch (`n_classes`).
+    pub(crate) grad_b: Vec<f32>,
+    /// Batch-assembly scratch for epoch loops (`batch x features`).
+    pub(crate) batch: Matrix<f32>,
+    /// Label-assembly scratch for epoch loops.
+    pub(crate) labels: Vec<usize>,
+}
+
+impl Workspace {
+    /// Create an empty workspace. No memory is reserved up front; buffers
+    /// grow to the shapes they first see and stay there.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of `f32` scratch elements reserved across all buffers
+    /// — capacity, not current shape, so it tracks the never-shrinking
+    /// high-water mark (diagnostic: watch it plateau after warmup even as
+    /// batch sizes vary).
+    pub fn allocated_elems(&self) -> usize {
+        self.encode_a.capacity()
+            + self.encode_b.capacity()
+            + self.hidden.capacity()
+            + self.noise.capacity()
+            + self.proba.capacity()
+            + self.targets.capacity()
+            + self.grad_w.capacity()
+            + self.grad_b.capacity()
+            + self.batch.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_workspace_holds_nothing() {
+        let ws = Workspace::new();
+        assert_eq!(ws.allocated_elems(), 0);
+        assert!(ws.labels.is_empty());
+    }
+
+    #[test]
+    fn workspace_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Workspace>();
+    }
+}

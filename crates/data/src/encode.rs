@@ -143,11 +143,23 @@ impl QuantileEncoder {
     /// # Panics
     /// Panics if the feature count differs from the fitted one.
     pub fn transform_rows(&self, features: &Matrix<f32>) -> Matrix<f32> {
-        let mut out = Matrix::zeros(features.rows(), self.encoded_width());
+        let mut out = Matrix::zeros(0, 0);
+        self.transform_rows_into(features, &mut out);
+        out
+    }
+
+    /// Encode a bare feature matrix into a caller-provided buffer (reset to
+    /// `n_rows x encoded_width`): the buffer-reusing twin of
+    /// [`QuantileEncoder::transform_rows`], used by the zero-allocation
+    /// serving data plane.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_rows_into(&self, features: &Matrix<f32>, out: &mut Matrix<f32>) {
+        out.reset(features.rows(), self.encoded_width());
         for r in 0..features.rows() {
             self.encode_into(features.row(r), out.row_mut(r));
         }
-        out
     }
 
     /// Encode one raw feature vector into its binary one-hot code.
@@ -267,6 +279,18 @@ impl ThermometerEncoder {
     /// # Panics
     /// Panics if the feature count differs from the fitted one.
     pub fn transform_rows(&self, features: &Matrix<f32>) -> Matrix<f32> {
+        let mut out = Matrix::zeros(0, 0);
+        self.transform_rows_into(features, &mut out);
+        out
+    }
+
+    /// Encode a bare feature matrix into a caller-provided buffer (reset to
+    /// `n_rows x encoded_width`): the buffer-reusing twin of
+    /// [`ThermometerEncoder::transform_rows`].
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_rows_into(&self, features: &Matrix<f32>, out: &mut Matrix<f32>) {
         assert_eq!(
             features.cols(),
             self.n_features(),
@@ -275,7 +299,7 @@ impl ThermometerEncoder {
             features.cols()
         );
         let k = self.binner.n_bins();
-        let mut out = Matrix::zeros(features.rows(), self.encoded_width());
+        out.reset(features.rows(), self.encoded_width());
         for r in 0..features.rows() {
             let in_row = features.row(r);
             let out_row = out.row_mut(r);
@@ -286,7 +310,6 @@ impl ThermometerEncoder {
                 }
             }
         }
-        out
     }
 
     /// Write the fitted encoder to any writer in the text format.
@@ -354,14 +377,31 @@ impl Standardizer {
     /// # Panics
     /// Panics if the feature count differs from the fitted one.
     pub fn transform_rows(&self, features: &Matrix<f32>) -> Matrix<f32> {
+        let mut out = Matrix::zeros(0, 0);
+        self.transform_rows_into(features, &mut out);
+        out
+    }
+
+    /// Standardise a bare feature matrix into a caller-provided buffer
+    /// (resized to the input shape, every element overwritten): the
+    /// buffer-reusing twin of [`Standardizer::transform_rows`].
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the fitted one.
+    pub fn transform_rows_into(&self, features: &Matrix<f32>, out: &mut Matrix<f32>) {
         assert_eq!(
             features.cols(),
             self.n_features(),
             "standardizer was fitted on a different schema"
         );
-        Matrix::from_fn(features.rows(), features.cols(), |r, c| {
-            (features.get(r, c) - self.means[c]) / self.stds[c]
-        })
+        out.resize(features.rows(), features.cols());
+        for r in 0..features.rows() {
+            let in_row = features.row(r);
+            let out_row = out.row_mut(r);
+            for (c, (o, &v)) in out_row.iter_mut().zip(in_row.iter()).enumerate() {
+                *o = (v - self.means[c]) / self.stds[c];
+            }
+        }
     }
 
     /// Write the fitted standardizer to any writer in the text format.
@@ -525,6 +565,21 @@ mod tests {
         for r in 0..5 {
             assert_eq!(enc.encode_row(d.features.row(r)), via_dataset.row(r));
         }
+    }
+
+    #[test]
+    fn transform_rows_into_matches_allocating_twins_on_stale_buffers() {
+        let d = higgs(150, 15);
+        let mut out = Matrix::filled(3, 2, f32::NAN);
+        let one_hot = QuantileEncoder::fit(&d, 10);
+        one_hot.transform_rows_into(&d.features, &mut out);
+        assert_eq!(out, one_hot.transform_rows(&d.features));
+        let thermo = ThermometerEncoder::fit(&d, 6);
+        thermo.transform_rows_into(&d.features, &mut out);
+        assert_eq!(out, thermo.transform_rows(&d.features));
+        let std = Standardizer::fit(&d);
+        std.transform_rows_into(&d.features, &mut out);
+        assert_eq!(out, std.transform_rows(&d.features));
     }
 
     #[test]

@@ -24,8 +24,13 @@
 //!   pass.
 //! * [`ShardedServer`] — one model partitioned across `N` independent
 //!   collector+worker pools sharing a registry, routed by a stable hash of
-//!   the feature vector (or round-robin), with per-shard and aggregated
+//!   the feature vector, round-robin, or live pending-queue depth
+//!   ([`ShardRouting::LeastLoaded`]), with per-shard and aggregated
 //!   metrics.
+//! * [`BatchExecutor`] — each worker's persistent batch-assembly matrix +
+//!   model [`Workspace`] + output buffer: the steady-state micro-batch
+//!   compute loop performs zero heap allocations after warmup
+//!   (`tests/alloc_regression.rs` enforces it with a counting allocator).
 //! * [`SubmitOptions`] — per-request [`Priority`] (high-priority requests
 //!   drain first) and deadline (expired requests fail with
 //!   [`ServeError::DeadlineExceeded`] instead of wasting a forward pass).
@@ -89,8 +94,13 @@ mod testutil;
 /// The serving artifact: re-exported from `bcpnn_core::model`, where the
 /// unified estimator/transformer API lives.
 pub use bcpnn_core::model::Pipeline;
+/// Per-worker scratch for the zero-allocation data plane: re-exported from
+/// `bcpnn_core::workspace`.
+pub use bcpnn_core::Workspace;
 pub use error::{ServeError, ServeResult};
 pub use metrics::{MetricsSnapshot, ServingMetrics};
 pub use registry::{ModelRegistry, ServedModel};
-pub use server::{BatchConfig, InferenceServer, PredictionHandle, Priority, SubmitOptions};
-pub use shard::{ShardConfig, ShardRouting, ShardedServer};
+pub use server::{
+    BatchConfig, BatchExecutor, InferenceServer, PredictionHandle, Priority, SubmitOptions,
+};
+pub use shard::{RouteMode, ShardConfig, ShardRouting, ShardedServer};

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_tensor::Matrix;
 
 use crate::error::ServeResult;
 use crate::server::InferenceServer;
@@ -96,16 +97,65 @@ impl LoadReport {
     }
 }
 
+/// A deterministic stream of raw feature vectors, stored as one flat
+/// row-major buffer.
+///
+/// The previous spelling (`Vec<Vec<f32>>`) cost one heap allocation per
+/// synthetic request before a single request had even been sent. The
+/// stream now keeps the generator's feature matrix as-is — one allocation
+/// for the whole stream — and hands out borrowed row views; callers that
+/// need an owned payload (the submit API takes `Vec<f32>`) copy exactly
+/// the rows they send.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestStream {
+    features: Matrix<f32>,
+}
+
+impl RequestStream {
+    /// Number of request vectors in the stream.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.rows() == 0
+    }
+
+    /// Width of every request vector.
+    pub fn width(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Borrowed view of request `i` (no allocation).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` (debug assertion, like [`Matrix::row`]).
+    pub fn row(&self, i: usize) -> &[f32] {
+        self.features.row(i)
+    }
+
+    /// Iterate over the request vectors as borrowed row views.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.features.iter_rows()
+    }
+
+    /// The whole stream as its backing feature matrix.
+    pub fn features(&self) -> &Matrix<f32> {
+        &self.features
+    }
+}
+
 /// A deterministic stream of raw Higgs feature vectors for requests.
-pub fn request_stream(n: usize, seed: u64) -> Vec<Vec<f32>> {
+pub fn request_stream(n: usize, seed: u64) -> RequestStream {
     let data = generate(&SyntheticHiggsConfig {
         n_samples: n.max(1),
         seed,
         ..Default::default()
     });
-    (0..data.n_samples())
-        .map(|r| data.features.row(r).to_vec())
-        .collect()
+    RequestStream {
+        features: data.features,
+    }
 }
 
 /// Drive a server (single-pool or sharded) from `config.clients` concurrent
@@ -129,7 +179,9 @@ pub fn run<T: ServeTarget>(server: &T, config: &LoadGenConfig) -> LoadReport {
             let per_client = config.requests_per_client;
             scope.spawn(move || {
                 for i in 0..per_client {
-                    let features = stream[client * per_client + i].clone();
+                    // The only per-request allocation left: the owned
+                    // payload the submit API hands to the batcher.
+                    let features = stream.row(client * per_client + i).to_vec();
                     match server.predict(model, features) {
                         Ok(proba) => {
                             responses.fetch_add(1, Ordering::Relaxed);
@@ -168,8 +220,13 @@ mod tests {
         let b = request_stream(50, 3);
         assert_eq!(a, b);
         assert_eq!(a.len(), 50);
+        assert!(!a.is_empty());
+        assert_eq!(a.width(), 28);
         assert!(a.iter().all(|row| row.len() == 28));
         assert_ne!(a, request_stream(50, 4));
+        // Row views are windows into one flat buffer, not copies.
+        assert_eq!(a.row(7), a.features().row(7));
+        assert_eq!(a.features().shape(), (50, 28));
     }
 
     #[test]

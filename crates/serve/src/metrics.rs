@@ -84,6 +84,17 @@ impl ServingMetrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Number of accepted requests without a terminal outcome yet
+    /// (`requests - responses - errors`, saturating): the live
+    /// pending-queue depth. Every terminal path records exactly one
+    /// response or error, so this converges back to zero when the queue
+    /// drains.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        let done = self.responses.load(Ordering::Relaxed) + self.errors.load(Ordering::Relaxed);
+        self.requests.load(Ordering::Relaxed).saturating_sub(done)
+    }
+
     /// Fold the live counters into an owned snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -155,6 +166,11 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Requests that expired past their deadline without being executed.
     pub expired: u64,
+    /// Accepted requests still waiting for a terminal outcome when the
+    /// snapshot was taken (`requests - responses - errors`): the
+    /// pending-queue depth `RouteMode`-style load-aware routing balances
+    /// on.
+    pub pending: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Mean requests per batch.
@@ -186,6 +202,7 @@ impl MetricsSnapshot {
             responses: sums.responses,
             errors: sums.errors,
             expired: sums.expired,
+            pending: sums.requests.saturating_sub(sums.responses + sums.errors),
             batches: sums.batches,
             mean_batch_size: if sums.batches == 0 {
                 0.0
@@ -318,7 +335,12 @@ pub(crate) fn render_prometheus(series: &[LabeledSnapshot<'_>]) -> String {
         |s| (&s.latency_hist_us, s.latency_sum_us),
     );
 
-    let gauges: [MetricDef<f64>; 3] = [
+    let gauges: [MetricDef<f64>; 4] = [
+        (
+            "queue_depth",
+            "Accepted requests still waiting for a terminal outcome.",
+            |s| s.pending as f64,
+        ),
         (
             "latency_p50_microseconds",
             "Estimated median end-to-end latency.",
@@ -489,6 +511,26 @@ mod tests {
         assert_eq!(s.p50_latency_us, 0.0);
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.mean_latency_us, 0.0);
+    }
+
+    #[test]
+    fn queue_depth_tracks_unterminated_requests() {
+        let m = ServingMetrics::new();
+        assert_eq!(m.queue_depth(), 0);
+        for _ in 0..5 {
+            m.record_submit();
+        }
+        assert_eq!(m.queue_depth(), 5);
+        m.record_response(Duration::from_micros(10));
+        m.record_error();
+        m.record_expired();
+        assert_eq!(m.queue_depth(), 2);
+        assert_eq!(m.snapshot().pending, 2);
+        // Aggregation sums pending across shards.
+        let merged = MetricsSnapshot::aggregate([&m.snapshot(), &m.snapshot()]);
+        assert_eq!(merged.pending, 4);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("bcpnn_serve_queue_depth 2"));
     }
 
     #[test]

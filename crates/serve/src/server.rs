@@ -32,6 +32,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bcpnn_core::model::Predictor;
+use bcpnn_core::{CoreResult, Workspace};
+use bcpnn_tensor::Matrix;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::{ServeError, ServeResult};
@@ -143,6 +146,62 @@ struct Batch {
     requests: Vec<Request>,
 }
 
+/// Reusable per-worker inference state: the batch-assembly matrix, the
+/// model [`Workspace`], and the output-probability buffer.
+///
+/// This is the zero-allocation data plane of a serving worker. All three
+/// buffers grow to the largest batch shape seen and never shrink, so after
+/// warmup an `assemble → run` cycle performs **zero heap allocations**
+/// (`tests/alloc_regression.rs` enforces this with a counting allocator).
+/// Each worker thread owns one executor; they are `Send`, not shared.
+#[derive(Debug, Default)]
+pub struct BatchExecutor {
+    x: Matrix<f32>,
+    proba: Matrix<f32>,
+    ws: Workspace,
+}
+
+impl BatchExecutor {
+    /// Create an executor with empty buffers (they warm up on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start assembling a batch: returns the `rows x width` assembly
+    /// matrix (resized in place, contents unspecified). The caller fills
+    /// every row, then calls [`BatchExecutor::run`].
+    pub fn begin(&mut self, rows: usize, width: usize) -> &mut Matrix<f32> {
+        self.x.resize(rows, width);
+        &mut self.x
+    }
+
+    /// Run one vectorized forward pass over the assembled batch through
+    /// [`Predictor::predict_proba_into`], returning the per-row class
+    /// probabilities (borrowed from the executor's reusable buffer).
+    pub fn run(&mut self, predictor: &dyn Predictor) -> CoreResult<&Matrix<f32>> {
+        predictor.predict_proba_into(&self.x, &mut self.ws, &mut self.proba)?;
+        Ok(&self.proba)
+    }
+}
+
+/// Everything one worker thread reuses across batches: the compute
+/// executor plus the valid-row index scratch.
+struct WorkerState {
+    executor: BatchExecutor,
+    /// Indices (into the batch's request list) of requests whose feature
+    /// width matched the model at execution time.
+    valid: Vec<usize>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        Self {
+            executor: BatchExecutor::new(),
+            valid: Vec::new(),
+        }
+    }
+}
+
 /// Handle to one in-flight prediction.
 #[derive(Debug)]
 pub struct PredictionHandle {
@@ -200,8 +259,11 @@ impl InferenceServer {
                 std::thread::Builder::new()
                     .name(format!("bcpnn-serve-worker-{i}"))
                     .spawn(move || {
+                        // Persistent per-worker buffers: the steady-state
+                        // batch loop runs allocation-free after warmup.
+                        let mut state = WorkerState::new();
                         while let Ok(batch) = batch_rx.recv() {
-                            run_batch(batch, &metrics);
+                            run_batch(batch, &metrics, &mut state);
                         }
                     })
                     .expect("failed to spawn worker thread")
@@ -274,6 +336,15 @@ impl InferenceServer {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Number of accepted requests that have not yet reached a terminal
+    /// outcome (response, error, or expiry): the pending-queue depth
+    /// load-aware routing balances on. Cheap — three relaxed atomic loads
+    /// — so it can sit on the submit path.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.metrics.queue_depth()
     }
 }
 
@@ -468,22 +539,40 @@ fn dispatch(
             });
         }
         Err(err) => {
-            // The model was removed after the requests were accepted.
+            // The model was removed after the requests were accepted. Count
+            // each as a terminal error so the pending-queue depth (requests
+            // minus terminal outcomes) does not leak.
             for request in live {
+                metrics.record_error();
                 let _ = request.reply.send(Err(err.clone()));
             }
         }
     }
 }
 
-/// Worker body: run one batch as a single vectorized pass and fan out the
-/// per-row results. Requests whose deadline passed while the batch sat in
-/// the queue are expired here, before any forward-pass work is spent on
-/// them.
-fn run_batch(batch: Batch, metrics: &ServingMetrics) {
+/// Worker body: run one batch as a single vectorized pass through the
+/// worker's persistent [`BatchExecutor`] and fan out the per-row results.
+/// Requests whose deadline passed while the batch sat in the queue are
+/// expired here, before any forward-pass work is spent on them.
+///
+/// The compute plane — assembly into the reusable batch matrix plus the
+/// `predict_proba_into` pass through the persistent workspace — performs
+/// zero heap allocations after warmup; only the per-request reply payloads
+/// (owned `Vec<f32>`s handed to the callers) still allocate.
+fn run_batch(batch: Batch, metrics: &ServingMetrics, state: &mut WorkerState) {
     let Batch { model, requests } = batch;
-    let (requests, expired) = split_expired(requests, Instant::now());
-    expire(expired, metrics);
+    // Only pay the partition allocation when something actually expired.
+    let now = Instant::now();
+    let has_expired = requests
+        .iter()
+        .any(|r| matches!(r.deadline, Some(d) if now >= d));
+    let requests = if has_expired {
+        let (live, expired) = split_expired(requests, now);
+        expire(expired, metrics);
+        live
+    } else {
+        requests
+    };
     if requests.is_empty() {
         return;
     }
@@ -493,10 +582,10 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics) {
 
     // A hot-swap may have changed the expected width between submit-time
     // validation and dispatch; reject mismatching rows individually.
-    let mut rows: Vec<&Request> = Vec::with_capacity(requests.len());
-    for request in &requests {
+    state.valid.clear();
+    for (i, request) in requests.iter().enumerate() {
         if request.features.len() == width {
-            rows.push(request);
+            state.valid.push(i);
         } else {
             metrics.record_error();
             let _ = request.reply.send(Err(ServeError::ShapeMismatch {
@@ -505,27 +594,28 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics) {
             }));
         }
     }
-    if rows.is_empty() {
+    if state.valid.is_empty() {
         return;
     }
 
-    let mut x = bcpnn_tensor::Matrix::zeros(rows.len(), width);
-    for (r, request) in rows.iter().enumerate() {
-        x.row_mut(r).copy_from_slice(&request.features);
+    let x = state.executor.begin(state.valid.len(), width);
+    for (r, &i) in state.valid.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(&requests[i].features);
     }
-    match predictor.predict_proba(&x) {
+    match state.executor.run(predictor) {
         Ok(proba) => {
             let now = Instant::now();
-            for (r, request) in rows.iter().enumerate() {
+            for (r, &i) in state.valid.iter().enumerate() {
+                let request = &requests[i];
                 metrics.record_response(now.saturating_duration_since(request.enqueued));
                 let _ = request.reply.send(Ok(proba.row(r).to_vec()));
             }
         }
         Err(err) => {
             let err = ServeError::from(err);
-            for request in rows {
+            for &i in &state.valid {
                 metrics.record_error();
-                let _ = request.reply.send(Err(err.clone()));
+                let _ = requests[i].reply.send(Err(err.clone()));
             }
         }
     }

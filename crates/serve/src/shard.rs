@@ -38,7 +38,17 @@ pub enum ShardRouting {
     /// Strict rotation across shards: perfectly uniform load regardless of
     /// the feature distribution.
     RoundRobin,
+    /// Load-aware: send each request to the shard with the smallest
+    /// pending-queue depth (accepted requests without a terminal outcome;
+    /// ties break toward the lowest shard id). Unlike the static policies
+    /// above this adapts when one shard falls behind — a slow batch, a
+    /// skewed hash, a noisy neighbour — at the cost of three atomic loads
+    /// per shard on the submit path.
+    LeastLoaded,
 }
+
+/// Alias for [`ShardRouting`]: the request-to-shard route mode.
+pub type RouteMode = ShardRouting;
 
 /// Configuration for a [`ShardedServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,14 +116,28 @@ impl ShardedServer {
 
     /// Which shard a feature vector routes to under the configured policy.
     /// Round-robin routing advances the rotation, so consecutive calls
-    /// return consecutive shards.
+    /// return consecutive shards; least-loaded routing reads each shard's
+    /// live queue depth.
     pub fn route(&self, features: &[f32]) -> usize {
         match self.routing {
             ShardRouting::FeatureHash => fnv1a_f32(features) as usize % self.shards.len(),
             ShardRouting::RoundRobin => {
                 self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()
             }
+            ShardRouting::LeastLoaded => {
+                argmin(self.shards.iter().map(InferenceServer::queue_depth))
+            }
         }
+    }
+
+    /// Live pending-queue depth of every shard, indexed by shard id (what
+    /// [`ShardRouting::LeastLoaded`] balances on).
+    #[must_use]
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(InferenceServer::queue_depth)
+            .collect()
     }
 
     /// Enqueue one feature vector with default options on its shard.
@@ -179,6 +203,21 @@ impl std::fmt::Debug for ShardedServer {
             .field("models", &self.registry.model_names())
             .finish()
     }
+}
+
+/// Index of the smallest value, ties breaking toward the lowest index.
+///
+/// # Panics
+/// Panics on an empty iterator (a sharded server always has ≥ 1 shard).
+fn argmin<I: Iterator<Item = u64>>(values: I) -> usize {
+    let mut best = None;
+    for (i, v) in values.enumerate() {
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.expect("argmin of no shards").0
 }
 
 /// FNV-1a over the IEEE-754 bit patterns of the features: stable across
@@ -247,6 +286,91 @@ mod tests {
         let row = data.features.row(0);
         let shards: Vec<usize> = (0..8).map(|_| server.route(row)).collect();
         assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn argmin_picks_the_smallest_with_stable_ties() {
+        assert_eq!(argmin([3u64, 1, 2].into_iter()), 1);
+        assert_eq!(argmin([0u64, 0, 0].into_iter()), 0, "ties break low");
+        assert_eq!(argmin([5u64, 2, 2, 7].into_iter()), 1);
+        assert_eq!(argmin([9u64].into_iter()), 0);
+    }
+
+    #[test]
+    fn least_loaded_routing_avoids_the_busy_shard() {
+        // A model policy that holds requests pending for a long linger
+        // window, so submitted work stays visibly queued.
+        let (pipeline, data) = tiny_pipeline(56);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = ShardedServer::start(
+            registry,
+            ShardConfig {
+                shards: 3,
+                batch: BatchConfig {
+                    max_batch: 1024,
+                    max_wait: Duration::from_secs(30),
+                    workers: 1,
+                },
+                routing: ShardRouting::LeastLoaded,
+            },
+        );
+        // All depths are zero: ties break toward shard 0.
+        assert_eq!(server.route(data.features.row(0)), 0);
+        assert_eq!(server.queue_depths(), vec![0, 0, 0]);
+        // One pending request on shard 0 steers the next one to shard 1,
+        // the next to shard 2, then back to 0 — queue depth, not rotation.
+        let h0 = server
+            .submit("higgs", data.features.row(0).to_vec())
+            .unwrap();
+        assert_eq!(server.queue_depths(), vec![1, 0, 0]);
+        assert_eq!(server.route(data.features.row(0)), 1);
+        let h1 = server
+            .submit("higgs", data.features.row(1).to_vec())
+            .unwrap();
+        let h2 = server
+            .submit("higgs", data.features.row(2).to_vec())
+            .unwrap();
+        assert_eq!(server.queue_depths(), vec![1, 1, 1]);
+        assert_eq!(server.route(data.features.row(3)), 0);
+        // Shutdown flushes the lingering batches; every caller still gets a
+        // terminal answer.
+        drop(server);
+        for handle in [h0, h1, h2] {
+            match handle.wait() {
+                Ok(proba) => assert_eq!(proba.len(), 2),
+                Err(ServeError::Disconnected) => {}
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_serving_still_returns_correct_predictions() {
+        let (server, data) = sharded(57, ShardRouting::LeastLoaded);
+        let direct = server
+            .registry()
+            .get("higgs")
+            .unwrap()
+            .predictor()
+            .predict_proba(&data.features)
+            .unwrap();
+        let handles: Vec<_> = (0..30)
+            .map(|r| {
+                server
+                    .submit("higgs", data.features.row(r).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        for (r, handle) in handles.into_iter().enumerate() {
+            let got = handle.wait().unwrap();
+            for (c, v) in got.iter().enumerate() {
+                assert!((v - direct.get(r, c)).abs() < 1e-5, "row {r} col {c}");
+            }
+        }
+        let m = server.metrics();
+        assert_eq!(m.responses, 30);
+        assert_eq!(m.pending, 0, "drained server has no pending requests");
     }
 
     #[test]

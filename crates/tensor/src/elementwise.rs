@@ -122,15 +122,31 @@ pub fn zip_map<S: Scalar, F: Fn(S, S) -> S + Sync>(
     b: &Matrix<S>,
     f: F,
 ) -> Matrix<S> {
+    let mut out = Matrix::zeros(0, 0);
+    zip_map_into(a, b, &mut out, f);
+    out
+}
+
+/// Out-of-place element-wise binary operation written into a
+/// caller-provided buffer (resized to `a`'s shape, every element
+/// overwritten).
+///
+/// # Panics
+/// Panics if the shapes of `a` and `b` differ.
+pub fn zip_map_into<S: Scalar, F: Fn(S, S) -> S + Sync>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    out: &mut Matrix<S>,
+    f: F,
+) {
     assert_eq!(a.shape(), b.shape(), "zip_map: shape mismatch");
-    let mut out = Matrix::zeros(a.rows(), a.cols());
+    out.resize(a.rows(), a.cols());
     let (asl, bsl) = (a.as_slice(), b.as_slice());
     par_chunks_mut(out.as_mut_slice(), EW_CHUNK, |start, chunk| {
         for (k, o) in chunk.iter_mut().enumerate() {
             *o = f(asl[start + k], bsl[start + k]);
         }
     });
-    out
 }
 
 #[cfg(test)]
@@ -214,6 +230,11 @@ mod tests {
         let b = Matrix::filled(2, 2, 10.0f32);
         let out = zip_map(&a, &b, |x, y| x * y + 1.0);
         assert_eq!(out.get(1, 1), 21.0);
+        // The buffer-reusing twin produces the same result on a stale,
+        // wrongly-shaped buffer.
+        let mut reused = Matrix::filled(7, 1, -3.0);
+        zip_map_into(&a, &b, &mut reused, |x, y| x * y + 1.0);
+        assert_eq!(reused, out);
     }
 
     #[test]

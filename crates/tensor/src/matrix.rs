@@ -15,6 +15,14 @@ pub struct Matrix<S: Scalar = f32> {
     data: Vec<S>,
 }
 
+impl<S: Scalar> Default for Matrix<S> {
+    /// An empty `0 x 0` matrix with no backing allocation — what
+    /// `std::mem::take` leaves behind while a workspace buffer is on loan.
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl<S: Scalar> Matrix<S> {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -86,6 +94,13 @@ impl<S: Scalar> Matrix<S> {
     #[inline(always)]
     pub fn len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Number of elements the backing storage can hold without
+    /// reallocating — the high-water mark [`Matrix::resize`] never shrinks.
+    #[inline(always)]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Whether the matrix has zero elements.
@@ -161,6 +176,27 @@ impl<S: Scalar> Matrix<S> {
         self.data.chunks(self.cols.max(1)).take(self.rows)
     }
 
+    /// Reshape in place to `rows x cols`, reusing the existing allocation.
+    ///
+    /// The backing storage grows on demand and its capacity never shrinks,
+    /// which is what makes reusable scratch buffers (see
+    /// `bcpnn_core::workspace`) allocation-free once warmed up. Element
+    /// values after a resize are unspecified — call [`Matrix::fill`] or
+    /// overwrite every element before reading. Use [`Matrix::reset`] when
+    /// the kernel contract needs a zeroed buffer.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, S::ZERO);
+    }
+
+    /// Reshape in place to `rows x cols` and zero every element: the
+    /// buffer-reusing equivalent of [`Matrix::zeros`].
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.resize(rows, cols);
+        self.fill(S::ZERO);
+    }
+
     /// Set every element to `value`.
     pub fn fill(&mut self, value: S) {
         self.data.iter_mut().for_each(|v| *v = value);
@@ -193,12 +229,21 @@ impl<S: Scalar> Matrix<S> {
 
     /// Extract the sub-matrix made of the listed rows (in the given order).
     pub fn select_rows(&self, indices: &[usize]) -> Self {
-        let mut out = Self::zeros(indices.len(), self.cols);
+        let mut out = Self::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Copy the listed rows (in the given order) into `out`, resizing it to
+    /// `indices.len() x cols`. The caller-provided-buffer twin of
+    /// [`Matrix::select_rows`]: reusing `out` across epoch batches keeps the
+    /// training loop off the allocator.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Self) {
+        out.resize(indices.len(), self.cols);
         for (new_r, &r) in indices.iter().enumerate() {
             assert!(r < self.rows, "select_rows: row {r} OOB");
             out.row_mut(new_r).copy_from_slice(self.row(r));
         }
-        out
     }
 
     /// Extract the sub-matrix made of the listed columns (in the given order).
@@ -395,6 +440,36 @@ mod tests {
         let rows: Vec<&[f32]> = m.iter_rows().collect();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_reset_zeroes() {
+        let mut m: Matrix<f32> = Matrix::filled(4, 4, 7.0);
+        let cap = {
+            m.resize(2, 3);
+            assert_eq!(m.shape(), (2, 3));
+            assert_eq!(m.len(), 6);
+            m.data.capacity()
+        };
+        // Growing back within capacity keeps the allocation.
+        m.resize(4, 4);
+        assert_eq!(m.data.capacity(), cap);
+        m.reset(3, 3);
+        assert_eq!(m.shape(), (3, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.data.capacity(), cap, "reset must never shrink capacity");
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let m: Matrix<f32> = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let mut out = Matrix::filled(9, 9, -1.0);
+        m.select_rows_into(&[4, 1, 1], &mut out);
+        assert_eq!(out, m.select_rows(&[4, 1, 1]));
+        // Reuse with a different selection resizes and fully overwrites.
+        m.select_rows_into(&[0], &mut out);
+        assert_eq!(out.shape(), (1, 3));
+        assert_eq!(out.row(0), m.row(0));
     }
 
     #[test]

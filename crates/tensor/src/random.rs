@@ -61,10 +61,17 @@ impl MatrixRng {
     /// Matrix with i.i.d. uniform entries in `[lo, hi)`.
     pub fn uniform<S: Scalar>(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix<S> {
         let mut m = Matrix::zeros(rows, cols);
+        self.fill_uniform(&mut m, lo, hi);
+        m
+    }
+
+    /// Overwrite every element of `m` with i.i.d. uniform samples in
+    /// `[lo, hi)`. Draws the same sample stream as [`MatrixRng::uniform`]
+    /// for the same shape, so the two are interchangeable bit-for-bit.
+    pub fn fill_uniform<S: Scalar>(&mut self, m: &mut Matrix<S>, lo: f64, hi: f64) {
         for v in m.as_mut_slice() {
             *v = self.uniform_scalar(lo, hi);
         }
-        m
     }
 
     /// Matrix with i.i.d. normal entries.
@@ -76,16 +83,31 @@ impl MatrixRng {
         std: f64,
     ) -> Matrix<S> {
         let mut m = Matrix::zeros(rows, cols);
+        self.fill_normal(&mut m, mean, std);
+        m
+    }
+
+    /// Overwrite every element of `m` with i.i.d. normal samples. The
+    /// buffer-reusing twin of [`MatrixRng::normal`] (same sample stream for
+    /// the same shape): the training loop draws its support noise into a
+    /// preallocated workspace buffer through this.
+    pub fn fill_normal<S: Scalar>(&mut self, m: &mut Matrix<S>, mean: f64, std: f64) {
         for v in m.as_mut_slice() {
             *v = self.normal_scalar(mean, std);
         }
-        m
     }
 
     /// Binary (0/1) matrix with i.i.d. Bernoulli(p) entries.
     pub fn bernoulli<S: Scalar>(&mut self, rows: usize, cols: usize, p: f64) -> Matrix<S> {
-        assert!((0.0..=1.0).contains(&p), "Bernoulli p must be in [0,1]");
         let mut m = Matrix::zeros(rows, cols);
+        self.fill_bernoulli(&mut m, p);
+        m
+    }
+
+    /// Overwrite every element of `m` with i.i.d. Bernoulli(p) samples
+    /// (same sample stream as [`MatrixRng::bernoulli`]).
+    pub fn fill_bernoulli<S: Scalar>(&mut self, m: &mut Matrix<S>, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli p must be in [0,1]");
         for v in m.as_mut_slice() {
             *v = if self.rng.gen::<f64>() < p {
                 S::ONE
@@ -93,7 +115,6 @@ impl MatrixRng {
                 S::ZERO
             };
         }
-        m
     }
 
     /// A uniformly random subset of `k` distinct indices from `0..n`,
@@ -238,6 +259,25 @@ mod tests {
         }
         assert!(counts[1] > 1500, "counts {counts:?}");
         assert!(counts[0] > 0 && counts[2] > 0);
+    }
+
+    #[test]
+    fn fill_variants_draw_the_same_stream_as_the_allocating_ones() {
+        let mut a = MatrixRng::seed_from(21);
+        let mut b = MatrixRng::seed_from(21);
+        let alloc: Matrix<f32> = a.normal(5, 7, 0.5, 2.0);
+        let mut reused: Matrix<f32> = Matrix::filled(2, 2, 9.0);
+        reused.resize(5, 7);
+        b.fill_normal(&mut reused, 0.5, 2.0);
+        assert_eq!(alloc, reused);
+        let alloc: Matrix<f32> = a.uniform(3, 4, -1.0, 1.0);
+        reused.resize(3, 4);
+        b.fill_uniform(&mut reused, -1.0, 1.0);
+        assert_eq!(alloc, reused);
+        let alloc: Matrix<f32> = a.bernoulli(6, 2, 0.4);
+        reused.resize(6, 2);
+        b.fill_bernoulli(&mut reused, 0.4);
+        assert_eq!(alloc, reused);
     }
 
     #[test]

@@ -34,18 +34,35 @@ pub fn row_max<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
 
 /// Per-row argmax (length `rows`).
 pub fn row_argmax<S: Scalar>(m: &Matrix<S>) -> Vec<usize> {
-    m.iter_rows().map(vector::argmax).collect()
+    let mut out = Vec::new();
+    row_argmax_into(m, &mut out);
+    out
+}
+
+/// Per-row argmax written into a caller-provided buffer (cleared and
+/// refilled; reusing it across batches avoids a per-batch allocation).
+pub fn row_argmax_into<S: Scalar>(m: &Matrix<S>, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(m.iter_rows().map(vector::argmax));
 }
 
 /// Per-column sums (length `cols`).
 pub fn col_sums<S: Scalar>(m: &Matrix<S>) -> Vec<S> {
-    let mut out = vec![S::ZERO; m.cols()];
+    let mut out = Vec::new();
+    col_sums_into(m, &mut out);
+    out
+}
+
+/// Per-column sums written into a caller-provided buffer (cleared, resized
+/// to `cols`, and refilled — bit-identical to [`col_sums`]).
+pub fn col_sums_into<S: Scalar>(m: &Matrix<S>, out: &mut Vec<S>) {
+    out.clear();
+    out.resize(m.cols(), S::ZERO);
     for row in m.iter_rows() {
         for (o, &v) in out.iter_mut().zip(row.iter()) {
             *o += v;
         }
     }
-    out
 }
 
 /// Per-column means (length `cols`).
@@ -152,6 +169,17 @@ mod tests {
         for x in v {
             assert!((x - 2.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn into_reductions_match_allocating_twins() {
+        let m = sample();
+        let mut sums = vec![99.0; 7];
+        col_sums_into(&m, &mut sums);
+        assert_eq!(sums, col_sums(&m));
+        let mut idx = vec![42usize; 5];
+        row_argmax_into(&m, &mut idx);
+        assert_eq!(idx, row_argmax(&m));
     }
 
     #[test]

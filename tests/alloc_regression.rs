@@ -1,0 +1,193 @@
+//! Allocation regression tests for the zero-allocation inference data
+//! plane: a counting global allocator proves that, after warmup, the
+//! serving worker's steady-state batch loop — assembly into the reusable
+//! batch matrix plus one `predict_proba_into` pass through a persistent
+//! [`Workspace`] — performs **zero heap allocations** per batch.
+//!
+//! Methodology: the allocator counts per *thread* (thread-local counters),
+//! so concurrent tests in this binary cannot pollute each other's
+//! measurements. The global thread pool is pinned to a single thread
+//! (`BCPNN_NUM_THREADS=1`) and models run on the Naive backend with
+//! sub-cutoff GEMM shapes, so every kernel executes inline on the
+//! measuring thread: what is counted is exactly the data plane, not pool
+//! dispatch. CI runs this file explicitly in the release test leg.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Once;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::model::Predictor;
+use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams, Workspace};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_serve::loadgen::{request_stream, RequestStream};
+use bcpnn_serve::BatchExecutor;
+use bcpnn_tensor::Matrix;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper that counts alloc/realloc events per thread.
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// thread-local counter bump, which itself never allocates (const-init TLS
+// with a plain `Cell`). `try_with` tolerates TLS teardown.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Allocation events on the current thread since process start.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+/// Count the allocations `f` performs on this thread.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = thread_allocs();
+    let result = f();
+    (thread_allocs() - before, result)
+}
+
+static INIT: Once = Once::new();
+
+/// Pin the global pool to one thread so every parallel helper takes its
+/// sequential path on the measuring thread. Must run before first pool use;
+/// `Once` serializes it across the test harness's threads.
+fn init_single_thread_pool() {
+    INIT.call_once(|| {
+        std::env::set_var(bcpnn_parallel::NUM_THREADS_ENV, "1");
+        assert_eq!(
+            bcpnn_parallel::global_pool().num_threads(),
+            1,
+            "pool must be pinned to one thread before these tests run"
+        );
+    });
+}
+
+/// A small Naive-backend pipeline: every kernel is a plain loop and the SGD
+/// readout GEMM stays far under the parallel-dispatch cutoff.
+fn tiny_pipeline(seed: u64) -> (Pipeline, RequestStream) {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 300,
+        seed,
+        ..Default::default()
+    });
+    let (pipeline, _) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(2, 4, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 64,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (pipeline, request_stream(64, seed))
+}
+
+/// Assemble `batch` stream rows into the executor and run one pass.
+fn one_batch(
+    executor: &mut BatchExecutor,
+    pipeline: &Pipeline,
+    stream: &RequestStream,
+    batch: usize,
+) {
+    let x = executor.begin(batch, stream.width());
+    for r in 0..batch {
+        x.row_mut(r).copy_from_slice(stream.row(r % stream.len()));
+    }
+    let proba = executor.run(pipeline as &dyn Predictor).unwrap();
+    assert_eq!(proba.rows(), batch);
+}
+
+#[test]
+fn steady_state_worker_batch_loop_allocates_nothing() {
+    init_single_thread_pool();
+    let (pipeline, stream) = tiny_pipeline(70);
+    let mut executor = BatchExecutor::new();
+    // Warmup: the largest batch shape the loop will see, twice (the first
+    // pass grows the buffers, the second proves the shapes are stable).
+    one_batch(&mut executor, &pipeline, &stream, 32);
+    one_batch(&mut executor, &pipeline, &stream, 32);
+    // Steady state: the full assemble → forward cycle, including batches
+    // smaller than the high-water mark, must not touch the allocator.
+    let (allocs, ()) = count_allocs(|| {
+        for round in 0..50 {
+            let batch = [32usize, 8, 1, 17][round % 4];
+            one_batch(&mut executor, &pipeline, &stream, batch);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "the steady-state worker batch loop must perform zero heap allocations after warmup"
+    );
+}
+
+#[test]
+fn warmed_predict_proba_into_allocates_nothing() {
+    init_single_thread_pool();
+    let (pipeline, stream) = tiny_pipeline(71);
+    let mut x = Matrix::zeros(16, stream.width());
+    for r in 0..16 {
+        x.row_mut(r).copy_from_slice(stream.row(r));
+    }
+    let mut ws = Workspace::new();
+    let mut out = Matrix::zeros(0, 0);
+    pipeline.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+    let warmed = ws.allocated_elems();
+    let (allocs, ()) = count_allocs(|| {
+        for _ in 0..50 {
+            pipeline.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warmed predict_proba_into must not allocate");
+    assert_eq!(
+        ws.allocated_elems(),
+        warmed,
+        "workspace buffers must be stable in steady state"
+    );
+    // The allocating twin really does allocate — the counter works.
+    let (alloc_path, _) = count_allocs(|| pipeline.predict_proba(&x).unwrap());
+    assert!(alloc_path > 0, "sanity: the allocating path is counted");
+    // And both paths agree bit-for-bit.
+    assert_eq!(out, pipeline.predict_proba(&x).unwrap());
+}
+
+#[test]
+fn request_stream_row_views_allocate_nothing() {
+    init_single_thread_pool();
+    let stream = request_stream(128, 72);
+    let (allocs, total) = count_allocs(|| {
+        let mut total = 0.0f32;
+        for i in 0..stream.len() {
+            total += stream.row(i).iter().sum::<f32>();
+        }
+        total
+    });
+    assert_eq!(allocs, 0, "row views must be allocation-free");
+    assert!(total.is_finite());
+}
