@@ -1,0 +1,257 @@
+//! `bcpnn-gateway` demo: train a Higgs classifier, expose it over HTTP,
+//! and print a curl walkthrough for every endpoint.
+//!
+//! ```text
+//! bcpnn-gateway [--addr HOST:PORT] [--shards N] [--workers N]
+//!               [--train-samples N] [--model-dir DIR]
+//!               [--port-file PATH] [--self-test]
+//! ```
+//!
+//! By default the gateway binds an ephemeral port, prints the walkthrough,
+//! and serves until killed — the shape the CI `gateway` job drives with
+//! curl (`--port-file` publishes the chosen port). `--self-test` instead
+//! runs the whole walkthrough in-process through the bundled HTTP client
+//! and exits non-zero on any failure.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_gateway::{client, Gateway, GatewayConfig};
+use bcpnn_serve::{ModelRegistry, Pipeline, ServeTarget, ServedModel, ShardConfig, ShardedServer};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    workers: usize,
+    train_samples: usize,
+    model_dir: PathBuf,
+    port_file: Option<PathBuf>,
+    self_test: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            workers: 4,
+            train_samples: 2000,
+            model_dir: std::env::temp_dir().join("bcpnn-gateway-demo"),
+            port_file: None,
+            self_test: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("error: {flag} needs a {what}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--addr" => args.addr = value("host:port"),
+                "--shards" => args.shards = parse_num(&flag, &value("count")),
+                "--workers" => args.workers = parse_num(&flag, &value("count")),
+                "--train-samples" => args.train_samples = parse_num(&flag, &value("count")),
+                "--model-dir" => args.model_dir = PathBuf::from(value("directory")),
+                "--port-file" => args.port_file = Some(PathBuf::from(value("path"))),
+                "--self-test" => args.self_test = true,
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn parse_num(flag: &str, raw: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} needs a number, got {raw:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Train one model version on synthetic Higgs data.
+fn train_version(n_samples: usize, seed: u64) -> Pipeline {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples,
+        seed,
+        ..Default::default()
+    });
+    let (pipeline, _report) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
+    .expect("training on synthetic data succeeds");
+    pipeline
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("== bcpnn-gateway demo ==");
+    println!(
+        "training v1 (served) and v2 (saved for hot-swap) on {} synthetic Higgs collisions each...",
+        args.train_samples
+    );
+    let v1 = train_version(args.train_samples, 1);
+    let v2 = train_version(args.train_samples, 2);
+    let v2_dir = args.model_dir.join("higgs-v2");
+    v2.save(&v2_dir).expect("saving the v2 artifact succeeds");
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(ServedModel::new("higgs", 1, v1));
+    let server = Arc::new(ShardedServer::start(
+        Arc::clone(&registry),
+        ShardConfig::new(args.shards),
+    ));
+    let gateway = Gateway::start(
+        Arc::clone(&server) as Arc<dyn ServeTarget>,
+        GatewayConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway binds");
+    let addr = gateway.local_addr();
+    if let Some(port_file) = &args.port_file {
+        std::fs::write(port_file, addr.port().to_string()).expect("port file is writable");
+    }
+
+    // One example row so the walkthrough's predict body is copy-pasteable.
+    let sample = generate(&SyntheticHiggsConfig {
+        n_samples: 1,
+        seed: 42,
+        ..Default::default()
+    });
+    let row: Vec<String> = sample
+        .features
+        .row(0)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    let row_json = format!("[[{}]]", row.join(","));
+
+    println!();
+    println!(
+        "listening on http://{addr} ({} shards, {} gateway workers)",
+        args.shards, args.workers
+    );
+    println!();
+    println!("== curl walkthrough ==");
+    println!("# liveness");
+    println!("curl -s http://{addr}/healthz");
+    println!("# registry listing (name, version, shapes)");
+    println!("curl -s http://{addr}/v1/models");
+    println!("# predict: rows in, probabilities out (with scheduling headers)");
+    println!(
+        "curl -s -X POST http://{addr}/v1/models/higgs/predict \\\n     -H 'X-Priority: high' -H 'X-Deadline-Ms: 250' \\\n     -d '{row_json}'"
+    );
+    println!("# Prometheus scrape: serving (per-shard + aggregate) and gateway counters");
+    println!("curl -s http://{addr}/metrics | grep -E 'queue_depth|gateway_requests'");
+    println!("# hot-swap to the saved v2 artifact (atomic; in-flight batches finish on v1)");
+    println!(
+        "curl -s -X PUT http://{addr}/v1/models/higgs \\\n     -d '{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}'",
+        v2_dir.display()
+    );
+    println!();
+
+    if args.self_test {
+        run_self_test(addr, &row_json, &v2_dir);
+        return;
+    }
+
+    println!("serving until killed (ctrl-c)...");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Drive the walkthrough through the bundled client and verify each step.
+fn run_self_test(addr: std::net::SocketAddr, row_json: &str, v2_dir: &std::path::Path) {
+    println!("== self-test ==");
+    let mut ok = true;
+    let mut check = |what: &str, passed: bool| {
+        println!("{} {what}", if passed { "ok  " } else { "FAIL" });
+        ok &= passed;
+    };
+
+    let health = client::request(addr, "GET", "/healthz", &[], b"").expect("healthz responds");
+    check(
+        "healthz is 200 ok",
+        health.status == 200 && health.body_str().contains("ok"),
+    );
+
+    let predict = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs/predict",
+        &[("X-Priority", "high"), ("X-Deadline-Ms", "2000")],
+        row_json.as_bytes(),
+    )
+    .expect("predict responds");
+    check(
+        "predict is 200 with v1 predictions",
+        predict.status == 200 && predict.body_str().contains("\"version\":1"),
+    );
+
+    let swap_body = format!(
+        "{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}",
+        v2_dir.display()
+    );
+    let swap = client::request(addr, "PUT", "/v1/models/higgs", &[], swap_body.as_bytes())
+        .expect("swap responds");
+    check(
+        "hot-swap is 200 and displaced v1",
+        swap.status == 200 && swap.body_str().contains("\"displaced_version\":1"),
+    );
+
+    let models = client::request(addr, "GET", "/v1/models", &[], b"").expect("listing responds");
+    check(
+        "listing shows version 2",
+        models.status == 200 && models.body_str().contains("\"version\":2"),
+    );
+
+    let metrics = client::request(addr, "GET", "/metrics", &[], b"").expect("metrics responds");
+    let text = metrics.body_str();
+    check(
+        "metrics scrape is a valid exposition",
+        metrics.status == 200 && bcpnn_serve::validate_prometheus(&text).is_ok(),
+    );
+    check(
+        "scrape exports queue depth and gateway counters",
+        text.contains("bcpnn_serve_queue_depth") && text.contains("bcpnn_gateway_requests_total"),
+    );
+
+    let missing = client::request(addr, "POST", "/v1/models/ghost/predict", &[], b"[[1]]")
+        .expect("unknown model responds");
+    check("unknown model is 404", missing.status == 404);
+
+    println!();
+    println!(
+        "{}",
+        if ok {
+            "OK: gateway walkthrough verified"
+        } else {
+            "FAILED: see steps above"
+        }
+    );
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,124 @@
+//! Error-to-status mapping: every failure inside the gateway renders as
+//! one JSON error response with the right status code.
+//!
+//! The interesting mapping is [`ServeError`] → HTTP status, the contract
+//! between the serving stack's typed failures and what a client on the
+//! wire sees:
+//!
+//! | `ServeError`        | status | rationale                                   |
+//! |---------------------|--------|---------------------------------------------|
+//! | `UnknownModel`      | 404    | the resource does not exist                 |
+//! | `ShapeMismatch`     | 400    | the client sent the wrong number of features|
+//! | `DeadlineExceeded`  | 504    | the gateway gave up waiting, as a proxy does|
+//! | `Disconnected`      | 503    | the backend is shutting down; retryable     |
+//! | `Io`                | 502    | the artifact behind the gateway failed      |
+//! | `Model` / others    | 500    | the model itself rejected a valid batch     |
+
+use bcpnn_serve::ServeError;
+
+use crate::http::Response;
+use crate::json::Json;
+
+/// A failure that has been assigned its HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Human-readable message for the JSON error body.
+    pub message: String,
+    /// Optional `Allow` header value (405 responses).
+    pub allow: Option<&'static str>,
+}
+
+impl ApiError {
+    /// Build an error with a status and message.
+    pub fn new(status: u16, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            message: message.into(),
+            allow: None,
+        }
+    }
+
+    /// Render as the gateway's uniform JSON error response:
+    /// `{"error": "...", "status": N}`.
+    pub fn into_response(self) -> Response {
+        let body = Json::Obj(vec![
+            ("error".into(), Json::str(self.message)),
+            ("status".into(), Json::u64(u64::from(self.status))),
+        ])
+        .render();
+        let mut response = Response::json(self.status, body);
+        if let Some(allow) = self.allow {
+            response.extra_headers.push(("allow", allow.to_string()));
+        }
+        response
+    }
+}
+
+/// The HTTP status a [`ServeError`] maps to.
+pub fn status_of(err: &ServeError) -> u16 {
+    match err {
+        ServeError::UnknownModel(_) => 404,
+        ServeError::ShapeMismatch { .. } => 400,
+        ServeError::DeadlineExceeded => 504,
+        ServeError::Disconnected => 503,
+        ServeError::Io(_) => 502,
+        // `Model` plus any variant added under #[non_exhaustive]: the
+        // request was well-formed, the backend failed.
+        _ => 500,
+    }
+}
+
+impl From<ServeError> for ApiError {
+    fn from(err: ServeError) -> ApiError {
+        ApiError::new(status_of(&err), err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_errors_map_to_documented_statuses() {
+        assert_eq!(status_of(&ServeError::UnknownModel("m".into())), 404);
+        assert_eq!(
+            status_of(&ServeError::ShapeMismatch {
+                expected: 28,
+                got: 2
+            }),
+            400
+        );
+        assert_eq!(status_of(&ServeError::DeadlineExceeded), 504);
+        assert_eq!(status_of(&ServeError::Disconnected), 503);
+        assert_eq!(status_of(&ServeError::Io("gone".into())), 502);
+        assert_eq!(status_of(&ServeError::Model("bad".into())), 500);
+    }
+
+    #[test]
+    fn error_response_is_json_with_the_status_echoed() {
+        let response = ApiError::from(ServeError::UnknownModel("higgs".into())).into_response();
+        assert_eq!(response.status, 404);
+        let body = String::from_utf8(response.body).unwrap();
+        let doc = crate::json::parse(&body).unwrap();
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("higgs"));
+        assert_eq!(doc.get("status").unwrap().as_u64(), Some(404));
+    }
+
+    #[test]
+    fn allow_header_is_attached_when_set() {
+        let mut err = ApiError::new(405, "nope");
+        err.allow = Some("GET");
+        let response = err.into_response();
+        assert!(response
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "allow" && v == "GET"));
+    }
+}

@@ -1,0 +1,658 @@
+//! A small hand-rolled JSON module.
+//!
+//! The build is offline (no serde), and the gateway's wire format is
+//! deliberately tiny — arrays of numbers in, objects of numbers/strings
+//! out — so this module implements exactly RFC 8259 with two deliberate
+//! properties the gateway relies on:
+//!
+//! * **Numbers keep their raw token.** [`Number`] stores the untouched
+//!   source text and converts on demand ([`Number::as_f32`] calls
+//!   `f32::from_str` on the original token), so an `f32` serialized with
+//!   Rust's shortest-round-trip `Display` parses back to the *identical
+//!   bit pattern* — never routed through `f64` where double rounding could
+//!   perturb the last ulp. The gateway's "HTTP predict == in-process
+//!   predict bit-for-bit" guarantee rests on this.
+//! * **Bounded recursion.** Parsing depth is capped ([`MAX_DEPTH`]) so a
+//!   hostile `[[[[...` body fails with a parse error instead of blowing
+//!   the worker's stack.
+//!
+//! Object keys keep insertion order (a `Vec` of pairs, not a map): output
+//! is deterministic and duplicate keys are a parse error.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum nesting depth the parser accepts.
+pub const MAX_DEPTH: usize = 64;
+
+/// A JSON number, stored as its raw source token.
+///
+/// Conversions parse the original text directly into the requested type,
+/// so `f32 → JSON → f32` is bit-exact and integers up to `u64::MAX` are
+/// not squeezed through `f64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Number(String);
+
+impl Number {
+    /// Wrap a finite `f32` (shortest round-trip decimal form).
+    pub fn from_f32(value: f32) -> Option<Number> {
+        value.is_finite().then(|| Number(format!("{value}")))
+    }
+
+    /// Wrap a finite `f64` (shortest round-trip decimal form).
+    pub fn from_f64(value: f64) -> Option<Number> {
+        value.is_finite().then(|| Number(format!("{value}")))
+    }
+
+    /// Wrap an unsigned integer.
+    pub fn from_u64(value: u64) -> Number {
+        Number(value.to_string())
+    }
+
+    /// The number as `f32`, parsed from the raw token (exact round trip
+    /// for tokens produced by `f32`'s `Display`).
+    pub fn as_f32(&self) -> Option<f32> {
+        f32::from_str(&self.0).ok().filter(|v| v.is_finite())
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        f64::from_str(&self.0).ok().filter(|v| v.is_finite())
+    }
+
+    /// The number as `u64`, if it is a non-negative integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        u64::from_str(&self.0).ok()
+    }
+
+    /// The raw source token.
+    pub fn raw(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (raw token preserved; see [`Number`]).
+    Num(Number),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, duplicate keys rejected at parse time.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Build a number from a `u64`.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(Number::from_u64(v))
+    }
+
+    /// Build a number from an `f32` (`null` for non-finite values, which
+    /// JSON cannot represent).
+    pub fn f32(v: f32) -> Json {
+        Number::from_f32(v).map_or(Json::Null, Json::Num)
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n.raw()),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+/// Parse a request body that must be a JSON array of equal-length arrays
+/// of finite numbers — the predict endpoint's rows. Numbers are parsed
+/// directly to `f32` (no `f64` detour), empty bodies and ragged or empty
+/// rows are rejected.
+pub fn parse_f32_rows(input: &str) -> Result<Vec<Vec<f32>>, ParseError> {
+    let doc = parse(input)?;
+    let outer = doc.as_array().ok_or_else(|| ParseError {
+        message: "expected a JSON array of feature rows".into(),
+        offset: 0,
+    })?;
+    if outer.is_empty() {
+        return Err(ParseError {
+            message: "the rows array is empty".into(),
+            offset: 0,
+        });
+    }
+    let mut rows = Vec::with_capacity(outer.len());
+    let mut width = None;
+    for (r, row) in outer.iter().enumerate() {
+        let items = row.as_array().ok_or_else(|| ParseError {
+            message: format!("row {r} is not an array"),
+            offset: 0,
+        })?;
+        match width {
+            None => width = Some(items.len()),
+            Some(w) if w != items.len() => {
+                return Err(ParseError {
+                    message: format!("row {r} has {} features but row 0 has {w}", items.len()),
+                    offset: 0,
+                })
+            }
+            Some(_) => {}
+        }
+        if items.is_empty() {
+            return Err(ParseError {
+                message: format!("row {r} is empty"),
+                offset: 0,
+            });
+        }
+        let mut features = Vec::with_capacity(items.len());
+        for (c, item) in items.iter().enumerate() {
+            let value = match item {
+                Json::Num(n) => n.as_f32(),
+                _ => None,
+            };
+            features.push(value.ok_or_else(|| ParseError {
+                message: format!("row {r} column {c} is not a finite number"),
+                offset: 0,
+            })?);
+        }
+        rows.push(features);
+    }
+    Ok(rows)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than the supported maximum"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {text:?}")))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes (no escape, no quote, no
+            // control characters).
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it came from a &str) and this
+                // run contains no escape bytes, so it maps through as-is.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let unit = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: must be followed by \uDC00..\uDFFF.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("unpaired surrogate escape"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err("unpaired surrogate escape"));
+                    }
+                    self.pos += 1;
+                    let low = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else if (0xDC00..0xE000).contains(&unit) {
+                    return Err(self.err("unpaired low surrogate"));
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.err("invalid \\u escape"))?
+                };
+                out.push(ch);
+            }
+            other => return Err(self.err(format!("unknown escape \\{}", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0, or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            self.digits();
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(Json::Num(Number(raw.to_string())))
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": "x"}"#).unwrap();
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"abc",
+            "[1] x",
+            "{\"a\":1,\"a\":2}",
+            "\"\\q\"",
+            "+1",
+            "--1",
+            "[1 2]",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(8) + &"]".repeat(8);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse(r#""\u00e9""#).unwrap(), Json::Str("é".into()));
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "unpaired low surrogate");
+    }
+
+    #[test]
+    fn f32_round_trips_bit_exactly() {
+        // Values chosen to stress the shortest-representation printer; a
+        // detour through f64 would not necessarily preserve these bits.
+        let values = [
+            0.1f32,
+            std::f32::consts::PI,
+            f32::MIN_POSITIVE,
+            1.000_000_1,
+            16_777_217.0, // 2^24 + 1: not representable, rounds
+            -0.000_123_456_7,
+            f32::MAX,
+        ];
+        for &v in &values {
+            let json = Json::f32(v).render();
+            let back = match parse(&json).unwrap() {
+                Json::Num(n) => n.as_f32().unwrap(),
+                other => panic!("expected number, got {other:?}"),
+            };
+            assert_eq!(v.to_bits(), back.to_bits(), "value {v} via {json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(Json::f32(f32::NAN).render(), "null");
+        assert_eq!(Json::f32(f32::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn render_escapes_and_orders_deterministically() {
+        let doc = Json::Obj(vec![
+            ("q\"uote".into(), Json::str("line\nbreak")),
+            ("n".into(), Json::u64(7)),
+        ]);
+        assert_eq!(doc.render(), "{\"q\\\"uote\":\"line\\nbreak\",\"n\":7}");
+        assert_eq!(parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn rows_parser_enforces_rectangular_finite_input() {
+        assert_eq!(
+            parse_f32_rows("[[1, 2.5], [3, 4]]").unwrap(),
+            vec![vec![1.0, 2.5], vec![3.0, 4.0]]
+        );
+        for bad in [
+            "[]",               // no rows
+            "[[]]",             // empty row
+            "[[1,2],[3]]",      // ragged
+            "[[1,\"x\"]]",      // non-number
+            "[1,2]",            // not nested
+            "{\"rows\":[[1]]}", // object, not array
+            "[[1e999]]",        // overflows to infinity
+        ] {
+            assert!(parse_f32_rows(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn number_accessors_distinguish_kinds() {
+        let n = Number("18446744073709551615".into()); // u64::MAX
+        assert_eq!(n.as_u64(), Some(u64::MAX));
+        let f = Number("2.5".into());
+        assert_eq!(f.as_u64(), None);
+        assert_eq!(f.as_f64(), Some(2.5));
+    }
+}

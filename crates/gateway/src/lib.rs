@@ -1,0 +1,63 @@
+//! # bcpnn-gateway
+//!
+//! A dependency-free HTTP/1.1 front-end for the `bcpnn-serve` stack: the
+//! network boundary that turns the in-process sharded, zero-allocation
+//! serving data plane into a service a load balancer can point at.
+//!
+//! Everything is `std`: `std::net::TcpListener`, a hand-rolled HTTP
+//! parser ([`http`]), a hand-rolled JSON module ([`json`]) with bit-exact
+//! `f32` round trips, and a bounded accept/worker thread pool
+//! ([`Gateway`]). The build is offline — no hyper, no serde — and the
+//! wire surface is small enough that owning it outright is cheaper than
+//! shimming a framework.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Purpose |
+//! |---|---|
+//! | `POST /v1/models/{name}/predict` | Rows in (JSON array of arrays), probabilities out |
+//! | `GET /metrics` | Prometheus scrape: serving (per-shard + aggregate) **and** gateway counters |
+//! | `GET /healthz` | Liveness probe |
+//! | `GET /v1/models` | Registry listing with versions and shapes |
+//! | `PUT /v1/models/{name}` | Hot-swap a persisted `v1`–`v3` artifact from a path |
+//!
+//! Scheduling options thread through headers — `X-Priority:
+//! high|normal|low`, `X-Deadline-Ms: <millis>` — and
+//! [`ServeError`](bcpnn_serve::ServeError) variants map to proper status
+//! codes (`DeadlineExceeded` → 504, unknown model → 404; see [`error`]).
+//!
+//! ## Micro-batching still amortizes
+//!
+//! The gateway does not run models. Every feature row from every
+//! connection is submitted individually to the shared
+//! [`ServeTarget`](bcpnn_serve::ServeTarget) — the same object-safe sink
+//! the load generator drives — so the serving stack's collector coalesces
+//! rows *across HTTP connections* into vectorized batches, and one
+//! slow-to-send client never blocks another's batch.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use bcpnn_serve::{ModelRegistry, ServeTarget, ShardConfig, ShardedServer};
+//! use bcpnn_gateway::{Gateway, GatewayConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! // ... publish fitted models into the registry ...
+//! let server = Arc::new(ShardedServer::start(registry, ShardConfig::new(4)));
+//! let gateway = Gateway::start(server as Arc<dyn ServeTarget>, GatewayConfig::default())?;
+//! println!("serving on http://{}", gateway.local_addr());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod router;
+mod server;
+
+pub use error::{status_of, ApiError};
+pub use metrics::{GatewayMetrics, GatewaySnapshot};
+pub use server::{Gateway, GatewayConfig};

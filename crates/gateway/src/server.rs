@@ -1,0 +1,697 @@
+//! The gateway server: a bounded accept/worker thread pool over
+//! `std::net::TcpListener`, feeding the in-process serving stack.
+//!
+//! One *accept* thread pulls connections off the listener and pushes them
+//! onto a bounded queue; when the queue is full the connection is answered
+//! `503` immediately (load shedding at the edge, before any parsing).
+//! `workers` *connection* threads pop, parse one HTTP request each
+//! ([`crate::http`]), route it ([`crate::router`]), and run the endpoint.
+//!
+//! The predict path preserves the serving stack's micro-batching: every
+//! row of every in-flight HTTP request is submitted individually to the
+//! shared [`ServeTarget`], so the collector coalesces rows *across
+//! connections* into vectorized batches exactly as in-process callers do.
+//! [`SubmitOptions`] thread through headers: `X-Priority:
+//! high|normal|low` and `X-Deadline-Ms: <millis>`.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_serve::{Pipeline, Priority, ServeTarget, ServedModel, SubmitOptions};
+
+use crate::error::ApiError;
+use crate::http::{read_request, Limits, Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::{GatewayMetrics, GatewaySnapshot};
+use crate::router::{route, Route, RouteError};
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port; read the
+    /// result from [`Gateway::local_addr`]).
+    pub addr: String,
+    /// Connection worker threads (each serves one request at a time).
+    pub workers: usize,
+    /// Bounded queue of accepted, not-yet-served connections; connections
+    /// beyond it are answered `503` immediately.
+    pub max_pending: usize,
+    /// Request head/body byte ceilings.
+    pub limits: Limits,
+    /// Socket read timeout while parsing a request.
+    pub read_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_pending: 64,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Bounded MPMC queue of accepted connections (std `Mutex` + `Condvar`;
+/// the gateway stays dependency-free).
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    queue: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a connection; hands it back when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed || state.queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.queue.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking; `None` once the queue is closed *and* drained,
+    /// so queued connections are still served through shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(stream) = state.queue.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the accept thread and the connection workers.
+struct Shared {
+    target: Arc<dyn ServeTarget>,
+    metrics: GatewayMetrics,
+    queue: ConnQueue,
+    limits: Limits,
+    read_timeout: Duration,
+    shutdown: AtomicBool,
+}
+
+/// The running HTTP gateway. Dropping it shuts the listener down
+/// gracefully: queued connections are served, then the threads join.
+pub struct Gateway {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind `config.addr` and start the accept + worker threads over
+    /// `target` (an [`bcpnn_serve::InferenceServer`] or
+    /// [`bcpnn_serve::ShardedServer`], shared as a trait object).
+    pub fn start(target: Arc<dyn ServeTarget>, config: GatewayConfig) -> std::io::Result<Gateway> {
+        assert!(config.workers > 0, "need at least one connection worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            target,
+            metrics: GatewayMetrics::new(),
+            queue: ConnQueue::new(config.max_pending),
+            limits: config.limits,
+            read_timeout: config.read_timeout,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("bcpnn-gateway-accept".into())
+                .spawn(move || run_accept(&listener, &shared))
+                .expect("failed to spawn gateway accept thread")
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bcpnn-gateway-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = shared.queue.pop() {
+                            handle_connection(&shared, stream);
+                        }
+                    })
+                    .expect("failed to spawn gateway worker thread")
+            })
+            .collect();
+
+        Ok(Gateway {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address the gateway actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time copy of the gateway-level counters (the serving
+    /// stack's own metrics live on the target).
+    #[must_use]
+    pub fn metrics(&self) -> GatewaySnapshot {
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the flag after every accept (and after every accept *error*, so
+        // even a failed wake-up is only a backoff interval away from being
+        // noticed). Connect to loopback when bound to a wildcard address —
+        // connecting to 0.0.0.0 is not universally routable to self.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let woke = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1)).is_ok();
+        if let Some(accept) = self.accept.take() {
+            if woke {
+                let _ = accept.join();
+            }
+            // If the wake-up connection failed (fd exhaustion, odd
+            // platform), detach the accept thread rather than hanging the
+            // dropping thread: it exits at its next accept/error cycle.
+        }
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn run_accept(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Listener-level errors (EMFILE and friends): back off briefly
+            // instead of spinning a core exactly when the process is
+            // already resource-starved, then retry unless shutting down.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err(mut rejected) = shared.queue.push(stream) {
+            // Shed load at the edge: a full queue answers 503 from the
+            // accept thread without reading the request. The short write
+            // timeout keeps a non-reading client from stalling accepts.
+            let _ = rejected.set_write_timeout(Some(Duration::from_secs(1)));
+            shared.metrics.record_request();
+            shared.metrics.record_rejected_busy();
+            shared.metrics.record_status(503);
+            let response =
+                ApiError::new(503, "gateway accept queue is full; retry later").into_response();
+            if let Ok(n) = response.write_to(&mut rejected) {
+                shared.metrics.record_bytes_out(n);
+            }
+        }
+    }
+}
+
+/// Serve exactly one request on `stream` and close it.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    // A write timeout too: a client that never reads its response must
+    // not wedge this worker in write_all forever.
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    shared.metrics.record_request();
+    let response = match read_request(&mut stream, shared.limits) {
+        Ok(request) => {
+            shared.metrics.record_bytes_in(request.body.len() as u64);
+            dispatch(shared, &request)
+        }
+        Err(err) => ApiError::new(err.status(), err.message()).into_response(),
+    };
+    shared.metrics.record_status(response.status);
+    if let Ok(n) = response.write_to(&mut stream) {
+        shared.metrics.record_bytes_out(n);
+    }
+}
+
+/// Route and run one parsed request.
+fn dispatch(shared: &Shared, request: &Request) -> Response {
+    let endpoint = match route(&request.method, &request.path) {
+        Ok(endpoint) => endpoint,
+        Err(RouteError::NotFound) => {
+            return ApiError::new(404, format!("no endpoint at {:?}", request.path)).into_response()
+        }
+        Err(RouteError::MethodNotAllowed(allow)) => {
+            let mut err = ApiError::new(
+                405,
+                format!("{} is not allowed here (allow: {allow})", request.method),
+            );
+            err.allow = Some(allow);
+            return err.into_response();
+        }
+        Err(RouteError::BadModelName(name)) => {
+            return ApiError::new(400, format!("invalid model name {name:?}")).into_response()
+        }
+    };
+    match endpoint {
+        Route::Healthz => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+        Route::Metrics => handle_metrics(shared),
+        Route::ListModels => handle_list_models(shared),
+        Route::Predict(name) => {
+            handle_predict(shared, &name, request).unwrap_or_else(ApiError::into_response)
+        }
+        Route::Publish(name) => {
+            handle_publish(shared, &name, request).unwrap_or_else(ApiError::into_response)
+        }
+    }
+}
+
+/// `GET /metrics`: the serving stack's exposition (per-shard + aggregate)
+/// followed by the gateway's own counters — disjoint metric names, so the
+/// combined text stays a valid single scrape.
+fn handle_metrics(shared: &Shared) -> Response {
+    let mut text = shared.target.to_prometheus();
+    text.push_str(&shared.metrics.snapshot().to_prometheus());
+    Response::text_with_type(200, "text/plain; version=0.0.4; charset=utf-8", text)
+}
+
+/// `GET /v1/models`: registry listing with versions and shapes.
+fn handle_list_models(shared: &Shared) -> Response {
+    let registry = shared.target.registry();
+    let models: Vec<Json> = registry
+        .model_names()
+        .into_iter()
+        .filter_map(|name| registry.lookup(&name))
+        .map(|model| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(model.name())),
+                ("version".into(), Json::u64(model.version())),
+                (
+                    "n_inputs".into(),
+                    Json::u64(model.predictor().n_inputs() as u64),
+                ),
+                (
+                    "n_classes".into(),
+                    Json::u64(model.predictor().n_classes() as u64),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::Obj(vec![("models".into(), Json::Arr(models))]).render(),
+    )
+}
+
+/// Parse `X-Priority` / `X-Deadline-Ms` into [`SubmitOptions`].
+fn options_from_headers(request: &Request) -> Result<SubmitOptions, ApiError> {
+    let mut options = SubmitOptions::new();
+    if let Some(priority) = request.header("x-priority") {
+        options = options.priority(match priority.to_ascii_lowercase().as_str() {
+            "high" => Priority::High,
+            "normal" => Priority::Normal,
+            "low" => Priority::Low,
+            other => {
+                return Err(ApiError::new(
+                    400,
+                    format!("invalid X-Priority {other:?} (use high, normal, or low)"),
+                ))
+            }
+        });
+    }
+    if let Some(deadline) = request.header("x-deadline-ms") {
+        let millis: u64 = deadline.parse().map_err(|_| {
+            ApiError::new(
+                400,
+                format!("invalid X-Deadline-Ms {deadline:?} (use integer milliseconds)"),
+            )
+        })?;
+        options = options.deadline(Duration::from_millis(millis));
+    }
+    Ok(options)
+}
+
+/// `POST /v1/models/{name}/predict`: JSON rows in, probabilities out.
+///
+/// All rows are submitted before any is waited on, so one HTTP request's
+/// rows — and rows from concurrent connections — coalesce into the
+/// serving stack's micro-batches.
+///
+/// Swap semantics: each *batch* resolves the model version at dispatch,
+/// so every row is served by one consistent model, but the rows of a
+/// multi-row request batch independently — a request straddling a
+/// hot-swap may get some rows from the old version and some from the
+/// new. The response's `version` field is likewise advisory: the current
+/// version at accept time. Clients that need version-atomic responses
+/// send one row per request.
+fn handle_predict(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let options = options_from_headers(request)?;
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::new(400, "request body is not valid UTF-8"))?;
+    let rows = json::parse_f32_rows(body).map_err(|e| ApiError::new(400, e.to_string()))?;
+
+    let version = shared
+        .target
+        .registry()
+        .lookup(name)
+        .map(|model| model.version());
+
+    // Submit one by one and count exactly what reached the stack, so
+    // bcpnn_gateway_predict_rows_total reconciles with the serve-side
+    // per-row requests counter even when a mid-request submit fails.
+    let mut handles = Vec::with_capacity(rows.len());
+    let mut submit_err = None;
+    for features in rows {
+        match shared.target.submit_with_options(name, features, options) {
+            Ok(handle) => handles.push(handle),
+            Err(err) => {
+                submit_err = Some(err);
+                break;
+            }
+        }
+    }
+    shared.metrics.record_predict_rows(handles.len() as u64);
+    if let Some(err) = submit_err {
+        return Err(ApiError::from(err));
+    }
+
+    let mut predictions = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let proba = handle.wait().map_err(ApiError::from)?;
+        predictions.push(Json::Arr(proba.into_iter().map(Json::f32).collect()));
+    }
+    let body = Json::Obj(vec![
+        ("model".into(), Json::str(name)),
+        ("version".into(), version.map_or(Json::Null, Json::u64)),
+        ("predictions".into(), Json::Arr(predictions)),
+    ]);
+    Ok(Response::json(200, body.render()))
+}
+
+/// `PUT /v1/models/{name}`: load a persisted `v1`–`v3` artifact from a
+/// path on the gateway host and publish it — the registry's atomic
+/// hot-swap, over the wire. Body:
+/// `{"path": "...", "version": N, "backend": "naive"|"parallel"}`
+/// (backend optional, default parallel).
+fn handle_publish(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::new(400, "request body is not valid UTF-8"))?;
+    let doc = json::parse(body).map_err(|e| ApiError::new(400, e.to_string()))?;
+    let path = doc
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new(400, "missing string field \"path\""))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::new(400, "missing integer field \"version\""))?;
+    let backend = match doc.get("backend") {
+        None | Some(Json::Null) => BackendKind::Parallel,
+        Some(value) => value.as_str().and_then(BackendKind::parse).ok_or_else(|| {
+            ApiError::new(400, "field \"backend\" must be \"naive\" or \"parallel\"")
+        })?,
+    };
+
+    // A bad artifact is the client's problem (unprocessable content), not
+    // an internal error: the gateway stays healthy and says what failed.
+    let pipeline = Pipeline::load(path, backend)
+        .map_err(|e| ApiError::new(422, format!("cannot load artifact at {path:?}: {e}")))?;
+    let (handle, displaced) = shared
+        .target
+        .registry()
+        .publish(ServedModel::new(name, version, pipeline));
+    let body = Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("version".into(), Json::u64(handle.version())),
+        (
+            "displaced_version".into(),
+            displaced.map_or(Json::Null, |m| Json::u64(m.version())),
+        ),
+    ]);
+    Ok(Response::json(200, body.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use bcpnn_serve::{ModelRegistry, ShardConfig, ShardedServer};
+
+    /// A gateway over an empty registry: everything but training.
+    fn empty_gateway() -> (Gateway, Arc<ShardedServer>) {
+        let registry = Arc::new(ModelRegistry::new());
+        let server = Arc::new(ShardedServer::start(registry, ShardConfig::new(2)));
+        let gateway = Gateway::start(
+            Arc::clone(&server) as Arc<dyn ServeTarget>,
+            GatewayConfig {
+                workers: 2,
+                ..GatewayConfig::default()
+            },
+        )
+        .expect("gateway binds an ephemeral port");
+        (gateway, server)
+    }
+
+    #[test]
+    fn healthz_answers_ok() {
+        let (gateway, _server) = empty_gateway();
+        let response = client::request(gateway.local_addr(), "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body_str(), "{\"status\":\"ok\"}");
+        assert_eq!(response.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_wrong_method_is_405() {
+        let (gateway, _server) = empty_gateway();
+        let addr = gateway.local_addr();
+        assert_eq!(
+            client::request(addr, "GET", "/nope", &[], b"")
+                .unwrap()
+                .status,
+            404
+        );
+        let r = client::request(addr, "POST", "/healthz", &[], b"").unwrap();
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("allow"), Some("GET"));
+    }
+
+    #[test]
+    fn predict_on_unknown_model_is_404_and_never_reaches_a_worker() {
+        let (gateway, server) = empty_gateway();
+        let r = client::request(
+            gateway.local_addr(),
+            "POST",
+            "/v1/models/ghost/predict",
+            &[],
+            b"[[1,2,3]]",
+        )
+        .unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(
+            server.metrics().requests,
+            0,
+            "no submission must reach the stack"
+        );
+        assert_eq!(gateway.metrics().status_4xx, 1);
+    }
+
+    #[test]
+    fn malformed_json_is_400_without_touching_the_stack() {
+        let (gateway, server) = empty_gateway();
+        for body in [&b"not json"[..], b"[[1,2],[3]]", b"[]", b"{\"rows\":1}"] {
+            let r = client::request(
+                gateway.local_addr(),
+                "POST",
+                "/v1/models/ghost/predict",
+                &[],
+                body,
+            )
+            .unwrap();
+            assert_eq!(r.status, 400, "body {body:?}");
+        }
+        assert_eq!(server.metrics().requests, 0);
+    }
+
+    #[test]
+    fn invalid_option_headers_are_400() {
+        let (gateway, _server) = empty_gateway();
+        let addr = gateway.local_addr();
+        let r = client::request(
+            addr,
+            "POST",
+            "/v1/models/ghost/predict",
+            &[("X-Priority", "urgent")],
+            b"[[1]]",
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+        let r = client::request(
+            addr,
+            "POST",
+            "/v1/models/ghost/predict",
+            &[("X-Deadline-Ms", "soon")],
+            b"[[1]]",
+        )
+        .unwrap();
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn list_models_is_empty_json_on_an_empty_registry() {
+        let (gateway, _server) = empty_gateway();
+        let r = client::request(gateway.local_addr(), "GET", "/v1/models", &[], b"").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body_str(), "{\"models\":[]}");
+    }
+
+    #[test]
+    fn metrics_scrape_is_a_valid_combined_exposition() {
+        let (gateway, _server) = empty_gateway();
+        let addr = gateway.local_addr();
+        // A request beforehand so gateway counters are non-zero.
+        let _ = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+        let r = client::request(addr, "GET", "/metrics", &[], b"").unwrap();
+        assert_eq!(r.status, 200);
+        let text = r.body_str();
+        bcpnn_serve::validate_prometheus(&text).expect("combined exposition parses");
+        assert!(text.contains("bcpnn_serve_queue_depth"));
+        assert!(text.contains("bcpnn_gateway_requests_total"));
+    }
+
+    #[test]
+    fn publish_with_a_bad_path_is_422() {
+        let (gateway, _server) = empty_gateway();
+        let r = client::request(
+            gateway.local_addr(),
+            "PUT",
+            "/v1/models/higgs",
+            &[],
+            b"{\"path\":\"/definitely/not/a/model\",\"version\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 422);
+        assert!(r.body_str().contains("cannot load artifact"));
+    }
+
+    #[test]
+    fn publish_with_missing_fields_is_400() {
+        let (gateway, _server) = empty_gateway();
+        let addr = gateway.local_addr();
+        for body in [
+            &b"{}"[..],
+            b"{\"path\":\"x\"}",
+            b"{\"path\":\"x\",\"version\":\"v2\"}",
+        ] {
+            let r = client::request(addr, "PUT", "/v1/models/higgs", &[], body).unwrap();
+            assert_eq!(r.status, 400, "body {body:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413_before_parsing() {
+        let registry = Arc::new(ModelRegistry::new());
+        let server = Arc::new(ShardedServer::start(registry, ShardConfig::new(1)));
+        let gateway = Gateway::start(
+            Arc::clone(&server) as Arc<dyn ServeTarget>,
+            GatewayConfig {
+                workers: 1,
+                limits: Limits {
+                    max_head_bytes: 4096,
+                    max_body_bytes: 32,
+                    ..Limits::default()
+                },
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let big = vec![b'1'; 1024];
+        let r = client::request(
+            gateway.local_addr(),
+            "POST",
+            "/v1/models/m/predict",
+            &[],
+            &big,
+        )
+        .unwrap();
+        assert_eq!(r.status, 413);
+        assert_eq!(server.metrics().requests, 0);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let (gateway, _server) = empty_gateway();
+        let addr = gateway.local_addr();
+        let _ = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+        drop(gateway);
+        // The port is released: a fresh connection is refused or reset.
+        assert!(client::request(addr, "GET", "/healthz", &[], b"").is_err());
+    }
+
+    #[test]
+    fn gateway_metrics_count_requests_and_bytes() {
+        let (gateway, _server) = empty_gateway();
+        let addr = gateway.local_addr();
+        let _ = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+        let _ = client::request(addr, "GET", "/nope", &[], b"").unwrap();
+        let m = gateway.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.status_2xx, 1);
+        assert_eq!(m.status_4xx, 1);
+        assert!(m.bytes_out > 0);
+    }
+}

@@ -37,7 +37,12 @@
 //! * [`ServingMetrics`] — request/batch counters, batch-size histogram, and
 //!   p50/p99 latency estimates, exposed as a [`MetricsSnapshot`] that also
 //!   renders Prometheus text exposition format
-//!   ([`MetricsSnapshot::to_prometheus`]).
+//!   ([`MetricsSnapshot::to_prometheus`], structural validity checkable
+//!   with [`validate_prometheus`]).
+//! * [`ServeTarget`] — the object-safe submission surface both server
+//!   shapes share (options-carrying submit, registry access, metrics
+//!   export); the load generator drives one and the `bcpnn-gateway` HTTP
+//!   front-end exposes one on the wire.
 //! * [`loadgen`] — a synthetic-Higgs load generator used by the
 //!   `bcpnn-serve` demo binary and the serving benchmarks.
 //!
@@ -98,7 +103,8 @@ pub use bcpnn_core::model::Pipeline;
 /// `bcpnn_core::workspace`.
 pub use bcpnn_core::Workspace;
 pub use error::{ServeError, ServeResult};
-pub use metrics::{MetricsSnapshot, ServingMetrics};
+pub use loadgen::ServeTarget;
+pub use metrics::{validate_prometheus, MetricsSnapshot, ServingMetrics};
 pub use registry::{ModelRegistry, ServedModel};
 pub use server::{
     BatchConfig, BatchExecutor, InferenceServer, PredictionHandle, Priority, SubmitOptions,

@@ -1,50 +1,121 @@
-//! Synthetic-Higgs load generator: drives an [`InferenceServer`] from
+//! Synthetic-Higgs load generator: drives any [`ServeTarget`] from
 //! concurrent client threads, verifying responses as they arrive.
 //!
 //! Used by the `bcpnn-serve` demo binary, the serving benchmark, and the
 //! hot-swap integration test to put realistic concurrent load on the
-//! micro-batcher.
+//! micro-batcher. The request payloads come from [`request_stream`], a
+//! deterministic flat-matrix stream of synthetic Higgs events:
+//!
+//! ```
+//! use bcpnn_serve::loadgen::request_stream;
+//!
+//! let stream = request_stream(16, 7);
+//! assert_eq!((stream.len(), stream.width()), (16, 28));
+//! // Deterministic: the same seed always produces the same stream.
+//! assert_eq!(stream.row(3), request_stream(16, 7).row(3));
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_tensor::Matrix;
 
 use crate::error::ServeResult;
-use crate::server::InferenceServer;
+use crate::metrics::MetricsSnapshot;
+use crate::registry::ModelRegistry;
+use crate::server::{InferenceServer, PredictionHandle, SubmitOptions};
 use crate::shard::ShardedServer;
 
-/// Anything the load generator can drive: the single-pool
-/// [`InferenceServer`] or the [`ShardedServer`].
-pub trait ServeTarget: Sync {
-    /// Blocking single-request round trip.
-    fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>>;
-    /// Class count of the named model, for response validation.
-    fn n_classes_of(&self, model: &str) -> Option<usize>;
-}
+/// A submission sink over the serving stack: the single-pool
+/// [`InferenceServer`] or the [`ShardedServer`], behind one object-safe
+/// surface.
+///
+/// This is what generalizes "something that serves models": the load
+/// generator drives one to produce traffic, and the HTTP gateway
+/// (`bcpnn-gateway`) exposes one on the wire — both without caring how
+/// many collector/worker pools sit behind it. A `ServeTarget` can accept
+/// option-carrying submissions, report its shared [`ModelRegistry`] (for
+/// listings and hot-swap), and export its metrics.
+pub trait ServeTarget: Send + Sync {
+    /// Enqueue one raw feature vector with explicit priority/deadline
+    /// options; returns a handle to wait on.
+    fn submit_with_options(
+        &self,
+        model: &str,
+        features: Vec<f32>,
+        options: SubmitOptions,
+    ) -> ServeResult<PredictionHandle>;
 
-impl ServeTarget for InferenceServer {
+    /// The registry this target resolves models from. Publishing to it
+    /// hot-swaps what subsequent batches use.
+    fn registry(&self) -> &Arc<ModelRegistry>;
+
+    /// Point-in-time metrics (aggregated across shards where relevant).
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Prometheus text exposition of the target's metrics (per-shard and
+    /// aggregate samples for a sharded target).
+    fn to_prometheus(&self) -> String;
+
+    /// Blocking single-request round trip with default options.
     fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>> {
-        InferenceServer::predict(self, model, features)
+        self.submit_with_options(model, features, SubmitOptions::default())?
+            .wait()
     }
 
+    /// Class count of the named model, for response validation.
     fn n_classes_of(&self, model: &str) -> Option<usize> {
         self.registry()
             .lookup(model)
             .map(|m| m.predictor().n_classes())
+    }
+}
+
+impl ServeTarget for InferenceServer {
+    fn submit_with_options(
+        &self,
+        model: &str,
+        features: Vec<f32>,
+        options: SubmitOptions,
+    ) -> ServeResult<PredictionHandle> {
+        InferenceServer::submit_with_options(self, model, features, options)
+    }
+
+    fn registry(&self) -> &Arc<ModelRegistry> {
+        InferenceServer::registry(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        InferenceServer::metrics(self)
+    }
+
+    fn to_prometheus(&self) -> String {
+        InferenceServer::to_prometheus(self)
     }
 }
 
 impl ServeTarget for ShardedServer {
-    fn predict(&self, model: &str, features: Vec<f32>) -> ServeResult<Vec<f32>> {
-        ShardedServer::predict(self, model, features)
+    fn submit_with_options(
+        &self,
+        model: &str,
+        features: Vec<f32>,
+        options: SubmitOptions,
+    ) -> ServeResult<PredictionHandle> {
+        ShardedServer::submit_with_options(self, model, features, options)
     }
 
-    fn n_classes_of(&self, model: &str) -> Option<usize> {
-        self.registry()
-            .lookup(model)
-            .map(|m| m.predictor().n_classes())
+    fn registry(&self) -> &Arc<ModelRegistry> {
+        ShardedServer::registry(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ShardedServer::metrics(self)
+    }
+
+    fn to_prometheus(&self) -> String {
+        ShardedServer::to_prometheus(self)
     }
 }
 

@@ -259,6 +259,22 @@ impl MetricsSnapshot {
 
     /// Render the snapshot in Prometheus text exposition format with no
     /// extra labels. See [`MetricsSnapshot::to_prometheus_labeled`].
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use bcpnn_serve::ServingMetrics;
+    ///
+    /// let metrics = ServingMetrics::new();
+    /// metrics.record_submit();
+    /// metrics.record_batch(1);
+    /// metrics.record_response(Duration::from_micros(250));
+    ///
+    /// let text = metrics.snapshot().to_prometheus();
+    /// assert!(text.contains("# TYPE bcpnn_serve_requests_total counter"));
+    /// assert!(text.contains("bcpnn_serve_requests_total 1"));
+    /// assert!(text.contains("bcpnn_serve_latency_microseconds_count 1"));
+    /// assert!(text.contains("bcpnn_serve_queue_depth 0"));
+    /// ```
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         self.to_prometheus_labeled(&[])
@@ -430,6 +446,131 @@ fn write_histogram<'a>(
     }
 }
 
+/// Check a Prometheus text exposition for structural validity, returning
+/// the number of samples it contains.
+///
+/// This is the same check the crate's own unit tests apply to
+/// [`MetricsSnapshot::to_prometheus`] output, made public so integration
+/// tests (and anything that concatenates expositions, like the HTTP
+/// gateway's `/metrics` endpoint) can assert their combined output still
+/// parses: every line must be a `# HELP`/`# TYPE` comment or a
+/// `name{labels} value` sample with a parseable value and balanced,
+/// quoted labels, and no metric may be declared more than once — the
+/// constraint real scrapers enforce when several label sets or exporters
+/// share one scrape.
+///
+/// ```
+/// use bcpnn_serve::{validate_prometheus, ServingMetrics};
+///
+/// let metrics = ServingMetrics::new();
+/// metrics.record_submit();
+/// metrics.record_response(std::time::Duration::from_micros(120));
+/// let text = metrics.snapshot().to_prometheus();
+/// let samples = validate_prometheus(&text).expect("exposition is valid");
+/// assert!(samples > 0);
+/// assert!(validate_prometheus("not { prometheus").is_err());
+/// ```
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().unwrap().is_ascii_alphabetic()
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+    let mut samples = 0usize;
+    let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap();
+            let name = parts.next().unwrap_or("");
+            if kind != "HELP" && kind != "TYPE" {
+                return Err(format!("unknown comment kind in {line:?}"));
+            }
+            if !valid_name(name) {
+                return Err(format!("bad metric name in {line:?}"));
+            }
+            if !declared.insert(format!("{kind} {name}")) {
+                return Err(format!("duplicate {kind} declaration for {name}"));
+            }
+            if kind == "TYPE" {
+                let t = parts.next().unwrap_or("");
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&t) {
+                    return Err(format!("bad type {t:?} in {line:?}"));
+                }
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            return Err(format!("sample without a value in {line:?}"));
+        };
+        if value_part.parse::<f64>().is_err() && value_part != "+Inf" {
+            return Err(format!("unparseable value in {line:?}"));
+        }
+        let name = if let Some((name, labels)) = name_part.split_once('{') {
+            let Some(labels) = labels.strip_suffix('}') else {
+                return Err(format!("unbalanced braces in {line:?}"));
+            };
+            for pair in
+                split_label_pairs(labels).map_err(|problem| format!("{problem} in {line:?}"))?
+            {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(format!("label without '=' in {line:?}"));
+                };
+                if !valid_name(k) && k != "le" {
+                    return Err(format!("bad label key in {line:?}"));
+                }
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return Err(format!("unquoted label value in {line:?}"));
+                }
+            }
+            name
+        } else {
+            name_part
+        };
+        if !valid_name(name) {
+            return Err(format!("bad sample name in {line:?}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("exposition contains no samples".into());
+    }
+    Ok(samples)
+}
+
+/// Split a `k="v",k2="v2"` label body on the commas *between* pairs,
+/// leaving commas (and `\"`-escaped quotes) inside quoted values intact —
+/// a sample like `m{path="a,b"} 1` is valid and must not be split apart.
+fn split_label_pairs(labels: &str) -> Result<impl Iterator<Item = &str>, String> {
+    let mut cuts = Vec::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in labels.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => cuts.push(i),
+            _ => {}
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted label value".to_string());
+    }
+    let mut start = 0;
+    let mut pairs = Vec::with_capacity(cuts.len() + 1);
+    for cut in cuts {
+        pairs.push(&labels[start..cut]);
+        start = cut + 1;
+    }
+    pairs.push(&labels[start..]);
+    Ok(pairs.into_iter())
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -580,68 +721,40 @@ mod tests {
         assert_eq!(s.p99_latency_us, 0.0);
     }
 
-    /// Minimal validity check for Prometheus text exposition format: every
-    /// line is a `# HELP`/`# TYPE` comment or a `name{labels} value`
-    /// sample with a parseable float value and balanced, quoted labels,
-    /// and no metric name is declared (`HELP`/`TYPE`) more than once — the
-    /// constraint real scrapers enforce when several label sets share a
-    /// metric.
+    /// Assert the exposition passes the public validity parser (see
+    /// [`validate_prometheus`] for the rules it enforces).
     fn assert_valid_prometheus(text: &str) {
-        fn valid_name(s: &str) -> bool {
-            !s.is_empty()
-                && s.chars().next().unwrap().is_ascii_alphabetic()
-                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        if let Err(problem) = validate_prometheus(text) {
+            panic!("invalid Prometheus exposition: {problem}");
         }
-        let mut samples = 0usize;
-        let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
-        for line in text.lines() {
-            if line.is_empty() {
-                continue;
-            }
-            if let Some(rest) = line.strip_prefix("# ") {
-                let mut parts = rest.splitn(3, ' ');
-                let kind = parts.next().unwrap();
-                let name = parts.next().unwrap_or("");
-                assert!(
-                    kind == "HELP" || kind == "TYPE",
-                    "unknown comment kind in {line:?}"
-                );
-                assert!(valid_name(name), "bad metric name in {line:?}");
-                assert!(
-                    declared.insert(format!("{kind} {name}")),
-                    "duplicate {kind} declaration for {name}"
-                );
-                if kind == "TYPE" {
-                    let t = parts.next().unwrap_or("");
-                    assert!(
-                        ["counter", "gauge", "histogram", "summary", "untyped"].contains(&t),
-                        "bad type {t:?} in {line:?}"
-                    );
-                }
-                continue;
-            }
-            // Sample line: name[{labels}] value
-            let (name_part, value_part) = line.rsplit_once(' ').expect("sample has a value");
-            let value_ok = value_part.parse::<f64>().is_ok() || value_part == "+Inf";
-            assert!(value_ok, "unparseable value in {line:?}");
-            let name = if let Some((name, labels)) = name_part.split_once('{') {
-                let labels = labels.strip_suffix('}').expect("balanced braces");
-                for pair in labels.split(',') {
-                    let (k, v) = pair.split_once('=').expect("label has =");
-                    assert!(valid_name(k) || k == "le", "bad label key in {line:?}");
-                    assert!(
-                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
-                        "unquoted label value in {line:?}"
-                    );
-                }
-                name
-            } else {
-                name_part
-            };
-            assert!(valid_name(name), "bad sample name in {line:?}");
-            samples += 1;
+    }
+
+    #[test]
+    fn validator_accepts_commas_and_escapes_inside_quoted_labels() {
+        // Third-party expositions this validator may be pointed at can
+        // carry commas or escaped quotes inside label values.
+        let text = "# TYPE m counter\nm{path=\"a,b\",k=\"x\\\"y\"} 1\n";
+        assert_eq!(validate_prometheus(text), Ok(1));
+        assert!(validate_prometheus("m{k=\"unterminated} 1\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_broken_expositions() {
+        for (text, why) in [
+            ("", "no samples"),
+            ("# NOTE x y\n", "unknown comment kind"),
+            ("# TYPE m sideways\nm 1\n", "bad type"),
+            (
+                "# TYPE m counter\n# TYPE m counter\nm 1\n",
+                "duplicate declaration",
+            ),
+            ("m not_a_number\n", "unparseable value"),
+            ("m{k=unquoted} 1\n", "unquoted label value"),
+            ("m{k=\"v\" 1\n", "unbalanced braces"),
+            ("1metric 1\n", "bad sample name"),
+        ] {
+            assert!(validate_prometheus(text).is_err(), "must reject: {why}");
         }
-        assert!(samples > 0, "exposition must contain samples");
     }
 
     #[test]

@@ -121,6 +121,10 @@ impl ModelRegistry {
 
     /// Publish a model with an optional per-model batching policy; `None`
     /// keeps whatever policy `model` already carries.
+    ///
+    /// **Deprecated**: the policy belongs on the model itself — build it
+    /// with [`ServedModel::with_batch_policy`] and call
+    /// [`ModelRegistry::publish`]. This shim forwards and will be removed.
     #[deprecated(
         since = "0.1.0",
         note = "attach the policy on the builder path instead: \

@@ -98,6 +98,18 @@ impl Priority {
 
 /// Per-request scheduling options for
 /// [`InferenceServer::submit_with_options`].
+///
+/// ```
+/// use std::time::Duration;
+/// use bcpnn_serve::{Priority, SubmitOptions};
+///
+/// let options = SubmitOptions::new()
+///     .priority(Priority::High)
+///     .deadline(Duration::from_millis(5));
+/// assert_eq!(options.priority, Priority::High);
+/// assert_eq!(options.deadline, Some(Duration::from_millis(5)));
+/// assert_eq!(SubmitOptions::default().deadline, None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SubmitOptions {
     /// Drain order relative to other pending requests.
@@ -345,6 +357,14 @@ impl InferenceServer {
     #[must_use]
     pub fn queue_depth(&self) -> u64 {
         self.metrics.queue_depth()
+    }
+
+    /// Prometheus text exposition of this pool's metrics (unlabeled; the
+    /// single-pool analogue of
+    /// [`ShardedServer::to_prometheus`](crate::ShardedServer::to_prometheus)).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
     }
 }
 

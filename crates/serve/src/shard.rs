@@ -81,6 +81,47 @@ impl Default for ShardConfig {
 
 /// `N` independent [`InferenceServer`] pools over one shared registry,
 /// with deterministic request routing and aggregated metrics.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bcpnn_backend::BackendKind;
+/// use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams};
+/// use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+/// use bcpnn_serve::{ModelRegistry, ServedModel, ShardConfig, ShardedServer};
+///
+/// let data = generate(&SyntheticHiggsConfig { n_samples: 300, ..Default::default() });
+/// let (pipeline, _) = Pipeline::fit(
+///     &data,
+///     10,
+///     Network::builder()
+///         .hidden(2, 4, 0.3)
+///         .classes(2)
+///         .readout(ReadoutKind::Hybrid)
+///         .backend(BackendKind::Naive)
+///         .seed(1),
+///     TrainingParams {
+///         unsupervised_epochs: 1,
+///         supervised_epochs: 1,
+///         batch_size: 50,
+///         ..Default::default()
+///     },
+/// )
+/// .unwrap();
+///
+/// let registry = Arc::new(ModelRegistry::new());
+/// registry.publish(ServedModel::new("higgs", 1, pipeline));
+/// let server = ShardedServer::start(Arc::clone(&registry), ShardConfig::new(2));
+/// assert_eq!(server.n_shards(), 2);
+///
+/// // Requests route to a shard; a hot-swap through the shared registry
+/// // flips every shard at once.
+/// let proba = server.predict("higgs", data.features.row(0).to_vec()).unwrap();
+/// assert_eq!(proba.len(), 2);
+///
+/// // Per-shard and aggregate samples render into one scrape.
+/// let text = server.to_prometheus();
+/// assert!(text.contains(r#"bcpnn_serve_requests_total{shard="all"} 1"#));
+/// ```
 pub struct ShardedServer {
     registry: Arc<ModelRegistry>,
     shards: Vec<InferenceServer>,

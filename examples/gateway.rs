@@ -1,0 +1,163 @@
+//! Gateway walkthrough: the full HTTP lifecycle against a live gateway —
+//! train, serve, predict over the wire, scrape metrics, hot-swap — using
+//! the bundled HTTP client in place of curl, so the whole tour runs
+//! offline in one process.
+//!
+//! ```sh
+//! cargo run --release --example gateway
+//! ```
+
+use std::sync::Arc;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::{Network, ReadoutKind, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_gateway::{client, Gateway, GatewayConfig};
+use bcpnn_serve::{ModelRegistry, Pipeline, ServeTarget, ServedModel, ShardConfig, ShardedServer};
+
+fn train(seed: u64) -> Pipeline {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 1500,
+        seed,
+        ..Default::default()
+    });
+    let (pipeline, _) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 2,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
+    .expect("training succeeds");
+    pipeline
+}
+
+fn main() {
+    println!("== bcpnn-gateway example ==");
+    println!("training v1 (served) and v2 (saved as a swap artifact)...");
+    let v1 = train(1);
+    let v2 = train(2);
+    let artifact =
+        std::env::temp_dir().join(format!("bcpnn-gateway-example-{}", std::process::id()));
+    v2.save(&artifact).expect("artifact saves");
+
+    // The serving stack: one registry, two shards, the gateway on an
+    // ephemeral port.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(ServedModel::new("higgs", 1, v1));
+    let server = Arc::new(ShardedServer::start(
+        Arc::clone(&registry),
+        ShardConfig::new(2),
+    ));
+    let gateway = Gateway::start(
+        Arc::clone(&server) as Arc<dyn ServeTarget>,
+        GatewayConfig::default(),
+    )
+    .expect("gateway binds");
+    let addr = gateway.local_addr();
+    println!("gateway listening on http://{addr}\n");
+
+    // GET /healthz
+    let health = client::request(addr, "GET", "/healthz", &[], b"").unwrap();
+    println!("GET /healthz -> {} {}", health.status, health.body_str());
+    assert_eq!(health.status, 200);
+
+    // GET /v1/models
+    let models = client::request(addr, "GET", "/v1/models", &[], b"").unwrap();
+    println!("GET /v1/models -> {} {}", models.status, models.body_str());
+
+    // POST /v1/models/higgs/predict with three rows and scheduling headers.
+    let requests = generate(&SyntheticHiggsConfig {
+        n_samples: 3,
+        seed: 42,
+        ..Default::default()
+    });
+    let rows: Vec<String> = requests
+        .features
+        .iter_rows()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    let body = format!("[{}]", rows.join(","));
+    let predict = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs/predict",
+        &[("X-Priority", "high"), ("X-Deadline-Ms", "1000")],
+        body.as_bytes(),
+    )
+    .unwrap();
+    println!(
+        "POST /v1/models/higgs/predict ({} rows) -> {} {}",
+        rows.len(),
+        predict.status,
+        predict.body_str()
+    );
+    assert_eq!(predict.status, 200);
+
+    // PUT /v1/models/higgs: hot-swap to the saved v2 artifact.
+    let swap_body = format!(
+        "{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}",
+        artifact.display()
+    );
+    let swap = client::request(addr, "PUT", "/v1/models/higgs", &[], swap_body.as_bytes()).unwrap();
+    println!(
+        "PUT /v1/models/higgs -> {} {}",
+        swap.status,
+        swap.body_str()
+    );
+    assert_eq!(swap.status, 200);
+
+    // Error mapping on the wire: unknown model -> 404, ragged rows -> 400.
+    let missing = client::request(addr, "POST", "/v1/models/ghost/predict", &[], b"[[1]]").unwrap();
+    println!(
+        "POST /v1/models/ghost/predict -> {} (unknown model)",
+        missing.status
+    );
+    assert_eq!(missing.status, 404);
+    let ragged = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs/predict",
+        &[],
+        b"[[1,2],[3]]",
+    )
+    .unwrap();
+    println!("POST ragged rows -> {} (malformed body)", ragged.status);
+    assert_eq!(ragged.status, 400);
+
+    // GET /metrics: the combined serving + gateway exposition.
+    let scrape = client::request(addr, "GET", "/metrics", &[], b"").unwrap();
+    let text = scrape.body_str();
+    bcpnn_serve::validate_prometheus(&text).expect("scrape is a valid exposition");
+    println!(
+        "\nGET /metrics -> {} ({} bytes); highlights:",
+        scrape.status,
+        text.len()
+    );
+    for line in text.lines().filter(|l| {
+        l.starts_with("bcpnn_serve_requests_total")
+            || l.starts_with("bcpnn_serve_queue_depth")
+            || l.starts_with("bcpnn_gateway_requests_total")
+            || l.starts_with("bcpnn_gateway_responses_total")
+    }) {
+        println!("  {line}");
+    }
+
+    let _ = std::fs::remove_dir_all(&artifact);
+    println!(
+        "\nOK: gateway walkthrough complete (served v{} after hot-swap)",
+        registry.lookup("higgs").map(|m| m.version()).unwrap_or(0)
+    );
+}
