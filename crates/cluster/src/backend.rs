@@ -1,0 +1,603 @@
+//! The backend node: today's in-process serving stack behind the interior
+//! binary protocol.
+//!
+//! A [`BackendNode`] wraps any [`ServeTarget`] (in practice a
+//! [`ShardedServer`](bcpnn_serve::ShardedServer)) behind a
+//! `std::net::TcpListener` speaking [`crate::wire::Frame`]
+//! request/reply, one handler thread per connection. A multi-row
+//! `Predict` frame is submitted row by row before any row is waited on,
+//! so the node's micro-batcher coalesces rows *across router
+//! connections* exactly as the single-node gateway does across HTTP
+//! connections.
+//!
+//! Dropping the node is a **hard kill**, not a graceful drain: the
+//! listener closes and every live connection is shut down mid-flight.
+//! That is deliberate — it is what the failover integration test (and a
+//! real crashed process) looks like from the router's side.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_gateway::artifact;
+use bcpnn_serve::{Pipeline, ServeTarget, ServedModel};
+
+use crate::wire::{
+    decode_options, encode_serve_error, ErrorCode, Frame, ModelInfo, RowBlock, WireError,
+    DEFAULT_MAX_PAYLOAD,
+};
+
+/// Backend node configuration.
+#[derive(Debug, Clone)]
+pub struct BackendConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Ceiling on incoming frame payloads.
+    pub max_payload: usize,
+    /// Per-connection socket read/write timeout. A connection idle past
+    /// this is closed; the router's pool redials transparently.
+    pub io_timeout: Duration,
+    /// Allowlisted root for `Publish` artifact paths; `None` allows any
+    /// path (trusted interior networks only).
+    pub artifact_root: Option<PathBuf>,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            io_timeout: Duration::from_secs(60),
+            artifact_root: None,
+        }
+    }
+}
+
+struct NodeShared {
+    target: Arc<dyn ServeTarget>,
+    max_payload: usize,
+    io_timeout: Duration,
+    artifact_root: Option<PathBuf>,
+    shutdown: AtomicBool,
+    /// Clones of every accepted connection, so a kill can sever streams
+    /// that handler threads are blocked on.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running backend node. Dropping it hard-kills the listener and every
+/// live connection.
+pub struct BackendNode {
+    local_addr: SocketAddr,
+    shared: Arc<NodeShared>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl BackendNode {
+    /// Bind `config.addr` and serve `target` over the interior protocol.
+    pub fn start(
+        target: Arc<dyn ServeTarget>,
+        config: BackendConfig,
+    ) -> std::io::Result<BackendNode> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NodeShared {
+            target,
+            max_payload: config.max_payload,
+            io_timeout: config.io_timeout,
+            artifact_root: config.artifact_root,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name(format!("bcpnn-backend-accept-{local_addr}"))
+                .spawn(move || run_accept(&listener, &shared, &handlers))
+                .expect("failed to spawn backend accept thread")
+        };
+        Ok(BackendNode {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+
+    /// The address the node actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The serving stack behind this node.
+    pub fn target(&self) -> &Arc<dyn ServeTarget> {
+        &self.shared.target
+    }
+}
+
+impl Drop for BackendNode {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Sever every live connection mid-whatever-it-was-doing: in-flight
+        // requests fail on the router side, which is the point.
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for handler in self.handlers.lock().unwrap().drain(..) {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for BackendNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendNode")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+fn run_accept(
+    listener: &TcpListener,
+    shared: &Arc<NodeShared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("bcpnn-backend-conn".into())
+            .spawn(move || handle_connection(&shared, stream))
+            .expect("failed to spawn backend connection thread");
+        handlers.lock().unwrap().push(handle);
+    }
+}
+
+/// Serve frames on one connection until it closes, errors, or goes idle
+/// past the I/O timeout.
+fn handle_connection(shared: &NodeShared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let request = match Frame::read_from(&mut stream, shared.max_payload) {
+            Ok(frame) => frame,
+            // Framing violations get one typed error frame back (best
+            // effort) and the connection is closed: after a bad header
+            // the stream position cannot be trusted.
+            Err(WireError::Io(_)) => return,
+            Err(err) => {
+                let _ = Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                }
+                .write_to(&mut stream);
+                return;
+            }
+        };
+        let reply = handle_frame(shared, request);
+        if reply.write_to(&mut stream).is_err() {
+            return;
+        }
+    }
+}
+
+/// One request frame → one reply frame.
+fn handle_frame(shared: &NodeShared, request: Frame) -> Frame {
+    match request {
+        Frame::Ping { nonce } => Frame::Pong { nonce },
+        Frame::Predict {
+            model,
+            priority,
+            deadline_ms,
+            rows,
+        } => handle_predict(shared, &model, priority, deadline_ms, &rows),
+        Frame::Publish {
+            model,
+            path,
+            version,
+            backend,
+        } => handle_publish(shared, &model, &path, version, backend),
+        Frame::MetricsReq => Frame::MetricsOk {
+            text: shared.target.to_prometheus(),
+        },
+        Frame::ModelsReq => handle_models(shared),
+        // Reply opcodes arriving as requests are protocol misuse.
+        other => Frame::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("frame {other:?} is not a request"),
+        },
+    }
+}
+
+fn handle_predict(
+    shared: &NodeShared,
+    model: &str,
+    priority: u8,
+    deadline_ms: u64,
+    rows: &RowBlock,
+) -> Frame {
+    let options = decode_options(priority, deadline_ms);
+    // Advisory, same semantics as the single-node gateway: the current
+    // version at accept time (each micro-batch resolves its own).
+    let version = shared.target.registry().lookup(model).map(|m| m.version());
+
+    // Submit every row before waiting on any, so the rows of one frame —
+    // and of concurrent router connections — co-batch in the collector.
+    let mut handles = Vec::with_capacity(rows.n_rows());
+    for i in 0..rows.n_rows() {
+        match shared
+            .target
+            .submit_with_options(model, rows.row(i).to_vec(), options)
+        {
+            Ok(handle) => handles.push(handle),
+            Err(err) => {
+                let (code, message) = encode_serve_error(&err);
+                return Frame::Error { code, message };
+            }
+        }
+    }
+    let mut width = 0u32;
+    let mut data = Vec::new();
+    for handle in handles {
+        match handle.wait() {
+            Ok(proba) => {
+                if width == 0 {
+                    width = proba.len() as u32;
+                    data.reserve(rows.n_rows() * proba.len());
+                } else if proba.len() as u32 != width {
+                    // A hot-swap to a model with a different class count
+                    // landed mid-frame; the reply cannot be rectangular.
+                    return Frame::Error {
+                        code: ErrorCode::Model,
+                        message: "class count changed mid-request; retry".into(),
+                    };
+                }
+                data.extend_from_slice(&proba);
+            }
+            Err(err) => {
+                let (code, message) = encode_serve_error(&err);
+                return Frame::Error { code, message };
+            }
+        }
+    }
+    Frame::PredictOk {
+        version,
+        rows: RowBlock {
+            n_cols: width,
+            data,
+        },
+    }
+}
+
+fn handle_publish(
+    shared: &NodeShared,
+    model: &str,
+    path: &str,
+    version: u64,
+    backend: u8,
+) -> Frame {
+    let kind = match backend {
+        0 => BackendKind::Naive,
+        1 => BackendKind::Parallel,
+        other => {
+            return Frame::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown compute backend byte {other}"),
+            }
+        }
+    };
+    if let Some(root) = &shared.artifact_root {
+        if !artifact::path_allowed(root, std::path::Path::new(path)) {
+            return Frame::Error {
+                code: ErrorCode::Forbidden,
+                message: format!("artifact path {path:?} is outside the allowed root"),
+            };
+        }
+    }
+    let pipeline = match Pipeline::load(path, kind) {
+        Ok(pipeline) => pipeline,
+        Err(err) => {
+            return Frame::Error {
+                code: ErrorCode::Io,
+                message: format!("cannot load artifact at {path:?}: {err}"),
+            }
+        }
+    };
+    let (handle, displaced) = shared
+        .target
+        .registry()
+        .publish(ServedModel::new(model, version, pipeline));
+    Frame::PublishOk {
+        version: handle.version(),
+        displaced: displaced.map(|m| m.version()),
+    }
+}
+
+fn handle_models(shared: &NodeShared) -> Frame {
+    let registry = shared.target.registry();
+    let mut names = registry.model_names();
+    names.sort_unstable();
+    let models = names
+        .into_iter()
+        .filter_map(|name| registry.lookup(&name))
+        .map(|m| ModelInfo {
+            name: m.name().to_string(),
+            version: m.version(),
+            n_inputs: m.predictor().n_inputs() as u32,
+            n_classes: m.predictor().n_classes() as u32,
+        })
+        .collect();
+    Frame::ModelsOk { models }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BackendPool;
+    use bcpnn_core::model::Predictor;
+    use bcpnn_core::{Network, ReadoutKind, TrainingParams};
+    use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+    use bcpnn_serve::{ModelRegistry, ShardConfig, ShardedServer};
+
+    fn tiny_pipeline(seed: u64) -> (Pipeline, bcpnn_data::Dataset) {
+        let data = generate(&SyntheticHiggsConfig {
+            n_samples: 200,
+            seed,
+            ..Default::default()
+        });
+        let (pipeline, _) = Pipeline::fit(
+            &data,
+            8,
+            Network::builder()
+                .hidden(2, 4, 0.3)
+                .classes(2)
+                .readout(ReadoutKind::Hybrid)
+                .backend(bcpnn_backend::BackendKind::Naive)
+                .seed(seed),
+            TrainingParams {
+                unsupervised_epochs: 1,
+                supervised_epochs: 1,
+                batch_size: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (pipeline, data)
+    }
+
+    fn node_with_model(seed: u64) -> (BackendNode, Pipeline, bcpnn_data::Dataset) {
+        let (pipeline, data) = tiny_pipeline(seed);
+        let (reference, _) = tiny_pipeline(seed);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = Arc::new(ShardedServer::start(registry, ShardConfig::new(2)));
+        let node = BackendNode::start(server as Arc<dyn ServeTarget>, BackendConfig::default())
+            .expect("backend binds an ephemeral port");
+        (node, reference, data)
+    }
+
+    fn pool_for(node: &BackendNode) -> BackendPool {
+        BackendPool::new(
+            node.local_addr(),
+            Duration::from_secs(1),
+            2,
+            DEFAULT_MAX_PAYLOAD,
+        )
+    }
+
+    #[test]
+    fn ping_models_and_metrics_answer_over_the_wire() {
+        let (node, _reference, _data) = node_with_model(11);
+        let pool = pool_for(&node);
+        assert!(pool.ping(42, Duration::from_secs(2)));
+        let Ok(Frame::ModelsOk { models }) = pool.call(&Frame::ModelsReq, Duration::from_secs(2))
+        else {
+            panic!("models listing failed");
+        };
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].name, "higgs");
+        assert_eq!(models[0].n_inputs, 28);
+        assert_eq!(models[0].n_classes, 2);
+        let Ok(Frame::MetricsOk { text }) = pool.call(&Frame::MetricsReq, Duration::from_secs(2))
+        else {
+            panic!("metrics failed");
+        };
+        assert!(text.contains("bcpnn_serve_requests_total"));
+    }
+
+    #[test]
+    fn predict_over_the_wire_is_bit_exact_against_the_pipeline() {
+        let (node, reference, data) = node_with_model(12);
+        let pool = pool_for(&node);
+        let rows = RowBlock::from_rows(&[
+            data.features.row(0).to_vec(),
+            data.features.row(1).to_vec(),
+            data.features.row(2).to_vec(),
+        ]);
+        let Ok(Frame::PredictOk { version, rows: got }) = pool.call(
+            &Frame::Predict {
+                model: "higgs".into(),
+                priority: 0,
+                deadline_ms: 0,
+                rows,
+            },
+            Duration::from_secs(5),
+        ) else {
+            panic!("predict failed");
+        };
+        assert_eq!(version, Some(1));
+        assert_eq!((got.n_rows(), got.n_cols), (3, 2));
+        let direct = reference.predict_proba(&data.features).unwrap();
+        for i in 0..3 {
+            for c in 0..2 {
+                assert_eq!(
+                    got.row(i)[c].to_bits(),
+                    direct.get(i, c).to_bits(),
+                    "row {i} col {c} drifted across the wire"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn application_errors_come_back_as_typed_error_frames() {
+        let (node, _reference, data) = node_with_model(13);
+        let pool = pool_for(&node);
+        // Unknown model.
+        let reply = pool
+            .call(
+                &Frame::Predict {
+                    model: "ghost".into(),
+                    priority: 0,
+                    deadline_ms: 0,
+                    rows: RowBlock::from_rows(&[data.features.row(0).to_vec()]),
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error {
+                    code: ErrorCode::UnknownModel,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+        // Wrong feature width.
+        let reply = pool
+            .call(
+                &Frame::Predict {
+                    model: "higgs".into(),
+                    priority: 0,
+                    deadline_ms: 0,
+                    rows: RowBlock::from_rows(&[vec![1.0, 2.0]]),
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error {
+                    code: ErrorCode::ShapeMismatch,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+        // A reply opcode as a request.
+        let reply = pool
+            .call(&Frame::Pong { nonce: 1 }, Duration::from_secs(2))
+            .unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+    }
+
+    #[test]
+    fn publish_respects_the_artifact_allowlist() {
+        let (pipeline, _) = tiny_pipeline(14);
+        let root = std::env::temp_dir().join(format!("bcpnn-node-allow-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let artifact = root.join("higgs-v2");
+        pipeline.save(&artifact).unwrap();
+
+        let registry = Arc::new(ModelRegistry::new());
+        let server = Arc::new(ShardedServer::start(registry, ShardConfig::new(1)));
+        let node = BackendNode::start(
+            server as Arc<dyn ServeTarget>,
+            BackendConfig {
+                artifact_root: Some(root.clone()),
+                ..BackendConfig::default()
+            },
+        )
+        .unwrap();
+        let pool = pool_for(&node);
+
+        // Outside the root: Forbidden, nothing published.
+        let reply = pool
+            .call(
+                &Frame::Publish {
+                    model: "higgs".into(),
+                    path: "/definitely/not/a/model".into(),
+                    version: 2,
+                    backend: 0,
+                },
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error {
+                    code: ErrorCode::Forbidden,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+        // Inside the root: loads and publishes.
+        let reply = pool
+            .call(
+                &Frame::Publish {
+                    model: "higgs".into(),
+                    path: artifact.to_str().unwrap().into(),
+                    version: 2,
+                    backend: 0,
+                },
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(
+            reply,
+            Frame::PublishOk {
+                version: 2,
+                displaced: None
+            }
+        );
+    }
+
+    #[test]
+    fn dropping_the_node_severs_live_connections() {
+        let (node, _reference, _data) = node_with_model(15);
+        let addr = node.local_addr();
+        let pool = BackendPool::new(addr, Duration::from_secs(1), 2, DEFAULT_MAX_PAYLOAD);
+        assert!(pool.ping(1, Duration::from_secs(2)));
+        drop(node);
+        // Both the pooled connection and fresh dials now fail.
+        assert!(!pool.ping(2, Duration::from_millis(500)));
+    }
+}

@@ -1,0 +1,328 @@
+//! `bcpnn-cluster` demo: train a Higgs classifier, replicate it across a
+//! small cluster of backend nodes, and front them with a router speaking
+//! the gateway's HTTP protocol.
+//!
+//! ```text
+//! cluster_demo [--addr HOST:PORT] [--backends N] [--replication N]
+//!              [--shards N] [--train-samples N] [--model-dir DIR]
+//!              [--port-file PATH] [--self-test]
+//! ```
+//!
+//! By default the router binds an ephemeral port, prints a curl
+//! walkthrough, and serves until killed — the shape the CI `cluster` job
+//! drives (`--port-file` publishes the chosen port). `--self-test`
+//! instead runs the walkthrough in-process through the bundled HTTP
+//! client, including a cluster-wide hot-swap, and exits non-zero on any
+//! failure.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bcpnn_backend::BackendKind;
+use bcpnn_cluster::{
+    BackendConfig, BackendNode, ClusterConfig, ClusterRouter, RouterHttp, RouterHttpConfig,
+};
+use bcpnn_core::{Network, ReadoutKind, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_gateway::client;
+use bcpnn_serve::{ModelRegistry, Pipeline, ServeTarget, ServedModel, ShardConfig, ShardedServer};
+
+struct Args {
+    addr: String,
+    backends: usize,
+    replication: usize,
+    shards: usize,
+    train_samples: usize,
+    model_dir: PathBuf,
+    port_file: Option<PathBuf>,
+    self_test: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            addr: "127.0.0.1:0".to_string(),
+            backends: 2,
+            replication: 2,
+            shards: 1,
+            train_samples: 2000,
+            model_dir: std::env::temp_dir().join("bcpnn-cluster-demo"),
+            port_file: None,
+            self_test: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("error: {flag} needs a {what}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--addr" => args.addr = value("host:port"),
+                "--backends" => args.backends = parse_num(&flag, &value("count")),
+                "--replication" => args.replication = parse_num(&flag, &value("count")),
+                "--shards" => args.shards = parse_num(&flag, &value("count")),
+                "--train-samples" => args.train_samples = parse_num(&flag, &value("count")),
+                "--model-dir" => args.model_dir = PathBuf::from(value("directory")),
+                "--port-file" => args.port_file = Some(PathBuf::from(value("path"))),
+                "--self-test" => args.self_test = true,
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if args.backends == 0 {
+            eprintln!("error: --backends must be at least 1");
+            std::process::exit(2);
+        }
+        args
+    }
+}
+
+fn parse_num(flag: &str, raw: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} needs a number, got {raw:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Train one model version on synthetic Higgs data.
+fn train_version(n_samples: usize, seed: u64) -> Pipeline {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples,
+        seed,
+        ..Default::default()
+    });
+    let (pipeline, _report) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 2,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
+    .expect("training on synthetic data succeeds");
+    pipeline
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("== bcpnn-cluster demo ==");
+    println!(
+        "training v1 (served) and v2 (saved for hot-swap) on {} synthetic Higgs collisions each...",
+        args.train_samples
+    );
+    let v1_dir = args.model_dir.join("higgs-v1");
+    let v2_dir = args.model_dir.join("higgs-v2");
+    train_version(args.train_samples, 1)
+        .save(&v1_dir)
+        .expect("saving the v1 artifact succeeds");
+    train_version(args.train_samples, 2)
+        .save(&v2_dir)
+        .expect("saving the v2 artifact succeeds");
+
+    // Every backend loads the same saved artifact, so all replicas hold
+    // bit-identical model state — the property that makes failover
+    // invisible to clients.
+    let mut nodes = Vec::with_capacity(args.backends);
+    for _ in 0..args.backends {
+        let pipeline =
+            Pipeline::load(&v1_dir, BackendKind::Parallel).expect("loading the v1 artifact");
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        let server = Arc::new(ShardedServer::start(
+            registry,
+            ShardConfig::new(args.shards),
+        ));
+        let node = BackendNode::start(
+            server as Arc<dyn ServeTarget>,
+            BackendConfig {
+                artifact_root: Some(args.model_dir.clone()),
+                ..BackendConfig::default()
+            },
+        )
+        .expect("backend node binds");
+        nodes.push(node);
+    }
+
+    let router = Arc::new(ClusterRouter::start(ClusterConfig {
+        backends: nodes.iter().map(|n| n.local_addr()).collect(),
+        default_replication: args.replication,
+        ..ClusterConfig::default()
+    }));
+    let front = RouterHttp::start(
+        Arc::clone(&router),
+        RouterHttpConfig {
+            addr: args.addr.clone(),
+            ..RouterHttpConfig::default()
+        },
+    )
+    .expect("router HTTP front binds");
+    let addr = front.local_addr();
+    if let Some(port_file) = &args.port_file {
+        std::fs::write(port_file, addr.port().to_string()).expect("port file is writable");
+    }
+
+    // One example row so the walkthrough's predict body is copy-pasteable.
+    let sample = generate(&SyntheticHiggsConfig {
+        n_samples: 1,
+        seed: 42,
+        ..Default::default()
+    });
+    let row: Vec<String> = sample
+        .features
+        .row(0)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    let row_json = format!("[[{}]]", row.join(","));
+
+    println!();
+    println!(
+        "router listening on http://{addr} ({} backends, replication {}, {} shards each)",
+        args.backends,
+        args.replication.min(args.backends),
+        args.shards
+    );
+    for (i, node) in nodes.iter().enumerate() {
+        println!(
+            "  backend {i}: {} (binary interior protocol)",
+            node.local_addr()
+        );
+    }
+    println!();
+    println!("== curl walkthrough ==");
+    println!("# liveness + replica picture");
+    println!("curl -s http://{addr}/healthz");
+    println!("# merged cluster listing (each model names its replica group)");
+    println!("curl -s http://{addr}/v1/models");
+    println!("# predict: fanned to the model's replica group with failover");
+    println!(
+        "curl -s -X POST http://{addr}/v1/models/higgs/predict \\\n     -H 'X-Priority: high' -H 'X-Deadline-Ms: 250' \\\n     -d '{row_json}'"
+    );
+    println!("# merged Prometheus scrape: per-node serving metrics + bcpnn_cluster_* counters");
+    println!("curl -s http://{addr}/metrics | grep -E 'bcpnn_cluster_backend_up|fanout'");
+    println!("# cluster-wide hot-swap: every replica loads the saved v2 artifact");
+    println!(
+        "curl -s -X PUT http://{addr}/v1/models/higgs \\\n     -d '{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}'",
+        v2_dir.display()
+    );
+    println!();
+
+    if args.self_test {
+        run_self_test(addr, &row_json, &v2_dir, args.backends);
+        return;
+    }
+
+    println!("serving until killed (ctrl-c)...");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Drive the walkthrough through the bundled client and verify each step.
+fn run_self_test(
+    addr: std::net::SocketAddr,
+    row_json: &str,
+    v2_dir: &std::path::Path,
+    backends: usize,
+) {
+    println!("== self-test ==");
+    let mut ok = true;
+    let mut check = |what: &str, passed: bool| {
+        println!("{} {what}", if passed { "ok  " } else { "FAIL" });
+        ok &= passed;
+    };
+
+    let health = client::request(addr, "GET", "/healthz", &[], b"").expect("healthz responds");
+    check(
+        "healthz is 200 with every backend up",
+        health.status == 200
+            && health
+                .body_str()
+                .contains(&format!("\"backends_up\":{backends}")),
+    );
+
+    let predict = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs/predict",
+        &[("X-Priority", "high"), ("X-Deadline-Ms", "2000")],
+        row_json.as_bytes(),
+    )
+    .expect("predict responds");
+    check(
+        "predict is 200 with v1 predictions",
+        predict.status == 200 && predict.body_str().contains("\"version\":1"),
+    );
+
+    let swap_body = format!(
+        "{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}",
+        v2_dir.display()
+    );
+    let swap = client::request(addr, "PUT", "/v1/models/higgs", &[], swap_body.as_bytes())
+        .expect("swap responds");
+    check(
+        "cluster-wide hot-swap is 200 with every replica displacing v1",
+        swap.status == 200
+            && swap.body_str().contains("\"displaced_version\":1")
+            && !swap.body_str().contains("\"ok\":false"),
+    );
+
+    let models = client::request(addr, "GET", "/v1/models", &[], b"").expect("listing responds");
+    check(
+        "listing shows version 2 with its replica group",
+        models.status == 200
+            && models.body_str().contains("\"version\":2")
+            && models.body_str().contains("\"replicas\""),
+    );
+
+    let forbidden = client::request(
+        addr,
+        "PUT",
+        "/v1/models/higgs",
+        &[],
+        b"{\"path\":\"/etc/passwd\",\"version\":3,\"backend\":\"parallel\"}",
+    )
+    .expect("forbidden swap responds");
+    check(
+        "publish outside the artifact root is 403",
+        forbidden.status == 403,
+    );
+
+    let metrics = client::request(addr, "GET", "/metrics", &[], b"").expect("metrics responds");
+    let text = metrics.body_str();
+    check(
+        "merged scrape is a valid exposition",
+        metrics.status == 200 && bcpnn_serve::validate_prometheus(&text).is_ok(),
+    );
+    check(
+        "scrape exports cluster gauges and per-node serving metrics",
+        text.contains("bcpnn_cluster_backend_up") && text.contains("node=\"0\""),
+    );
+
+    let missing = client::request(addr, "POST", "/v1/models/ghost/predict", &[], b"[[1]]")
+        .expect("unknown model responds");
+    check("unknown model is 404", missing.status == 404);
+
+    println!();
+    println!(
+        "{}",
+        if ok {
+            "OK: cluster walkthrough verified"
+        } else {
+            "FAILED: see steps above"
+        }
+    );
+    std::process::exit(i32::from(!ok));
+}

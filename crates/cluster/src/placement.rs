@@ -1,0 +1,175 @@
+//! Consistent-hash placement: models → replica groups of backend nodes.
+//!
+//! Each backend is hashed onto a `u64` ring at a configurable number of points
+//! (virtual nodes smooth the load split); a model's replica group is the
+//! first `replication` *distinct* backends clockwise from the model
+//! name's hash. The properties the cluster leans on:
+//!
+//! * **Stability** — placement is a pure function of `(backend count,
+//!   vnodes, key)`. Router restarts, or a second router instance, compute
+//!   the same groups with no coordination channel.
+//! * **Minimal disruption** — adding a backend moves only the keys that
+//!   now hash to it; the rest of the fleet's placement is untouched
+//!   (asserted by a test below).
+//!
+//! Hashing is FNV-1a 64 — stable across platforms and Rust versions,
+//! unlike `DefaultHasher`, whose seed is deliberately randomized.
+
+/// FNV-1a 64-bit: stable, dependency-free, good enough dispersion for
+/// placement (the vnode count does the smoothing).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// splitmix64 finalizer: FNV-1a alone clusters badly on the near-identical
+/// `backend-N/vnode-M` strings (sequential suffixes land on nearby ring
+/// points, starving whole backends); one multiply-xorshift avalanche
+/// spreads the arcs. Deterministic, so placement stability is preserved.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The ring coordinate of an arbitrary key.
+fn point_of(key: &str) -> u64 {
+    mix64(fnv1a64(key.as_bytes()))
+}
+
+/// A consistent-hash ring over `n_backends` backends.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, backend)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    n_backends: usize,
+}
+
+impl Ring {
+    /// Hash `n_backends` backends onto the ring at `vnodes` points each.
+    pub fn new(n_backends: usize, vnodes: usize) -> Ring {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(n_backends * vnodes);
+        for backend in 0..n_backends {
+            for vnode in 0..vnodes {
+                let key = format!("backend-{backend}/vnode-{vnode}");
+                points.push((point_of(&key), backend));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, n_backends }
+    }
+
+    /// Number of backends on the ring.
+    pub fn n_backends(&self) -> usize {
+        self.n_backends
+    }
+
+    /// The first `count` distinct backends clockwise from `key`'s hash —
+    /// the key's replica group, primary first. Returns fewer when the
+    /// ring has fewer than `count` backends.
+    pub fn replicas(&self, key: &str, count: usize) -> Vec<usize> {
+        if self.points.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let want = count.min(self.n_backends);
+        let hash = point_of(key);
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let mut out = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, backend) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&backend) {
+                out.push(backend);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The primary backend for `key` (first replica).
+    pub fn primary(&self, key: &str) -> Option<usize> {
+        self.replicas(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_is_stable() {
+        // Pinned values: placement must never change across builds, or a
+        // rolling router upgrade would re-home every model.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"higgs"), fnv1a64(b"higgs"));
+        assert_ne!(fnv1a64(b"higgs"), fnv1a64(b"higgz"));
+    }
+
+    #[test]
+    fn replica_groups_are_distinct_ordered_and_deterministic() {
+        let ring = Ring::new(5, 64);
+        for key in ["higgs", "susy", "top-quark", "model-x"] {
+            let group = ring.replicas(key, 3);
+            assert_eq!(group.len(), 3, "{key}");
+            let mut dedup = group.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "{key}: replicas must be distinct");
+            assert_eq!(group, ring.replicas(key, 3), "{key}: deterministic");
+            assert_eq!(group[0], ring.primary(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn replication_caps_at_the_backend_count() {
+        let ring = Ring::new(2, 16);
+        assert_eq!(ring.replicas("m", 5).len(), 2);
+        assert_eq!(Ring::new(0, 16).replicas("m", 2), Vec::<usize>::new());
+        assert_eq!(ring.replicas("m", 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn load_spreads_across_backends() {
+        let ring = Ring::new(4, 64);
+        let mut counts = HashMap::new();
+        for i in 0..1000 {
+            let primary = ring.primary(&format!("model-{i}")).unwrap();
+            *counts.entry(primary).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 4, "every backend is someone's primary");
+        for (&backend, &n) in &counts {
+            assert!(
+                (100..500).contains(&n),
+                "backend {backend} owns {n}/1000 keys — vnodes are not smoothing"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_a_fraction_of_keys() {
+        let before = Ring::new(4, 64);
+        let after = Ring::new(5, 64);
+        let moved = (0..1000)
+            .filter(|i| {
+                let key = format!("model-{i}");
+                before.primary(&key) != after.primary(&key)
+            })
+            .count();
+        // Ideal is 1/5 = 200; generous bounds still exclude modulo-style
+        // rehash-everything behavior.
+        assert!(
+            (50..450).contains(&moved),
+            "{moved}/1000 keys moved when adding the 5th backend"
+        );
+    }
+}

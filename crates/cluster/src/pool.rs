@@ -1,0 +1,218 @@
+//! Per-backend connection pool: checkout/checkin of interior-protocol
+//! TCP connections, with a health flag maintained by the router's prober.
+//!
+//! Connections are plain blocking `TcpStream`s speaking
+//! [`crate::wire::Frame`] request/reply. The pool keeps a small free list
+//! so steady-state fan-out reuses warm connections; a call that fails on
+//! a *reused* connection with a non-timeout transport error retries once
+//! on a fresh connection before the failure is reported — a pooled
+//! connection may have died quietly (backend restart, idle reset) without
+//! that saying anything about the backend's current health.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::wire::{Frame, WireError};
+
+/// A pool of interior-protocol connections to one backend node.
+#[derive(Debug)]
+pub struct BackendPool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<TcpStream>>,
+    healthy: AtomicBool,
+    max_idle: usize,
+    connect_timeout: Duration,
+    max_payload: usize,
+}
+
+impl BackendPool {
+    /// A pool over the backend at `addr`. Backends start out marked
+    /// healthy; the router's first probe corrects that within one health
+    /// interval if the backend is not actually there.
+    pub fn new(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        max_idle: usize,
+        max_payload: usize,
+    ) -> BackendPool {
+        BackendPool {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(true),
+            max_idle: max_idle.max(1),
+            connect_timeout,
+            max_payload,
+        }
+    }
+
+    /// The backend's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the router currently considers this backend in rotation.
+    pub fn healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Mark the backend in or out of rotation.
+    pub fn set_healthy(&self, healthy: bool) {
+        self.healthy.store(healthy, Ordering::Relaxed);
+    }
+
+    /// Pop a pooled connection, or dial a fresh one. The boolean is true
+    /// when the connection came from the pool (and may therefore be
+    /// stale).
+    fn checkout(&self, timeout: Duration) -> std::io::Result<(TcpStream, bool)> {
+        if let Some(stream) = self.idle.lock().unwrap().pop() {
+            configure(&stream, timeout)?;
+            return Ok((stream, true));
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        configure(&stream, timeout)?;
+        Ok((stream, false))
+    }
+
+    /// Return a connection that completed a round trip cleanly.
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock().unwrap();
+        if idle.len() < self.max_idle {
+            idle.push(stream);
+        }
+    }
+
+    /// Drop every pooled connection (after a failed probe, so recovery
+    /// starts from fresh dials rather than a free list of corpses).
+    pub fn drain(&self) {
+        self.idle.lock().unwrap().clear();
+    }
+
+    /// One request/reply round trip with `timeout` applied to both the
+    /// write and the read. Retries once on a fresh connection if a reused
+    /// one fails with a non-timeout transport error.
+    pub fn call(&self, request: &Frame, timeout: Duration) -> Result<Frame, WireError> {
+        let (stream, reused) = self.checkout(timeout).map_err(WireError::Io)?;
+        match self.exchange(stream, request) {
+            Ok(reply) => Ok(reply),
+            Err(err) if reused && !err.is_timeout() => {
+                // The pooled connection was stale; one fresh dial decides.
+                let (stream, _) = self.checkout(timeout).map_err(WireError::Io)?;
+                self.exchange(stream, request)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn exchange(&self, mut stream: TcpStream, request: &Frame) -> Result<Frame, WireError> {
+        request.write_to(&mut stream)?;
+        let reply = Frame::read_from(&mut stream, self.max_payload)?;
+        self.checkin(stream);
+        Ok(reply)
+    }
+
+    /// Binary health probe: a [`Frame::Ping`] whose nonce must be echoed
+    /// back in the [`Frame::Pong`].
+    pub fn ping(&self, nonce: u64, timeout: Duration) -> bool {
+        matches!(
+            self.call(&Frame::Ping { nonce }, timeout),
+            Ok(Frame::Pong { nonce: echoed }) if echoed == nonce
+        )
+    }
+}
+
+fn configure(stream: &TcpStream, timeout: Duration) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// A minimal frame-echo server: answers every Ping with a Pong and
+    /// closes after `serve_frames` frames per connection.
+    fn pong_server(serve_frames: usize) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    for _ in 0..serve_frames {
+                        let Ok(Frame::Ping { nonce }) = Frame::read_from(&mut stream, 1024) else {
+                            return;
+                        };
+                        if (Frame::Pong { nonce }).write_to(&mut stream).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn ping_round_trips_and_reuses_the_connection() {
+        let addr = pong_server(100);
+        let pool = BackendPool::new(addr, Duration::from_secs(1), 4, 1024);
+        assert!(pool.ping(7, Duration::from_secs(1)));
+        assert!(pool.ping(8, Duration::from_secs(1)));
+        // The second ping ran on the pooled connection: the free list
+        // holds exactly one stream, not two.
+        assert_eq!(pool.idle.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retried_on_a_fresh_dial() {
+        // Server closes each connection after one frame: the pooled
+        // connection from the first call is dead by the second.
+        let addr = pong_server(1);
+        let pool = BackendPool::new(addr, Duration::from_secs(1), 4, 1024);
+        assert!(pool.ping(1, Duration::from_secs(1)));
+        assert!(
+            pool.ping(2, Duration::from_secs(1)),
+            "second call must survive the stale pooled connection"
+        );
+    }
+
+    #[test]
+    fn connect_failure_is_an_io_error_not_a_hang() {
+        // Bind-then-drop: the port is (almost certainly) closed.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let pool = BackendPool::new(addr, Duration::from_millis(200), 1, 1024);
+        assert!(matches!(
+            pool.call(&Frame::MetricsReq, Duration::from_millis(200)),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn read_timeout_reports_as_timeout() {
+        // A listener that accepts but never replies.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut sink = [0u8; 1024];
+                    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+                });
+            }
+        });
+        let pool = BackendPool::new(addr, Duration::from_secs(1), 1, 1024);
+        let err = pool
+            .call(&Frame::Ping { nonce: 1 }, Duration::from_millis(100))
+            .unwrap_err();
+        assert!(err.is_timeout(), "got {err:?}");
+    }
+}

@@ -1,0 +1,626 @@
+//! The router tier: consistent-hash placement, health-checked connection
+//! pools, replica failover, and cluster-wide publish/metrics fan-out.
+//!
+//! A [`ClusterRouter`] owns one [`BackendPool`] per backend node and a
+//! [`Ring`] that maps each model name to its replica group. Predict
+//! traffic goes to the group's first healthy member and **fails over**
+//! to the next replica on transport-level failures; application-level
+//! errors (unknown model, shape mismatch, deadline) never fail over —
+//! the next replica would answer the same thing, or the client's time
+//! budget is already spent.
+//!
+//! ## Timeout semantics
+//!
+//! * Request carries a client deadline → the deadline is also the wire
+//!   timeout, and expiry maps to [`ServeError::DeadlineExceeded`] (HTTP
+//!   504 through `bcpnn_gateway::status_of`), with **no** failover: a
+//!   replica retry cannot un-spend the client's budget.
+//! * No deadline → the configured
+//!   [`request_timeout`](ClusterConfig::request_timeout) applies; expiry
+//!   is treated as a backend failure: mark it out of rotation, fail over,
+//!   and only after every replica is exhausted report
+//!   [`ServeError::Io`] (HTTP 502).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bcpnn_serve::{
+    MetricsSnapshot, ModelRegistry, PredictionHandle, ServeError, ServeResult, ServeTarget,
+    ServingMetrics, SubmitOptions,
+};
+
+use crate::metrics::ClusterMetrics;
+use crate::placement::Ring;
+use crate::pool::BackendPool;
+use crate::wire::{
+    decode_serve_error, encode_options, ErrorCode, Frame, ModelInfo, RowBlock, DEFAULT_MAX_PAYLOAD,
+};
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Backend node addresses, in placement order. Index = backend id in
+    /// metrics labels and publish reports.
+    pub backends: Vec<SocketAddr>,
+    /// Replica-group size for models without an override (capped at the
+    /// backend count).
+    pub default_replication: usize,
+    /// Per-model replication overrides.
+    pub replication_overrides: Vec<(String, usize)>,
+    /// Virtual nodes per backend on the placement ring.
+    pub vnodes: usize,
+    /// TCP connect timeout for interior dials.
+    pub connect_timeout: Duration,
+    /// Wire timeout for requests that carry no client deadline.
+    pub request_timeout: Duration,
+    /// Wire timeout for health probes.
+    pub probe_timeout: Duration,
+    /// Period of the background health checker.
+    pub health_interval: Duration,
+    /// Idle interior connections kept per backend.
+    pub max_idle_conns: usize,
+    /// Ceiling on interior frame payloads.
+    pub max_payload: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            backends: Vec::new(),
+            default_replication: 2,
+            replication_overrides: Vec::new(),
+            vnodes: 64,
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            probe_timeout: Duration::from_millis(500),
+            health_interval: Duration::from_millis(250),
+            max_idle_conns: 8,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Per-node outcome of a cluster-wide publish broadcast.
+#[derive(Debug, Clone)]
+pub struct PublishOutcome {
+    /// Backend index the outcome is for.
+    pub backend: usize,
+    /// That backend's address.
+    pub addr: SocketAddr,
+    /// `Ok((version, displaced))` or the node's typed refusal.
+    pub result: Result<(u64, Option<u64>), (ErrorCode, String)>,
+}
+
+/// The running router tier (no HTTP listener of its own — see
+/// [`crate::httpfront::RouterHttp`] for the exterior surface).
+pub struct ClusterRouter {
+    config: ClusterConfig,
+    ring: Ring,
+    pools: Vec<Arc<BackendPool>>,
+    metrics: Arc<ClusterMetrics>,
+    /// Local placeholder so the [`ServeTarget`] surface has a registry to
+    /// hand out; models live on the backends, not here.
+    placeholder: Arc<ModelRegistry>,
+    /// Zeroed local serving counters backing [`ServeTarget::metrics`].
+    local: ServingMetrics,
+    nonce: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl ClusterRouter {
+    /// Build pools and the placement ring, probe every backend once
+    /// synchronously (so health gauges are meaningful immediately), and
+    /// start the background health checker.
+    pub fn start(config: ClusterConfig) -> ClusterRouter {
+        let ring = Ring::new(config.backends.len(), config.vnodes);
+        let pools: Vec<Arc<BackendPool>> = config
+            .backends
+            .iter()
+            .map(|&addr| {
+                Arc::new(BackendPool::new(
+                    addr,
+                    config.connect_timeout,
+                    config.max_idle_conns,
+                    config.max_payload,
+                ))
+            })
+            .collect();
+        let metrics = Arc::new(ClusterMetrics::new(pools.len()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut router = ClusterRouter {
+            config,
+            ring,
+            pools,
+            metrics,
+            placeholder: Arc::new(ModelRegistry::new()),
+            local: ServingMetrics::default(),
+            nonce: AtomicU64::new(1),
+            shutdown,
+            health: None,
+        };
+        router.probe_all();
+        router.health = Some({
+            let pools = router.pools.clone();
+            let metrics = Arc::clone(&router.metrics);
+            let shutdown = Arc::clone(&router.shutdown);
+            let interval = router.config.health_interval;
+            let probe_timeout = router.config.probe_timeout;
+            let nonce = AtomicU64::new(1 << 32);
+            std::thread::Builder::new()
+                .name("bcpnn-cluster-health".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        for (i, pool) in pools.iter().enumerate() {
+                            let n = nonce.fetch_add(1, Ordering::Relaxed);
+                            probe(pool, i, n, probe_timeout, &metrics);
+                        }
+                        // Sleep in slices so shutdown stays prompt.
+                        let deadline = Instant::now() + interval;
+                        while Instant::now() < deadline && !shutdown.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                })
+                .expect("failed to spawn cluster health thread")
+        });
+        router
+    }
+
+    /// Probe every backend once, updating pools and gauges.
+    fn probe_all(&self) {
+        for (i, pool) in self.pools.iter().enumerate() {
+            let n = self.nonce.fetch_add(1, Ordering::Relaxed);
+            probe(pool, i, n, self.config.probe_timeout, &self.metrics);
+        }
+    }
+
+    /// The router's cluster metrics.
+    pub fn cluster_metrics(&self) -> &Arc<ClusterMetrics> {
+        &self.metrics
+    }
+
+    /// The configured backend addresses.
+    pub fn backends(&self) -> &[SocketAddr] {
+        self.config.backends.as_slice()
+    }
+
+    /// Replica-group size for `model`.
+    pub fn replication_of(&self, model: &str) -> usize {
+        let requested = self
+            .config
+            .replication_overrides
+            .iter()
+            .find(|(name, _)| name == model)
+            .map_or(self.config.default_replication, |&(_, rf)| rf);
+        requested.clamp(1, self.pools.len().max(1))
+    }
+
+    /// Backend indices holding `model`, primary first (ring order).
+    pub fn replicas_for(&self, model: &str) -> Vec<usize> {
+        self.ring.replicas(model, self.replication_of(model))
+    }
+
+    /// Fan one batch of rows out to `model`'s replica group with
+    /// failover. Returns the answering backend's model version and the
+    /// probability rows.
+    pub fn predict_rows(
+        &self,
+        model: &str,
+        rows: RowBlock,
+        options: &SubmitOptions,
+    ) -> Result<(Option<u64>, RowBlock), ServeError> {
+        let replicas = self.replicas_for(model);
+        if replicas.is_empty() {
+            return Err(ServeError::Io("no backend nodes are configured".into()));
+        }
+        // Healthy members first, ring order preserved; unhealthy ones
+        // still get a shot afterwards in case the prober is stale.
+        let ordered: Vec<usize> = replicas
+            .iter()
+            .copied()
+            .filter(|&b| self.pools[b].healthy())
+            .chain(
+                replicas
+                    .iter()
+                    .copied()
+                    .filter(|&b| !self.pools[b].healthy()),
+            )
+            .collect();
+
+        let (priority, deadline_ms) = encode_options(options);
+        // The socket timeout gets a small grace over the client deadline:
+        // a live backend answers an expired deadline with its own typed
+        // DeadlineExceeded (authoritative, no failover), and the grace
+        // lets that reply arrive. Only a hung backend trips the socket
+        // timeout. Grace also keeps the timeout nonzero — a zero read
+        // timeout is an invalid socket option, not "fail immediately".
+        let timeout = match options.deadline {
+            Some(d) => d.saturating_add(Duration::from_millis(50)),
+            None => self.config.request_timeout,
+        };
+        let request = Frame::Predict {
+            model: model.to_string(),
+            priority,
+            deadline_ms,
+            rows,
+        };
+
+        let mut failed_over = false;
+        for (attempt, &b) in ordered.iter().enumerate() {
+            self.metrics.record_fanout();
+            if attempt > 0 {
+                self.metrics.record_retry();
+            }
+            let started = Instant::now();
+            match self.pools[b].call(&request, timeout) {
+                Ok(Frame::PredictOk { version, rows }) => {
+                    self.metrics.record_fanout_ok(started.elapsed());
+                    if attempt > 0 && !failed_over {
+                        self.metrics.record_failover();
+                    }
+                    return Ok((version, rows));
+                }
+                // The backend is draining: its replica peers still serve.
+                Ok(Frame::Error {
+                    code: ErrorCode::Disconnected,
+                    ..
+                }) => {
+                    self.mark_down(b);
+                    failed_over = self.note_failover(failed_over);
+                }
+                // Any other application error is authoritative: every
+                // replica holds the same model bits, so retrying cannot
+                // change the answer.
+                Ok(Frame::Error { code, message }) => {
+                    return Err(decode_serve_error(code, &message));
+                }
+                Ok(_) => {
+                    // Protocol violation; treat the node as broken.
+                    self.mark_down(b);
+                    failed_over = self.note_failover(failed_over);
+                }
+                Err(err) if err.is_timeout() && options.deadline.is_some() => {
+                    // The client's budget is spent; a retry cannot help.
+                    return Err(ServeError::DeadlineExceeded);
+                }
+                Err(_) => {
+                    self.mark_down(b);
+                    failed_over = self.note_failover(failed_over);
+                }
+            }
+        }
+        Err(ServeError::Io(format!(
+            "all {} replica(s) of {model:?} failed",
+            ordered.len()
+        )))
+    }
+
+    fn note_failover(&self, already: bool) -> bool {
+        if !already {
+            self.metrics.record_failover();
+        }
+        true
+    }
+
+    fn mark_down(&self, backend: usize) {
+        self.pools[backend].set_healthy(false);
+        self.pools[backend].drain();
+        self.metrics.set_backend_up(backend, false);
+    }
+
+    /// Broadcast a hot-swap to every backend holding a replica of
+    /// `model`, reporting each node's outcome. `backend_kind` is the wire
+    /// byte (`0` naive, `1` parallel).
+    pub fn publish(
+        &self,
+        model: &str,
+        path: &str,
+        version: u64,
+        backend_kind: u8,
+    ) -> Vec<PublishOutcome> {
+        self.metrics.record_publish();
+        let request = Frame::Publish {
+            model: model.to_string(),
+            path: path.to_string(),
+            version,
+            backend: backend_kind,
+        };
+        self.replicas_for(model)
+            .into_iter()
+            .map(|b| {
+                let result = match self.pools[b].call(&request, self.config.request_timeout) {
+                    Ok(Frame::PublishOk { version, displaced }) => Ok((version, displaced)),
+                    Ok(Frame::Error { code, message }) => Err((code, message)),
+                    Ok(other) => Err((
+                        ErrorCode::BadRequest,
+                        format!("unexpected reply frame {other:?}"),
+                    )),
+                    // Transport failure ≠ load failure: Disconnected says
+                    // "the node is unreachable", while a node that could
+                    // not load the artifact answers ErrorCode::Io itself.
+                    Err(err) => {
+                        self.mark_down(b);
+                        Err((ErrorCode::Disconnected, err.to_string()))
+                    }
+                };
+                PublishOutcome {
+                    backend: b,
+                    addr: self.pools[b].addr(),
+                    result,
+                }
+            })
+            .collect()
+    }
+
+    /// Union of every healthy backend's model listing (highest version
+    /// wins when nodes disagree mid-swap), sorted by name.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        let mut merged: HashMap<String, ModelInfo> = HashMap::new();
+        for pool in self.pools.iter().filter(|p| p.healthy()) {
+            if let Ok(Frame::ModelsOk { models }) =
+                pool.call(&Frame::ModelsReq, self.config.request_timeout)
+            {
+                for info in models {
+                    match merged.get(&info.name) {
+                        Some(existing) if existing.version >= info.version => {}
+                        _ => {
+                            merged.insert(info.name.clone(), info);
+                        }
+                    }
+                }
+            }
+        }
+        let mut list: Vec<ModelInfo> = merged.into_values().collect();
+        list.sort_by(|a, b| a.name.cmp(&b.name));
+        list
+    }
+
+    /// One valid Prometheus scrape for the whole cluster: the router's
+    /// `bcpnn_cluster_*` counters followed by every healthy backend's
+    /// exposition, node-labeled and declaration-deduplicated by
+    /// [`merge_expositions`].
+    pub fn merged_prometheus(&self) -> String {
+        let mut sections = Vec::new();
+        for (i, pool) in self.pools.iter().enumerate() {
+            if !pool.healthy() {
+                continue;
+            }
+            if let Ok(Frame::MetricsOk { text }) =
+                pool.call(&Frame::MetricsReq, self.config.request_timeout)
+            {
+                sections.push((i.to_string(), text));
+            }
+        }
+        let mut out = self.metrics.to_prometheus();
+        out.push_str(&merge_expositions(&sections));
+        out
+    }
+}
+
+impl Drop for ClusterRouter {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRouter")
+            .field("backends", &self.config.backends)
+            .field("default_replication", &self.config.default_replication)
+            .finish()
+    }
+}
+
+fn probe(
+    pool: &BackendPool,
+    index: usize,
+    nonce: u64,
+    timeout: Duration,
+    metrics: &ClusterMetrics,
+) {
+    let was = pool.healthy();
+    let up = pool.ping(nonce, timeout);
+    pool.set_healthy(up);
+    metrics.set_backend_up(index, up);
+    if was && !up {
+        // Pooled connections to a node that just failed a probe are
+        // corpses; recovery should start from fresh dials.
+        pool.drain();
+    }
+}
+
+/// The router *is* a [`ServeTarget`]: the serve crate's load generator —
+/// and anything else written against the trait — can drive a whole
+/// cluster without knowing it is one. The interior round trip completes
+/// eagerly inside `submit_with_options`; the returned handle is
+/// pre-resolved ([`PredictionHandle::ready`]).
+impl ServeTarget for ClusterRouter {
+    fn submit_with_options(
+        &self,
+        model: &str,
+        features: Vec<f32>,
+        options: SubmitOptions,
+    ) -> ServeResult<PredictionHandle> {
+        let rows = RowBlock {
+            n_cols: features.len() as u32,
+            data: features,
+        };
+        let result = self
+            .predict_rows(model, rows, &options)
+            .map(|(_version, rows)| rows.data);
+        Ok(PredictionHandle::ready(result))
+    }
+
+    fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.placeholder
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.local.snapshot()
+    }
+
+    fn to_prometheus(&self) -> String {
+        self.merged_prometheus()
+    }
+
+    fn n_classes_of(&self, model: &str) -> Option<usize> {
+        self.models()
+            .into_iter()
+            .find(|m| m.name == model)
+            .map(|m| m.n_classes as usize)
+    }
+}
+
+/// Merge per-node Prometheus expositions into one valid scrape: the
+/// first `# HELP`/`# TYPE` declaration of each metric is kept, duplicates
+/// from later nodes are dropped, and every sample line gains a
+/// `node="<label>"` label so same-named series from different backends
+/// stay distinct.
+pub fn merge_expositions(sections: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (label, text) in sections {
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line
+                .strip_prefix("# HELP ")
+                .map(|r| ("HELP", r))
+                .or_else(|| line.strip_prefix("# TYPE ").map(|r| ("TYPE", r)))
+            {
+                let (kind, body) = rest;
+                let name = body.split_whitespace().next().unwrap_or("");
+                if declared.insert(format!("{kind} {name}")) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            out.push_str(&label_sample(line, label));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Inject `node="label"` into one sample line.
+fn label_sample(line: &str, label: &str) -> String {
+    let space = line.find(' ').unwrap_or(line.len());
+    match line.find('{') {
+        Some(brace) if brace < space => {
+            format!(
+                "{}{{node=\"{label}\",{}",
+                &line[..brace],
+                &line[brace + 1..]
+            )
+        }
+        _ => {
+            let (name, rest) = line.split_at(space);
+            format!("{name}{{node=\"{label}\"}}{rest}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_expositions_dedupe_declarations_and_label_nodes() {
+        let section = "\
+# HELP bcpnn_serve_requests_total Requests accepted.
+# TYPE bcpnn_serve_requests_total counter
+bcpnn_serve_requests_total{shard=\"all\"} 5
+bcpnn_serve_queue_depth 0
+";
+        let merged = merge_expositions(&[
+            ("0".to_string(), section.to_string()),
+            ("1".to_string(), section.replace(" 5", " 9")),
+        ]);
+        // One declaration pair, four node-labeled samples... except
+        // queue_depth has no HELP/TYPE here, so: 2 declaration lines.
+        assert_eq!(
+            merged.matches("# HELP bcpnn_serve_requests_total").count(),
+            1
+        );
+        assert_eq!(
+            merged.matches("# TYPE bcpnn_serve_requests_total").count(),
+            1
+        );
+        assert!(merged.contains("bcpnn_serve_requests_total{node=\"0\",shard=\"all\"} 5"));
+        assert!(merged.contains("bcpnn_serve_requests_total{node=\"1\",shard=\"all\"} 9"));
+        assert!(merged.contains("bcpnn_serve_queue_depth{node=\"0\"} 0"));
+        assert!(merged.contains("bcpnn_serve_queue_depth{node=\"1\"} 0"));
+    }
+
+    #[test]
+    fn merged_real_expositions_stay_valid() {
+        let m = ServingMetrics::default();
+        let text = m.snapshot().to_prometheus();
+        let merged_backends =
+            merge_expositions(&[("0".to_string(), text.clone()), ("1".to_string(), text)]);
+        let cluster = ClusterMetrics::new(2);
+        cluster.set_backend_up(0, true);
+        let mut full = cluster.to_prometheus();
+        full.push_str(&merged_backends);
+        bcpnn_serve::validate_prometheus(&full)
+            .expect("merged two-node scrape passes the validator");
+    }
+
+    #[test]
+    fn replication_overrides_and_caps_apply() {
+        let router = ClusterRouter::start(ClusterConfig {
+            backends: vec![
+                "127.0.0.1:1".parse().unwrap(),
+                "127.0.0.1:2".parse().unwrap(),
+                "127.0.0.1:3".parse().unwrap(),
+            ],
+            default_replication: 2,
+            replication_overrides: vec![("wide".into(), 9), ("solo".into(), 1)],
+            probe_timeout: Duration::from_millis(50),
+            connect_timeout: Duration::from_millis(50),
+            health_interval: Duration::from_secs(3600),
+            ..ClusterConfig::default()
+        });
+        assert_eq!(router.replication_of("anything"), 2);
+        assert_eq!(router.replication_of("solo"), 1);
+        // Requested 9, capped at the 3 backends that exist.
+        assert_eq!(router.replication_of("wide"), 3);
+        assert_eq!(router.replicas_for("wide").len(), 3);
+        // Nothing is listening on those ports: everything probes down.
+        assert_eq!(router.cluster_metrics().backends_up(), 0);
+    }
+
+    #[test]
+    fn predict_with_no_backends_is_a_typed_io_error() {
+        let router = ClusterRouter::start(ClusterConfig {
+            health_interval: Duration::from_secs(3600),
+            ..ClusterConfig::default()
+        });
+        let err = router
+            .predict_rows(
+                "higgs",
+                RowBlock {
+                    n_cols: 2,
+                    data: vec![0.0, 1.0],
+                },
+                &SubmitOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,776 @@
+//! The interior wire protocol: compact, versioned, length-prefixed binary
+//! frames between the router tier and backend nodes.
+//!
+//! The exterior protocol (client ↔ router) is the gateway's HTTP/1.1 +
+//! JSON; the interior hop deliberately is not. Feature rows and
+//! probability rows travel as raw little-endian `f32` words — no decimal
+//! rendering, no JSON parsing, no `f64` detour — so a predict fan-out
+//! costs `4 bytes × cells` plus a fixed header, and bit-exactness across
+//! the hop is a property of the encoding rather than of a careful float
+//! printer.
+//!
+//! ## Framing
+//!
+//! ```text
+//! +--------+---------+--------+--------------+-----------------+
+//! | magic  | version | opcode | payload_len  | payload         |
+//! | 4 B    | 1 B     | 1 B    | 4 B (LE u32) | payload_len B   |
+//! +--------+---------+--------+--------------+-----------------+
+//! ```
+//!
+//! * `magic` is [`MAGIC`] (`b"bCLu"`); anything else is rejected
+//!   immediately — a stray HTTP client poking the backend port gets a
+//!   typed [`WireError::BadMagic`], not a hang.
+//! * `version` is [`VERSION`]. A node never interprets frames from a
+//!   protocol version it does not speak.
+//! * `payload_len` is bounded by the reader's limit (default
+//!   [`DEFAULT_MAX_PAYLOAD`]) so a hostile or corrupt length cannot make a
+//!   node allocate unbounded memory.
+//!
+//! Inside payloads: integers are little-endian; strings are a `u32` length
+//! followed by UTF-8 bytes; `f32` matrices are `n_rows`/`n_cols` (`u32`
+//! each) followed by row-major `f32` words. Every decode error is a typed
+//! [`WireError::Malformed`] naming what was wrong.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use bcpnn_serve::{Priority, ServeError, SubmitOptions};
+
+/// The 4 magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"bCLu";
+
+/// Interior protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Default ceiling on a frame payload (64 MiB — comfortably above the
+/// gateway's 4 MiB JSON body limit after JSON→binary shrinkage, while
+/// still bounding a corrupt length word).
+pub const DEFAULT_MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes timeouts).
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The opcode byte names no known frame type.
+    UnknownOpcode(u8),
+    /// The declared payload length exceeds the reader's limit.
+    Oversized {
+        /// Length the frame declared.
+        declared: usize,
+        /// The reader's configured ceiling.
+        limit: usize,
+    },
+    /// The payload did not decode as the opcode's schema.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Oversized { declared, limit } => {
+                write!(
+                    f,
+                    "frame payload of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            WireError::Malformed(msg) => write!(f, "malformed frame payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this error is a socket-level timeout (the basis for the
+    /// router's deadline mapping: a timed-out interior call with a client
+    /// deadline becomes [`ServeError::DeadlineExceeded`]).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            )
+        )
+    }
+}
+
+/// Application-level error codes carried by [`Frame::Error`], mirroring
+/// [`ServeError`] so the router can reconstruct the typed error — and
+/// therefore the exact HTTP status — a single-node gateway would have
+/// produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// No model under the requested name ([`ServeError::UnknownModel`]).
+    UnknownModel = 1,
+    /// Feature width mismatch ([`ServeError::ShapeMismatch`]).
+    ShapeMismatch = 2,
+    /// The model rejected the batch ([`ServeError::Model`]).
+    Model = 3,
+    /// Artifact I/O failure ([`ServeError::Io`]).
+    Io = 4,
+    /// Deadline passed before execution ([`ServeError::DeadlineExceeded`]).
+    DeadlineExceeded = 5,
+    /// The backend is shutting down ([`ServeError::Disconnected`]).
+    Disconnected = 6,
+    /// The artifact path is outside the backend's allowlisted root.
+    Forbidden = 7,
+    /// The request frame was semantically invalid (e.g. zero-width rows).
+    BadRequest = 8,
+}
+
+impl ErrorCode {
+    /// Decode from the wire byte.
+    pub fn from_u8(code: u8) -> Option<ErrorCode> {
+        Some(match code {
+            1 => ErrorCode::UnknownModel,
+            2 => ErrorCode::ShapeMismatch,
+            3 => ErrorCode::Model,
+            4 => ErrorCode::Io,
+            5 => ErrorCode::DeadlineExceeded,
+            6 => ErrorCode::Disconnected,
+            7 => ErrorCode::Forbidden,
+            8 => ErrorCode::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// Encode a [`ServeError`] as `(code, message)` for an error frame.
+pub fn encode_serve_error(err: &ServeError) -> (ErrorCode, String) {
+    let code = match err {
+        ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
+        ServeError::ShapeMismatch { .. } => ErrorCode::ShapeMismatch,
+        ServeError::Io(_) => ErrorCode::Io,
+        ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        ServeError::Disconnected => ErrorCode::Disconnected,
+        _ => ErrorCode::Model,
+    };
+    (code, err.to_string())
+}
+
+/// Reconstruct the [`ServeError`] an error frame stands for, so the
+/// router-side HTTP mapping (`bcpnn_gateway::status_of`) yields the same
+/// status a single-node deployment would. `Forbidden` and `BadRequest`
+/// have no `ServeError` twin and are handled by the caller first.
+pub fn decode_serve_error(code: ErrorCode, message: &str) -> ServeError {
+    match code {
+        ErrorCode::UnknownModel => ServeError::UnknownModel(message.to_string()),
+        // The exact widths are only in the message; a zero/zero mismatch
+        // still maps to the right HTTP status (400).
+        ErrorCode::ShapeMismatch => ServeError::ShapeMismatch {
+            expected: 0,
+            got: 0,
+        },
+        ErrorCode::Io => ServeError::Io(message.to_string()),
+        ErrorCode::DeadlineExceeded => ServeError::DeadlineExceeded,
+        ErrorCode::Disconnected => ServeError::Disconnected,
+        _ => ServeError::Model(message.to_string()),
+    }
+}
+
+/// A rectangular block of `f32` rows travelling on the wire (features on
+/// the way in, class probabilities on the way out). Stored flat so one
+/// `Vec` holds the whole block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBlock {
+    /// Width of every row.
+    pub n_cols: u32,
+    /// Row-major cells; `len == n_rows * n_cols`.
+    pub data: Vec<f32>,
+}
+
+impl RowBlock {
+    /// Build a block from equal-width rows.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f32>]) -> RowBlock {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "ragged rows cannot form a RowBlock");
+            data.extend_from_slice(row);
+        }
+        RowBlock {
+            n_cols: n_cols as u32,
+            data,
+        }
+    }
+
+    /// Number of rows in the block.
+    pub fn n_rows(&self) -> usize {
+        if self.n_cols == 0 {
+            0
+        } else {
+            self.data.len() / self.n_cols as usize
+        }
+    }
+
+    /// Borrowed view of row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let w = self.n_cols as usize;
+        &self.data[i * w..(i + 1) * w]
+    }
+}
+
+/// One listed model in a [`Frame::ModelsOk`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Current version.
+    pub version: u64,
+    /// Feature width the model expects.
+    pub n_inputs: u32,
+    /// Number of output classes.
+    pub n_classes: u32,
+}
+
+/// One interior-protocol frame: requests flow router → backend, replies
+/// backend → router, one reply per request on the same connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Health probe; the nonce is echoed back in [`Frame::Pong`].
+    Ping {
+        /// Correlates the pong with its ping.
+        nonce: u64,
+    },
+    /// Health probe reply.
+    Pong {
+        /// The ping's nonce, echoed.
+        nonce: u64,
+    },
+    /// Run a batch of feature rows through a named model.
+    Predict {
+        /// Registry name of the model.
+        model: String,
+        /// Scheduling priority (`0` normal, `1` high, `2` low).
+        priority: u8,
+        /// Deadline in milliseconds, `0` for none. Measured from arrival
+        /// at the backend, matching single-node submission semantics.
+        deadline_ms: u64,
+        /// The feature rows.
+        rows: RowBlock,
+    },
+    /// Successful predict reply.
+    PredictOk {
+        /// Version of the model that answered (`None` if it vanished
+        /// between dispatch and the version read).
+        version: Option<u64>,
+        /// One probability row per request row.
+        rows: RowBlock,
+    },
+    /// Any application-level failure.
+    Error {
+        /// Typed failure category.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Load a persisted artifact from the backend's disk and hot-swap it
+    /// into the backend's registry.
+    Publish {
+        /// Registry name to publish under.
+        model: String,
+        /// Artifact directory path on the backend host.
+        path: String,
+        /// Version number to publish as.
+        version: u64,
+        /// Compute backend (`0` naive, `1` parallel).
+        backend: u8,
+    },
+    /// Successful publish reply.
+    PublishOk {
+        /// The version now serving.
+        version: u64,
+        /// Version displaced by the swap, if any.
+        displaced: Option<u64>,
+    },
+    /// Request the backend's Prometheus exposition.
+    MetricsReq,
+    /// Prometheus exposition text.
+    MetricsOk {
+        /// The backend's full exposition (serve + gateway-style counters).
+        text: String,
+    },
+    /// Request the backend's model listing.
+    ModelsReq,
+    /// Model listing reply.
+    ModelsOk {
+        /// Registered models, sorted by name.
+        models: Vec<ModelInfo>,
+    },
+}
+
+impl Frame {
+    fn opcode(&self) -> u8 {
+        match self {
+            Frame::Ping { .. } => 0x01,
+            Frame::Pong { .. } => 0x02,
+            Frame::Predict { .. } => 0x03,
+            Frame::PredictOk { .. } => 0x04,
+            Frame::Error { .. } => 0x05,
+            Frame::Publish { .. } => 0x06,
+            Frame::PublishOk { .. } => 0x07,
+            Frame::MetricsReq => 0x08,
+            Frame::MetricsOk { .. } => 0x09,
+            Frame::ModelsReq => 0x0A,
+            Frame::ModelsOk { .. } => 0x0B,
+        }
+    }
+
+    /// Serialize the frame (header + payload) into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(10 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.opcode());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Ping { nonce } | Frame::Pong { nonce } => {
+                put_u64(&mut p, *nonce);
+            }
+            Frame::Predict {
+                model,
+                priority,
+                deadline_ms,
+                rows,
+            } => {
+                put_str(&mut p, model);
+                p.push(*priority);
+                put_u64(&mut p, *deadline_ms);
+                put_rows(&mut p, rows);
+            }
+            Frame::PredictOk { version, rows } => {
+                put_opt_u64(&mut p, *version);
+                put_rows(&mut p, rows);
+            }
+            Frame::Error { code, message } => {
+                p.push(*code as u8);
+                put_str(&mut p, message);
+            }
+            Frame::Publish {
+                model,
+                path,
+                version,
+                backend,
+            } => {
+                put_str(&mut p, model);
+                put_str(&mut p, path);
+                put_u64(&mut p, *version);
+                p.push(*backend);
+            }
+            Frame::PublishOk { version, displaced } => {
+                put_u64(&mut p, *version);
+                put_opt_u64(&mut p, *displaced);
+            }
+            Frame::MetricsReq | Frame::ModelsReq => {}
+            Frame::MetricsOk { text } => put_str(&mut p, text),
+            Frame::ModelsOk { models } => {
+                put_u32(&mut p, models.len() as u32);
+                for m in models {
+                    put_str(&mut p, &m.name);
+                    put_u64(&mut p, m.version);
+                    put_u32(&mut p, m.n_inputs);
+                    put_u32(&mut p, m.n_classes);
+                }
+            }
+        }
+        p
+    }
+
+    /// Write the frame to a stream and flush it.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Read one frame from a stream, enforcing `max_payload`.
+    pub fn read_from<R: Read>(r: &mut R, max_payload: usize) -> Result<Frame, WireError> {
+        let mut header = [0u8; 10];
+        r.read_exact(&mut header)?;
+        let magic: [u8; 4] = header[0..4].try_into().unwrap();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if header[4] != VERSION {
+            return Err(WireError::UnsupportedVersion(header[4]));
+        }
+        let opcode = header[5];
+        let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
+        if len > max_payload {
+            return Err(WireError::Oversized {
+                declared: len,
+                limit: max_payload,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Frame::decode_payload(opcode, &payload)
+    }
+
+    /// Decode a payload against its opcode's schema. Trailing bytes are a
+    /// decode error: a frame means exactly its schema, nothing more.
+    pub fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut c = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let frame = match opcode {
+            0x01 => Frame::Ping { nonce: c.u64()? },
+            0x02 => Frame::Pong { nonce: c.u64()? },
+            0x03 => Frame::Predict {
+                model: c.str()?,
+                priority: c.u8()?,
+                deadline_ms: c.u64()?,
+                rows: c.rows()?,
+            },
+            0x04 => Frame::PredictOk {
+                version: c.opt_u64()?,
+                rows: c.rows()?,
+            },
+            0x05 => {
+                let raw = c.u8()?;
+                let code = ErrorCode::from_u8(raw)
+                    .ok_or_else(|| WireError::Malformed(format!("unknown error code {raw}")))?;
+                Frame::Error {
+                    code,
+                    message: c.str()?,
+                }
+            }
+            0x06 => Frame::Publish {
+                model: c.str()?,
+                path: c.str()?,
+                version: c.u64()?,
+                backend: c.u8()?,
+            },
+            0x07 => Frame::PublishOk {
+                version: c.u64()?,
+                displaced: c.opt_u64()?,
+            },
+            0x08 => Frame::MetricsReq,
+            0x09 => Frame::MetricsOk { text: c.str()? },
+            0x0A => Frame::ModelsReq,
+            0x0B => {
+                let n = c.u32()? as usize;
+                // Each entry is at least 20 bytes; pre-check so a corrupt
+                // count cannot drive a huge reservation.
+                if n > c.remaining() / 20 + 1 {
+                    return Err(WireError::Malformed(format!(
+                        "model count {n} exceeds what the payload could hold"
+                    )));
+                }
+                let mut models = Vec::with_capacity(n);
+                for _ in 0..n {
+                    models.push(ModelInfo {
+                        name: c.str()?,
+                        version: c.u64()?,
+                        n_inputs: c.u32()?,
+                        n_classes: c.u32()?,
+                    });
+                }
+                Frame::ModelsOk { models }
+            }
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        if c.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after the payload",
+                c.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Convert a [`SubmitOptions`] to the wire's `(priority, deadline_ms)`
+/// pair. Sub-millisecond deadlines round up to 1 ms so a tiny-but-real
+/// deadline does not become "none" on the wire.
+pub fn encode_options(options: &SubmitOptions) -> (u8, u64) {
+    let priority = match options.priority {
+        Priority::Normal => 0,
+        Priority::High => 1,
+        Priority::Low => 2,
+    };
+    let deadline_ms = options
+        .deadline
+        .map_or(0, |d| u64::max(d.as_millis() as u64, 1));
+    (priority, deadline_ms)
+}
+
+/// Reconstruct [`SubmitOptions`] from the wire pair. Unknown priority
+/// bytes degrade to `Normal` rather than failing the whole batch.
+pub fn decode_options(priority: u8, deadline_ms: u64) -> SubmitOptions {
+    let mut options = SubmitOptions::new().priority(match priority {
+        1 => Priority::High,
+        2 => Priority::Low,
+        _ => Priority::Normal,
+    });
+    if deadline_ms > 0 {
+        options = options.deadline(Duration::from_millis(deadline_ms));
+    }
+    options
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &RowBlock) {
+    put_u32(out, rows.n_cols);
+    put_u32(out, rows.n_rows() as u32);
+    for &v in &rows.data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed(format!(
+                "payload truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(WireError::Malformed(format!(
+                "option tag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not valid UTF-8".into()))
+    }
+
+    fn rows(&mut self) -> Result<RowBlock, WireError> {
+        let n_cols = self.u32()?;
+        let n_rows = self.u32()? as usize;
+        let cells = n_rows
+            .checked_mul(n_cols as usize)
+            .ok_or_else(|| WireError::Malformed("row block dimensions overflow".into()))?;
+        if n_rows > 0 && n_cols == 0 {
+            return Err(WireError::Malformed("rows with zero width".into()));
+        }
+        let raw = self.take(cells * 4)?;
+        let mut data = Vec::with_capacity(cells);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Ok(RowBlock { n_cols, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = frame.encode();
+        Frame::read_from(&mut &bytes[..], DEFAULT_MAX_PAYLOAD).expect("frame round-trips")
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let frames = [
+            Frame::Ping { nonce: 7 },
+            Frame::Pong { nonce: u64::MAX },
+            Frame::Predict {
+                model: "higgs".into(),
+                priority: 1,
+                deadline_ms: 250,
+                rows: RowBlock::from_rows(&[vec![1.0, -2.5], vec![0.0, f32::MIN_POSITIVE]]),
+            },
+            Frame::PredictOk {
+                version: Some(3),
+                rows: RowBlock::from_rows(&[vec![0.25, 0.75]]),
+            },
+            Frame::PredictOk {
+                version: None,
+                rows: RowBlock {
+                    n_cols: 0,
+                    data: vec![],
+                },
+            },
+            Frame::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "too slow".into(),
+            },
+            Frame::Publish {
+                model: "higgs".into(),
+                path: "/tmp/artifacts/higgs-v2".into(),
+                version: 2,
+                backend: 1,
+            },
+            Frame::PublishOk {
+                version: 2,
+                displaced: Some(1),
+            },
+            Frame::PublishOk {
+                version: 1,
+                displaced: None,
+            },
+            Frame::MetricsReq,
+            Frame::MetricsOk {
+                text: "# TYPE x counter\nx 1\n".into(),
+            },
+            Frame::ModelsReq,
+            Frame::ModelsOk {
+                models: vec![ModelInfo {
+                    name: "higgs".into(),
+                    version: 2,
+                    n_inputs: 28,
+                    n_classes: 2,
+                }],
+            },
+        ];
+        for frame in &frames {
+            assert_eq!(&roundtrip(frame), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn floats_survive_bit_exactly_including_nan() {
+        let rows = RowBlock {
+            n_cols: 4,
+            data: vec![f32::NAN, -0.0, f32::INFINITY, 1.000_000_1],
+        };
+        let frame = Frame::PredictOk {
+            version: Some(1),
+            rows,
+        };
+        let bytes = frame.encode();
+        let back = Frame::read_from(&mut &bytes[..], DEFAULT_MAX_PAYLOAD).unwrap();
+        let Frame::PredictOk { rows: got, .. } = back else {
+            panic!("wrong frame type");
+        };
+        let Frame::PredictOk { rows: sent, .. } = frame else {
+            unreachable!();
+        };
+        for (a, b) in sent.data.iter().zip(&got.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn options_round_trip_through_the_wire_pair() {
+        let options = SubmitOptions::new()
+            .priority(Priority::High)
+            .deadline(Duration::from_millis(250));
+        let (p, d) = encode_options(&options);
+        assert_eq!((p, d), (1, 250));
+        assert_eq!(decode_options(p, d), options);
+        // No deadline stays none; sub-millisecond rounds up, not down.
+        assert_eq!(encode_options(&SubmitOptions::new()), (0, 0));
+        let tiny = SubmitOptions::new().deadline(Duration::from_micros(10));
+        assert_eq!(encode_options(&tiny).1, 1);
+    }
+
+    #[test]
+    fn serve_errors_map_there_and_back() {
+        let cases = [
+            ServeError::UnknownModel("m".into()),
+            ServeError::DeadlineExceeded,
+            ServeError::Disconnected,
+            ServeError::Io("gone".into()),
+            ServeError::Model("bad".into()),
+        ];
+        for err in cases {
+            let (code, msg) = encode_serve_error(&err);
+            let back = decode_serve_error(code, &msg);
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&err),
+                "{err:?}"
+            );
+        }
+        // ShapeMismatch keeps its discriminant even though the widths
+        // travel only in the message.
+        let (code, msg) = encode_serve_error(&ServeError::ShapeMismatch {
+            expected: 28,
+            got: 3,
+        });
+        assert!(matches!(
+            decode_serve_error(code, &msg),
+            ServeError::ShapeMismatch { .. }
+        ));
+        assert!(msg.contains("28"));
+    }
+}

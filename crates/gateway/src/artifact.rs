@@ -1,0 +1,97 @@
+//! Artifact-path allowlisting for the publish endpoints.
+//!
+//! `PUT /v1/models/{name}` (and the cluster's interior `Publish` frame)
+//! name a filesystem path the serving host should load. Unrestricted,
+//! that lets any client with publish access probe or load arbitrary
+//! host paths. When an artifact root is configured, [`path_allowed`]
+//! admits only paths that resolve inside it — symlinks and `..` segments
+//! included, because the check runs on the *canonicalized* path whenever
+//! the candidate exists.
+
+use std::path::{Component, Path};
+
+/// Whether `candidate` is inside the allowlisted `root`.
+///
+/// * An existing candidate is canonicalized, so a symlink pointing out of
+///   the root, or a `root/../etc` traversal, is rejected on its real
+///   location.
+/// * A nonexistent candidate cannot be canonicalized; it is admitted only
+///   if it contains no `..` components and starts with the root (checked
+///   against both the spelled and the canonical root). The subsequent
+///   artifact load then fails with the load error (422), which
+///   deliberately does not reveal whether paths *outside* the root exist.
+/// * An unresolvable root rejects everything: a misconfigured allowlist
+///   fails closed.
+pub fn path_allowed(root: &Path, candidate: &Path) -> bool {
+    let Ok(canonical_root) = root.canonicalize() else {
+        return false;
+    };
+    match candidate.canonicalize() {
+        Ok(resolved) => resolved.starts_with(&canonical_root),
+        Err(_) => {
+            if candidate
+                .components()
+                .any(|c| matches!(c, Component::ParentDir))
+            {
+                return false;
+            }
+            candidate.starts_with(root) || candidate.starts_with(&canonical_root)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bcpnn-artifact-allowlist-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn paths_inside_the_root_are_allowed() {
+        let root = scratch_root("inside");
+        let model = root.join("higgs-v1");
+        std::fs::create_dir_all(&model).unwrap();
+        assert!(path_allowed(&root, &model));
+        // Nonexistent-but-inside: allowed through to the loader's 422.
+        assert!(path_allowed(&root, &root.join("not-written-yet")));
+    }
+
+    #[test]
+    fn paths_outside_the_root_are_rejected() {
+        let root = scratch_root("outside");
+        assert!(!path_allowed(&root, Path::new("/etc/passwd")));
+        assert!(!path_allowed(&root, Path::new("/definitely/not/a/model")));
+        // Traversal back out of the root, existing or not.
+        assert!(!path_allowed(&root, &root.join("../somewhere-else")));
+        assert!(!path_allowed(&root, &root.join("a/../../b")));
+    }
+
+    #[test]
+    fn symlinks_cannot_escape_the_root() {
+        let root = scratch_root("symlink");
+        let outside = scratch_root("symlink-target");
+        let link = root.join("sneaky");
+        let _ = std::fs::remove_file(&link);
+        std::os::unix::fs::symlink(&outside, &link).unwrap();
+        assert!(
+            !path_allowed(&root, &link),
+            "a symlink inside the root resolving outside it must be rejected"
+        );
+    }
+
+    #[test]
+    fn a_missing_root_fails_closed() {
+        let root = Path::new("/no/such/allowlist/root");
+        assert!(!path_allowed(
+            root,
+            Path::new("/no/such/allowlist/root/model")
+        ));
+    }
+}

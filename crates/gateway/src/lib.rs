@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod client;
 pub mod error;
 pub mod http;

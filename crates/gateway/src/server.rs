@@ -45,6 +45,12 @@ pub struct GatewayConfig {
     pub limits: Limits,
     /// Socket read timeout while parsing a request.
     pub read_timeout: Duration,
+    /// Allowlisted root for `PUT /v1/models/{name}` artifact paths: when
+    /// set, publish requests naming a path that resolves outside this
+    /// directory are answered `403` without touching the filesystem
+    /// entry. `None` (the default) keeps the historical allow-anything
+    /// behavior for trusted single-host deployments.
+    pub artifact_root: Option<std::path::PathBuf>,
 }
 
 impl Default for GatewayConfig {
@@ -55,6 +61,7 @@ impl Default for GatewayConfig {
             max_pending: 64,
             limits: Limits::default(),
             read_timeout: Duration::from_secs(10),
+            artifact_root: None,
         }
     }
 }
@@ -124,6 +131,7 @@ struct Shared {
     queue: ConnQueue,
     limits: Limits,
     read_timeout: Duration,
+    artifact_root: Option<std::path::PathBuf>,
     shutdown: AtomicBool,
 }
 
@@ -150,6 +158,7 @@ impl Gateway {
             queue: ConnQueue::new(config.max_pending),
             limits: config.limits,
             read_timeout: config.read_timeout,
+            artifact_root: config.artifact_root,
             shutdown: AtomicBool::new(false),
         });
 
@@ -466,6 +475,17 @@ fn handle_publish(shared: &Shared, name: &str, request: &Request) -> Result<Resp
         })?,
     };
 
+    // Allowlist first: with an artifact root configured, a path resolving
+    // outside it is forbidden before the filesystem entry is touched.
+    if let Some(root) = &shared.artifact_root {
+        if !crate::artifact::path_allowed(root, std::path::Path::new(path)) {
+            return Err(ApiError::new(
+                403,
+                format!("artifact path {path:?} is outside the allowed root"),
+            ));
+        }
+    }
+
     // A bad artifact is the client's problem (unprocessable content), not
     // an internal error: the gateway stays healthy and says what failed.
     let pipeline = Pipeline::load(path, backend)
@@ -626,6 +646,42 @@ mod tests {
         .unwrap();
         assert_eq!(r.status, 422);
         assert!(r.body_str().contains("cannot load artifact"));
+    }
+
+    #[test]
+    fn publish_outside_the_artifact_root_is_403() {
+        let root = std::env::temp_dir().join(format!("bcpnn-gw-allowlist-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        let registry = Arc::new(ModelRegistry::new());
+        let server = Arc::new(ShardedServer::start(registry, ShardConfig::new(1)));
+        let gateway = Gateway::start(
+            Arc::clone(&server) as Arc<dyn ServeTarget>,
+            GatewayConfig {
+                workers: 1,
+                artifact_root: Some(root.clone()),
+                ..GatewayConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = gateway.local_addr();
+        // Outside the root: forbidden, with the path named.
+        let r = client::request(
+            addr,
+            "PUT",
+            "/v1/models/higgs",
+            &[],
+            b"{\"path\":\"/definitely/not/a/model\",\"version\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 403);
+        assert!(r.body_str().contains("outside the allowed root"));
+        // Inside the root but not a loadable artifact: past the
+        // allowlist, into the loader's 422.
+        let inside = root.join("empty");
+        std::fs::create_dir_all(&inside).unwrap();
+        let body = format!("{{\"path\":{:?},\"version\":1}}", inside.to_str().unwrap());
+        let r = client::request(addr, "PUT", "/v1/models/higgs", &[], body.as_bytes()).unwrap();
+        assert_eq!(r.status, 422);
     }
 
     #[test]

@@ -221,6 +221,19 @@ pub struct PredictionHandle {
 }
 
 impl PredictionHandle {
+    /// A handle that is already resolved. For [`ServeTarget`]
+    /// implementations whose round trip completes eagerly inside the
+    /// submit call — a remote fan-out that already has the reply by the
+    /// time it returns — so they can satisfy the handle-returning trait
+    /// surface without a scheduler behind them.
+    ///
+    /// [`ServeTarget`]: crate::ServeTarget
+    pub fn ready(result: ServeResult<Vec<f32>>) -> PredictionHandle {
+        let (tx, rx) = unbounded();
+        let _ = tx.send(result);
+        PredictionHandle { rx }
+    }
+
     /// Block until the prediction (class probabilities) arrives.
     pub fn wait(self) -> ServeResult<Vec<f32>> {
         self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
