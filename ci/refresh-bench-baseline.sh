@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Refresh the committed benchmark baseline in one command:
+#
+#   ci/refresh-bench-baseline.sh
+#
+# Runs the gated benchmark suite with machine-readable output and rewrites
+# ci/bench-baseline.json in the canonical (schema-tagged, name-sorted)
+# format. Commit the result. CI's bench-regression job compares every run
+# against this file with a percentage threshold, so refresh it on a machine
+# representative of CI whenever a deliberate performance change lands.
+#
+# Benches build with native codegen by default (the int8 path leans on
+# vectorized i8->f32 conversion); override by exporting RUSTFLAGS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
+json="$(mktemp -t bench-json.XXXXXX)"
+rm -f "$json"
+
+BENCH_JSON="$json" cargo bench -p bcpnn-bench --bench backends
+cargo run --release -q -p bcpnn-bench --bin bench_compare -- \
+    --current "$json" --write-baseline ci/bench-baseline.json
+rm -f "$json"
+echo "refreshed ci/bench-baseline.json"

@@ -5,9 +5,10 @@ use std::sync::Arc;
 use crate::naive::NaiveBackend;
 use crate::parallel::ParallelBackend;
 use crate::traits::Backend;
+use crate::vectorized::VectorizedBackend;
 
 /// Environment variable used by [`BackendKind::from_env`] to pick a backend
-/// (values: `naive`, `parallel`).
+/// (values: `naive`, `parallel`, `vectorized`).
 pub const BACKEND_ENV: &str = "BCPNN_BACKEND";
 
 /// The available compute backends.
@@ -18,14 +19,19 @@ pub enum BackendKind {
     /// Multi-threaded GEMM-based kernels (the default).
     #[default]
     Parallel,
+    /// Single-threaded hand-vectorized 8-lane kernels, bit-exact against
+    /// [`BackendKind::Naive`] — the per-core fast path.
+    Vectorized,
 }
 
 impl BackendKind {
-    /// Parse a backend name (`"naive"` / `"parallel"`, case-insensitive).
+    /// Parse a backend name (`"naive"` / `"parallel"` / `"vectorized"`,
+    /// case-insensitive).
     pub fn parse(name: &str) -> Option<Self> {
         match name.trim().to_ascii_lowercase().as_str() {
             "naive" | "reference" | "numpy" => Some(Self::Naive),
             "parallel" | "openmp" | "cpu" | "threaded" => Some(Self::Parallel),
+            "vectorized" | "simd" | "avx" | "lanes" => Some(Self::Vectorized),
             _ => None,
         }
     }
@@ -44,6 +50,7 @@ impl BackendKind {
         match self {
             Self::Naive => Arc::new(NaiveBackend::new()),
             Self::Parallel => Arc::new(ParallelBackend::new()),
+            Self::Vectorized => Arc::new(VectorizedBackend::new()),
         }
     }
 
@@ -52,6 +59,7 @@ impl BackendKind {
         match self {
             Self::Naive => "naive",
             Self::Parallel => "parallel",
+            Self::Vectorized => "vectorized",
         }
     }
 }
@@ -80,6 +88,11 @@ mod tests {
             Some(BackendKind::Parallel)
         );
         assert_eq!(BackendKind::parse("openmp"), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("SIMD"), Some(BackendKind::Vectorized));
+        assert_eq!(
+            BackendKind::parse("vectorized"),
+            Some(BackendKind::Vectorized)
+        );
         assert_eq!(BackendKind::parse("cuda"), None);
     }
 
@@ -87,6 +100,7 @@ mod tests {
     fn create_returns_matching_backend() {
         assert_eq!(BackendKind::Naive.create().name(), "naive");
         assert_eq!(BackendKind::Parallel.create().name(), "parallel");
+        assert_eq!(BackendKind::Vectorized.create().name(), "vectorized");
         assert_eq!(default_backend().name(), "parallel");
     }
 
@@ -94,5 +108,6 @@ mod tests {
     fn display_matches_name() {
         assert_eq!(BackendKind::Naive.to_string(), "naive");
         assert_eq!(BackendKind::Parallel.to_string(), "parallel");
+        assert_eq!(BackendKind::Vectorized.to_string(), "vectorized");
     }
 }

@@ -11,7 +11,10 @@
 //! * [`NaiveBackend`] — single-threaded reference loops (StreamBrain's plain
 //!   NumPy backend; used as the correctness oracle),
 //! * [`ParallelBackend`] — multi-threaded, GEMM-based kernels on top of
-//!   `bcpnn-tensor` and `bcpnn-parallel` (StreamBrain's OpenMP/MKL backend).
+//!   `bcpnn-tensor` and `bcpnn-parallel` (StreamBrain's OpenMP/MKL backend),
+//! * [`VectorizedBackend`] — single-threaded, hand-vectorized 8-lane
+//!   kernels (cache-blocked, input-major, zero-skipping) that are bit-exact
+//!   against [`NaiveBackend`] — the per-core fast path.
 //!
 //! The paper's CUDA and FPGA backends are hardware we substitute with the
 //! threaded CPU backend; see DESIGN.md §2 for the substitution rationale.
@@ -38,8 +41,10 @@ pub mod kernels;
 mod naive;
 mod parallel;
 mod traits;
+mod vectorized;
 
 pub use dispatch::{default_backend, BackendKind, BACKEND_ENV};
 pub use naive::NaiveBackend;
 pub use parallel::ParallelBackend;
 pub use traits::Backend;
+pub use vectorized::VectorizedBackend;

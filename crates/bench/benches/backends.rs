@@ -1,0 +1,243 @@
+//! Backend and precision benchmarks behind the CI `bench-regression` gate.
+//!
+//! Three questions, one machine-readable answer each (set `BENCH_JSON` to
+//! collect them as JSONL for `bench_compare`):
+//!
+//! * `backend_forward/*` — does the cache-blocked, lane-unrolled
+//!   [`VectorizedBackend`] beat the scalar [`NaiveBackend`] on the batched
+//!   forward pass? (It streams each weight row once per *batch* instead of
+//!   once per batch *row*.)
+//! * `backend_traces/*` — same comparison for the training-side trace
+//!   update, the other bandwidth-bound hot kernel.
+//! * `quantized_predict/*` — tokens-per-core: end-to-end single-threaded
+//!   `predict_proba_into` for the f32 pipeline against its int8 and bf16
+//!   [`QuantizedPipeline`] counterparts, as rows/sec
+//!   (`Throughput::Elements`).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bcpnn_backend::{Backend, BackendKind, NaiveBackend, ParallelBackend, VectorizedBackend};
+use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams, Workspace};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_lowprec::{QuantPrecision, QuantizedPipeline};
+use bcpnn_tensor::{Matrix, MatrixRng};
+
+/// Serving-shaped forward problem: quantile-encoded sparse binary input
+/// (28 active columns of 280) into a hidden layer big enough that weight
+/// traffic, not arithmetic, is the bottleneck. The forward matrix
+/// (280 x 8192 ≈ 9 MB of f32) deliberately exceeds L2: the batch-major
+/// naive kernel re-streams every active weight row once per batch row,
+/// while the input-major blocked kernel streams the matrix once per batch —
+/// that traffic gap is what `backend_forward` exists to show. The trace
+/// matrix stays smaller because the naive trace update walks all of
+/// `n_in x n_out` regardless of sparsity.
+const BATCH: usize = 64;
+const N_IN: usize = 280;
+const FWD_OUT: usize = 8192;
+const TRACE_OUT: usize = 1024;
+
+fn sparse_input(rows: usize) -> Matrix<f32> {
+    // One active bin per 10-bin feature group, like the quantile encoder.
+    Matrix::from_fn(rows, N_IN, |r, c| {
+        let feature = c / 10;
+        let hot = (r * 7 + feature * 3) % 10;
+        f32::from(c % 10 == hot)
+    })
+}
+
+fn bench_backend_forward(c: &mut Criterion) {
+    let mut rng = MatrixRng::seed_from(21);
+    let x = sparse_input(BATCH);
+    let weights = rng.uniform(N_IN, FWD_OUT, -0.5, 0.5);
+    let bias: Vec<f32> = rng.uniform(1, FWD_OUT, -0.1, 0.1).into_vec();
+    let mut out = Matrix::zeros(BATCH, FWD_OUT);
+
+    let backends: [(&str, Box<dyn Backend>); 3] = [
+        ("naive", Box::new(NaiveBackend::new())),
+        ("parallel", Box::new(ParallelBackend::new())),
+        ("vectorized", Box::new(VectorizedBackend::new())),
+    ];
+    let mut group = c.benchmark_group("backend_forward");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, backend) in &backends {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                backend.linear_forward(black_box(&x), &weights, &bias, &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backend_traces(c: &mut Criterion) {
+    let mut rng = MatrixRng::seed_from(22);
+    let x = sparse_input(BATCH);
+    let act = rng.uniform(BATCH, TRACE_OUT, 0.0, 1.0);
+
+    let backends: [(&str, Box<dyn Backend>); 3] = [
+        ("naive", Box::new(NaiveBackend::new())),
+        ("parallel", Box::new(ParallelBackend::new())),
+        ("vectorized", Box::new(VectorizedBackend::new())),
+    ];
+    let mut group = c.benchmark_group("backend_traces");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, backend) in &backends {
+        let mut pi = vec![0.01f32; N_IN];
+        let mut pj = vec![0.01f32; TRACE_OUT];
+        let mut pij = Matrix::filled(N_IN, TRACE_OUT, 0.001);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                backend.update_traces(
+                    black_box(&x),
+                    black_box(&act),
+                    0.01,
+                    &mut pi,
+                    &mut pj,
+                    &mut pij,
+                );
+                black_box(pij.get(0, 0));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A pipeline shaped so the int8 weight-footprint advantage is visible:
+/// 40 quantile bins x 28 features = 1120 encoded inputs into 32x32 hidden
+/// units puts the f32 hidden weights at ~4.6 MB (spilling a typical L2)
+/// while the int8 copy (~1.1 MB) stays L2-resident. Trained just enough to
+/// be a real fitted artifact — prediction cost does not depend on how well
+/// it converged.
+fn fitted_pipeline() -> Pipeline {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 768,
+        seed: 23,
+        ..Default::default()
+    });
+    let (pipeline, _) = Pipeline::fit(
+        &data,
+        40,
+        Network::builder()
+            .hidden(32, 32, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(23),
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    pipeline
+}
+
+/// The narrow-weight kernel in isolation: the hidden-layer forward over the
+/// same fitted tensors at f32, int8 and bf16 storage. This is where the
+/// footprint advantage lives — the softmax and readout that end-to-end
+/// prediction adds on top cost the same at every precision.
+fn bench_quantized_forward(c: &mut Criterion) {
+    let pipeline = fitted_pipeline();
+    let requests = generate(&SyntheticHiggsConfig {
+        n_samples: BATCH,
+        seed: 25,
+        ..Default::default()
+    });
+    let encoded = pipeline.encode(&requests.features).unwrap();
+    let hidden = pipeline.network().hidden();
+    let weights = hidden.masked_weights();
+    let bias = hidden.bias();
+    let naive = NaiveBackend::new();
+    let mut out = Matrix::zeros(BATCH, weights.cols());
+
+    let mut group = c.benchmark_group("quantized_forward");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("f32", |b| {
+        b.iter(|| {
+            naive.linear_forward(black_box(&encoded), weights, bias, &mut out);
+            black_box(&out);
+        });
+    });
+    for (name, precision) in [
+        ("int8", QuantPrecision::Int8),
+        ("bf16", QuantPrecision::Bf16),
+    ] {
+        let quantized = QuantizedPipeline::quantize(&pipeline, precision).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                quantized.hidden_forward_into(black_box(&encoded), &mut out);
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantized_predict(c: &mut Criterion) {
+    let pipeline = fitted_pipeline();
+    let requests = generate(&SyntheticHiggsConfig {
+        n_samples: BATCH,
+        seed: 24,
+        ..Default::default()
+    });
+    let x = &requests.features;
+
+    // Single-threaded f32 reference: same network, naive backend, so every
+    // contender below is a per-core number.
+    let f32_pipeline = {
+        let dir = std::env::temp_dir().join(format!("bcpnn_bench_backends_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        pipeline.save(&dir).unwrap();
+        let reloaded = bcpnn_core::load_pipeline(&dir, BackendKind::Naive).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        reloaded
+    };
+
+    let mut group = c.benchmark_group("quantized_predict");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("f32", |b| {
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(0, 0);
+        f32_pipeline
+            .predict_proba_into(x, &mut ws, &mut out)
+            .unwrap();
+        b.iter(|| {
+            f32_pipeline
+                .predict_proba_into(black_box(x), &mut ws, &mut out)
+                .unwrap();
+            black_box(&out);
+        });
+    });
+    for (name, precision) in [
+        ("int8", QuantPrecision::Int8),
+        ("bf16", QuantPrecision::Bf16),
+    ] {
+        let quantized = QuantizedPipeline::quantize(&pipeline, precision).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let mut ws = Workspace::new();
+            let mut out = Matrix::zeros(0, 0);
+            quantized.predict_proba_into(x, &mut ws, &mut out).unwrap();
+            b.iter(|| {
+                quantized
+                    .predict_proba_into(black_box(x), &mut ws, &mut out)
+                    .unwrap();
+                black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    backends,
+    bench_backend_forward,
+    bench_backend_traces,
+    bench_quantized_forward,
+    bench_quantized_predict
+);
+criterion_main!(backends);

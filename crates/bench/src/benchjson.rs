@@ -1,0 +1,386 @@
+//! Machine-readable benchmark reports and baseline comparison.
+//!
+//! The vendored criterion shim appends one JSON line per benchmark to the
+//! file named by `BENCH_JSON` (see `shims/criterion`). This module turns
+//! that JSONL stream into a canonical report
+//! (`{"schema":"bcpnn-bench/v1","benches":{...}}`), diffs it against a
+//! committed baseline with a percentage threshold, renders the diff as a
+//! GitHub-flavoured markdown table, and checks *relative* speed claims
+//! ("vectorized must beat naive") that hold on any machine even though
+//! absolute nanoseconds do not.
+//!
+//! The `bench_compare` binary is the CLI over these functions; the CI
+//! `bench-regression` job is its only non-human caller. Parsing reuses
+//! [`bcpnn_gateway::json`] — the same RFC 8259 implementation the serving
+//! stack trusts on its wire.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use bcpnn_gateway::json::{self, Json, Number};
+
+/// Schema tag of the canonical report format.
+pub const SCHEMA: &str = "bcpnn-bench/v1";
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function` as printed by the harness).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Derived throughput, when the bench declared `Throughput::Elements`
+    /// (rows/sec for the serving benches).
+    pub elems_per_sec: Option<f64>,
+}
+
+/// Outcome of one benchmark's baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareStatus {
+    /// Within the threshold (or faster).
+    Ok,
+    /// Slower than baseline by more than the threshold.
+    Regression,
+    /// Present now, absent from the baseline (informational).
+    New,
+    /// In the baseline but not measured now — a silently dropped bench is
+    /// treated as a failure, otherwise deleting a bench "fixes" CI.
+    Missing,
+}
+
+/// One row of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline ns/iter, when the baseline has this bench.
+    pub baseline_ns: Option<f64>,
+    /// Current ns/iter, when this run measured the bench.
+    pub current_ns: Option<f64>,
+    /// Signed percent change vs baseline (positive = slower).
+    pub delta_pct: Option<f64>,
+    /// Classification under the threshold.
+    pub status: CompareStatus,
+}
+
+/// A full baseline comparison.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-bench rows, sorted by name.
+    pub rows: Vec<CompareRow>,
+    /// The threshold the rows were classified under (percent).
+    pub threshold_pct: f64,
+}
+
+impl CompareReport {
+    /// Names of benches classified as failures (regressed or missing).
+    pub fn failures(&self) -> Vec<&CompareRow> {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.status, CompareStatus::Regression | CompareStatus::Missing))
+            .collect()
+    }
+}
+
+/// Parse a report in either accepted syntax — the shim's JSONL stream or a
+/// canonical `bcpnn-bench/v1` object — into name-sorted records. Duplicate
+/// names keep the *last* occurrence (a re-run bench supersedes its earlier
+/// sample).
+pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("empty benchmark report".into());
+    }
+    let mut by_name: BTreeMap<String, BenchRecord> = BTreeMap::new();
+    let canonical = json::parse(trimmed)
+        .ok()
+        .filter(|v| v.get("schema").is_some());
+    if let Some(doc) = canonical {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or_default();
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let benches = match doc.get("benches") {
+            Some(Json::Obj(members)) => members,
+            _ => return Err("canonical report has no \"benches\" object".into()),
+        };
+        for (name, value) in benches {
+            by_name.insert(name.clone(), record_from_obj(name, value)?);
+        }
+    } else {
+        for (i, line) in trimmed.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let value =
+                json::parse(line).map_err(|e| format!("line {}: not a JSON record: {e}", i + 1))?;
+            let name = value
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: record has no \"name\"", i + 1))?
+                .to_string();
+            let record = record_from_obj(&name, &value)?;
+            by_name.insert(name, record);
+        }
+    }
+    Ok(by_name.into_values().collect())
+}
+
+fn record_from_obj(name: &str, value: &Json) -> Result<BenchRecord, String> {
+    let ns = value
+        .get("ns_per_iter")
+        .and_then(as_f64)
+        .ok_or_else(|| format!("bench {name:?}: missing numeric \"ns_per_iter\""))?;
+    if !(ns.is_finite() && ns > 0.0) {
+        return Err(format!("bench {name:?}: ns_per_iter {ns} is not positive"));
+    }
+    Ok(BenchRecord {
+        name: name.to_string(),
+        ns_per_iter: ns,
+        elems_per_sec: value.get("elems_per_sec").and_then(as_f64),
+    })
+}
+
+fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => n.as_f64(),
+        _ => None,
+    }
+}
+
+/// Render records as the canonical, committed report format: schema-tagged,
+/// name-sorted, one bench per line — diffs of the baseline file stay
+/// readable in review.
+pub fn canonical_report(records: &[BenchRecord]) -> String {
+    let mut sorted: Vec<&BenchRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str("  \"benches\": {\n");
+    for (i, r) in sorted.iter().enumerate() {
+        let mut obj = vec![(
+            "ns_per_iter".to_string(),
+            Json::Num(Number::from_f64(r.ns_per_iter).expect("finite")),
+        )];
+        if let Some(eps) = r.elems_per_sec.and_then(Number::from_f64) {
+            obj.push(("elems_per_sec".to_string(), Json::Num(eps)));
+        }
+        let comma = if i + 1 < sorted.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {}: {}{comma}",
+            Json::str(&r.name).render(),
+            Json::Obj(obj).render()
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Diff `current` against `baseline`: a bench is a regression when its
+/// ns/iter exceeds the baseline by more than `threshold_pct` percent, and a
+/// failure when it vanished from the run entirely.
+pub fn compare(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    threshold_pct: f64,
+) -> CompareReport {
+    let cur: BTreeMap<&str, &BenchRecord> = current.iter().map(|r| (r.name.as_str(), r)).collect();
+    let base: BTreeMap<&str, &BenchRecord> =
+        baseline.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut names: Vec<&str> = cur.keys().chain(base.keys()).copied().collect();
+    names.sort_unstable();
+    names.dedup();
+    let rows = names
+        .into_iter()
+        .map(|name| {
+            let c = cur.get(name).map(|r| r.ns_per_iter);
+            let b = base.get(name).map(|r| r.ns_per_iter);
+            let (delta_pct, status) = match (b, c) {
+                (Some(b), Some(c)) => {
+                    let delta = (c - b) / b * 100.0;
+                    let status = if delta > threshold_pct {
+                        CompareStatus::Regression
+                    } else {
+                        CompareStatus::Ok
+                    };
+                    (Some(delta), status)
+                }
+                (None, Some(_)) => (None, CompareStatus::New),
+                (Some(_), None) => (None, CompareStatus::Missing),
+                (None, None) => unreachable!("name came from one of the maps"),
+            };
+            CompareRow {
+                name: name.to_string(),
+                baseline_ns: b,
+                current_ns: c,
+                delta_pct,
+                status,
+            }
+        })
+        .collect();
+    CompareReport {
+        rows,
+        threshold_pct,
+    }
+}
+
+/// Render a comparison as a GitHub-flavoured markdown table (the CI job
+/// appends this to `$GITHUB_STEP_SUMMARY`).
+pub fn markdown_table(report: &CompareReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Benchmark comparison (threshold {:.0}%)\n",
+        report.threshold_pct
+    );
+    out.push_str("| benchmark | baseline ns/iter | current ns/iter | delta | status |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for row in &report.rows {
+        let fmt_ns = |v: Option<f64>| v.map_or("—".to_string(), |ns| format!("{ns:.1}"));
+        let delta = row
+            .delta_pct
+            .map_or("—".to_string(), |d| format!("{d:+.1}%"));
+        let status = match row.status {
+            CompareStatus::Ok => "ok",
+            CompareStatus::Regression => "**regression**",
+            CompareStatus::New => "new",
+            CompareStatus::Missing => "**missing**",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {delta} | {status} |",
+            row.name,
+            fmt_ns(row.baseline_ns),
+            fmt_ns(row.current_ns)
+        );
+    }
+    out
+}
+
+/// Check a machine-independent relative claim of the form `"fast<slow"`:
+/// bench `fast` must take strictly fewer ns/iter than bench `slow`. Returns
+/// the speedup factor (`slow/fast`, > 1.0) on success.
+pub fn assert_faster(records: &[BenchRecord], claim: &str) -> Result<f64, String> {
+    let (fast, slow) = claim
+        .split_once('<')
+        .ok_or_else(|| format!("claim {claim:?} is not of the form \"fast<slow\""))?;
+    let lookup = |name: &str| -> Result<f64, String> {
+        records
+            .iter()
+            .find(|r| r.name == name.trim())
+            .map(|r| r.ns_per_iter)
+            .ok_or_else(|| format!("claim {claim:?}: bench {:?} not in report", name.trim()))
+    };
+    let fast_ns = lookup(fast)?;
+    let slow_ns = lookup(slow)?;
+    if fast_ns < slow_ns {
+        Ok(slow_ns / fast_ns)
+    } else {
+        Err(format!(
+            "claim {claim:?} failed: {} = {fast_ns:.1} ns/iter is not faster than {} = {slow_ns:.1} ns/iter",
+            fast.trim(),
+            slow.trim()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            ns_per_iter: ns,
+            elems_per_sec: None,
+        }
+    }
+
+    #[test]
+    fn parses_shim_jsonl() {
+        let text = "\
+{\"name\":\"g/naive\",\"ns_per_iter\":200.000,\"elems_per_sec\":1250000.000}\n\
+{\"name\":\"g/vectorized\",\"ns_per_iter\":100.000}\n\
+{\"name\":\"g/naive\",\"ns_per_iter\":190.000}\n";
+        let records = parse_report(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "g/naive");
+        assert_eq!(records[0].ns_per_iter, 190.0, "last duplicate wins");
+        assert_eq!(records[0].elems_per_sec, None);
+        assert_eq!(records[1].name, "g/vectorized");
+    }
+
+    #[test]
+    fn canonical_report_roundtrips() {
+        let records = vec![
+            BenchRecord {
+                name: "b/two".into(),
+                ns_per_iter: 1234.5,
+                elems_per_sec: Some(2.5e6),
+            },
+            rec("a/one", 10.0),
+        ];
+        let text = canonical_report(&records);
+        assert!(text.contains("\"schema\": \"bcpnn-bench/v1\""));
+        let parsed = parse_report(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a/one", "canonical order is sorted");
+        assert_eq!(parsed[1].ns_per_iter, 1234.5);
+        assert_eq!(parsed[1].elems_per_sec, Some(2.5e6));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_report("").is_err());
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report("{\"name\":\"x\"}").is_err(), "no ns_per_iter");
+        assert!(parse_report("{\"name\":\"x\",\"ns_per_iter\":-4}").is_err());
+        assert!(
+            parse_report("{\"schema\":\"bcpnn-bench/v9\",\"benches\":{}}").is_err(),
+            "unknown schema version"
+        );
+    }
+
+    #[test]
+    fn compare_classifies_every_status() {
+        let baseline = vec![
+            rec("stable", 100.0),
+            rec("regressed", 100.0),
+            rec("gone", 5.0),
+        ];
+        let current = vec![
+            rec("stable", 110.0),
+            rec("regressed", 161.0),
+            rec("fresh", 7.0),
+        ];
+        let report = compare(&current, &baseline, 50.0);
+        let status: BTreeMap<&str, CompareStatus> = report
+            .rows
+            .iter()
+            .map(|r| (r.name.as_str(), r.status))
+            .collect();
+        assert_eq!(status["stable"], CompareStatus::Ok);
+        assert_eq!(status["regressed"], CompareStatus::Regression);
+        assert_eq!(status["gone"], CompareStatus::Missing);
+        assert_eq!(status["fresh"], CompareStatus::New);
+        assert_eq!(report.failures().len(), 2);
+        let table = markdown_table(&report);
+        assert!(table.contains("| regressed | 100.0 | 161.0 | +61.0% | **regression** |"));
+        assert!(table.contains("| gone | 5.0 | — | — | **missing** |"));
+    }
+
+    #[test]
+    fn assert_faster_checks_relative_order() {
+        let records = vec![rec("g/vectorized", 50.0), rec("g/naive", 150.0)];
+        let speedup = assert_faster(&records, "g/vectorized<g/naive").unwrap();
+        assert!((speedup - 3.0).abs() < 1e-12);
+        assert!(assert_faster(&records, "g/naive<g/vectorized").is_err());
+        assert!(assert_faster(&records, "g/vectorized<g/absent").is_err());
+        assert!(assert_faster(&records, "no-separator").is_err());
+    }
+}

@@ -31,6 +31,7 @@ use bcpnn_data::Dataset;
 use bcpnn_tensor::Matrix;
 
 pub mod args;
+pub mod benchjson;
 pub mod table;
 
 /// Seed mask applied to derive the shuffling seed from the run seed, so the

@@ -117,6 +117,17 @@ impl BcpnnClassifier {
         &self.traces
     }
 
+    /// The log-odds readout weights (`n_inputs x n_classes`, read-only) —
+    /// the tensor a quantizer captures to reproduce this head.
+    pub fn weights(&self) -> &Matrix<f32> {
+        &self.weights
+    }
+
+    /// The per-class bias added before the class softmax (read-only).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
     fn check_input(&self, hidden: &Matrix<f32>) -> CoreResult<()> {
         if hidden.cols() != self.n_inputs {
             return Err(CoreError::DataMismatch(format!(

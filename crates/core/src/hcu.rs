@@ -144,6 +144,18 @@ impl HiddenLayer {
         &self.traces
     }
 
+    /// The masked weight matrix the forward pass multiplies by
+    /// (`n_inputs x n_units`, read-only). This is the exact tensor a
+    /// quantizer must capture to reproduce this layer's predictions.
+    pub fn masked_weights(&self) -> &Matrix<f32> {
+        &self.masked_weights
+    }
+
+    /// The per-unit bias added in the forward pass (read-only).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
     /// A copy of the current mask matrix (`n_hcu x n_inputs`), e.g. for the
     /// in-situ visualization of Fig. 2.
     pub fn receptive_field_snapshot(&self) -> Matrix<f32> {

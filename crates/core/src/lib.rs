@@ -81,8 +81,8 @@ pub use network::{Network, NetworkBuilder, ReadoutKind};
 pub use params::{HiddenLayerParams, SgdParams, TrainingParams};
 pub use plasticity::{PlasticityConfig, PlasticityReport, StructuralPlasticity};
 pub use serialize::{
-    load_network, load_network_with_encoder, load_pipeline, save_network,
-    save_network_with_encoder, save_pipeline,
+    load_network, load_network_with_encoder, load_pipeline, load_stage, save_network,
+    save_network_with_encoder, save_pipeline, save_stage,
 };
 pub use sgd::SgdClassifier;
 pub use traces::ProbabilityTraces;

@@ -55,7 +55,12 @@ fn stage_file(i: usize) -> String {
     format!("stage{i}.txt")
 }
 
-fn save_stage(stage: &Stage, path: &Path) -> CoreResult<()> {
+/// Persist one fitted [`Stage`] to `path` (the per-stage state file of the
+/// stage-tagged directory formats). Public so sibling crates persisting
+/// their own stage-tagged artifacts — e.g. the quantized-pipeline format in
+/// `bcpnn-lowprec` — reuse the exact stage encodings of the `v3` model
+/// directories instead of inventing parallel ones.
+pub fn save_stage(stage: &Stage, path: &Path) -> CoreResult<()> {
     match stage {
         Stage::Quantile(enc) => enc.save(path)?,
         Stage::Thermometer(enc) => enc.save(path)?,
@@ -64,7 +69,10 @@ fn save_stage(stage: &Stage, path: &Path) -> CoreResult<()> {
     Ok(())
 }
 
-fn load_stage(kind: &str, path: &Path) -> CoreResult<Stage> {
+/// Load one fitted [`Stage`] from `path`, dispatching on its stable
+/// persistence tag ([`Stage::kind`]). An unknown tag is a typed
+/// [`CoreError::Format`]. Counterpart of [`save_stage`].
+pub fn load_stage(kind: &str, path: &Path) -> CoreResult<Stage> {
     match kind {
         "quantile" => Ok(Stage::Quantile(QuantileEncoder::load(path)?)),
         "thermometer" => Ok(Stage::Thermometer(ThermometerEncoder::load(path)?)),

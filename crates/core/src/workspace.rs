@@ -97,6 +97,20 @@ impl Workspace {
         Self::default()
     }
 
+    /// Borrow the three inference scratch buffers — stage-chain ping
+    /// (`encode_a`), stage-chain pong (`encode_b`), and hidden activations
+    /// — for a foreign `Predictor` implementation that lives outside this
+    /// crate (e.g. the quantized pipeline in `bcpnn-lowprec`).
+    ///
+    /// The built-in models reach the fields directly; this seam is what
+    /// lets external predictors run the same allocation-free
+    /// `predict_proba_into` discipline against the same per-worker
+    /// workspace, without widening the fields themselves. Contents are
+    /// unspecified between calls, exactly like every other slot.
+    pub fn inference_scratch(&mut self) -> (&mut Matrix<f32>, &mut Matrix<f32>, &mut Matrix<f32>) {
+        (&mut self.encode_a, &mut self.encode_b, &mut self.hidden)
+    }
+
     /// Total number of `f32` scratch elements reserved across all buffers
     /// — capacity, not current shape, so it tracks the never-shrinking
     /// high-water mark (diagnostic: watch it plateau after warmup even as

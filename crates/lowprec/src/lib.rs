@@ -24,6 +24,11 @@
 //!   wide accumulator, storage is narrow" FPGA datapaths at algorithm level.
 //! * [`analysis`] — dynamic-range reports and format sweeps used by the
 //!   precision-ablation benchmark.
+//! * [`QuantizedPipeline`] — the *servable* counterpart: quantize a fitted
+//!   `bcpnn_core::Pipeline`'s weights to int8 or bf16 once, then run
+//!   allocation-free `predict_proba_into` inference with `f32` accumulation
+//!   and narrow weight storage, persist as a stage-tagged artifact, and
+//!   publish to the serving registry like any other model.
 //!
 //! ```
 //! use bcpnn_lowprec::{NumericFormat, Quantizer};
@@ -42,9 +47,11 @@ mod bf16;
 mod fixed;
 mod posit;
 mod quantize;
+mod quantized;
 
 pub use backend::{LowPrecisionBackend, QuantizePolicy};
 pub use bf16::Bf16;
 pub use fixed::FixedFormat;
 pub use posit::{Posit, PositFormat};
 pub use quantize::{NumericFormat, QuantizationError, Quantizer};
+pub use quantized::{QuantPrecision, QuantizedPipeline};

@@ -31,6 +31,7 @@ mod matrix;
 mod random;
 pub mod reduce;
 mod scalar;
+pub mod simd;
 pub mod stats;
 pub mod vector;
 

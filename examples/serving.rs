@@ -15,6 +15,7 @@ use std::time::Duration;
 use bcpnn_backend::BackendKind;
 use bcpnn_core::{Network, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_lowprec::{QuantPrecision, QuantizedPipeline};
 use bcpnn_serve::{
     BatchConfig, InferenceServer, ModelRegistry, Pipeline, Priority, ServedModel, ShardConfig,
     ShardRouting, ShardedServer, SubmitOptions,
@@ -79,7 +80,10 @@ fn main() {
     println!("\nP(background, signal) for one collision: {proba:?}");
 
     // 4. Hot-swap a retrained version; in-flight work is unaffected.
-    let (_, displaced) = registry.publish(ServedModel::new("higgs", 2, train(2)));
+    let retrained = train(2);
+    let quantized = QuantizedPipeline::quantize(&retrained, QuantPrecision::Int8)
+        .expect("quantization succeeds");
+    let (_, displaced) = registry.publish(ServedModel::new("higgs", 2, retrained));
     println!(
         "hot-swapped v{} -> v2; next prediction served by v{}",
         displaced.map(|m| m.version()).unwrap_or_default(),
@@ -89,10 +93,25 @@ fn main() {
         .predict("higgs", requests.features.row(0).to_vec())
         .expect("post-swap prediction succeeds");
     println!("same collision under v2: {proba2:?}");
+
+    // 5. Quantized serving path: persist the int8 artifact, reload it, and
+    //    publish it under its own name. A `QuantizedPipeline` is a
+    //    `Predictor` like any other, so the same micro-batching server
+    //    serves it — with 4x smaller weights and `f32` accumulation.
+    let qdir = std::env::temp_dir().join("bcpnn_serving_example_int8");
+    let _ = std::fs::remove_dir_all(&qdir);
+    quantized.save(&qdir).expect("quantized artifact saves");
+    let quantized = QuantizedPipeline::load(&qdir).expect("quantized artifact loads");
+    let (narrow, wide) = quantized.weight_bytes();
+    registry.publish(ServedModel::new("higgs-int8", 1, quantized));
+    let qproba = server
+        .predict("higgs-int8", requests.features.row(0).to_vec())
+        .expect("quantized prediction succeeds");
+    println!("\nsame collision, int8 weights ({narrow} B vs {wide} B f32): {qproba:?}");
     println!("\n{}", server.metrics());
     drop(server);
 
-    // 5. Scale out: shard the model across 4 independent pools. Requests
+    // 6. Scale out: shard the model across 4 independent pools. Requests
     //    route by a stable hash of their feature vector; the per-model
     //    batch policy (small batches, short linger) overrides the
     //    server-wide defaults and can itself be hot-swapped.
@@ -131,7 +150,7 @@ fn main() {
         );
     }
 
-    // 6. Priority and deadline options. A high-priority request drains
+    // 7. Priority and deadline options. A high-priority request drains
     //    ahead of normal traffic; an already-expired deadline fails with
     //    DeadlineExceeded before any forward-pass work is spent on it.
     let urgent = sharded
@@ -156,7 +175,7 @@ fn main() {
         .wait();
     println!("zero-deadline request: {}", expired.unwrap_err());
 
-    // 7. Prometheus scrape: aggregated samples first, then per-shard ones
+    // 8. Prometheus scrape: aggregated samples first, then per-shard ones
     //    labeled shard="i".
     println!("\nprometheus exposition (first 12 lines):");
     for line in sharded.to_prometheus().lines().take(12) {
@@ -164,4 +183,5 @@ fn main() {
     }
 
     std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&qdir).ok();
 }

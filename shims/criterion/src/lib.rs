@@ -7,8 +7,16 @@
 //! annotations) but implements a deliberately simple timer: each benchmark
 //! runs a short warm-up, then a fixed number of timed samples whose median
 //! per-iteration time (and derived throughput) is printed to stdout.
+//!
+//! When the `BENCH_JSON` environment variable names a file, each benchmark
+//! additionally appends one JSON line (`{"name", "ns_per_iter", and
+//! optionally "elems_per_sec" or "bytes_per_sec"}`) to it. Append mode means
+//! several bench binaries can share one file; the `bench_compare` tool in
+//! `bcpnn-bench` turns the JSONL into a canonical machine-readable report
+//! and diffs it against a committed baseline in CI.
 
 use std::fmt::{self, Display};
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Per-benchmark timing driver handed to the closures.
@@ -220,6 +228,49 @@ impl Criterion {
             None => String::new(),
         };
         println!("{name:<60} {:>12.1} ns/iter{rate}", ns);
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                emit_json_line(&path, name, ns, throughput);
+            }
+        }
+    }
+}
+
+/// Append one benchmark result as a JSON line to `path`. Best-effort: a
+/// write failure must not fail the bench run, so errors are reported on
+/// stderr and otherwise ignored.
+fn emit_json_line(path: &str, name: &str, ns: f64, throughput: Option<Throughput>) {
+    if !ns.is_finite() || ns <= 0.0 {
+        eprintln!("BENCH_JSON: skipping {name:?}: non-finite timing {ns}");
+        return;
+    }
+    // `name` is built from bench group/function identifiers; escape the two
+    // characters that could break the JSON string anyway.
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(",\"elems_per_sec\":{:.3}", n as f64 / ns * 1e9)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(",\"bytes_per_sec\":{:.3}", n as f64 / ns * 1e9)
+        }
+        None => String::new(),
+    };
+    let line = format!("{{\"name\":\"{escaped}\",\"ns_per_iter\":{ns:.3}{rate}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("BENCH_JSON: could not append to {path}: {e}");
     }
 }
 
@@ -273,5 +324,30 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn emit_json_line_appends_parseable_records() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_bench_json_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_str().unwrap();
+        emit_json_line(p, "group/naive", 125.0, Some(Throughput::Elements(250)));
+        emit_json_line(p, "weird\"name\\", 1e6, None);
+        emit_json_line(p, "skipped", f64::NAN, None); // must not be written
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "NaN timing must be skipped: {text}");
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"group/naive\",\"ns_per_iter\":125.000,\"elems_per_sec\":2000000000.000}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"name\":\"weird\\\"name\\\\\",\"ns_per_iter\":1000000.000}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,6 +1,11 @@
 //! The naive (reference) and parallel (optimised) backends must produce
 //! statistically equivalent models: same architecture, same seeds, same
 //! data → the same predictions up to floating-point reduction-order noise.
+//! The vectorized backend makes a stronger promise — it preserves the
+//! naive backend's accumulation orders exactly, so training with it must
+//! be *bit-identical*, not merely close. (The per-kernel bit-exactness
+//! tests across ragged shapes live next to the kernels, in
+//! `crates/backend/src/vectorized.rs`.)
 
 use bcpnn_backend::BackendKind;
 use bcpnn_bench::{build_network, build_trainer, prepare_higgs, BcpnnRunConfig, HiggsDataConfig};
@@ -53,13 +58,36 @@ fn naive_and_parallel_backends_learn_equivalent_models() {
 }
 
 #[test]
+fn vectorized_backend_learns_a_bit_identical_model_to_naive() {
+    let (acc_naive, auc_naive) = run_with_backend(BackendKind::Naive);
+    let (acc_vec, auc_vec) = run_with_backend(BackendKind::Vectorized);
+    // Not a tolerance check: the vectorized kernels keep the naive
+    // per-element accumulation orders (lane splitting only reorders
+    // independent output elements), so every trace, weight, and prediction
+    // — and therefore the final metrics — must be exactly equal.
+    assert_eq!(
+        acc_naive.to_bits(),
+        acc_vec.to_bits(),
+        "vectorized accuracy diverged from naive: {acc_naive} vs {acc_vec}"
+    );
+    assert_eq!(
+        auc_naive.to_bits(),
+        auc_vec.to_bits(),
+        "vectorized AUC diverged from naive: {auc_naive} vs {auc_vec}"
+    );
+}
+
+#[test]
 fn backend_selection_from_names_matches_the_dispatcher() {
     assert_eq!(BackendKind::parse("naive"), Some(BackendKind::Naive));
     assert_eq!(BackendKind::parse("openmp"), Some(BackendKind::Parallel));
+    assert_eq!(BackendKind::parse("simd"), Some(BackendKind::Vectorized));
+    assert_eq!(BackendKind::parse("avx"), Some(BackendKind::Vectorized));
     assert_eq!(
         BackendKind::parse("cuda"),
         None,
         "the CUDA backend is hardware we substitute"
     );
     assert_eq!(BackendKind::default().name(), "parallel");
+    assert_eq!(BackendKind::Vectorized.name(), "vectorized");
 }
