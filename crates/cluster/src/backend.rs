@@ -24,6 +24,7 @@ use std::time::Duration;
 
 use bcpnn_backend::BackendKind;
 use bcpnn_gateway::artifact;
+use bcpnn_learn::{LearnError, OnlineLearner};
 use bcpnn_serve::{Pipeline, ServeTarget, ServedModel};
 
 use crate::wire::{
@@ -62,10 +63,19 @@ struct NodeShared {
     max_payload: usize,
     io_timeout: Duration,
     artifact_root: Option<PathBuf>,
+    /// Online learners attached to this node, one per learnable model;
+    /// `Learn` frames for models without one are refused.
+    learners: Vec<Arc<OnlineLearner>>,
     shutdown: AtomicBool,
     /// Clones of every accepted connection, so a kill can sever streams
     /// that handler threads are blocked on.
     conns: Mutex<Vec<TcpStream>>,
+}
+
+impl NodeShared {
+    fn learner(&self, model: &str) -> Option<&Arc<OnlineLearner>> {
+        self.learners.iter().find(|l| l.model() == model)
+    }
 }
 
 /// A running backend node. Dropping it hard-kills the listener and every
@@ -83,6 +93,17 @@ impl BackendNode {
         target: Arc<dyn ServeTarget>,
         config: BackendConfig,
     ) -> std::io::Result<BackendNode> {
+        Self::start_with_learners(target, config, Vec::new())
+    }
+
+    /// [`BackendNode::start`] plus online learners: `Learn` frames for a
+    /// learner's model feed its ingest queue, and learner metrics join
+    /// the node's `MetricsReq` exposition.
+    pub fn start_with_learners(
+        target: Arc<dyn ServeTarget>,
+        config: BackendConfig,
+        learners: Vec<Arc<OnlineLearner>>,
+    ) -> std::io::Result<BackendNode> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(NodeShared {
@@ -90,6 +111,7 @@ impl BackendNode {
             max_payload: config.max_payload,
             io_timeout: config.io_timeout,
             artifact_root: config.artifact_root,
+            learners,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
         });
@@ -221,8 +243,13 @@ fn handle_frame(shared: &NodeShared, request: Frame) -> Frame {
             version,
             backend,
         } => handle_publish(shared, &model, &path, version, backend),
+        Frame::Learn {
+            model,
+            rows,
+            labels,
+        } => handle_learn(shared, &model, &rows, &labels),
         Frame::MetricsReq => Frame::MetricsOk {
-            text: shared.target.to_prometheus(),
+            text: handle_metrics(shared),
         },
         Frame::ModelsReq => handle_models(shared),
         // Reply opcodes arriving as requests are protocol misuse.
@@ -335,6 +362,49 @@ fn handle_publish(
         version: handle.version(),
         displaced: displaced.map(|m| m.version()),
     }
+}
+
+fn handle_learn(shared: &NodeShared, model: &str, rows: &RowBlock, labels: &[u32]) -> Frame {
+    let Some(learner) = shared.learner(model) else {
+        return Frame::Error {
+            code: ErrorCode::UnknownModel,
+            message: format!("no online learner is attached for model {model:?}"),
+        };
+    };
+    let row_vecs: Vec<Vec<f32>> = (0..rows.n_rows()).map(|i| rows.row(i).to_vec()).collect();
+    let label_vec: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+    match learner.submit(&row_vecs, &label_vec) {
+        Ok(accepted) => Frame::LearnOk {
+            accepted: accepted as u64,
+            queue_depth: learner.metrics().queue_depth,
+        },
+        Err(err) => {
+            let code = match err {
+                LearnError::QueueFull { .. } => ErrorCode::Overloaded,
+                LearnError::ShuttingDown => ErrorCode::Disconnected,
+                _ => ErrorCode::BadRequest,
+            };
+            Frame::Error {
+                code,
+                message: err.to_string(),
+            }
+        }
+    }
+}
+
+/// The node's serving exposition plus every attached learner's
+/// `bcpnn_learn_*` families, still one valid scrape.
+fn handle_metrics(shared: &NodeShared) -> String {
+    let mut text = shared.target.to_prometheus();
+    if !shared.learners.is_empty() {
+        let snapshots: Vec<(&str, bcpnn_learn::LearnSnapshot)> = shared
+            .learners
+            .iter()
+            .map(|l| (l.model(), l.metrics()))
+            .collect();
+        text.push_str(&bcpnn_learn::prometheus_exposition(&snapshots));
+    }
+    text
 }
 
 fn handle_models(shared: &NodeShared) -> Frame {

@@ -25,6 +25,8 @@ use bcpnn_cluster::{
 use bcpnn_core::{Network, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_gateway::client;
+use bcpnn_learn::{LearnerConfig, OnlineLearner};
+use bcpnn_lowprec::{QuantPrecision, QuantizedPipeline};
 use bcpnn_serve::{ModelRegistry, Pipeline, ServeTarget, ServedModel, ShardConfig, ShardedServer};
 
 struct Args {
@@ -133,26 +135,51 @@ fn main() {
 
     // Every backend loads the same saved artifact, so all replicas hold
     // bit-identical model state — the property that makes failover
-    // invisible to clients.
+    // invisible to clients. Each node also serves the int8-quantized twin
+    // and runs an online learner for "higgs" (the router broadcasts learn
+    // traffic to every replica, so the shadows advance in lockstep).
     let mut nodes = Vec::with_capacity(args.backends);
-    for _ in 0..args.backends {
+    let mut learners = Vec::with_capacity(args.backends);
+    for i in 0..args.backends {
         let pipeline =
             Pipeline::load(&v1_dir, BackendKind::Parallel).expect("loading the v1 artifact");
+        let int8 = QuantizedPipeline::quantize(&pipeline, QuantPrecision::Int8)
+            .expect("int8 quantization succeeds");
         let registry = Arc::new(ModelRegistry::new());
-        registry.publish(ServedModel::new("higgs", 1, pipeline));
+        registry.publish(ServedModel::new("higgs", 1, pipeline.clone()));
+        registry.publish(ServedModel::new("higgs-int8", 1, int8));
+        let state_dir = args.model_dir.join(format!("learn-state-{i}"));
+        // The demo retrains from scratch every run; a previous run's
+        // learner state describes a different base model.
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let learner = Arc::new(
+            OnlineLearner::start(
+                Arc::clone(&registry),
+                "higgs",
+                &pipeline,
+                LearnerConfig {
+                    state_dir,
+                    backend: BackendKind::Parallel,
+                    ..LearnerConfig::default()
+                },
+            )
+            .expect("online learner starts"),
+        );
         let server = Arc::new(ShardedServer::start(
             registry,
             ShardConfig::new(args.shards),
         ));
-        let node = BackendNode::start(
+        let node = BackendNode::start_with_learners(
             server as Arc<dyn ServeTarget>,
             BackendConfig {
                 artifact_root: Some(args.model_dir.clone()),
                 ..BackendConfig::default()
             },
+            vec![Arc::clone(&learner)],
         )
         .expect("backend node binds");
         nodes.push(node);
+        learners.push(learner);
     }
 
     let router = Arc::new(ClusterRouter::start(ClusterConfig {
@@ -210,8 +237,16 @@ fn main() {
     println!(
         "curl -s -X POST http://{addr}/v1/models/higgs/predict \\\n     -H 'X-Priority: high' -H 'X-Deadline-Ms: 250' \\\n     -d '{row_json}'"
     );
-    println!("# merged Prometheus scrape: per-node serving metrics + bcpnn_cluster_* counters");
-    println!("curl -s http://{addr}/metrics | grep -E 'bcpnn_cluster_backend_up|fanout'");
+    println!("# same row through the int8-quantized artifact every node also serves");
+    println!("curl -s -X POST http://{addr}/v1/models/higgs-int8/predict -d '{row_json}'");
+    println!("# learn: labeled rows broadcast to every replica's online learner");
+    println!(
+        "curl -s -X POST http://{addr}/v1/models/higgs/learn \\\n     -d '{{\"rows\":{row_json},\"labels\":[1]}}'"
+    );
+    println!("# merged Prometheus scrape: per-node serving + learn + bcpnn_cluster_* counters");
+    println!(
+        "curl -s http://{addr}/metrics | grep -E 'bcpnn_cluster_backend_up|fanout|learn_rows'"
+    );
     println!("# cluster-wide hot-swap: every replica loads the saved v2 artifact");
     println!(
         "curl -s -X PUT http://{addr}/v1/models/higgs \\\n     -d '{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}'",
@@ -220,7 +255,7 @@ fn main() {
     println!();
 
     if args.self_test {
-        run_self_test(addr, &row_json, &v2_dir, args.backends);
+        run_self_test(addr, &row_json, &v2_dir, args.backends, &learners);
         return;
     }
 
@@ -236,6 +271,7 @@ fn run_self_test(
     row_json: &str,
     v2_dir: &std::path::Path,
     backends: usize,
+    learners: &[Arc<OnlineLearner>],
 ) {
     println!("== self-test ==");
     let mut ok = true;
@@ -264,6 +300,19 @@ fn run_self_test(
     check(
         "predict is 200 with v1 predictions",
         predict.status == 200 && predict.body_str().contains("\"version\":1"),
+    );
+
+    let int8 = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs-int8/predict",
+        &[],
+        row_json.as_bytes(),
+    )
+    .expect("int8 predict responds");
+    check(
+        "int8-quantized predict is 200 with predictions",
+        int8.status == 200 && int8.body_str().contains("\"predictions\""),
     );
 
     let swap_body = format!(
@@ -314,6 +363,60 @@ fn run_self_test(
     let missing = client::request(addr, "POST", "/v1/models/ghost/predict", &[], b"[[1]]")
         .expect("unknown model responds");
     check("unknown model is 404", missing.status == 404);
+
+    // Learn broadcast: 200 labeled rows fan out to every replica's
+    // online learner. The default publish threshold (1024 rows) is far
+    // above this, so the stream folds into the shadows without touching
+    // the served version the earlier checks pinned down.
+    let learn_data = generate(&SyntheticHiggsConfig {
+        n_samples: 200,
+        seed: 5,
+        ..Default::default()
+    });
+    let learn_rows: Vec<String> = (0..200)
+        .map(|r| {
+            let cells: Vec<String> = learn_data
+                .features
+                .row(r)
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    let learn_labels: Vec<String> = learn_data.labels.iter().map(|l| l.to_string()).collect();
+    let learn_body = format!(
+        "{{\"rows\":[{}],\"labels\":[{}]}}",
+        learn_rows.join(","),
+        learn_labels.join(",")
+    );
+    let learn = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs/learn",
+        &[],
+        learn_body.as_bytes(),
+    )
+    .expect("learn responds");
+    let learn_text = learn.body_str();
+    check(
+        "learn broadcast is 200 with every replica accepting the rows",
+        learn.status == 200
+            && learn_text.contains("\"accepted\":200")
+            && !learn_text.contains("\"ok\":false"),
+    );
+    for learner in learners {
+        learner.drain();
+    }
+    let learn_metrics =
+        client::request(addr, "GET", "/metrics", &[], b"").expect("metrics responds");
+    let learn_scrape = learn_metrics.body_str();
+    check(
+        "merged scrape gains node-labeled learn families and stays valid",
+        learn_metrics.status == 200
+            && bcpnn_serve::validate_prometheus(&learn_scrape).is_ok()
+            && learn_scrape.contains("bcpnn_learn_rows_total{node=\"0\",model=\"higgs\"} 200"),
+    );
 
     println!();
     println!(

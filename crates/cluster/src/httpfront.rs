@@ -15,6 +15,9 @@
 //!   protocol's point — and fails over per [`crate::router`].
 //! * `PUT /v1/models/{name}` broadcasts the hot-swap to every replica
 //!   and reports each node's outcome.
+//! * `POST /v1/models/{name}/learn` broadcasts the labeled rows to every
+//!   replica's online learner and reports each node's outcome (replicas
+//!   must all fold the same rows to stay bit-identical).
 //! * `GET /metrics` returns the merged cluster scrape.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -203,6 +206,9 @@ fn dispatch(shared: &FrontShared, request: &Request) -> Response {
         Route::Publish(name) => {
             handle_publish(router, &name, request).unwrap_or_else(ApiError::into_response)
         }
+        Route::Learn(name) => {
+            handle_learn(router, &name, request).unwrap_or_else(ApiError::into_response)
+        }
     }
 }
 
@@ -382,6 +388,125 @@ fn handle_publish(
     let body = Json::Obj(vec![
         ("name".into(), Json::str(name)),
         ("version".into(), Json::u64(version)),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    Ok(Response::json(status, body.render()))
+}
+
+/// The HTTP status a per-node learn refusal maps to.
+fn learn_failure_status(code: ErrorCode) -> u16 {
+    match code {
+        ErrorCode::UnknownModel => 404,
+        ErrorCode::Overloaded => 429,
+        ErrorCode::Disconnected => 502,
+        ErrorCode::BadRequest | ErrorCode::ShapeMismatch => 400,
+        _ => 500,
+    }
+}
+
+/// `POST /v1/models/{name}/learn`: same JSON contract as the single-node
+/// gateway (`{"rows": [[...]], "labels": [...]}`), broadcast to every
+/// replica's learner. `200` only when every replica accepted; any
+/// refusal sets the overall status to the first failure's mapping.
+fn handle_learn(
+    router: &ClusterRouter,
+    name: &str,
+    request: &Request,
+) -> Result<Response, ApiError> {
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::new(400, "request body is not valid UTF-8"))?;
+    let doc = json::parse(body).map_err(|e| ApiError::new(400, e.to_string()))?;
+    let rows_json = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::new(400, "missing array field \"rows\""))?;
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for row in rows_json {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| ApiError::new(400, "\"rows\" must be an array of arrays"))?;
+        let mut features = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let value = match cell {
+                Json::Num(n) => n.as_f32(),
+                _ => None,
+            };
+            features
+                .push(value.ok_or_else(|| ApiError::new(400, "rows must contain finite numbers"))?);
+        }
+        rows.push(features);
+    }
+    if rows.is_empty() {
+        return Err(ApiError::new(400, "\"rows\" must not be empty"));
+    }
+    let width = rows[0].len();
+    if width == 0 || rows.iter().any(|r| r.len() != width) {
+        return Err(ApiError::new(
+            400,
+            "\"rows\" must be non-empty and rectangular",
+        ));
+    }
+    let labels_json = doc
+        .get("labels")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::new(400, "missing array field \"labels\""))?;
+    if labels_json.len() != rows.len() {
+        return Err(ApiError::new(
+            400,
+            format!(
+                "{} labels for {} rows; counts must match",
+                labels_json.len(),
+                rows.len()
+            ),
+        ));
+    }
+    let mut labels = Vec::with_capacity(labels_json.len());
+    for label in labels_json {
+        let value = label
+            .as_u64()
+            .filter(|&v| v <= u64::from(u32::MAX))
+            .ok_or_else(|| {
+                ApiError::new(400, "\"labels\" must be an array of non-negative integers")
+            })?;
+        labels.push(value as u32);
+    }
+
+    let outcomes = router.learn(name, RowBlock::from_rows(&rows), labels);
+    if outcomes.is_empty() {
+        return Err(ApiError::new(502, "no backend nodes are configured"));
+    }
+    let mut status = 200u16;
+    let results: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                ("backend".into(), Json::u64(o.backend as u64)),
+                ("addr".into(), Json::str(o.addr.to_string())),
+            ];
+            match &o.result {
+                Ok((accepted, queue_depth)) => {
+                    fields.push(("ok".into(), Json::Bool(true)));
+                    fields.push(("accepted".into(), Json::u64(*accepted)));
+                    fields.push(("queue_depth".into(), Json::u64(*queue_depth)));
+                }
+                Err((code, message)) => {
+                    if status == 200 {
+                        status = learn_failure_status(*code);
+                    }
+                    fields.push(("ok".into(), Json::Bool(false)));
+                    fields.push((
+                        "status".into(),
+                        Json::u64(u64::from(learn_failure_status(*code))),
+                    ));
+                    fields.push(("error".into(), Json::str(message.clone())));
+                }
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    let body = Json::Obj(vec![
+        ("model".into(), Json::str(name)),
+        ("rows".into(), Json::u64(rows.len() as u64)),
         ("results".into(), Json::Arr(results)),
     ]);
     Ok(Response::json(status, body.render()))

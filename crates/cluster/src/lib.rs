@@ -59,5 +59,5 @@ pub use httpfront::{RouterHttp, RouterHttpConfig};
 pub use metrics::ClusterMetrics;
 pub use placement::Ring;
 pub use pool::BackendPool;
-pub use router::{merge_expositions, ClusterConfig, ClusterRouter, PublishOutcome};
+pub use router::{merge_expositions, ClusterConfig, ClusterRouter, LearnOutcome, PublishOutcome};
 pub use wire::{ErrorCode, Frame, ModelInfo, RowBlock, WireError};

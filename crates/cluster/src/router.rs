@@ -53,14 +53,27 @@ pub struct ClusterConfig {
     pub replication_overrides: Vec<(String, usize)>,
     /// Virtual nodes per backend on the placement ring.
     pub vnodes: usize,
-    /// TCP connect timeout for interior dials.
+    /// TCP connect timeout for interior dials. Default 1 s.
     pub connect_timeout: Duration,
     /// Wire timeout for requests that carry no client deadline.
+    /// Default 10 s.
     pub request_timeout: Duration,
-    /// Wire timeout for health probes.
+    /// Wire timeout for health probes. Default 500 ms.
     pub probe_timeout: Duration,
-    /// Period of the background health checker.
+    /// Period of the background health checker. Default 250 ms.
     pub health_interval: Duration,
+    /// Grace added to a client deadline to form the socket timeout on a
+    /// deadlined predict. A live backend answers an expired deadline with
+    /// its own typed `DeadlineExceeded` (authoritative, no failover); the
+    /// grace lets that reply arrive, so only a *hung* backend trips the
+    /// socket timeout. It also keeps the timeout nonzero — a zero read
+    /// timeout is an invalid socket option, not "fail immediately".
+    /// Default 50 ms.
+    pub deadline_grace: Duration,
+    /// Slice width for the health checker's interruptible sleep between
+    /// probe rounds; bounds how long shutdown can block on the health
+    /// thread. Default 10 ms.
+    pub shutdown_poll: Duration,
     /// Idle interior connections kept per backend.
     pub max_idle_conns: usize,
     /// Ceiling on interior frame payloads.
@@ -78,6 +91,8 @@ impl Default for ClusterConfig {
             request_timeout: Duration::from_secs(10),
             probe_timeout: Duration::from_millis(500),
             health_interval: Duration::from_millis(250),
+            deadline_grace: Duration::from_millis(50),
+            shutdown_poll: Duration::from_millis(10),
             max_idle_conns: 8,
             max_payload: DEFAULT_MAX_PAYLOAD,
         }
@@ -93,6 +108,17 @@ pub struct PublishOutcome {
     pub addr: SocketAddr,
     /// `Ok((version, displaced))` or the node's typed refusal.
     pub result: Result<(u64, Option<u64>), (ErrorCode, String)>,
+}
+
+/// Per-node outcome of a learn broadcast to a model's replica group.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// Backend index the outcome is for.
+    pub backend: usize,
+    /// That backend's address.
+    pub addr: SocketAddr,
+    /// `Ok((accepted, queue_depth))` or the node's typed refusal.
+    pub result: Result<(u64, u64), (ErrorCode, String)>,
 }
 
 /// The running router tier (no HTTP listener of its own — see
@@ -151,6 +177,7 @@ impl ClusterRouter {
             let shutdown = Arc::clone(&router.shutdown);
             let interval = router.config.health_interval;
             let probe_timeout = router.config.probe_timeout;
+            let poll = router.config.shutdown_poll.max(Duration::from_millis(1));
             let nonce = AtomicU64::new(1 << 32);
             std::thread::Builder::new()
                 .name("bcpnn-cluster-health".into())
@@ -163,7 +190,7 @@ impl ClusterRouter {
                         // Sleep in slices so shutdown stays prompt.
                         let deadline = Instant::now() + interval;
                         while Instant::now() < deadline && !shutdown.load(Ordering::SeqCst) {
-                            std::thread::sleep(Duration::from_millis(10));
+                            std::thread::sleep(poll);
                         }
                     }
                 })
@@ -234,14 +261,11 @@ impl ClusterRouter {
             .collect();
 
         let (priority, deadline_ms) = encode_options(options);
-        // The socket timeout gets a small grace over the client deadline:
-        // a live backend answers an expired deadline with its own typed
-        // DeadlineExceeded (authoritative, no failover), and the grace
-        // lets that reply arrive. Only a hung backend trips the socket
-        // timeout. Grace also keeps the timeout nonzero — a zero read
-        // timeout is an invalid socket option, not "fail immediately".
+        // Deadlined requests use deadline + configured grace as the
+        // socket timeout (see [`ClusterConfig::deadline_grace`]);
+        // deadline-free requests use the configured request timeout.
         let timeout = match options.deadline {
-            Some(d) => d.saturating_add(Duration::from_millis(50)),
+            Some(d) => d.saturating_add(self.config.deadline_grace),
             None => self.config.request_timeout,
         };
         let request = Frame::Predict {
@@ -350,6 +374,45 @@ impl ClusterRouter {
                     }
                 };
                 PublishOutcome {
+                    backend: b,
+                    addr: self.pools[b].addr(),
+                    result,
+                }
+            })
+            .collect()
+    }
+
+    /// Broadcast labeled rows to every backend holding a replica of
+    /// `model`, reporting each node's outcome. Every replica must fold
+    /// the same rows to stay bit-identical, so — unlike predict — learn
+    /// never fails over: a node that cannot be reached is reported as
+    /// [`ErrorCode::Disconnected`] and its learner falls behind until its
+    /// next published generation resynchronizes it.
+    pub fn learn(&self, model: &str, rows: RowBlock, labels: Vec<u32>) -> Vec<LearnOutcome> {
+        let request = Frame::Learn {
+            model: model.to_string(),
+            rows,
+            labels,
+        };
+        self.replicas_for(model)
+            .into_iter()
+            .map(|b| {
+                let result = match self.pools[b].call(&request, self.config.request_timeout) {
+                    Ok(Frame::LearnOk {
+                        accepted,
+                        queue_depth,
+                    }) => Ok((accepted, queue_depth)),
+                    Ok(Frame::Error { code, message }) => Err((code, message)),
+                    Ok(other) => Err((
+                        ErrorCode::BadRequest,
+                        format!("unexpected reply frame {other:?}"),
+                    )),
+                    Err(err) => {
+                        self.mark_down(b);
+                        Err((ErrorCode::Disconnected, err.to_string()))
+                    }
+                };
+                LearnOutcome {
                     backend: b,
                     addr: self.pools[b].addr(),
                     result,

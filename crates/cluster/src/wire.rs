@@ -134,6 +134,8 @@ pub enum ErrorCode {
     Forbidden = 7,
     /// The request frame was semantically invalid (e.g. zero-width rows).
     BadRequest = 8,
+    /// The node's online-learn queue is full; retry later.
+    Overloaded = 9,
 }
 
 impl ErrorCode {
@@ -148,6 +150,7 @@ impl ErrorCode {
             6 => ErrorCode::Disconnected,
             7 => ErrorCode::Forbidden,
             8 => ErrorCode::BadRequest,
+            9 => ErrorCode::Overloaded,
             _ => return None,
         })
     }
@@ -318,6 +321,24 @@ pub enum Frame {
         /// Registered models, sorted by name.
         models: Vec<ModelInfo>,
     },
+    /// Feed labeled rows to the online learner attached to a model. The
+    /// router fans this out to *every* replica of the model's group, so
+    /// each replica's shadow trains on the same stream.
+    Learn {
+        /// Registry name of the model.
+        model: String,
+        /// The labeled feature rows.
+        rows: RowBlock,
+        /// One class label per row.
+        labels: Vec<u32>,
+    },
+    /// Successful learn reply.
+    LearnOk {
+        /// Rows accepted into the backend learner's queue.
+        accepted: u64,
+        /// Rows waiting in that queue after acceptance.
+        queue_depth: u64,
+    },
 }
 
 impl Frame {
@@ -334,6 +355,8 @@ impl Frame {
             Frame::MetricsOk { .. } => 0x09,
             Frame::ModelsReq => 0x0A,
             Frame::ModelsOk { .. } => 0x0B,
+            Frame::Learn { .. } => 0x0C,
+            Frame::LearnOk { .. } => 0x0D,
         }
     }
 
@@ -391,6 +414,25 @@ impl Frame {
             }
             Frame::MetricsReq | Frame::ModelsReq => {}
             Frame::MetricsOk { text } => put_str(&mut p, text),
+            Frame::Learn {
+                model,
+                rows,
+                labels,
+            } => {
+                put_str(&mut p, model);
+                put_rows(&mut p, rows);
+                put_u32(&mut p, labels.len() as u32);
+                for &label in labels {
+                    put_u32(&mut p, label);
+                }
+            }
+            Frame::LearnOk {
+                accepted,
+                queue_depth,
+            } => {
+                put_u64(&mut p, *accepted);
+                put_u64(&mut p, *queue_depth);
+            }
             Frame::ModelsOk { models } => {
                 put_u32(&mut p, models.len() as u32);
                 for m in models {
@@ -496,6 +538,30 @@ impl Frame {
                 }
                 Frame::ModelsOk { models }
             }
+            0x0C => {
+                let model = c.str()?;
+                let rows = c.rows()?;
+                let n = c.u32()? as usize;
+                if n != rows.n_rows() {
+                    return Err(WireError::Malformed(format!(
+                        "learn frame has {} rows but {n} labels",
+                        rows.n_rows()
+                    )));
+                }
+                let mut labels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    labels.push(c.u32()?);
+                }
+                Frame::Learn {
+                    model,
+                    rows,
+                    labels,
+                }
+            }
+            0x0D => Frame::LearnOk {
+                accepted: c.u64()?,
+                queue_depth: c.u64()?,
+            },
             other => return Err(WireError::UnknownOpcode(other)),
         };
         if c.remaining() != 0 {
@@ -700,6 +766,15 @@ mod tests {
                     n_classes: 2,
                 }],
             },
+            Frame::Learn {
+                model: "higgs".into(),
+                rows: RowBlock::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+                labels: vec![0, 1],
+            },
+            Frame::LearnOk {
+                accepted: 2,
+                queue_depth: 17,
+            },
         ];
         for frame in &frames {
             assert_eq!(&roundtrip(frame), frame, "{frame:?}");
@@ -727,6 +802,25 @@ mod tests {
         for (a, b) in sent.data.iter().zip(&got.data) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn learn_frame_with_mismatched_label_count_is_malformed() {
+        let good = Frame::Learn {
+            model: "m".into(),
+            rows: RowBlock::from_rows(&[vec![1.0], vec![2.0]]),
+            labels: vec![0, 1],
+        };
+        let bytes = good.encode();
+        // Payload layout: ..., label_count u32, labels. Lower the count:
+        // the labels themselves become trailing bytes — still malformed.
+        let mut tampered = bytes.clone();
+        let count_at = tampered.len() - 2 * 4 - 4;
+        tampered[count_at..count_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            Frame::read_from(&mut tampered.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn rows_strategy() -> impl Strategy<Value = RowBlock> {
 /// discriminant field selects the variant from one shared field bundle.
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     (
-        0usize..11,
+        0usize..13,
         name_strategy(),
         name_strategy(),
         rows_strategy(),
@@ -69,6 +69,19 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                 7 => Frame::MetricsReq,
                 8 => Frame::MetricsOk { text },
                 9 => Frame::ModelsReq,
+                11 => {
+                    // Labels are one-per-row by the frame's schema.
+                    let labels = (0..rows.n_rows()).map(|i| i as u32).collect();
+                    Frame::Learn {
+                        model: name,
+                        rows,
+                        labels,
+                    }
+                }
+                12 => Frame::LearnOk {
+                    accepted: n,
+                    queue_depth: n2,
+                },
                 _ => Frame::ModelsOk {
                     models: vec![
                         ModelInfo {

@@ -38,6 +38,10 @@ impl Default for BcpnnClassifierParams {
 
 /// Supervised associative BCPNN readout (one output HCU whose MCUs are the
 /// classes).
+///
+/// `Clone` copies the full trace state, so a clone trains independently of
+/// the original (used by the online-learning shadow trainer).
+#[derive(Clone)]
 pub struct BcpnnClassifier {
     n_inputs: usize,
     n_classes: usize,

@@ -19,6 +19,12 @@ use crate::traces::ProbabilityTraces;
 use crate::workspace::Workspace;
 
 /// The HCU/MCU hidden layer.
+///
+/// `Clone` copies the full trainable state (traces, weights, mask,
+/// plasticity bookkeeping, RNG position), so a clone trains independently
+/// of — and, fed the same batches, bit-identically to — the original. The
+/// online-learning shadow trainer is built on exactly this.
+#[derive(Clone)]
 pub struct HiddenLayer {
     params: HiddenLayerParams,
     backend: Arc<dyn Backend>,

@@ -579,7 +579,10 @@ pub(crate) fn validate_chain(stages: &[Stage], n_inputs: usize) -> CoreResult<()
 /// pipeline closes the gap — it is the artifact `bcpnn-serve` publishes,
 /// and it persists as a stage-tagged `v3` model directory
 /// ([`Pipeline::save`] / [`Pipeline::load`]).
-#[derive(Debug)]
+/// `Clone` copies the fitted stages and the full trainable network state,
+/// so a clone learns independently of the original — the seam the
+/// online-learning shadow trainer publishes through.
+#[derive(Debug, Clone)]
 pub struct Pipeline {
     stages: Vec<Stage>,
     network: Network,
@@ -696,6 +699,46 @@ impl Pipeline {
             Ok(())
         })();
         let result = chained.and_then(|()| self.network.predict_proba_into(&src, ws, out));
+        ws.encode_a = src;
+        ws.encode_b = dst;
+        result
+    }
+
+    /// Fold one labeled batch of *raw* feature rows into the trained
+    /// network — [`Network::learn_batch`] behind the fitted stage chain.
+    ///
+    /// The stages themselves stay frozen (they were fitted offline and
+    /// describe the input encoding, which must not drift under the served
+    /// model); only the network's counters move. Rows are encoded through
+    /// the same workspace ping-pong as [`Pipeline::predict_proba_into`],
+    /// so a warmed-up online trainer allocates nothing per fold.
+    pub fn learn_batch(
+        &mut self,
+        x: &Matrix<f32>,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> CoreResult<()> {
+        if x.cols() != self.input_width() {
+            return Err(CoreError::DataMismatch(format!(
+                "pipeline expects {} columns, learn rows have {}",
+                self.input_width(),
+                x.cols()
+            )));
+        }
+        if self.stages.is_empty() {
+            return self.network.learn_batch(x, labels, ws);
+        }
+        let mut src = std::mem::take(&mut ws.encode_a);
+        let mut dst = std::mem::take(&mut ws.encode_b);
+        let chained = (|| -> CoreResult<()> {
+            self.stages[0].transform_into(x, &mut src)?;
+            for stage in &self.stages[1..] {
+                stage.transform_into(&src, &mut dst)?;
+                std::mem::swap(&mut src, &mut dst);
+            }
+            Ok(())
+        })();
+        let result = chained.and_then(|()| self.network.learn_batch(&src, labels, ws));
         ws.encode_a = src;
         ws.encode_b = dst;
         result

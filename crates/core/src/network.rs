@@ -50,6 +50,12 @@ impl ReadoutKind {
 }
 
 /// A trained (or trainable) BCPNN network.
+///
+/// `Clone` copies all trainable state (layers clone deeply; the backend
+/// `Arc` is shared — backends are stateless compute), so a clone trains
+/// independently of the original. The online-learning shadow trainer
+/// clones a published network and folds new rows into the copy.
+#[derive(Clone)]
 pub struct Network {
     hidden: HiddenLayer,
     bcpnn_readout: Option<BcpnnClassifier>,
@@ -236,6 +242,62 @@ impl Network {
         }
         let proba = self.predict_proba_with(head, x)?;
         Ok(EvalReport::from_probabilities(&proba, labels))
+    }
+
+    /// Fold one labeled batch into the trained network's counters — the
+    /// online-learning entry point.
+    ///
+    /// BCPNN weights are Bayesian co-activation counters, so incremental
+    /// updates are the native operation: one unsupervised hidden-layer
+    /// trace update on the batch, then one supervised readout update on
+    /// the refreshed hidden code — the same two kernels
+    /// [`crate::Trainer::fit`] loops over, minus the epoch scaffolding
+    /// (no shuffling, no structural plasticity, no learning-rate decay:
+    /// online folds run at the learning rate the offline fit left behind).
+    /// No refit from scratch, no allocation beyond workspace growth.
+    ///
+    /// Deterministic: starting from identical network state, folding the
+    /// same batches in the same order reproduces bit-identical weights —
+    /// the property the learn-service replay log relies on.
+    pub fn learn_batch(
+        &mut self,
+        x: &Matrix<f32>,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> CoreResult<()> {
+        if x.rows() != labels.len() {
+            return Err(CoreError::DataMismatch(
+                "learn batch size and label count differ".into(),
+            ));
+        }
+        if x.rows() == 0 {
+            return Err(CoreError::DataMismatch("learn batch is empty".into()));
+        }
+        for &label in labels {
+            if label >= self.n_classes {
+                return Err(CoreError::DataMismatch(format!(
+                    "label {label} out of range for {} classes",
+                    self.n_classes
+                )));
+            }
+        }
+        // Unsupervised fold: the hidden layer keeps learning the input
+        // statistics from live traffic.
+        self.hidden.train_batch_with(x, ws)?;
+        // Supervised fold on the *updated* hidden code, exactly as a
+        // supervised epoch would see it.
+        let mut hidden = std::mem::take(&mut ws.hidden);
+        let result = self.hidden.forward_into(x, &mut hidden).and_then(|()| {
+            if let Some(readout) = self.bcpnn_readout.as_mut() {
+                readout.train_batch_with(&hidden, labels, ws)?;
+            }
+            if let Some(readout) = self.sgd_readout.as_mut() {
+                readout.train_batch_with(&hidden, labels, ws)?;
+            }
+            Ok(())
+        });
+        ws.hidden = hidden;
+        result
     }
 }
 

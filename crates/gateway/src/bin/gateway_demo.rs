@@ -20,6 +20,8 @@ use bcpnn_backend::BackendKind;
 use bcpnn_core::{Network, ReadoutKind, TrainingParams};
 use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
 use bcpnn_gateway::{client, Gateway, GatewayConfig};
+use bcpnn_learn::{LearnerConfig, OnlineLearner};
+use bcpnn_lowprec::{QuantPrecision, QuantizedPipeline};
 use bcpnn_serve::{ModelRegistry, Pipeline, ServeTarget, ServedModel, ShardConfig, ShardedServer};
 
 struct Args {
@@ -115,19 +117,47 @@ fn main() {
     let v2_dir = args.model_dir.join("higgs-v2");
     v2.save(&v2_dir).expect("saving the v2 artifact succeeds");
 
+    // The same v1 weights as a 4x-smaller int8 artifact, served side by
+    // side under its own name so the two tiers can be compared live.
+    let int8 =
+        QuantizedPipeline::quantize(&v1, QuantPrecision::Int8).expect("int8 quantization succeeds");
+
     let registry = Arc::new(ModelRegistry::new());
-    registry.publish(ServedModel::new("higgs", 1, v1));
+    registry.publish(ServedModel::new("higgs", 1, v1.clone()));
+    registry.publish(ServedModel::new("higgs-int8", 1, int8));
     let server = Arc::new(ShardedServer::start(
         Arc::clone(&registry),
         ShardConfig::new(args.shards),
     ));
-    let gateway = Gateway::start(
+    // Online learning for "higgs": labeled rows POSTed to the learn
+    // endpoint fold into a shadow model that hot-swaps in when it beats
+    // the live one on held-out traffic.
+    // The demo retrains v1 from scratch every run, so stale learner state
+    // from a previous run would describe a different base model.
+    let _ = std::fs::remove_dir_all(args.model_dir.join("learn-state"));
+    let learner = Arc::new(
+        OnlineLearner::start(
+            Arc::clone(&registry),
+            "higgs",
+            &v1,
+            LearnerConfig {
+                state_dir: args.model_dir.join("learn-state"),
+                backend: BackendKind::Parallel,
+                publish_rows: 500,
+                publish_interval: std::time::Duration::from_secs(10),
+                ..LearnerConfig::default()
+            },
+        )
+        .expect("online learner starts"),
+    );
+    let gateway = Gateway::start_with_learners(
         Arc::clone(&server) as Arc<dyn ServeTarget>,
         GatewayConfig {
             addr: args.addr.clone(),
             workers: args.workers,
             ..GatewayConfig::default()
         },
+        vec![Arc::clone(&learner)],
     )
     .expect("gateway binds");
     let addr = gateway.local_addr();
@@ -164,8 +194,15 @@ fn main() {
     println!(
         "curl -s -X POST http://{addr}/v1/models/higgs/predict \\\n     -H 'X-Priority: high' -H 'X-Deadline-Ms: 250' \\\n     -d '{row_json}'"
     );
-    println!("# Prometheus scrape: serving (per-shard + aggregate) and gateway counters");
-    println!("curl -s http://{addr}/metrics | grep -E 'queue_depth|gateway_requests'");
+    println!("# the same weights served int8-quantized (4x smaller)");
+    println!("curl -s -X POST http://{addr}/v1/models/higgs-int8/predict -d '{row_json}'");
+    println!("# online learning: feed labeled rows; the shadow model hot-swaps in");
+    println!("# automatically once it beats the live one on held-out traffic");
+    println!(
+        "curl -s -X POST http://{addr}/v1/models/higgs/learn \\\n     -d '{{\"rows\":{row_json},\"labels\":[1]}}'"
+    );
+    println!("# Prometheus scrape: serving, gateway, and online-learning counters");
+    println!("curl -s http://{addr}/metrics | grep -E 'queue_depth|gateway_requests|learn_rows'");
     println!("# hot-swap to the saved v2 artifact (atomic; in-flight batches finish on v1)");
     println!(
         "curl -s -X PUT http://{addr}/v1/models/higgs \\\n     -d '{{\"path\":\"{}\",\"version\":2,\"backend\":\"parallel\"}}'",
@@ -174,7 +211,7 @@ fn main() {
     println!();
 
     if args.self_test {
-        run_self_test(addr, &row_json, &v2_dir);
+        run_self_test(addr, &row_json, &v2_dir, &learner);
         return;
     }
 
@@ -185,7 +222,12 @@ fn main() {
 }
 
 /// Drive the walkthrough through the bundled client and verify each step.
-fn run_self_test(addr: std::net::SocketAddr, row_json: &str, v2_dir: &std::path::Path) {
+fn run_self_test(
+    addr: std::net::SocketAddr,
+    row_json: &str,
+    v2_dir: &std::path::Path,
+    learner: &OnlineLearner,
+) {
     println!("== self-test ==");
     let mut ok = true;
     let mut check = |what: &str, passed: bool| {
@@ -210,6 +252,19 @@ fn run_self_test(addr: std::net::SocketAddr, row_json: &str, v2_dir: &std::path:
     check(
         "predict is 200 with v1 predictions",
         predict.status == 200 && predict.body_str().contains("\"version\":1"),
+    );
+
+    let int8 = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs-int8/predict",
+        &[],
+        row_json.as_bytes(),
+    )
+    .expect("int8 predict responds");
+    check(
+        "int8 model predicts over the same endpoint",
+        int8.status == 200 && int8.body_str().contains("\"predictions\""),
     );
 
     let swap_body = format!(
@@ -243,6 +298,86 @@ fn run_self_test(addr: std::net::SocketAddr, row_json: &str, v2_dir: &std::path:
     let missing = client::request(addr, "POST", "/v1/models/ghost/predict", &[], b"[[1]]")
         .expect("unknown model responds");
     check("unknown model is 404", missing.status == 404);
+
+    // learn -> publish -> predict: stream enough labeled rows to cross the
+    // publish threshold, wait for the folds, and confirm the automatic
+    // hot-swap (the PUT above made the live model v2, so the learner's
+    // publish lands as v3).
+    let mut learn_ok = true;
+    let mut streamed = 0u64;
+    // Each 600-row round crosses the 500-trained-row publish threshold
+    // once; a round whose gated publish is rejected (the shadow has not
+    // caught up to the live model yet) just feeds the next round.
+    for round in 0..5 {
+        let learn_data = generate(&SyntheticHiggsConfig {
+            n_samples: 600,
+            seed: 7 + round,
+            ..Default::default()
+        });
+        for start in (0..600).step_by(100) {
+            let rows: Vec<String> = (start..start + 100)
+                .map(|r| {
+                    let cells: Vec<String> = learn_data
+                        .features
+                        .row(r)
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            let labels: Vec<String> = learn_data.labels[start..start + 100]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            let body = format!(
+                "{{\"rows\":[{}],\"labels\":[{}]}}",
+                rows.join(","),
+                labels.join(",")
+            );
+            let learn =
+                client::request(addr, "POST", "/v1/models/higgs/learn", &[], body.as_bytes())
+                    .expect("learn responds");
+            learn_ok &= learn.status == 200 && learn.body_str().contains("\"accepted\":100");
+            streamed += 100;
+        }
+        learner.drain();
+        if learner.metrics().publishes >= 1 {
+            break;
+        }
+    }
+    check("learn accepts the streamed rows", learn_ok);
+    let snapshot = learner.metrics();
+    check(
+        "shadow published at least once (learn -> hot-swap)",
+        snapshot.publishes >= 1,
+    );
+    let post_swap = client::request(
+        addr,
+        "POST",
+        "/v1/models/higgs/predict",
+        &[],
+        row_json.as_bytes(),
+    )
+    .expect("post-swap predict responds");
+    let served_version = bcpnn_gateway::json::parse(&post_swap.body_str())
+        .ok()
+        .and_then(|doc| {
+            doc.get("version")
+                .and_then(bcpnn_gateway::json::Json::as_u64)
+        })
+        .unwrap_or(0);
+    check(
+        "post-publish predict serves the learner's version (past the PUT's v2)",
+        post_swap.status == 200 && served_version >= 3,
+    );
+    let rescrape = client::request(addr, "GET", "/metrics", &[], b"").expect("metrics responds");
+    check(
+        "scrape counts the learned rows",
+        rescrape.body_str().contains(&format!(
+            "bcpnn_learn_rows_total{{model=\"higgs\"}} {streamed}"
+        )),
+    );
 
     println!();
     println!(

@@ -266,6 +266,7 @@ pub fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         502 => "Bad Gateway",

@@ -1,7 +1,7 @@
 //! Route table: `(method, path)` → endpoint.
 //!
 //! The surface is small enough that an explicit match beats a generic
-//! framework: five endpoints, each with a fixed shape. Unknown paths are
+//! framework: six endpoints, each with a fixed shape. Unknown paths are
 //! 404 and known paths with the wrong method are 405 (with the allowed
 //! methods named), decided *before* any body parsing — a misrouted
 //! request never costs worker time.
@@ -19,6 +19,9 @@ pub enum Route {
     Predict(String),
     /// `PUT /v1/models/{name}` — hot-swap a persisted artifact.
     Publish(String),
+    /// `POST /v1/models/{name}/learn` — feed labeled rows to the model's
+    /// online learner.
+    Learn(String),
 }
 
 /// Why routing failed; carries what the server needs for the response.
@@ -87,6 +90,14 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
                     _ => Err(RouteError::MethodNotAllowed("POST")),
                 }
             }
+            // /v1/models/{name}/learn
+            (Some("learn"), None) => {
+                check_name(name)?;
+                match method {
+                    "POST" => Ok(Route::Learn(name.to_string())),
+                    _ => Err(RouteError::MethodNotAllowed("POST")),
+                }
+            }
             _ => Err(RouteError::NotFound),
         }
     } else {
@@ -122,6 +133,14 @@ mod tests {
         assert_eq!(
             route("PUT", "/v1/models/higgs-v2.1"),
             Ok(Route::Publish("higgs-v2.1".into()))
+        );
+        assert_eq!(
+            route("POST", "/v1/models/higgs/learn"),
+            Ok(Route::Learn("higgs".into()))
+        );
+        assert_eq!(
+            route("GET", "/v1/models/higgs/learn"),
+            Err(RouteError::MethodNotAllowed("POST"))
         );
     }
 

@@ -22,6 +22,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bcpnn_backend::BackendKind;
+use bcpnn_learn::{LearnError, OnlineLearner};
 use bcpnn_serve::{Pipeline, Priority, ServeTarget, ServedModel, SubmitOptions};
 
 use crate::error::ApiError;
@@ -132,7 +133,16 @@ struct Shared {
     limits: Limits,
     read_timeout: Duration,
     artifact_root: Option<std::path::PathBuf>,
+    /// Online learners behind `POST /v1/models/{name}/learn`, keyed by the
+    /// registry model name each one feeds.
+    learners: Vec<Arc<OnlineLearner>>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn learner(&self, model: &str) -> Option<&Arc<OnlineLearner>> {
+        self.learners.iter().find(|l| l.model() == model)
+    }
 }
 
 /// The running HTTP gateway. Dropping it shuts the listener down
@@ -149,6 +159,18 @@ impl Gateway {
     /// `target` (an [`bcpnn_serve::InferenceServer`] or
     /// [`bcpnn_serve::ShardedServer`], shared as a trait object).
     pub fn start(target: Arc<dyn ServeTarget>, config: GatewayConfig) -> std::io::Result<Gateway> {
+        Self::start_with_learners(target, config, Vec::new())
+    }
+
+    /// [`Gateway::start`], plus online learners: each learner serves
+    /// `POST /v1/models/{name}/learn` for its model, and its
+    /// `bcpnn_learn_*` metrics join the `/metrics` scrape. Models without
+    /// a learner answer 404 on the learn endpoint.
+    pub fn start_with_learners(
+        target: Arc<dyn ServeTarget>,
+        config: GatewayConfig,
+        learners: Vec<Arc<OnlineLearner>>,
+    ) -> std::io::Result<Gateway> {
         assert!(config.workers > 0, "need at least one connection worker");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -159,6 +181,7 @@ impl Gateway {
             limits: config.limits,
             read_timeout: config.read_timeout,
             artifact_root: config.artifact_root,
+            learners,
             shutdown: AtomicBool::new(false),
         });
 
@@ -326,6 +349,9 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
         Route::Publish(name) => {
             handle_publish(shared, &name, request).unwrap_or_else(ApiError::into_response)
         }
+        Route::Learn(name) => {
+            handle_learn(shared, &name, request).unwrap_or_else(ApiError::into_response)
+        }
     }
 }
 
@@ -335,6 +361,14 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
 fn handle_metrics(shared: &Shared) -> Response {
     let mut text = shared.target.to_prometheus();
     text.push_str(&shared.metrics.snapshot().to_prometheus());
+    if !shared.learners.is_empty() {
+        let snapshots: Vec<(&str, bcpnn_learn::LearnSnapshot)> = shared
+            .learners
+            .iter()
+            .map(|l| (l.model(), l.metrics()))
+            .collect();
+        text.push_str(&bcpnn_learn::prometheus_exposition(&snapshots));
+    }
     Response::text_with_type(200, "text/plain; version=0.0.4; charset=utf-8", text)
 }
 
@@ -505,6 +539,75 @@ fn handle_publish(shared: &Shared, name: &str, request: &Request) -> Result<Resp
     Ok(Response::json(200, body.render()))
 }
 
+/// `POST /v1/models/{name}/learn`: feed labeled rows to the model's
+/// online learner. Body:
+/// `{"rows": [[...], ...], "labels": [0, 1, ...]}` — the same
+/// array-of-arrays row encoding (and bit-exact f32 parsing) as the
+/// predict endpoint, plus one integer class label per row.
+///
+/// Acceptance is durability, not training: a 200 means every row is in
+/// the learner's bounded queue and will be written to the replay log
+/// before it is folded. A full queue is backpressure (429); models with
+/// no learner attached answer 404.
+fn handle_learn(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let learner = shared.learner(name).ok_or_else(|| {
+        ApiError::new(
+            404,
+            format!("no online learner is attached to model {name:?}"),
+        )
+    })?;
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::new(400, "request body is not valid UTF-8"))?;
+    let doc = json::parse(body).map_err(|e| ApiError::new(400, e.to_string()))?;
+    let rows_json = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::new(400, "missing array field \"rows\""))?;
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for row in rows_json {
+        let cells = row
+            .as_array()
+            .ok_or_else(|| ApiError::new(400, "\"rows\" must be an array of arrays"))?;
+        let mut features = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let value = match cell {
+                Json::Num(n) => n.as_f32(),
+                _ => None,
+            };
+            features
+                .push(value.ok_or_else(|| ApiError::new(400, "rows must contain finite numbers"))?);
+        }
+        rows.push(features);
+    }
+    let labels_json = doc
+        .get("labels")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::new(400, "missing array field \"labels\""))?;
+    let mut labels = Vec::with_capacity(labels_json.len());
+    for label in labels_json {
+        labels.push(label.as_u64().ok_or_else(|| {
+            ApiError::new(400, "\"labels\" must be an array of non-negative integers")
+        })? as usize);
+    }
+
+    let accepted = learner.submit(&rows, &labels).map_err(|err| {
+        let status = match &err {
+            LearnError::QueueFull { .. } => 429,
+            LearnError::ShuttingDown => 503,
+            _ => 400,
+        };
+        ApiError::new(status, err.to_string())
+    })?;
+    let snapshot = learner.metrics();
+    let body = Json::Obj(vec![
+        ("model".into(), Json::str(name)),
+        ("accepted".into(), Json::u64(accepted as u64)),
+        ("queue_depth".into(), Json::u64(snapshot.queue_depth)),
+        ("publishes".into(), Json::u64(snapshot.publishes)),
+    ]);
+    Ok(Response::json(200, body.render()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,6 +734,21 @@ mod tests {
         bcpnn_serve::validate_prometheus(&text).expect("combined exposition parses");
         assert!(text.contains("bcpnn_serve_queue_depth"));
         assert!(text.contains("bcpnn_gateway_requests_total"));
+    }
+
+    #[test]
+    fn learn_without_a_learner_is_404() {
+        let (gateway, _server) = empty_gateway();
+        let r = client::request(
+            gateway.local_addr(),
+            "POST",
+            "/v1/models/higgs/learn",
+            &[],
+            b"{\"rows\":[[1,2]],\"labels\":[0]}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 404);
+        assert!(r.body_str().contains("no online learner"));
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! Append-only replay log: the durability layer of the learn service.
+//!
+//! Every batch of labeled rows the shadow trainer folds is first appended
+//! here, so a hard-killed learner rebuilds its exact shadow state on
+//! restart by replaying the log over the last checkpoint (folds are
+//! deterministic — see [`bcpnn_core::Network::learn_batch`]).
+//!
+//! The format follows the same defensive framing discipline as
+//! `bcpnn_cluster::wire`: a fixed file header, then length-prefixed
+//! frames, each protected by a CRC-32 so torn writes and bit rot are
+//! detected rather than trained on.
+//!
+//! ```text
+//! file   := magic "bLRN" | version u8 | frame*
+//! frame  := payload_len u32 LE | crc32(payload) u32 LE | payload
+//! payload:= n_rows u32 | n_cols u32 | n_rows*n_cols f32 LE | n_rows labels u32 LE
+//! ```
+//!
+//! Recovery policy: [`ReplayLog::open`] scans the file front to back and
+//! keeps the longest valid prefix. The first truncated, oversized,
+//! CRC-mismatching, or structurally malformed frame ends the scan; the
+//! corrupt tail is *dropped* (the file is truncated back to the last good
+//! frame) and appending resumes from there. Corruption is never a panic
+//! and never an error on this path — a learner that crashed mid-append
+//! must come back up.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bcpnn_tensor::Matrix;
+
+/// File magic: "bcpnn LeaRN log".
+pub const MAGIC: [u8; 4] = *b"bLRN";
+/// Format version written by this build.
+pub const VERSION: u8 = 1;
+/// Bytes before the first frame (magic + version).
+pub const HEADER_LEN: u64 = 5;
+/// Ceiling on a single frame's payload; anything larger is treated as a
+/// corrupt length prefix, not an allocation request.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// One replayable unit: the labeled rows of exactly one shadow-trainer
+/// fold, in fold order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnFrame {
+    /// The feature rows that were folded (batch x features).
+    pub rows: Matrix<f32>,
+    /// One class label per row.
+    pub labels: Vec<usize>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven; the table is computed at
+/// compile time so the crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE polynomial, the one `cksum`/zlib use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Serialize one fold's rows + labels as a frame payload (no length/CRC
+/// envelope — [`ReplayLog::append`] adds that). Public for the proptests.
+pub fn encode_payload(rows: &Matrix<f32>, labels: &[usize], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&(rows.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(rows.cols() as u32).to_le_bytes());
+    for &v in rows.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &label in labels {
+        out.extend_from_slice(&(label as u32).to_le_bytes());
+    }
+}
+
+/// Parse one frame payload back into rows + labels. `None` means the
+/// payload is structurally malformed (bad counts, trailing bytes, size
+/// overflow) — the caller treats that exactly like a CRC mismatch.
+pub fn decode_payload(payload: &[u8]) -> Option<LearnFrame> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let n_rows = u32::from_le_bytes(payload[0..4].try_into().ok()?) as u64;
+    let n_cols = u32::from_le_bytes(payload[4..8].try_into().ok()?) as u64;
+    if n_rows == 0 || n_cols == 0 {
+        return None;
+    }
+    let data_bytes = n_rows.checked_mul(n_cols)?.checked_mul(4)?;
+    let expected = 8u64.checked_add(data_bytes)?.checked_add(n_rows * 4)?;
+    if payload.len() as u64 != expected {
+        return None;
+    }
+    let n_rows = n_rows as usize;
+    let n_cols = n_cols as usize;
+    let mut data = Vec::with_capacity(n_rows * n_cols);
+    let mut at = 8;
+    for _ in 0..n_rows * n_cols {
+        data.push(f32::from_le_bytes(payload[at..at + 4].try_into().ok()?));
+        at += 4;
+    }
+    let mut labels = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        labels.push(u32::from_le_bytes(payload[at..at + 4].try_into().ok()?) as usize);
+        at += 4;
+    }
+    Some(LearnFrame {
+        rows: Matrix::from_vec(n_rows, n_cols, data),
+        labels,
+    })
+}
+
+/// What [`ReplayLog::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Every intact frame, in append order — replay these over the last
+    /// checkpoint to rebuild the shadow.
+    pub frames: Vec<LearnFrame>,
+    /// Bytes discarded from a corrupt/torn tail (0 on a clean log).
+    pub dropped_bytes: u64,
+}
+
+/// The append-only log itself. One instance owns the file; appends go
+/// straight to the OS (no userspace buffering) so a killed *process*
+/// never loses an acknowledged frame.
+#[derive(Debug)]
+pub struct ReplayLog {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    scratch: Vec<u8>,
+}
+
+impl ReplayLog {
+    /// Open (or create) the log at `path`, recover the valid frame
+    /// prefix, truncate any corrupt tail, and position for appending.
+    pub fn open(path: &Path) -> std::io::Result<(ReplayLog, Recovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let total = file.metadata()?.len();
+
+        // Header: absent/truncated on a fresh file -> write one. A wrong
+        // magic/version is a different file entirely, not a torn tail —
+        // refuse rather than silently wipe it.
+        let mut header = [0u8; HEADER_LEN as usize];
+        if total < HEADER_LEN {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            header[..4].copy_from_slice(&MAGIC);
+            header[4] = VERSION;
+            file.write_all(&header)?;
+            file.sync_data()?;
+            return Ok((
+                ReplayLog {
+                    file,
+                    path: path.to_path_buf(),
+                    bytes: HEADER_LEN,
+                    scratch: Vec::new(),
+                },
+                Recovery {
+                    frames: Vec::new(),
+                    dropped_bytes: 0,
+                },
+            ));
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        if header[..4] != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not a replay log (bad magic)", path.display()),
+            ));
+        }
+        if header[4] != VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "replay log {} has unsupported version {}",
+                    path.display(),
+                    header[4]
+                ),
+            ));
+        }
+
+        // Scan frames; keep the longest valid prefix.
+        let mut frames = Vec::new();
+        let mut good_end = HEADER_LEN;
+        let mut at = HEADER_LEN;
+        let mut envelope = [0u8; 8];
+        let mut payload = Vec::new();
+        loop {
+            if at + 8 > total {
+                break; // clean EOF or torn envelope
+            }
+            file.seek(SeekFrom::Start(at))?;
+            file.read_exact(&mut envelope)?;
+            let len = u32::from_le_bytes(envelope[0..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(envelope[4..8].try_into().unwrap());
+            if len > MAX_FRAME_PAYLOAD || at + 8 + u64::from(len) > total {
+                break; // corrupt length or torn payload
+            }
+            payload.resize(len as usize, 0);
+            file.read_exact(&mut payload)?;
+            if crc32(&payload) != crc {
+                break; // bit rot / torn write inside the payload
+            }
+            let Some(frame) = decode_payload(&payload) else {
+                break; // structurally malformed
+            };
+            frames.push(frame);
+            at += 8 + u64::from(len);
+            good_end = at;
+        }
+        let dropped = total - good_end;
+        if dropped > 0 {
+            file.set_len(good_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+        Ok((
+            ReplayLog {
+                file,
+                path: path.to_path_buf(),
+                bytes: good_end,
+                scratch: Vec::new(),
+            },
+            Recovery {
+                frames,
+                dropped_bytes: dropped,
+            },
+        ))
+    }
+
+    /// Append one fold's rows + labels. The frame is fully in the OS page
+    /// cache when this returns (kill-safe); call [`ReplayLog::sync`] for
+    /// power-loss durability.
+    pub fn append(&mut self, rows: &Matrix<f32>, labels: &[usize]) -> std::io::Result<()> {
+        let mut payload = std::mem::take(&mut self.scratch);
+        encode_payload(rows, labels, &mut payload);
+        debug_assert!(payload.len() as u64 <= u64::from(MAX_FRAME_PAYLOAD));
+        let mut envelope = [0u8; 8];
+        envelope[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        envelope[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        let result = self
+            .file
+            .write_all(&envelope)
+            .and_then(|()| self.file.write_all(&payload));
+        if result.is_ok() {
+            self.bytes += 8 + payload.len() as u64;
+        }
+        self.scratch = payload;
+        result
+    }
+
+    /// Flush appended frames to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Drop every frame (called right after a checkpoint made them
+    /// redundant): truncate back to the header and sync.
+    pub fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.file.sync_data()?;
+        self.bytes = HEADER_LEN;
+        Ok(())
+    }
+
+    /// Current size of the log in bytes (header included) — exported as
+    /// the `bcpnn_learn_replay_log_bytes` gauge.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The path this log lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bcpnn-replay-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("replay.log")
+    }
+
+    fn frame(seed: u32, rows: usize, cols: usize) -> (Matrix<f32>, Vec<usize>) {
+        let x = Matrix::from_fn(rows, cols, |r, c| {
+            (seed as f32) + (r * cols + c) as f32 * 0.25
+        });
+        let labels = (0..rows).map(|r| (r + seed as usize) % 3).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_every_frame() {
+        let path = tmp("roundtrip");
+        let (mut log, rec) = ReplayLog::open(&path).unwrap();
+        assert!(rec.frames.is_empty());
+        let mut expect = Vec::new();
+        for i in 0..5u32 {
+            let (x, labels) = frame(i, 3 + i as usize, 4);
+            log.append(&x, &labels).unwrap();
+            expect.push(LearnFrame { rows: x, labels });
+        }
+        drop(log);
+        let (log, rec) = ReplayLog::open(&path).unwrap();
+        assert_eq!(rec.dropped_bytes, 0);
+        assert_eq!(rec.frames, expect);
+        assert_eq!(log.bytes(), std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let path = tmp("torn");
+        let (mut log, _) = ReplayLog::open(&path).unwrap();
+        let (x, labels) = frame(1, 4, 3);
+        log.append(&x, &labels).unwrap();
+        let (y, ylabels) = frame(2, 2, 3);
+        log.append(&y, &ylabels).unwrap();
+        drop(log);
+        // Tear the last frame: chop 5 bytes off the file.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let (mut log, rec) = ReplayLog::open(&path).unwrap();
+        assert_eq!(rec.frames.len(), 1, "only the intact frame survives");
+        assert_eq!(rec.frames[0].rows, x);
+        assert!(rec.dropped_bytes > 0);
+        // The log is immediately usable again.
+        log.append(&y, &ylabels).unwrap();
+        drop(log);
+        let (_, rec) = ReplayLog::open(&path).unwrap();
+        assert_eq!(rec.frames.len(), 2);
+        assert_eq!(rec.frames[1].rows, y);
+    }
+
+    #[test]
+    fn bit_flip_drops_the_corrupt_frame_and_everything_after() {
+        let path = tmp("bitflip");
+        let (mut log, _) = ReplayLog::open(&path).unwrap();
+        for i in 0..3u32 {
+            let (x, labels) = frame(i, 3, 2);
+            log.append(&x, &labels).unwrap();
+        }
+        let first_end = {
+            let mut buf = Vec::new();
+            encode_payload(&frame(0, 3, 2).0, &frame(0, 3, 2).1, &mut buf);
+            HEADER_LEN + 8 + buf.len() as u64
+        };
+        drop(log);
+        // Flip one payload bit inside the *second* frame.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = (first_end + 12) as usize;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = ReplayLog::open(&path).unwrap();
+        assert_eq!(rec.frames.len(), 1, "prefix before the flip survives");
+        assert!(rec.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn rotate_empties_the_log() {
+        let path = tmp("rotate");
+        let (mut log, _) = ReplayLog::open(&path).unwrap();
+        let (x, labels) = frame(7, 6, 2);
+        log.append(&x, &labels).unwrap();
+        log.rotate().unwrap();
+        assert_eq!(log.bytes(), HEADER_LEN);
+        let (y, ylabels) = frame(8, 2, 2);
+        log.append(&y, &ylabels).unwrap();
+        drop(log);
+        let (_, rec) = ReplayLog::open(&path).unwrap();
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.frames[0].rows, y);
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_wiped() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a replay log").unwrap();
+        let err = ReplayLog::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Untouched.
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"definitely not a replay log"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based checks on the replay log: every sequence of appended
+//! learn batches must come back intact on reopen, and arbitrary tail
+//! corruption — truncation mid-frame, bit flips anywhere after the
+//! header — must never panic and never surface a corrupt frame. A
+//! learner that replayed a mangled batch would silently diverge from
+//! every other replica; dropping the tail is the only safe recovery.
+
+use bcpnn_learn::replay::HEADER_LEN;
+use bcpnn_learn::{LearnFrame, ReplayLog};
+use bcpnn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A batch as its `(rows, cols, cells, labels)` raw parts; geometry is
+/// kept consistent so `Matrix::from_vec` always succeeds.
+fn batch_strategy() -> impl Strategy<Value = (usize, usize, Vec<f32>, Vec<usize>)> {
+    (1usize..5, 1usize..7).prop_flat_map(|(n_rows, n_cols)| {
+        (
+            Just(n_rows),
+            Just(n_cols),
+            prop::collection::vec(-1.0e5f32..1.0e5, n_rows * n_cols),
+            prop::collection::vec(0usize..8, n_rows),
+        )
+    })
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<(usize, usize, Vec<f32>, Vec<usize>)>> {
+    prop::collection::vec(batch_strategy(), 0..6)
+}
+
+fn temp_log_path(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bcpnn-replay-prop-{tag}-{}-{n}.log",
+        std::process::id()
+    ))
+}
+
+/// Write `batches` to a fresh log at `path`, returning the frames as the
+/// reader should see them.
+fn write_log(
+    path: &std::path::Path,
+    batches: &[(usize, usize, Vec<f32>, Vec<usize>)],
+) -> Vec<LearnFrame> {
+    let _ = std::fs::remove_file(path);
+    let (mut log, recovery) = ReplayLog::open(path).expect("fresh log opens");
+    assert!(recovery.frames.is_empty());
+    let mut expected = Vec::with_capacity(batches.len());
+    for (n_rows, n_cols, cells, labels) in batches {
+        let rows = Matrix::from_vec(*n_rows, *n_cols, cells.clone());
+        log.append(&rows, labels).expect("append succeeds");
+        expected.push(LearnFrame {
+            rows,
+            labels: labels.clone(),
+        });
+    }
+    log.sync().expect("sync succeeds");
+    expected
+}
+
+fn frames_equal(a: &LearnFrame, b: &LearnFrame) -> bool {
+    a.labels == b.labels
+        && a.rows.rows() == b.rows.rows()
+        && a.rows.cols() == b.rows.cols()
+        && a.rows
+            .as_slice()
+            .iter()
+            .zip(b.rows.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_append_sequence_replays_bit_exactly(batches in batches_strategy()) {
+        let path = temp_log_path("roundtrip");
+        let expected = write_log(&path, &batches);
+        let (_log, recovery) = ReplayLog::open(&path).expect("reopen succeeds");
+        prop_assert_eq!(recovery.dropped_bytes, 0);
+        prop_assert_eq!(recovery.frames.len(), expected.len());
+        for (got, want) in recovery.frames.iter().zip(&expected) {
+            prop_assert!(frames_equal(got, want));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_anywhere_keeps_a_clean_prefix(
+        batches in batches_strategy(),
+        cut in 0usize..100_000,
+    ) {
+        let path = temp_log_path("truncate");
+        let expected = write_log(&path, &batches);
+        let full = std::fs::read(&path).unwrap();
+        // Cut anywhere in [0, len): even inside the header — a short
+        // file must come back as an empty, writable log.
+        let keep = cut % full.len().max(1);
+        std::fs::write(&path, &full[..keep]).unwrap();
+
+        // Never a panic, never an error, never a corrupt frame: the
+        // survivors must be an exact prefix of what was written.
+        let (_log, recovery) = ReplayLog::open(&path).expect("truncated log still opens");
+        prop_assert!(recovery.frames.len() <= expected.len());
+        for (got, want) in recovery.frames.iter().zip(&expected) {
+            prop_assert!(frames_equal(got, want));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flips_after_the_header_never_surface_corrupt_frames(
+        batches in batches_strategy(),
+        pos in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let path = temp_log_path("bitflip");
+        let expected = write_log(&path, &batches);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let header = HEADER_LEN as usize;
+        if bytes.len() > header {
+            let at = header + pos % (bytes.len() - header);
+            bytes[at] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+
+        let (_log, recovery) = ReplayLog::open(&path).expect("corrupt log still opens");
+        // A flipped byte kills its frame and everything after it (the
+        // scan cannot trust positions past a bad length or CRC), but
+        // every surviving frame must match what was written, in order.
+        prop_assert!(recovery.frames.len() <= expected.len());
+        for (got, want) in recovery.frames.iter().zip(&expected) {
+            prop_assert!(frames_equal(got, want));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
