@@ -9,12 +9,14 @@
 # against this file with a percentage threshold, so refresh it on a machine
 # representative of CI whenever a deliberate performance change lands.
 #
-# Benches build with native codegen by default (the int8 path leans on
-# vectorized i8->f32 conversion); override by exporting RUSTFLAGS.
+# Benches build for the portable baseline target on purpose (same as CI):
+# the per-tier benches compare the runtime AVX2 dispatch against the
+# portable lanes build, and -C target-cpu=native would hand the portable
+# tiers the same instructions, washing out the comparison. Export RUSTFLAGS
+# to override.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-export RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}"
 json="$(mktemp -t bench-json.XXXXXX)"
 rm -f "$json"
 

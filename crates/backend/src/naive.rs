@@ -54,34 +54,12 @@ impl Backend for NaiveBackend {
     }
 
     fn grouped_softmax(&self, m: &mut Matrix<f32>, group: usize) {
-        assert!(group > 0, "softmax group must be positive");
-        assert_eq!(
-            m.cols() % group,
-            0,
-            "softmax group {group} does not divide {} columns",
-            m.cols()
-        );
-        for r in 0..m.rows() {
-            let row = m.row_mut(r);
-            for seg in row.chunks_mut(group) {
-                let max = seg.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut total = 0.0f32;
-                for v in seg.iter_mut() {
-                    *v = (*v - max).exp();
-                    total += *v;
-                }
-                if total > 0.0 {
-                    for v in seg.iter_mut() {
-                        *v /= total;
-                    }
-                } else {
-                    let u = 1.0 / seg.len() as f32;
-                    for v in seg.iter_mut() {
-                        *v = u;
-                    }
-                }
-            }
-        }
+        // The subtract-max / exp / normalise loop that used to live here is
+        // hoisted into the shared dispatch kernel so every backend runs one
+        // definition; the scalar tier of that kernel is this backend's old
+        // loop bit-for-bit, and the other tiers use the documented
+        // `exp_approx` polynomial (relative error ≤ 1e-6).
+        bcpnn_tensor::simd::dispatch::softmax_groups_into(m, group);
     }
 
     fn update_traces(

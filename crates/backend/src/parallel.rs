@@ -47,7 +47,9 @@ impl Backend for ParallelBackend {
     }
 
     fn grouped_softmax(&self, m: &mut Matrix<f32>, group: usize) {
-        bcpnn_tensor::reduce::softmax_row_groups(m, group);
+        // Rows in parallel, each segment through the shared dispatch kernel
+        // (same per-segment numerics as the naive/vectorized backends).
+        bcpnn_tensor::simd::dispatch::softmax_row_groups_par(m, group);
     }
 
     fn update_traces(

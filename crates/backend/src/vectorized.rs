@@ -26,11 +26,16 @@
 //! exactly `+0.0` in loops whose partial sums are never `-0.0` — so every
 //! kernel is bit-exact against [`NaiveBackend`](crate::NaiveBackend)
 //! (`tests/backend_equivalence.rs` asserts equality, not tolerance).
-//! Softmax, weight recomputation and mutual information are
+//! Weight recomputation and mutual information are
 //! transcendental-function-bound with no reduction to block, so they
-//! delegate to the naive loops unchanged.
+//! delegate to the naive loops unchanged; softmax and the forward `axpy`
+//! route through [`bcpnn_tensor::simd::dispatch`], so on an AVX2+FMA
+//! machine (or under `BCPNN_SIMD=avx2`) they run the explicit intrinsic
+//! kernels. The naive backend routes its softmax through the *same*
+//! dispatch kernel, so the bit-exactness contract holds tier-for-tier.
 
-use bcpnn_tensor::simd::{self, F32x8, LANES};
+use bcpnn_tensor::simd::dispatch::{self, SimdTier};
+use bcpnn_tensor::simd::{F32x8, LANES};
 use bcpnn_tensor::Matrix;
 
 use crate::kernels::trace_update;
@@ -44,12 +49,29 @@ const FORWARD_BLOCK: usize = 512;
 
 /// Single-threaded backend with hand-vectorized 8-lane kernels.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct VectorizedBackend;
+pub struct VectorizedBackend {
+    /// `None` routes to the process-wide active tier (detection or
+    /// `BCPNN_SIMD`); `Some` pins this instance to one tier — how the bench
+    /// suite compares tiers side by side without mutating global state.
+    tier: Option<SimdTier>,
+}
 
 impl VectorizedBackend {
-    /// Create a new vectorized backend.
+    /// Create a new vectorized backend on the process-wide active tier.
     pub fn new() -> Self {
-        Self
+        Self { tier: None }
+    }
+
+    /// Create a backend pinned to one dispatch tier (unsupported requests
+    /// degrade like [`dispatch::set_tier`] — `avx2` without the CPU feature
+    /// becomes `lanes`).
+    pub fn with_tier(tier: SimdTier) -> Self {
+        Self { tier: Some(tier) }
+    }
+
+    /// The tier this instance dispatches to right now.
+    pub fn tier(&self) -> SimdTier {
+        self.tier.unwrap_or_else(dispatch::active_tier)
     }
 }
 
@@ -81,7 +103,9 @@ impl Backend for VectorizedBackend {
             let width = FORWARD_BLOCK.min(n_units - col);
             // Input-major: stream each weight row once per block, reuse it
             // across every batch row that activates it. Per output element
-            // the sum still ascends over `i` — the naive order.
+            // the sum still ascends over `i` — the naive order — and axpy is
+            // bit-identical on every dispatch tier.
+            let tier = self.tier();
             for i in 0..n_in {
                 let w_block = &weights.row(i)[col..col + width];
                 for b in 0..batch {
@@ -90,7 +114,7 @@ impl Backend for VectorizedBackend {
                         continue;
                     }
                     let out_block = &mut out.row_mut(b)[col..col + width];
-                    simd::axpy(out_block, xv, w_block);
+                    dispatch::axpy_with(tier, out_block, xv, w_block);
                 }
             }
             col += width;
@@ -98,9 +122,10 @@ impl Backend for VectorizedBackend {
     }
 
     fn grouped_softmax(&self, m: &mut Matrix<f32>, group: usize) {
-        // Exp-bound, no reduction order to optimise: keep the naive loop so
-        // the result is trivially bit-exact.
-        NaiveBackend::new().grouped_softmax(m, group);
+        // Same shared kernel the naive backend routes through, so the two
+        // backends stay bit-exact tier-for-tier; this instance's pinned tier
+        // (if any) wins over the process-wide one.
+        dispatch::softmax_groups_into_with(self.tier(), m, group);
     }
 
     fn update_traces(

@@ -13,6 +13,12 @@
 //! `bench-regression` job is its only non-human caller. Parsing reuses
 //! [`bcpnn_gateway::json`] — the same RFC 8259 implementation the serving
 //! stack trusts on its wire.
+//!
+//! Besides per-bench records, a report may carry *metadata* about the run —
+//! the detected CPU feature set and active SIMD dispatch tier, emitted by
+//! the bench binary as a `{"meta":{...}}` JSONL line. Metadata rides along
+//! into the canonical report and the markdown summary so a baseline states
+//! which machine class produced it.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -21,6 +27,10 @@ use bcpnn_gateway::json::{self, Json, Number};
 
 /// Schema tag of the canonical report format.
 pub const SCHEMA: &str = "bcpnn-bench/v1";
+
+/// Run-level metadata attached to a report (string key/value pairs, e.g.
+/// `cpu_features` and `simd_tier`).
+pub type BenchMeta = BTreeMap<String, String>;
 
 /// One measured benchmark.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,13 +95,23 @@ impl CompareReport {
 /// Parse a report in either accepted syntax — the shim's JSONL stream or a
 /// canonical `bcpnn-bench/v1` object — into name-sorted records. Duplicate
 /// names keep the *last* occurrence (a re-run bench supersedes its earlier
-/// sample).
+/// sample). Convenience wrapper over [`parse_report_full`] that drops the
+/// metadata.
 pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
+    parse_report_full(text).map(|(records, _)| records)
+}
+
+/// [`parse_report`] plus the run metadata. In the JSONL syntax a metadata
+/// line is `{"meta":{"key":"value",...}}` (no `"name"` field); several such
+/// lines merge, later keys overriding earlier ones. In the canonical syntax
+/// metadata lives under a top-level `"meta"` object.
+pub fn parse_report_full(text: &str) -> Result<(Vec<BenchRecord>, BenchMeta), String> {
     let trimmed = text.trim();
     if trimmed.is_empty() {
         return Err("empty benchmark report".into());
     }
     let mut by_name: BTreeMap<String, BenchRecord> = BTreeMap::new();
+    let mut meta = BenchMeta::new();
     let canonical = json::parse(trimmed)
         .ok()
         .filter(|v| v.get("schema").is_some());
@@ -102,6 +122,7 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
                 "unsupported schema {schema:?}, expected {SCHEMA:?}"
             ));
         }
+        merge_meta(&mut meta, &doc)?;
         let benches = match doc.get("benches") {
             Some(Json::Obj(members)) => members,
             _ => return Err("canonical report has no \"benches\" object".into()),
@@ -117,6 +138,10 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
             }
             let value =
                 json::parse(line).map_err(|e| format!("line {}: not a JSON record: {e}", i + 1))?;
+            if value.get("name").is_none() && value.get("meta").is_some() {
+                merge_meta(&mut meta, &value).map_err(|e| format!("line {}: {e}", i + 1))?;
+                continue;
+            }
             let name = value
                 .get("name")
                 .and_then(Json::as_str)
@@ -126,7 +151,26 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
             by_name.insert(name, record);
         }
     }
-    Ok(by_name.into_values().collect())
+    Ok((by_name.into_values().collect(), meta))
+}
+
+/// Fold the `"meta"` object of `doc` (if any) into `meta`; non-string
+/// values are an error so a typo'd metadata line fails loudly.
+fn merge_meta(meta: &mut BenchMeta, doc: &Json) -> Result<(), String> {
+    let Some(obj) = doc.get("meta") else {
+        return Ok(());
+    };
+    let members = match obj {
+        Json::Obj(members) => members,
+        _ => return Err("\"meta\" is not an object".into()),
+    };
+    for (key, value) in members {
+        let s = value
+            .as_str()
+            .ok_or_else(|| format!("meta key {key:?} has a non-string value"))?;
+        meta.insert(key.clone(), s.to_string());
+    }
+    Ok(())
 }
 
 fn record_from_obj(name: &str, value: &Json) -> Result<BenchRecord, String> {
@@ -155,11 +199,24 @@ fn as_f64(v: &Json) -> Option<f64> {
 /// name-sorted, one bench per line — diffs of the baseline file stay
 /// readable in review.
 pub fn canonical_report(records: &[BenchRecord]) -> String {
+    canonical_report_with_meta(records, &BenchMeta::new())
+}
+
+/// [`canonical_report`] with run metadata included as a top-level `"meta"`
+/// object (omitted when empty).
+pub fn canonical_report_with_meta(records: &[BenchRecord], meta: &BenchMeta) -> String {
     let mut sorted: Vec<&BenchRecord> = records.iter().collect();
     sorted.sort_by(|a, b| a.name.cmp(&b.name));
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    if !meta.is_empty() {
+        let obj: Vec<(String, Json)> = meta
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::str(v)))
+            .collect();
+        let _ = writeln!(out, "  \"meta\": {},", Json::Obj(obj).render());
+    }
     out.push_str("  \"benches\": {\n");
     for (i, r) in sorted.iter().enumerate() {
         let mut obj = vec![(
@@ -332,6 +389,32 @@ mod tests {
         assert_eq!(parsed[0].name, "a/one", "canonical order is sorted");
         assert_eq!(parsed[1].ns_per_iter, 1234.5);
         assert_eq!(parsed[1].elems_per_sec, Some(2.5e6));
+    }
+
+    #[test]
+    fn meta_lines_parse_and_roundtrip() {
+        let text = "\
+{\"meta\":{\"cpu_features\":\"avx2 fma\",\"simd_tier\":\"avx2\"}}\n\
+{\"name\":\"g/naive\",\"ns_per_iter\":200.000}\n\
+{\"meta\":{\"simd_tier\":\"lanes\"}}\n";
+        let (records, meta) = parse_report_full(text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(meta["cpu_features"], "avx2 fma");
+        assert_eq!(meta["simd_tier"], "lanes", "later meta lines override");
+
+        let canonical = canonical_report_with_meta(&records, &meta);
+        assert!(canonical.contains("\"meta\""));
+        let (reparsed, remeta) = parse_report_full(&canonical).unwrap();
+        assert_eq!(reparsed, records);
+        assert_eq!(remeta, meta);
+
+        // Meta is optional: a meta-free canonical report yields empty meta.
+        let (_, empty) = parse_report_full(&canonical_report(&records)).unwrap();
+        assert!(empty.is_empty());
+        // Non-string meta values fail loudly.
+        assert!(
+            parse_report_full("{\"meta\":{\"k\":1}}\n{\"name\":\"g\",\"ns_per_iter\":1}").is_err()
+        );
     }
 
     #[test]

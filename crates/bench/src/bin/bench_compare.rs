@@ -22,7 +22,8 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use bcpnn_bench::benchjson::{
-    assert_faster, canonical_report, compare, markdown_table, parse_report, BenchRecord,
+    assert_faster, canonical_report_with_meta, compare, markdown_table, parse_report_full,
+    BenchMeta, BenchRecord,
 };
 
 struct Options {
@@ -78,13 +79,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_records(path: &str) -> Result<Vec<BenchRecord>, String> {
+fn load_records(path: &str) -> Result<(Vec<BenchRecord>, BenchMeta), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_report(&text).map_err(|e| format!("{path}: {e}"))
+    parse_report_full(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    let current = load_records(&opts.current)?;
+    let (current, meta) = load_records(&opts.current)?;
     eprintln!(
         "loaded {} benchmark(s) from {}",
         current.len(),
@@ -94,8 +95,19 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut failures: Vec<String> = Vec::new();
     let mut summary_text = String::new();
 
+    if !meta.is_empty() {
+        summary_text.push_str("### Run metadata\n\n");
+        for (key, value) in &meta {
+            let line = format!("- `{key}`: {value}");
+            println!("{line}");
+            summary_text.push_str(&line);
+            summary_text.push('\n');
+        }
+        summary_text.push('\n');
+    }
+
     if let Some(baseline_path) = &opts.baseline {
-        let baseline = load_records(baseline_path)?;
+        let (baseline, _) = load_records(baseline_path)?;
         let report = compare(&current, &baseline, opts.threshold_pct);
         let table = markdown_table(&report);
         print!("{table}");
@@ -142,7 +154,7 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 
     if let Some(path) = &opts.write_baseline {
-        std::fs::write(path, canonical_report(&current))
+        std::fs::write(path, canonical_report_with_meta(&current, &meta))
             .map_err(|e| format!("cannot write baseline {path}: {e}"))?;
         eprintln!("wrote canonical baseline to {path}");
     }

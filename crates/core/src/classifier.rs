@@ -259,7 +259,7 @@ impl BcpnnClassifier {
     /// Hard class predictions.
     pub fn predict(&self, hidden: &Matrix<f32>) -> CoreResult<Vec<usize>> {
         let proba = self.predict_proba(hidden)?;
-        Ok(bcpnn_tensor::reduce::row_argmax(&proba))
+        Ok(bcpnn_tensor::simd::dispatch::row_argmax(&proba))
     }
 
     /// Restore persisted traces (used by the serializer).

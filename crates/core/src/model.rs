@@ -178,7 +178,9 @@ pub trait Predictor {
 
     /// Hard class predictions (argmax over [`Predictor::predict_proba`]).
     fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
-        Ok(bcpnn_tensor::reduce::row_argmax(&self.predict_proba(x)?))
+        Ok(bcpnn_tensor::simd::dispatch::row_argmax(
+            &self.predict_proba(x)?,
+        ))
     }
 
     /// Number of input columns the predictor expects.

@@ -214,7 +214,9 @@ impl Network {
 
     /// Hard class predictions via [`Network::predict_proba`].
     pub fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
-        Ok(bcpnn_tensor::reduce::row_argmax(&self.predict_proba(x)?))
+        Ok(bcpnn_tensor::simd::dispatch::row_argmax(
+            &self.predict_proba(x)?,
+        ))
     }
 
     /// Evaluate the network on labeled data (accuracy, AUC, ...).

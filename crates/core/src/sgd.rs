@@ -128,13 +128,17 @@ impl SgdClassifier {
                 *v += b;
             }
         }
-        bcpnn_tensor::reduce::softmax_rows(out);
+        // Full-width groups = one softmax per row, through the SIMD dispatch
+        // kernel (vectorized exp on the lane/avx2 tiers).
+        bcpnn_tensor::simd::dispatch::softmax_row_groups_par(out, out.cols());
         Ok(())
     }
 
     /// Hard class predictions.
     pub fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
-        Ok(bcpnn_tensor::reduce::row_argmax(&self.predict_proba(x)?))
+        Ok(bcpnn_tensor::simd::dispatch::row_argmax(
+            &self.predict_proba(x)?,
+        ))
     }
 
     /// Run one SGD step on a mini-batch. Returns the batch's mean

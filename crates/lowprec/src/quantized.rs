@@ -29,8 +29,8 @@ use std::path::Path;
 
 use bcpnn_core::model::{Predictor, Stage, Transformer};
 use bcpnn_core::{load_stage, save_stage, CoreError, CoreResult, Pipeline, ReadoutKind, Workspace};
-use bcpnn_tensor::simd;
-use bcpnn_tensor::{load_matrix, save_matrix, vector, Matrix};
+use bcpnn_tensor::simd::dispatch;
+use bcpnn_tensor::{load_matrix, save_matrix, Matrix};
 
 use crate::bf16::Bf16;
 
@@ -143,6 +143,11 @@ impl QuantizedLinear {
         assert_eq!(x.cols(), self.n_in, "quantized forward: input width");
         let batch = x.rows();
         out.reset(batch, self.n_out);
+        // Resolve the SIMD tier once per call; the decode-and-accumulate
+        // kernels are bit-identical across tiers (i8/bf16 decoding is exact
+        // and multiplies stay separate from adds), so quantized serving
+        // output does not depend on which tier the host CPU lands on.
+        let tier = dispatch::active_tier();
         match &self.weights {
             QWeights::Int8 { codes, scales } => {
                 for b in 0..batch {
@@ -159,13 +164,9 @@ impl QuantizedLinear {
                         if xv == 1.0 {
                             // Binary one-hot encodings dominate serving
                             // input: the multiply disappears entirely.
-                            for (o, &c) in out_row.iter_mut().zip(code_row) {
-                                *o += f32::from(c);
-                            }
+                            dispatch::accumulate_i8_with(tier, out_row, code_row);
                         } else {
-                            for (o, &c) in out_row.iter_mut().zip(code_row) {
-                                *o += xv * f32::from(c);
-                            }
+                            dispatch::axpy_i8_with(tier, out_row, xv, code_row);
                         }
                     }
                     for ((o, &s), &bias) in out_row.iter_mut().zip(scales).zip(&self.bias) {
@@ -183,9 +184,7 @@ impl QuantizedLinear {
                             continue;
                         }
                         let code_row = &codes[i * self.n_out..(i + 1) * self.n_out];
-                        for (o, &c) in out_row.iter_mut().zip(code_row) {
-                            *o += xv * f32::from_bits(u32::from(c) << 16);
-                        }
+                        dispatch::axpy_bf16_with(tier, out_row, xv, code_row);
                     }
                 }
             }
@@ -508,7 +507,7 @@ impl Predictor for QuantizedPipeline {
     fn predict(&self, x: &Matrix<f32>) -> CoreResult<Vec<usize>> {
         let proba = self.predict_proba(x)?;
         let mut out = Vec::new();
-        simd::row_argmax_into(&proba, &mut out);
+        dispatch::row_argmax_into(&proba, &mut out);
         Ok(out)
     }
 
@@ -524,18 +523,13 @@ impl Predictor for QuantizedPipeline {
 /// Sequential softmax over every contiguous `group`-column segment of every
 /// row — the hidden HCU competition and (with `group == cols`) the final
 /// class softmax. Kept single-threaded so the quantized predictor's cost is
-/// a clean per-core number.
+/// a clean per-core number; the per-segment kernel is the shared SIMD
+/// dispatch softmax (vectorized `exp_approx` on the lane/avx2 tiers).
 fn grouped_softmax_rows(m: &mut Matrix<f32>, group: usize) {
-    let cols = m.cols();
-    if cols == 0 {
+    if m.cols() == 0 {
         return;
     }
-    assert_eq!(cols % group, 0, "softmax group must divide columns");
-    for r in 0..m.rows() {
-        for seg in m.row_mut(r).chunks_mut(group) {
-            vector::softmax_inplace(seg);
-        }
-    }
+    dispatch::softmax_groups_into(m, group);
 }
 
 #[cfg(test)]

@@ -16,6 +16,19 @@
 //! speed comes from unrolling, bounds-check elimination and cache blocking,
 //! not from reassociating sums. `tests/backend_equivalence.rs` holds the
 //! backends to that contract.
+//!
+//! The portable lane kernels in this module are one *tier* of a three-tier
+//! runtime story. [`dispatch`] probes the CPU once at startup (or honours
+//! the `BCPNN_SIMD` env var) and routes each call to the scalar loops, to
+//! these lane kernels, or to the explicit AVX2+FMA intrinsics in the
+//! (private) `avx2` module. New code should call through [`dispatch`]; the
+//! functions here remain public as the portable tier's implementation and
+//! for callers that need the fixed no-detection cost model.
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+pub mod dispatch;
+pub mod exp;
 
 use crate::matrix::Matrix;
 

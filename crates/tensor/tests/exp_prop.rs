@@ -1,0 +1,94 @@
+//! Property tests for the shared softmax `exp` polynomial
+//! (`simd::exp::exp_approx`), pinning the accuracy contract its module
+//! docs promise: relative error ≤ 1e-6 against `f64` `exp` over the whole
+//! non-overflowing domain, exactness at zero, finiteness everywhere, and
+//! monotonicity up to the documented 2-ulp slack.
+
+use bcpnn_tensor::simd::exp::{exp_approx, exp_approx_x8, EXP_HI, EXP_LO};
+use proptest::prelude::*;
+
+/// The documented relative-error bound.
+const REL_ERR: f64 = 1e-6;
+
+/// Documented monotonicity slack: ~2 ulp expressed multiplicatively.
+const MONO_SLACK: f32 = 5.0e-7;
+
+fn rel_err(x: f32) -> f64 {
+    let want = f64::from(x).exp();
+    let got = f64::from(exp_approx(x));
+    ((got - want) / want).abs()
+}
+
+#[test]
+fn exact_at_zero() {
+    assert_eq!(exp_approx(0.0).to_bits(), 1.0f32.to_bits());
+    assert_eq!(exp_approx(-0.0).to_bits(), 1.0f32.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The softmax feeds max-subtracted supports: `[-87, 0]`. This range is
+    /// the one end-to-end predict accuracy rides on.
+    #[test]
+    fn relative_error_bound_on_softmax_range(x in -87.0f32..=0.0) {
+        prop_assert!(
+            rel_err(x) <= REL_ERR,
+            "exp_approx({x}) off by {} (> {REL_ERR})",
+            rel_err(x)
+        );
+    }
+
+    /// The bound holds over the whole non-overflowing domain, not just the
+    /// softmax slice of it.
+    #[test]
+    fn relative_error_bound_on_full_domain(x in -87.0f32..=88.0) {
+        prop_assert!(
+            rel_err(x) <= REL_ERR,
+            "exp_approx({x}) off by {} (> {REL_ERR})",
+            rel_err(x)
+        );
+    }
+
+    /// `a <= b` implies `exp_approx(a) <= exp_approx(b)` up to ~2 ulp —
+    /// bitwise monotonicity is *not* promised at range-reduction seams
+    /// (libm carries the same caveat), but violations stay inside the
+    /// relative-error bound.
+    #[test]
+    fn monotone_within_documented_slack(a in -87.0f32..=88.0, b in -87.0f32..=88.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let e_lo = exp_approx(lo);
+        let e_hi = exp_approx(hi);
+        prop_assert!(
+            e_lo <= e_hi * (1.0 + MONO_SLACK),
+            "exp_approx({lo}) = {e_lo} > exp_approx({hi}) = {e_hi} beyond slack"
+        );
+    }
+
+    /// Any finite input maps to a finite, strictly positive result — the
+    /// clamp keeps both tails inside `f32` range.
+    #[test]
+    fn finite_inputs_map_to_finite_positive(x in prop::num::f32::NORMAL) {
+        let y = exp_approx(x);
+        prop_assert!(y.is_finite(), "exp_approx({x}) = {y}");
+        prop_assert!(y > 0.0, "exp_approx({x}) = {y}");
+        // Saturated tails land on the clamp images.
+        if x <= EXP_LO {
+            prop_assert_eq!(y.to_bits(), exp_approx(EXP_LO).to_bits());
+        }
+        if x >= EXP_HI {
+            prop_assert_eq!(y.to_bits(), exp_approx(EXP_HI).to_bits());
+        }
+    }
+
+    /// The 8-wide array form the lane tier uses is bit-identical to eight
+    /// scalar calls.
+    #[test]
+    fn x8_is_bitwise_scalar(xs in prop::collection::vec(-90.0f32..=89.0, 8)) {
+        let arr: [f32; 8] = xs.as_slice().try_into().unwrap();
+        let out = exp_approx_x8(arr);
+        for (x, o) in arr.iter().zip(out) {
+            prop_assert_eq!(o.to_bits(), exp_approx(*x).to_bits());
+        }
+    }
+}
