@@ -235,8 +235,9 @@ fn handle_frame(shared: &NodeShared, request: Frame) -> Frame {
             model,
             priority,
             deadline_ms,
+            abstain,
             rows,
-        } => handle_predict(shared, &model, priority, deadline_ms, &rows),
+        } => handle_predict(shared, &model, priority, deadline_ms, abstain, &rows),
         Frame::Publish {
             model,
             path,
@@ -265,9 +266,10 @@ fn handle_predict(
     model: &str,
     priority: u8,
     deadline_ms: u64,
+    abstain: Option<f32>,
     rows: &RowBlock,
 ) -> Frame {
-    let options = decode_options(priority, deadline_ms);
+    let options = decode_options(priority, deadline_ms, abstain);
     // Advisory, same semantics as the single-node gateway: the current
     // version at accept time (each micro-batch resolves its own).
     let version = shared.target.registry().lookup(model).map(|m| m.version());
@@ -288,13 +290,13 @@ fn handle_predict(
         }
     }
     let mut width = 0u32;
-    let mut data = Vec::new();
-    for handle in handles {
+    let mut results: Vec<Option<Vec<f32>>> = Vec::with_capacity(rows.n_rows());
+    let mut abstained: Vec<u32> = Vec::new();
+    for (i, handle) in handles.into_iter().enumerate() {
         match handle.wait() {
             Ok(proba) => {
                 if width == 0 {
                     width = proba.len() as u32;
-                    data.reserve(rows.n_rows() * proba.len());
                 } else if proba.len() as u32 != width {
                     // A hot-swap to a model with a different class count
                     // landed mid-frame; the reply cannot be rectangular.
@@ -303,12 +305,31 @@ fn handle_predict(
                         message: "class count changed mid-request; retry".into(),
                     };
                 }
-                data.extend_from_slice(&proba);
+                results.push(Some(proba));
+            }
+            // Abstention is per-row and in-band: the row zero-fills and
+            // its index rides in the reply's abstained list, so one
+            // low-confidence row does not fail its siblings.
+            Err(bcpnn_serve::ServeError::Abstained) => {
+                abstained.push(i as u32);
+                results.push(None);
             }
             Err(err) => {
                 let (code, message) = encode_serve_error(&err);
                 return Frame::Error { code, message };
             }
+        }
+    }
+    if width == 0 && !results.is_empty() {
+        // Every row abstained: recover the class count from the registry
+        // so the zero-filled reply still has its rectangular width.
+        width = shared.target.n_classes_of(model).unwrap_or(0) as u32;
+    }
+    let mut data = Vec::with_capacity(results.len() * width as usize);
+    for result in results {
+        match result {
+            Some(proba) => data.extend_from_slice(&proba),
+            None => data.extend(std::iter::repeat_n(0.0f32, width as usize)),
         }
     }
     Frame::PredictOk {
@@ -317,6 +338,7 @@ fn handle_predict(
             n_cols: width,
             data,
         },
+        abstained,
     }
 }
 
@@ -508,15 +530,19 @@ mod tests {
             data.features.row(1).to_vec(),
             data.features.row(2).to_vec(),
         ]);
-        let Ok(Frame::PredictOk { version, rows: got }) = pool.call(
+        let Ok(Frame::PredictOk {
+            version, rows: got, ..
+        }) = pool.call(
             &Frame::Predict {
                 model: "higgs".into(),
                 priority: 0,
                 deadline_ms: 0,
+                abstain: None,
                 rows,
             },
             Duration::from_secs(5),
-        ) else {
+        )
+        else {
             panic!("predict failed");
         };
         assert_eq!(version, Some(1));
@@ -534,6 +560,39 @@ mod tests {
     }
 
     #[test]
+    fn impossible_abstain_threshold_zero_fills_every_row() {
+        let (node, _reference, data) = node_with_model(16);
+        let pool = pool_for(&node);
+        // Margins live in [0, 1], so a threshold above 1 abstains on
+        // every row: the reply must still be rectangular (zero-filled)
+        // with every index listed, not a whole-frame error.
+        let reply = pool
+            .call(
+                &Frame::Predict {
+                    model: "higgs".into(),
+                    priority: 0,
+                    deadline_ms: 0,
+                    abstain: Some(1.5),
+                    rows: RowBlock::from_rows(&[
+                        data.features.row(0).to_vec(),
+                        data.features.row(1).to_vec(),
+                    ]),
+                },
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        let Frame::PredictOk {
+            rows, abstained, ..
+        } = reply
+        else {
+            panic!("expected PredictOk, got {reply:?}");
+        };
+        assert_eq!(abstained, vec![0, 1]);
+        assert_eq!((rows.n_rows(), rows.n_cols), (2, 2));
+        assert!(rows.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn application_errors_come_back_as_typed_error_frames() {
         let (node, _reference, data) = node_with_model(13);
         let pool = pool_for(&node);
@@ -544,6 +603,7 @@ mod tests {
                     model: "ghost".into(),
                     priority: 0,
                     deadline_ms: 0,
+                    abstain: None,
                     rows: RowBlock::from_rows(&[data.features.row(0).to_vec()]),
                 },
                 Duration::from_secs(2),
@@ -566,6 +626,7 @@ mod tests {
                     model: "higgs".into(),
                     priority: 0,
                     deadline_ms: 0,
+                    abstain: None,
                     rows: RowBlock::from_rows(&[vec![1.0, 2.0]]),
                 },
                 Duration::from_secs(2),

@@ -253,7 +253,8 @@ fn handle_list_models(router: &ClusterRouter) -> Response {
     )
 }
 
-/// Parse `X-Priority` / `X-Deadline-Ms` (the gateway's header contract).
+/// Parse `X-Priority` / `X-Deadline-Ms` / `X-Abstain-Below` (the
+/// gateway's header contract).
 fn options_from_headers(request: &Request) -> Result<SubmitOptions, ApiError> {
     let mut options = SubmitOptions::new();
     if let Some(priority) = request.header("x-priority") {
@@ -278,6 +279,21 @@ fn options_from_headers(request: &Request) -> Result<SubmitOptions, ApiError> {
         })?;
         options = options.deadline(Duration::from_millis(millis));
     }
+    if let Some(threshold) = request.header("x-abstain-below") {
+        let parsed: f32 = threshold.trim().parse().map_err(|_| {
+            ApiError::new(
+                400,
+                format!("invalid X-Abstain-Below {threshold:?} (use a number in [0, 1])"),
+            )
+        })?;
+        if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
+            return Err(ApiError::new(
+                400,
+                format!("invalid X-Abstain-Below {threshold:?} (must be finite and in [0, 1])"),
+            ));
+        }
+        options = options.abstain_below(parsed);
+    }
     Ok(options)
 }
 
@@ -294,16 +310,44 @@ fn handle_predict(
     let rows = json::parse_f32_rows(body).map_err(|e| ApiError::new(400, e.to_string()))?;
     let block = RowBlock::from_rows(&rows);
 
-    let (version, proba) = router
+    let (version, proba, abstained_rows) = router
         .predict_rows(name, block, &options)
         .map_err(ApiError::from)?;
-    let predictions: Vec<Json> = (0..proba.n_rows())
-        .map(|i| Json::Arr(proba.row(i).iter().copied().map(Json::f32).collect()))
-        .collect();
+    // Same in-band abstention and uncertainty contract as the single-node
+    // gateway: abstained rows carry `null` prediction/uncertainty, and
+    // entropy/margin are recomputed here from the wire's raw `f32` rows
+    // with the shared `bcpnn_core::uncertainty` kernels — bit-identical
+    // to what a gateway colocated with the model would report.
+    let mut predictions = Vec::with_capacity(proba.n_rows());
+    let mut uncertainty = Vec::with_capacity(proba.n_rows());
+    let mut abstained = Vec::with_capacity(proba.n_rows());
+    for i in 0..proba.n_rows() {
+        if abstained_rows.contains(&(i as u32)) {
+            predictions.push(Json::Null);
+            uncertainty.push(Json::Null);
+            abstained.push(Json::Bool(true));
+        } else {
+            let row = proba.row(i);
+            uncertainty.push(Json::Obj(vec![
+                (
+                    "entropy".into(),
+                    Json::f32(bcpnn_core::uncertainty::entropy(row)),
+                ),
+                (
+                    "margin".into(),
+                    Json::f32(bcpnn_core::uncertainty::margin(row)),
+                ),
+            ]));
+            predictions.push(Json::Arr(row.iter().copied().map(Json::f32).collect()));
+            abstained.push(Json::Bool(false));
+        }
+    }
     let body = Json::Obj(vec![
         ("model".into(), Json::str(name)),
         ("version".into(), version.map_or(Json::Null, Json::u64)),
         ("predictions".into(), Json::Arr(predictions)),
+        ("uncertainty".into(), Json::Arr(uncertainty)),
+        ("abstained".into(), Json::Arr(abstained)),
     ]);
     Ok(Response::json(200, body.render()))
 }

@@ -234,14 +234,16 @@ impl ClusterRouter {
     }
 
     /// Fan one batch of rows out to `model`'s replica group with
-    /// failover. Returns the answering backend's model version and the
-    /// probability rows.
+    /// failover. Returns the answering backend's model version, the
+    /// probability rows, and the indices of rows the backend abstained
+    /// on (empty unless [`SubmitOptions::abstain_below`] is set;
+    /// abstained rows are zero-filled in the block).
     pub fn predict_rows(
         &self,
         model: &str,
         rows: RowBlock,
         options: &SubmitOptions,
-    ) -> Result<(Option<u64>, RowBlock), ServeError> {
+    ) -> Result<(Option<u64>, RowBlock, Vec<u32>), ServeError> {
         let replicas = self.replicas_for(model);
         if replicas.is_empty() {
             return Err(ServeError::Io("no backend nodes are configured".into()));
@@ -260,7 +262,7 @@ impl ClusterRouter {
             )
             .collect();
 
-        let (priority, deadline_ms) = encode_options(options);
+        let (priority, deadline_ms, abstain) = encode_options(options);
         // Deadlined requests use deadline + configured grace as the
         // socket timeout (see [`ClusterConfig::deadline_grace`]);
         // deadline-free requests use the configured request timeout.
@@ -272,6 +274,7 @@ impl ClusterRouter {
             model: model.to_string(),
             priority,
             deadline_ms,
+            abstain,
             rows,
         };
 
@@ -283,12 +286,16 @@ impl ClusterRouter {
             }
             let started = Instant::now();
             match self.pools[b].call(&request, timeout) {
-                Ok(Frame::PredictOk { version, rows }) => {
+                Ok(Frame::PredictOk {
+                    version,
+                    rows,
+                    abstained,
+                }) => {
                     self.metrics.record_fanout_ok(started.elapsed());
                     if attempt > 0 && !failed_over {
                         self.metrics.record_failover();
                     }
-                    return Ok((version, rows));
+                    return Ok((version, rows, abstained));
                 }
                 // The backend is draining: its replica peers still serve.
                 Ok(Frame::Error {
@@ -518,9 +525,17 @@ impl ServeTarget for ClusterRouter {
             n_cols: features.len() as u32,
             data: features,
         };
-        let result = self
-            .predict_rows(model, rows, &options)
-            .map(|(_version, rows)| rows.data);
+        let result =
+            self.predict_rows(model, rows, &options)
+                .and_then(|(_version, rows, abstained)| {
+                    // A single-row submission that came back abstained maps to
+                    // the typed error, matching in-process submit semantics.
+                    if abstained.contains(&0) {
+                        Err(ServeError::Abstained)
+                    } else {
+                        Ok(rows.data)
+                    }
+                });
         Ok(PredictionHandle::ready(result))
     }
 

@@ -136,6 +136,11 @@ pub enum ErrorCode {
     BadRequest = 8,
     /// The node's online-learn queue is full; retry later.
     Overloaded = 9,
+    /// The model abstained: prediction confidence fell below the
+    /// request's threshold ([`ServeError::Abstained`]). Only appears as a
+    /// whole-frame error on single-row paths; multi-row frames report
+    /// abstention in-band via [`Frame::PredictOk`]'s `abstained` list.
+    Abstained = 10,
 }
 
 impl ErrorCode {
@@ -151,6 +156,7 @@ impl ErrorCode {
             7 => ErrorCode::Forbidden,
             8 => ErrorCode::BadRequest,
             9 => ErrorCode::Overloaded,
+            10 => ErrorCode::Abstained,
             _ => return None,
         })
     }
@@ -163,6 +169,7 @@ pub fn encode_serve_error(err: &ServeError) -> (ErrorCode, String) {
         ServeError::ShapeMismatch { .. } => ErrorCode::ShapeMismatch,
         ServeError::Io(_) => ErrorCode::Io,
         ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        ServeError::Abstained => ErrorCode::Abstained,
         ServeError::Disconnected => ErrorCode::Disconnected,
         _ => ErrorCode::Model,
     };
@@ -184,6 +191,7 @@ pub fn decode_serve_error(code: ErrorCode, message: &str) -> ServeError {
         },
         ErrorCode::Io => ServeError::Io(message.to_string()),
         ErrorCode::DeadlineExceeded => ServeError::DeadlineExceeded,
+        ErrorCode::Abstained => ServeError::Abstained,
         ErrorCode::Disconnected => ServeError::Disconnected,
         _ => ServeError::Model(message.to_string()),
     }
@@ -270,6 +278,10 @@ pub enum Frame {
         /// Deadline in milliseconds, `0` for none. Measured from arrival
         /// at the backend, matching single-node submission semantics.
         deadline_ms: u64,
+        /// Confidence floor ([`SubmitOptions::abstain_below`]): rows
+        /// whose top-2 margin falls below it come back abstained instead
+        /// of answered. `None` disables abstention.
+        abstain: Option<f32>,
         /// The feature rows.
         rows: RowBlock,
     },
@@ -278,8 +290,12 @@ pub enum Frame {
         /// Version of the model that answered (`None` if it vanished
         /// between dispatch and the version read).
         version: Option<u64>,
-        /// One probability row per request row.
+        /// One probability row per request row. Abstained rows are
+        /// zero-filled; their indices are listed in `abstained`.
         rows: RowBlock,
+        /// Indices of rows the model abstained on (confidence below the
+        /// request's `abstain` threshold), strictly ascending.
+        abstained: Vec<u32>,
     },
     /// Any application-level failure.
     Error {
@@ -382,16 +398,26 @@ impl Frame {
                 model,
                 priority,
                 deadline_ms,
+                abstain,
                 rows,
             } => {
                 put_str(&mut p, model);
                 p.push(*priority);
                 put_u64(&mut p, *deadline_ms);
+                put_opt_f32(&mut p, *abstain);
                 put_rows(&mut p, rows);
             }
-            Frame::PredictOk { version, rows } => {
+            Frame::PredictOk {
+                version,
+                rows,
+                abstained,
+            } => {
                 put_opt_u64(&mut p, *version);
                 put_rows(&mut p, rows);
+                put_u32(&mut p, abstained.len() as u32);
+                for &i in abstained {
+                    put_u32(&mut p, i);
+                }
             }
             Frame::Error { code, message } => {
                 p.push(*code as u8);
@@ -490,12 +516,28 @@ impl Frame {
                 model: c.str()?,
                 priority: c.u8()?,
                 deadline_ms: c.u64()?,
+                abstain: c.opt_f32()?,
                 rows: c.rows()?,
             },
-            0x04 => Frame::PredictOk {
-                version: c.opt_u64()?,
-                rows: c.rows()?,
-            },
+            0x04 => {
+                let version = c.opt_u64()?;
+                let rows = c.rows()?;
+                let n = c.u32()? as usize;
+                if n > c.remaining() / 4 {
+                    return Err(WireError::Malformed(format!(
+                        "abstained count {n} exceeds what the payload could hold"
+                    )));
+                }
+                let mut abstained = Vec::with_capacity(n);
+                for _ in 0..n {
+                    abstained.push(c.u32()?);
+                }
+                Frame::PredictOk {
+                    version,
+                    rows,
+                    abstained,
+                }
+            }
             0x05 => {
                 let raw = c.u8()?;
                 let code = ErrorCode::from_u8(raw)
@@ -574,10 +616,11 @@ impl Frame {
     }
 }
 
-/// Convert a [`SubmitOptions`] to the wire's `(priority, deadline_ms)`
-/// pair. Sub-millisecond deadlines round up to 1 ms so a tiny-but-real
-/// deadline does not become "none" on the wire.
-pub fn encode_options(options: &SubmitOptions) -> (u8, u64) {
+/// Convert a [`SubmitOptions`] to the wire's `(priority, deadline_ms,
+/// abstain)` triple. Sub-millisecond deadlines round up to 1 ms so a
+/// tiny-but-real deadline does not become "none" on the wire; the
+/// abstention threshold travels as a raw `f32` word, bit-exactly.
+pub fn encode_options(options: &SubmitOptions) -> (u8, u64, Option<f32>) {
     let priority = match options.priority {
         Priority::Normal => 0,
         Priority::High => 1,
@@ -586,12 +629,12 @@ pub fn encode_options(options: &SubmitOptions) -> (u8, u64) {
     let deadline_ms = options
         .deadline
         .map_or(0, |d| u64::max(d.as_millis() as u64, 1));
-    (priority, deadline_ms)
+    (priority, deadline_ms, options.abstain_below)
 }
 
-/// Reconstruct [`SubmitOptions`] from the wire pair. Unknown priority
+/// Reconstruct [`SubmitOptions`] from the wire triple. Unknown priority
 /// bytes degrade to `Normal` rather than failing the whole batch.
-pub fn decode_options(priority: u8, deadline_ms: u64) -> SubmitOptions {
+pub fn decode_options(priority: u8, deadline_ms: u64, abstain: Option<f32>) -> SubmitOptions {
     let mut options = SubmitOptions::new().priority(match priority {
         1 => Priority::High,
         2 => Priority::Low,
@@ -599,6 +642,9 @@ pub fn decode_options(priority: u8, deadline_ms: u64) -> SubmitOptions {
     });
     if deadline_ms > 0 {
         options = options.deadline(Duration::from_millis(deadline_ms));
+    }
+    if let Some(threshold) = abstain {
+        options = options.abstain_below(threshold);
     }
     options
 }
@@ -616,6 +662,16 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
         Some(v) => {
             out.push(1);
             put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_opt_f32(out: &mut Vec<u8>, v: Option<f32>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
         }
         None => out.push(0),
     }
@@ -679,6 +735,19 @@ impl Cursor<'_> {
         }
     }
 
+    fn opt_f32(&mut self) -> Result<Option<f32>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let raw = self.take(4)?;
+                Ok(Some(f32::from_le_bytes(raw.try_into().unwrap())))
+            }
+            other => Err(WireError::Malformed(format!(
+                "option tag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
     fn str(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
@@ -722,11 +791,25 @@ mod tests {
                 model: "higgs".into(),
                 priority: 1,
                 deadline_ms: 250,
+                abstain: Some(0.35),
                 rows: RowBlock::from_rows(&[vec![1.0, -2.5], vec![0.0, f32::MIN_POSITIVE]]),
+            },
+            Frame::Predict {
+                model: "higgs".into(),
+                priority: 0,
+                deadline_ms: 0,
+                abstain: None,
+                rows: RowBlock::from_rows(&[vec![1.0, 2.0]]),
             },
             Frame::PredictOk {
                 version: Some(3),
                 rows: RowBlock::from_rows(&[vec![0.25, 0.75]]),
+                abstained: vec![],
+            },
+            Frame::PredictOk {
+                version: Some(3),
+                rows: RowBlock::from_rows(&[vec![0.0, 0.0], vec![0.25, 0.75]]),
+                abstained: vec![0],
             },
             Frame::PredictOk {
                 version: None,
@@ -734,6 +817,7 @@ mod tests {
                     n_cols: 0,
                     data: vec![],
                 },
+                abstained: vec![],
             },
             Frame::Error {
                 code: ErrorCode::DeadlineExceeded,
@@ -790,6 +874,7 @@ mod tests {
         let frame = Frame::PredictOk {
             version: Some(1),
             rows,
+            abstained: vec![],
         };
         let bytes = frame.encode();
         let back = Frame::read_from(&mut &bytes[..], DEFAULT_MAX_PAYLOAD).unwrap();
@@ -827,12 +912,13 @@ mod tests {
     fn options_round_trip_through_the_wire_pair() {
         let options = SubmitOptions::new()
             .priority(Priority::High)
-            .deadline(Duration::from_millis(250));
-        let (p, d) = encode_options(&options);
-        assert_eq!((p, d), (1, 250));
-        assert_eq!(decode_options(p, d), options);
+            .deadline(Duration::from_millis(250))
+            .abstain_below(0.25);
+        let (p, d, a) = encode_options(&options);
+        assert_eq!((p, d, a), (1, 250, Some(0.25)));
+        assert_eq!(decode_options(p, d, a), options);
         // No deadline stays none; sub-millisecond rounds up, not down.
-        assert_eq!(encode_options(&SubmitOptions::new()), (0, 0));
+        assert_eq!(encode_options(&SubmitOptions::new()), (0, 0, None));
         let tiny = SubmitOptions::new().deadline(Duration::from_micros(10));
         assert_eq!(encode_options(&tiny).1, 1);
     }
@@ -842,6 +928,7 @@ mod tests {
         let cases = [
             ServeError::UnknownModel("m".into()),
             ServeError::DeadlineExceeded,
+            ServeError::Abstained,
             ServeError::Disconnected,
             ServeError::Io("gone".into()),
             ServeError::Model("bad".into()),

@@ -35,7 +35,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         (
             0u64..u64::MAX,
             0u8..3,
-            1u8..9,
+            1u8..11,
             prop::bool::ANY,
             0u64..u64::MAX,
         ),
@@ -49,9 +49,29 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                     model: name,
                     priority: small,
                     deadline_ms: n2,
+                    // Exercise both the present and absent encodings, with
+                    // a value derived from the shared field bundle.
+                    abstain: if flag {
+                        Some((n % 1000) as f32 / 1000.0)
+                    } else {
+                        None
+                    },
                     rows,
                 },
-                3 => Frame::PredictOk { version: opt, rows },
+                3 => {
+                    // Abstained indices are one-per-row at most; flag
+                    // toggles between "none" and "every row".
+                    let abstained = if flag {
+                        (0..rows.n_rows() as u32).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    Frame::PredictOk {
+                        version: opt,
+                        rows,
+                        abstained,
+                    }
+                }
                 4 => Frame::Error {
                     code: bcpnn_cluster::wire::ErrorCode::from_u8(code).unwrap(),
                     message: text,
@@ -114,7 +134,7 @@ proptest! {
 
     #[test]
     fn row_payloads_survive_bit_for_bit(rows in rows_strategy()) {
-        let frame = Frame::PredictOk { version: Some(1), rows: rows.clone() };
+        let frame = Frame::PredictOk { version: Some(1), rows: rows.clone(), abstained: vec![] };
         let bytes = frame.encode();
         let Frame::PredictOk { rows: back, .. } =
             Frame::read_from(&mut bytes.as_slice(), bytes.len()).unwrap()

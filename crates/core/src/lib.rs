@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod calibration;
 mod classifier;
 mod error;
 mod hcu;
@@ -66,9 +67,11 @@ mod serialize;
 mod sgd;
 mod traces;
 mod training;
+pub mod uncertainty;
 pub mod workspace;
 
 pub use baseline::{MlpClassifier, MlpParams};
+pub use calibration::{Calibration, CalibrationMethod, IsotonicMap};
 pub use classifier::{BcpnnClassifier, BcpnnClassifierParams};
 pub use error::{CoreError, CoreResult};
 pub use hcu::HiddenLayer;
@@ -81,8 +84,8 @@ pub use network::{Network, NetworkBuilder, ReadoutKind};
 pub use params::{HiddenLayerParams, SgdParams, TrainingParams};
 pub use plasticity::{PlasticityConfig, PlasticityReport, StructuralPlasticity};
 pub use serialize::{
-    load_network, load_network_with_encoder, load_pipeline, load_stage, save_network,
-    save_network_with_encoder, save_pipeline, save_stage,
+    load_calibration, load_network, load_network_with_encoder, load_pipeline, load_stage,
+    save_calibration, save_network, save_network_with_encoder, save_pipeline, save_stage,
 };
 pub use sgd::SgdClassifier;
 pub use traces::ProbabilityTraces;

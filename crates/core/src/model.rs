@@ -101,6 +101,7 @@ use bcpnn_data::encode::{QuantileEncoder, Standardizer, ThermometerEncoder};
 use bcpnn_data::Dataset;
 use bcpnn_tensor::Matrix;
 
+use crate::calibration::{Calibration, CalibrationMethod};
 use crate::classifier::BcpnnClassifier;
 use crate::error::{CoreError, CoreResult};
 use crate::metrics::EvalReport;
@@ -588,6 +589,9 @@ pub(crate) fn validate_chain(stages: &[Stage], n_inputs: usize) -> CoreResult<()
 pub struct Pipeline {
     stages: Vec<Stage>,
     network: Network,
+    /// Optional post-hoc probability calibration, applied to every
+    /// `predict_proba` row after the readout (see [`crate::calibration`]).
+    calibration: Option<Calibration>,
 }
 
 impl Pipeline {
@@ -605,7 +609,11 @@ impl Pipeline {
     /// the network's input width.
     pub fn from_stages(stages: Vec<Stage>, network: Network) -> CoreResult<Self> {
         validate_chain(&stages, network.hidden().params().n_inputs)?;
-        Ok(Self { stages, network })
+        Ok(Self {
+            stages,
+            network,
+            calibration: None,
+        })
     }
 
     /// Fit the canonical paper pipeline — quantile encoder + network — on a
@@ -634,6 +642,43 @@ impl Pipeline {
     /// The trained network behind the stages.
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// The fitted post-hoc calibration, if one is attached.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+
+    /// Attach (or with `None`, detach) a post-hoc calibration. The map is
+    /// validated; an invalid temperature or non-monotone isotonic map is a
+    /// typed error, never silently accepted.
+    pub fn set_calibration(&mut self, calibration: Option<Calibration>) -> CoreResult<()> {
+        if let Some(cal) = &calibration {
+            cal.validate()?;
+        }
+        self.calibration = calibration;
+        Ok(())
+    }
+
+    /// Fit a post-hoc calibration on a **held-out** split and attach it.
+    /// Any previously attached calibration is discarded first, so the fit
+    /// always sees the network's raw probabilities. Calibrating on the
+    /// training split defeats the purpose — pass rows the network was not
+    /// trained on.
+    pub fn fit_calibration(
+        &mut self,
+        x: &Matrix<f32>,
+        labels: &[usize],
+        method: CalibrationMethod,
+    ) -> CoreResult<()> {
+        self.calibration = None;
+        let proba = Predictor::predict_proba(self, x)?;
+        let fitted = match method {
+            CalibrationMethod::Temperature => Calibration::fit_temperature(&proba, labels)?,
+            CalibrationMethod::Isotonic => Calibration::fit_isotonic(&proba, labels)?,
+        };
+        self.calibration = Some(fitted);
+        Ok(())
     }
 
     /// The fitted quantile encoder, when the chain is the canonical
@@ -683,7 +728,11 @@ impl Pipeline {
         // Stage-less pipelines feed the rows straight through — no copy on
         // the serving hot path.
         if self.stages.is_empty() {
-            return self.network.predict_proba_into(x, ws, out);
+            self.network.predict_proba_into(x, ws, out)?;
+            if let Some(cal) = &self.calibration {
+                cal.apply_rows(out);
+            }
+            return Ok(());
         }
         // Ping-pong the chain through the two workspace encode buffers:
         // stage 0 fills `src`, every later stage reads `src` and writes
@@ -703,7 +752,11 @@ impl Pipeline {
         let result = chained.and_then(|()| self.network.predict_proba_into(&src, ws, out));
         ws.encode_a = src;
         ws.encode_b = dst;
-        result
+        result?;
+        if let Some(cal) = &self.calibration {
+            cal.apply_rows(out);
+        }
+        Ok(())
     }
 
     /// Fold one labeled batch of *raw* feature rows into the trained

@@ -15,14 +15,19 @@
 //!   the model (`encoder quantile` + `encoder.txt`), so a model directory
 //!   can be a complete raw-features-in → probabilities-out serving
 //!   artifact.
-//! * `v3` (current) — self-describing **stage-tagged** format: the
+//! * `v3` — self-describing **stage-tagged** format: the
 //!   manifest carries a `stages N` count plus one `stage<i> <kind>` line
 //!   per fitted transformer stage (kinds: `quantile`, `thermometer`,
 //!   `standardize`; state in `stage<i>.txt`), so an arbitrary
 //!   [`Pipeline`](crate::model::Pipeline) chain persists and reloads
-//!   exactly (see [`save_pipeline`] / [`load_pipeline`]). `v1` and `v2`
-//!   directories still load; an unknown stage tag is a typed
-//!   [`CoreError::Format`], never a panic.
+//!   exactly (see [`save_pipeline`] / [`load_pipeline`]). An unknown stage
+//!   tag is a typed [`CoreError::Format`], never a panic.
+//! * `v4` (current) — additionally persists an attached post-hoc
+//!   [`Calibration`]: a `calibration <kind>` manifest line (kinds:
+//!   `temperature`, `isotonic`) plus the fitted state in
+//!   `calibration.mat`, written **only when a calibration is attached** —
+//!   an uncalibrated `v4` directory differs from a `v3` one solely in the
+//!   header version. `v1`–`v3` directories still load.
 
 use std::collections::HashMap;
 use std::fs;
@@ -33,6 +38,7 @@ use bcpnn_data::encode::{Standardizer, ThermometerEncoder};
 use bcpnn_data::QuantileEncoder;
 use bcpnn_tensor::{load_matrix, save_matrix, Matrix};
 
+use crate::calibration::{Calibration, IsotonicMap};
 use crate::classifier::BcpnnClassifierParams;
 use crate::error::{CoreError, CoreResult};
 use crate::mask::ReceptiveFieldMask;
@@ -44,11 +50,13 @@ use crate::traces::ProbabilityTraces;
 const MANIFEST: &str = "manifest.txt";
 /// File the fitted input encoder is stored in (v2 directories only).
 const ENCODER_FILE: &str = "encoder.txt";
+/// File an attached calibration is stored in (v4 directories only).
+const CALIBRATION_FILE: &str = "calibration.mat";
 const MAGIC: &str = "bcpnn-network";
 /// Version written by [`save_network`] / [`save_pipeline`].
-const VERSION: &str = "v3";
+const VERSION: &str = "v4";
 /// Versions [`load_network`] accepts.
-const READABLE_VERSIONS: [&str; 3] = ["v1", "v2", "v3"];
+const READABLE_VERSIONS: [&str; 4] = ["v1", "v2", "v3", "v4"];
 
 /// File one fitted stage is stored in (v3 directories).
 fn stage_file(i: usize) -> String {
@@ -91,9 +99,63 @@ fn matrix_to_vec(m: Matrix<f32>) -> Vec<f32> {
     m.into_vec()
 }
 
+/// Persist one fitted [`Calibration`] to `path` (the `calibration.mat`
+/// state file of `v4` directories). The parameters travel through the
+/// bit-exact text matrix format: temperature as a `1x1` matrix, an
+/// isotonic map as a `2xK` matrix (row 0 the breakpoints, row 1 the
+/// values).
+pub fn save_calibration(calibration: &Calibration, path: &Path) -> CoreResult<()> {
+    let m = match calibration {
+        Calibration::Temperature(t) => Matrix::from_vec(1, 1, vec![*t]),
+        Calibration::Isotonic(map) => {
+            let mut data = Vec::with_capacity(2 * map.xs().len());
+            data.extend_from_slice(map.xs());
+            data.extend_from_slice(map.ys());
+            Matrix::from_vec(2, map.xs().len(), data)
+        }
+    };
+    save_matrix(&m, path)?;
+    Ok(())
+}
+
+/// Load one fitted [`Calibration`] from `path`, dispatching on its stable
+/// persistence tag ([`Calibration::kind`]). Unknown tags, shape
+/// mismatches, and parameter values that violate the calibration
+/// invariants are all typed errors. Counterpart of [`save_calibration`].
+pub fn load_calibration(kind: &str, path: &Path) -> CoreResult<Calibration> {
+    let m: Matrix<f32> = load_matrix(path)?;
+    let calibration = match kind {
+        "temperature" => {
+            if m.shape() != (1, 1) {
+                return Err(CoreError::Format(format!(
+                    "temperature calibration state must be 1x1, got {:?}",
+                    m.shape()
+                )));
+            }
+            Calibration::Temperature(m.as_slice()[0])
+        }
+        "isotonic" => {
+            if m.rows() != 2 {
+                return Err(CoreError::Format(format!(
+                    "isotonic calibration state must have 2 rows, got {}",
+                    m.rows()
+                )));
+            }
+            Calibration::Isotonic(IsotonicMap::new(m.row(0).to_vec(), m.row(1).to_vec())?)
+        }
+        other => {
+            return Err(CoreError::Format(format!(
+                "unknown calibration kind {other:?}"
+            )))
+        }
+    };
+    calibration.validate()?;
+    Ok(calibration)
+}
+
 /// Save a network into `dir` (created if missing), without any stages.
 pub fn save_network<P: AsRef<Path>>(network: &Network, dir: P) -> CoreResult<()> {
-    save_stages(network, &[], dir.as_ref())
+    save_stages(network, &[], None, dir.as_ref())
 }
 
 /// Save a network into `dir` (created if missing) together with the fitted
@@ -111,16 +173,26 @@ pub fn save_network_with_encoder<P: AsRef<Path>>(
         .map(|enc| Stage::Quantile(enc.clone()))
         .into_iter()
         .collect();
-    save_stages(network, &stages, dir.as_ref())
+    save_stages(network, &stages, None, dir.as_ref())
 }
 
-/// Save a [`Pipeline`] — its fitted stage chain plus the trained network —
-/// as a self-describing `v3` model directory.
+/// Save a [`Pipeline`] — its fitted stage chain, any attached calibration,
+/// plus the trained network — as a self-describing `v4` model directory.
 pub fn save_pipeline<P: AsRef<Path>>(pipeline: &Pipeline, dir: P) -> CoreResult<()> {
-    save_stages(pipeline.network(), pipeline.stages(), dir.as_ref())
+    save_stages(
+        pipeline.network(),
+        pipeline.stages(),
+        pipeline.calibration(),
+        dir.as_ref(),
+    )
 }
 
-fn save_stages(network: &Network, stages: &[Stage], dir: &Path) -> CoreResult<()> {
+fn save_stages(
+    network: &Network,
+    stages: &[Stage],
+    calibration: Option<&Calibration>,
+    dir: &Path,
+) -> CoreResult<()> {
     let hp = network.hidden().params();
     // Validate the chain before touching the filesystem.
     crate::model::validate_chain(stages, hp.n_inputs)?;
@@ -143,6 +215,14 @@ fn save_stages(network: &Network, stages: &[Stage], dir: &Path) -> CoreResult<()
     for (i, stage) in stages.iter().enumerate() {
         manifest.push_str(&format!("stage{i} {}\n", stage.kind()));
         save_stage(stage, &dir.join(stage_file(i)))?;
+    }
+    // The calibration key (and its state file) exists only when a
+    // calibration is attached, so uncalibrated v4 directories stay
+    // byte-identical to v3 ones apart from the header version.
+    if let Some(cal) = calibration {
+        cal.validate()?;
+        manifest.push_str(&format!("calibration {}\n", cal.kind()));
+        save_calibration(cal, &dir.join(CALIBRATION_FILE))?;
     }
     fs::write(dir.join(MANIFEST), manifest)?;
 
@@ -213,6 +293,12 @@ pub fn load_network<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<
     Ok(load_stages(dir.as_ref(), backend)?.0)
 }
 
+/// Versions whose manifests are stage-tagged (`stages N` + `stage<i>`
+/// keys) rather than carrying the legacy `encoder` key.
+fn is_stage_tagged(version: &str) -> bool {
+    matches!(version, "v3" | "v4")
+}
+
 /// Load a network together with the fitted input encoder, if the directory
 /// carries the canonical single-encoder chain (`v2` directories written by
 /// [`save_network_with_encoder`], or `v3` directories whose only stage is
@@ -222,7 +308,7 @@ pub fn load_network_with_encoder<P: AsRef<Path>>(
     dir: P,
     backend: BackendKind,
 ) -> CoreResult<(Network, Option<QuantileEncoder>)> {
-    let (network, mut stages) = load_stages(dir.as_ref(), backend)?;
+    let (network, mut stages, _) = load_stages(dir.as_ref(), backend)?;
     let encoder = match (stages.len(), stages.pop()) {
         (1, Some(Stage::Quantile(enc))) => Some(enc),
         _ => None,
@@ -230,17 +316,23 @@ pub fn load_network_with_encoder<P: AsRef<Path>>(
     Ok((network, encoder))
 }
 
-/// Load a full [`Pipeline`] — the fitted stage chain plus the trained
-/// network — from a `v1`, `v2` or `v3` model directory, instantiating the
-/// network on the given backend.
+/// Load a full [`Pipeline`] — the fitted stage chain, any attached
+/// calibration, plus the trained network — from a `v1`–`v4` model
+/// directory, instantiating the network on the given backend.
 pub fn load_pipeline<P: AsRef<Path>>(dir: P, backend: BackendKind) -> CoreResult<Pipeline> {
-    let (network, stages) = load_stages(dir.as_ref(), backend)?;
-    Pipeline::from_stages(stages, network)
+    let (network, stages, calibration) = load_stages(dir.as_ref(), backend)?;
+    let mut pipeline = Pipeline::from_stages(stages, network)?;
+    pipeline.set_calibration(calibration)?;
+    Ok(pipeline)
 }
 
-fn load_stages(dir: &Path, backend: BackendKind) -> CoreResult<(Network, Vec<Stage>)> {
+#[allow(clippy::type_complexity)]
+fn load_stages(
+    dir: &Path,
+    backend: BackendKind,
+) -> CoreResult<(Network, Vec<Stage>, Option<Calibration>)> {
     let (version, manifest) = parse_manifest(&dir.join(MANIFEST))?;
-    let stages: Vec<Stage> = if version == "v3" {
+    let stages: Vec<Stage> = if is_stage_tagged(&version) {
         let n_stages: usize = get(&manifest, "stages")?;
         (0..n_stages)
             .map(|i| {
@@ -262,6 +354,12 @@ fn load_stages(dir: &Path, backend: BackendKind) -> CoreResult<(Network, Vec<Sta
                 return Err(CoreError::Format(format!("unknown encoder kind {other:?}")))
             }
         }
+    };
+    // Only v4 manifests may carry a calibration; the key is absent when no
+    // calibration was attached at save time.
+    let calibration = match (version.as_str(), manifest.get("calibration")) {
+        ("v4", Some(kind)) => Some(load_calibration(kind, &dir.join(CALIBRATION_FILE))?),
+        _ => None,
     };
     let hidden = HiddenLayerParams {
         n_inputs: get(&manifest, "n_inputs")?,
@@ -331,7 +429,7 @@ fn load_stages(dir: &Path, backend: BackendKind) -> CoreResult<(Network, Vec<Sta
             .expect("readout checked above")
             .set_parameters(weights, bias)?;
     }
-    Ok((network, stages))
+    Ok((network, stages, calibration))
 }
 
 #[cfg(test)]
@@ -700,6 +798,80 @@ mod tests {
         let (_, enc) = load_network_with_encoder(&dir, BackendKind::Naive).unwrap();
         assert!(enc.is_none());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v4_calibration_rides_along_and_roundtrips_bit_exactly() {
+        use crate::calibration::CalibrationMethod;
+        use crate::model::Predictor;
+
+        let (mut pipeline, data) = crate::model::tests::tiny_pipeline(40);
+        let held_out = bcpnn_data::higgs::generate(&bcpnn_data::higgs::SyntheticHiggsConfig {
+            n_samples: 120,
+            seed: 41,
+            ..Default::default()
+        });
+        pipeline
+            .fit_calibration(
+                &held_out.features,
+                &held_out.labels,
+                CalibrationMethod::Temperature,
+            )
+            .unwrap();
+        let dir_a = temp_dir("v4_cal_a");
+        let dir_b = temp_dir("v4_cal_b");
+        save_pipeline(&pipeline, &dir_a).unwrap();
+        let manifest = fs::read_to_string(dir_a.join(MANIFEST)).unwrap();
+        assert!(manifest.starts_with("bcpnn-network v4"));
+        assert!(manifest.contains("calibration temperature"));
+
+        // Calibration survives the round trip and predictions agree
+        // bit-exactly; the re-save reproduces every file byte for byte.
+        let loaded = load_pipeline(&dir_a, BackendKind::Naive).unwrap();
+        assert_eq!(loaded.calibration(), pipeline.calibration());
+        assert_eq!(
+            loaded.predict_proba(&data.features).unwrap(),
+            pipeline.predict_proba(&data.features).unwrap()
+        );
+        save_pipeline(&loaded, &dir_b).unwrap();
+        for entry in fs::read_dir(&dir_a).unwrap() {
+            let name = entry.unwrap().file_name();
+            let a = fs::read(dir_a.join(&name)).unwrap();
+            let b = fs::read(dir_b.join(&name)).unwrap();
+            assert_eq!(a, b, "file {name:?} must round-trip bit-exactly");
+        }
+
+        // Isotonic calibrations persist through the same path.
+        let mut iso = load_pipeline(&dir_a, BackendKind::Naive).unwrap();
+        iso.fit_calibration(
+            &held_out.features,
+            &held_out.labels,
+            CalibrationMethod::Isotonic,
+        )
+        .unwrap();
+        let dir_c = temp_dir("v4_cal_c");
+        save_pipeline(&iso, &dir_c).unwrap();
+        let iso_loaded = load_pipeline(&dir_c, BackendKind::Naive).unwrap();
+        assert_eq!(iso_loaded.calibration(), iso.calibration());
+        assert_eq!(
+            iso_loaded.predict_proba(&data.features).unwrap(),
+            iso.predict_proba(&data.features).unwrap()
+        );
+
+        // A corrupted calibration file is a typed error, not a panic.
+        fs::write(dir_c.join(CALIBRATION_FILE), "garbage\n").unwrap();
+        assert!(load_pipeline(&dir_c, BackendKind::Naive).is_err());
+        // An unknown calibration kind is a typed error too.
+        let text = fs::read_to_string(dir_a.join(MANIFEST))
+            .unwrap()
+            .replace("calibration temperature", "calibration platt");
+        fs::write(dir_a.join(MANIFEST), text).unwrap();
+        let err = load_pipeline(&dir_a, BackendKind::Naive).unwrap_err();
+        assert!(matches!(err, CoreError::Format(_)), "got {err:?}");
+        assert!(err.to_string().contains("platt"));
+        fs::remove_dir_all(&dir_a).ok();
+        fs::remove_dir_all(&dir_b).ok();
+        fs::remove_dir_all(&dir_c).ok();
     }
 
     #[test]

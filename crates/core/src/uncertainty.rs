@@ -1,0 +1,116 @@
+//! Per-prediction uncertainty measures over class-probability rows.
+//!
+//! Hou et al. ("PCM and APCM Revisited: An Uncertainty Perspective") argue
+//! that membership scores should be read as calibrated uncertainty rather
+//! than argmax fodder. This module is the quantitative half of that story:
+//! two cheap, allocation-free summaries of how sure one `predict_proba` row
+//! is, computed directly on the probability slice the forward pass already
+//! produced.
+//!
+//! * [`entropy`] — Shannon entropy `-Σ pᵢ ln pᵢ` in nats. `0` for a
+//!   one-hot row, `ln n_classes` for the uniform row.
+//! * [`margin`] — top-2 margin `p₍1₎ − p₍2₎` (largest minus second-largest
+//!   probability). `1` for a one-hot row, `0` for a tie. This is the
+//!   decision quantity the serving tier thresholds on: abstention
+//!   ([`SubmitOptions::abstain_below`]) and quantized→f32 cascade
+//!   escalation both compare the margin against a threshold.
+//!
+//! Every consumer — the serve-tier margin checks, the gateway's predict
+//! JSON, the cluster front-end — calls these same functions, so uncertainty
+//! numbers computed at different layers over the same probability row agree
+//! **bit for bit** (`tests/uncertainty_roundtrip.rs` proves it end to end).
+//!
+//! [`SubmitOptions::abstain_below`]: ../../bcpnn_serve/struct.SubmitOptions.html#method.abstain_below
+
+use bcpnn_tensor::Matrix;
+
+/// Shannon entropy of one probability row, in nats: `-Σ pᵢ ln pᵢ`, with
+/// `0 ln 0 = 0`. Non-positive entries contribute nothing, so the function
+/// is total on any slice.
+pub fn entropy(proba: &[f32]) -> f32 {
+    let mut h = 0.0f32;
+    for &p in proba {
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Top-2 margin of one probability row: the largest entry minus the
+/// second-largest. One pass, no allocation. Degenerate rows are total:
+/// an empty row has margin `0`, a single-class row has margin `p₀`.
+pub fn margin(proba: &[f32]) -> f32 {
+    let mut top = f32::NEG_INFINITY;
+    let mut second = f32::NEG_INFINITY;
+    for &p in proba {
+        if p > top {
+            second = top;
+            top = p;
+        } else if p > second {
+            second = p;
+        }
+    }
+    match (top.is_finite(), second.is_finite()) {
+        (true, true) => top - second,
+        (true, false) => top,
+        _ => 0.0,
+    }
+}
+
+/// Entropy of every row of a probability matrix, written into `out`
+/// (resized to `proba.rows()`, every element overwritten). The in-place
+/// spelling for zero-allocation callers holding a reusable buffer.
+pub fn entropy_into(proba: &Matrix<f32>, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend((0..proba.rows()).map(|r| entropy(proba.row(r))));
+}
+
+/// Top-2 margin of every row of a probability matrix, written into `out`
+/// (resized to `proba.rows()`, every element overwritten).
+pub fn margin_into(proba: &Matrix<f32>, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend((0..proba.rows()).map(|r| margin(proba.row(r))));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_rows_are_certain() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+        assert_eq!(margin(&[1.0, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn uniform_rows_are_maximally_uncertain() {
+        let h = entropy(&[0.25; 4]);
+        assert!((h - (4.0f32).ln()).abs() < 1e-6, "got {h}");
+        assert_eq!(margin(&[0.25; 4]), 0.0);
+    }
+
+    #[test]
+    fn margin_ignores_order() {
+        assert_eq!(margin(&[0.1, 0.7, 0.2]), margin(&[0.7, 0.2, 0.1]));
+        assert!((margin(&[0.1, 0.7, 0.2]) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_rows_are_total() {
+        assert_eq!(margin(&[]), 0.0);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(margin(&[0.8]), 0.8);
+    }
+
+    #[test]
+    fn batch_spellings_match_the_scalar_ones() {
+        let m = Matrix::from_vec(2, 3, vec![0.5, 0.3, 0.2, 0.9, 0.05, 0.05]);
+        let mut h = vec![f32::NAN; 1];
+        let mut g = Vec::new();
+        entropy_into(&m, &mut h);
+        margin_into(&m, &mut g);
+        assert_eq!(h, vec![entropy(m.row(0)), entropy(m.row(1))]);
+        assert_eq!(g, vec![margin(m.row(0)), margin(m.row(1))]);
+    }
+}

@@ -88,6 +88,13 @@ pub struct Workspace {
     pub(crate) batch: Matrix<f32>,
     /// Label-assembly scratch for epoch loops.
     pub(crate) labels: Vec<usize>,
+    /// Cascade gather scratch: escalated input rows (`escalated x width`).
+    pub(crate) cascade_x: Matrix<f32>,
+    /// Cascade output scratch: escalated probability rows
+    /// (`escalated x n_classes`).
+    pub(crate) cascade_out: Matrix<f32>,
+    /// Escalated row indices for the cascade scatter step.
+    pub(crate) cascade_rows: Vec<usize>,
 }
 
 impl Workspace {
@@ -111,6 +118,33 @@ impl Workspace {
         (&mut self.encode_a, &mut self.encode_b, &mut self.hidden)
     }
 
+    /// Take ownership of the cascade scratch buffers — the gather matrix
+    /// (escalated input rows), the escalated-output matrix, and the
+    /// escalated-row index list.
+    ///
+    /// A cascading `Predictor` (the quantized→f32 `CascadeModel` in
+    /// `bcpnn-serve`) must run its *inner* predictors against this same
+    /// workspace while holding per-call gather/scatter buffers of its own;
+    /// taking the buffers out (and restoring them with
+    /// [`Workspace::restore_cascade_scratch`] afterwards) keeps the whole
+    /// nested call allocation-free without aliasing the inference scratch.
+    pub fn take_cascade_scratch(&mut self) -> (Matrix<f32>, Matrix<f32>, Vec<usize>) {
+        (
+            std::mem::take(&mut self.cascade_x),
+            std::mem::take(&mut self.cascade_out),
+            std::mem::take(&mut self.cascade_rows),
+        )
+    }
+
+    /// Give the cascade scratch buffers back after
+    /// [`Workspace::take_cascade_scratch`], preserving their grown
+    /// capacity for the next batch.
+    pub fn restore_cascade_scratch(&mut self, x: Matrix<f32>, out: Matrix<f32>, rows: Vec<usize>) {
+        self.cascade_x = x;
+        self.cascade_out = out;
+        self.cascade_rows = rows;
+    }
+
     /// Total number of `f32` scratch elements reserved across all buffers
     /// — capacity, not current shape, so it tracks the never-shrinking
     /// high-water mark (diagnostic: watch it plateau after warmup even as
@@ -125,6 +159,8 @@ impl Workspace {
             + self.grad_w.capacity()
             + self.grad_b.capacity()
             + self.batch.capacity()
+            + self.cascade_x.capacity()
+            + self.cascade_out.capacity()
     }
 }
 

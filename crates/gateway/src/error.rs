@@ -10,9 +10,19 @@
 //! | `UnknownModel`      | 404    | the resource does not exist                 |
 //! | `ShapeMismatch`     | 400    | the client sent the wrong number of features|
 //! | `DeadlineExceeded`  | 504    | the gateway gave up waiting, as a proxy does|
+//! | `Abstained`         | 204    | the model declined to answer: no content    |
 //! | `Disconnected`      | 503    | the backend is shutting down; retryable     |
 //! | `Io`                | 502    | the artifact behind the gateway failed      |
 //! | `Model` / others    | 500    | the model itself rejected a valid batch     |
+//!
+//! (Learn-endpoint backpressure — `LearnError::QueueFull` — maps to `429`
+//! in the learn handler, outside this table.)
+//!
+//! On the batch predict endpoint, abstention is reported **in-band**
+//! instead: abstained rows carry `null` predictions plus
+//! `"abstained": true` in a `200` response, so one low-confidence row
+//! does not discard its siblings' answers. The `204` mapping covers any
+//! path that surfaces the raw [`ServeError::Abstained`].
 
 use bcpnn_serve::ServeError;
 
@@ -62,6 +72,7 @@ pub fn status_of(err: &ServeError) -> u16 {
         ServeError::UnknownModel(_) => 404,
         ServeError::ShapeMismatch { .. } => 400,
         ServeError::DeadlineExceeded => 504,
+        ServeError::Abstained => 204,
         ServeError::Disconnected => 503,
         ServeError::Io(_) => 502,
         // `Model` plus any variant added under #[non_exhaustive]: the
@@ -91,6 +102,7 @@ mod tests {
             400
         );
         assert_eq!(status_of(&ServeError::DeadlineExceeded), 504);
+        assert_eq!(status_of(&ServeError::Abstained), 204);
         assert_eq!(status_of(&ServeError::Disconnected), 503);
         assert_eq!(status_of(&ServeError::Io("gone".into())), 502);
         assert_eq!(status_of(&ServeError::Model("bad".into())), 500);

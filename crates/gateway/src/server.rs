@@ -12,7 +12,9 @@
 //! shared [`ServeTarget`], so the collector coalesces rows *across
 //! connections* into vectorized batches exactly as in-process callers do.
 //! [`SubmitOptions`] thread through headers: `X-Priority:
-//! high|normal|low` and `X-Deadline-Ms: <millis>`.
+//! high|normal|low`, `X-Deadline-Ms: <millis>`, and
+//! `X-Abstain-Below: <margin in [0,1]>` (low-confidence rows come back
+//! abstained instead of answered).
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -400,7 +402,10 @@ fn handle_list_models(shared: &Shared) -> Response {
     )
 }
 
-/// Parse `X-Priority` / `X-Deadline-Ms` into [`SubmitOptions`].
+/// Parse `X-Priority` / `X-Deadline-Ms` / `X-Abstain-Below` into
+/// [`SubmitOptions`]. Malformed headers are rejected with `400` here,
+/// before any row is submitted — a bad threshold never costs a forward
+/// pass.
 fn options_from_headers(request: &Request) -> Result<SubmitOptions, ApiError> {
     let mut options = SubmitOptions::new();
     if let Some(priority) = request.header("x-priority") {
@@ -424,6 +429,21 @@ fn options_from_headers(request: &Request) -> Result<SubmitOptions, ApiError> {
             )
         })?;
         options = options.deadline(Duration::from_millis(millis));
+    }
+    if let Some(threshold) = request.header("x-abstain-below") {
+        let parsed: f32 = threshold.trim().parse().map_err(|_| {
+            ApiError::new(
+                400,
+                format!("invalid X-Abstain-Below {threshold:?} (use a number in [0, 1])"),
+            )
+        })?;
+        if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
+            return Err(ApiError::new(
+                400,
+                format!("invalid X-Abstain-Below {threshold:?} (must be finite and in [0, 1])"),
+            ));
+        }
+        options = options.abstain_below(parsed);
     }
     Ok(options)
 }
@@ -472,15 +492,46 @@ fn handle_predict(shared: &Shared, name: &str, request: &Request) -> Result<Resp
         return Err(ApiError::from(err));
     }
 
+    // Abstention is reported in-band: an abstained row gets a `null`
+    // prediction and `"abstained": true`, so one low-confidence row does
+    // not turn its siblings' answers into an error response. Uncertainty
+    // (entropy and top-2 margin) is recomputed here from the returned
+    // probabilities with the same `bcpnn_core::uncertainty` kernels every
+    // layer uses, so the JSON numbers are bit-identical to a direct
+    // in-process call.
     let mut predictions = Vec::with_capacity(handles.len());
+    let mut uncertainty = Vec::with_capacity(handles.len());
+    let mut abstained = Vec::with_capacity(handles.len());
     for handle in handles {
-        let proba = handle.wait().map_err(ApiError::from)?;
-        predictions.push(Json::Arr(proba.into_iter().map(Json::f32).collect()));
+        match handle.wait() {
+            Ok(proba) => {
+                uncertainty.push(Json::Obj(vec![
+                    (
+                        "entropy".into(),
+                        Json::f32(bcpnn_core::uncertainty::entropy(&proba)),
+                    ),
+                    (
+                        "margin".into(),
+                        Json::f32(bcpnn_core::uncertainty::margin(&proba)),
+                    ),
+                ]));
+                predictions.push(Json::Arr(proba.into_iter().map(Json::f32).collect()));
+                abstained.push(Json::Bool(false));
+            }
+            Err(bcpnn_serve::ServeError::Abstained) => {
+                predictions.push(Json::Null);
+                uncertainty.push(Json::Null);
+                abstained.push(Json::Bool(true));
+            }
+            Err(err) => return Err(ApiError::from(err)),
+        }
     }
     let body = Json::Obj(vec![
         ("model".into(), Json::str(name)),
         ("version".into(), version.map_or(Json::Null, Json::u64)),
         ("predictions".into(), Json::Arr(predictions)),
+        ("uncertainty".into(), Json::Arr(uncertainty)),
+        ("abstained".into(), Json::Arr(abstained)),
     ]);
     Ok(Response::json(200, body.render()))
 }
@@ -712,6 +763,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn malformed_abstain_header_is_400_without_a_forward_pass() {
+        let (gateway, server) = empty_gateway();
+        let addr = gateway.local_addr();
+        // The rejection table: junk, non-finite, and out-of-range values
+        // must all be refused before any submission reaches the stack.
+        for bad in ["abc", "NaN", "inf", "-inf", "1.5", "-0.1", "", "0.2.3"] {
+            let r = client::request(
+                addr,
+                "POST",
+                "/v1/models/ghost/predict",
+                &[("X-Abstain-Below", bad)],
+                b"[[1]]",
+            )
+            .unwrap();
+            assert_eq!(r.status, 400, "X-Abstain-Below {bad:?} must be rejected");
+            assert!(
+                r.body_str().contains("X-Abstain-Below"),
+                "error names the header for {bad:?}"
+            );
+        }
+        assert_eq!(
+            server.metrics().requests,
+            0,
+            "rejected headers never cost a forward pass"
+        );
     }
 
     #[test]

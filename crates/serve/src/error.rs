@@ -30,6 +30,12 @@ pub enum ServeError {
     /// The request's deadline passed before a worker could run it; the
     /// forward pass was skipped entirely.
     DeadlineExceeded,
+    /// The model's confidence (top-2 probability margin) fell below the
+    /// caller's [`SubmitOptions::abstain_below`] threshold; the prediction
+    /// was withheld rather than returned.
+    ///
+    /// [`SubmitOptions::abstain_below`]: crate::SubmitOptions::abstain_below
+    Abstained,
     /// The server is shutting down (or already shut down) and the request
     /// cannot be served.
     Disconnected,
@@ -47,6 +53,12 @@ impl fmt::Display for ServeError {
             ServeError::Io(msg) => write!(f, "artifact I/O error: {msg}"),
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline passed before it could be served")
+            }
+            ServeError::Abstained => {
+                write!(
+                    f,
+                    "model abstained: prediction confidence below the requested threshold"
+                )
             }
             ServeError::Disconnected => write!(f, "inference server is shut down"),
         }

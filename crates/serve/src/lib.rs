@@ -32,8 +32,16 @@
 //!   compute loop performs zero heap allocations after warmup
 //!   (`tests/alloc_regression.rs` enforces it with a counting allocator).
 //! * [`SubmitOptions`] — per-request [`Priority`] (high-priority requests
-//!   drain first) and deadline (expired requests fail with
-//!   [`ServeError::DeadlineExceeded`] instead of wasting a forward pass).
+//!   drain first), deadline (expired requests fail with
+//!   [`ServeError::DeadlineExceeded`] instead of wasting a forward pass),
+//!   and a confidence floor ([`SubmitOptions::abstain_below`]): requests
+//!   whose prediction margin falls below it fail with
+//!   [`ServeError::Abstained`] instead of returning a low-confidence
+//!   answer.
+//! * [`CascadeModel`] — the quantized→f32 **cascade**: a cheap tier
+//!   answers the confident rows and only low-margin rows escalate to the
+//!   full-precision parent, bit-identically to running it alone
+//!   (`bcpnn_cascade_*_total` counters ride along on the same scrape).
 //! * [`ServingMetrics`] — request/batch counters, batch-size histogram, and
 //!   p50/p99 latency estimates, exposed as a [`MetricsSnapshot`] that also
 //!   renders Prometheus text exposition format
@@ -87,6 +95,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cascade;
 mod error;
 pub mod loadgen;
 mod metrics;
@@ -102,6 +111,7 @@ pub use bcpnn_core::model::Pipeline;
 /// Per-worker scratch for the zero-allocation data plane: re-exported from
 /// `bcpnn_core::workspace`.
 pub use bcpnn_core::Workspace;
+pub use cascade::{CascadeModel, CascadeStats};
 pub use error::{ServeError, ServeResult};
 pub use loadgen::ServeTarget;
 pub use metrics::{validate_prometheus, MetricsSnapshot, ServingMetrics};

@@ -31,6 +31,9 @@ pub struct ServingMetrics {
     errors: AtomicU64,
     /// Requests expired past their deadline without running.
     expired: AtomicU64,
+    /// Requests the model abstained on (confidence below the caller's
+    /// threshold).
+    abstained: AtomicU64,
     /// Batches dispatched to workers.
     batches: AtomicU64,
     /// Sum of batch sizes (for the mean).
@@ -84,6 +87,16 @@ impl ServingMetrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a request the model abstained on (also an error response —
+    /// the caller receives [`ServeError::Abstained`] instead of a
+    /// prediction).
+    ///
+    /// [`ServeError::Abstained`]: crate::ServeError::Abstained
+    pub fn record_abstained(&self) {
+        self.abstained.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of accepted requests without a terminal outcome yet
     /// (`requests - responses - errors`, saturating): the live
     /// pending-queue depth. Every terminal path records exactly one
@@ -113,6 +126,7 @@ impl ServingMetrics {
             responses: self.responses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            abstained: self.abstained.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
@@ -129,6 +143,7 @@ struct Sums {
     responses: u64,
     errors: u64,
     expired: u64,
+    abstained: u64,
     batches: u64,
     batched_requests: u64,
     latency_sum_us: u64,
@@ -166,6 +181,12 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Requests that expired past their deadline without being executed.
     pub expired: u64,
+    /// Requests the model abstained on: the forward pass ran but the
+    /// top-2 probability margin fell below the caller's
+    /// `abstain_below` threshold, so the caller got
+    /// `ServeError::Abstained` instead of a prediction. Also counted in
+    /// `errors`.
+    pub abstained: u64,
     /// Accepted requests still waiting for a terminal outcome when the
     /// snapshot was taken (`requests - responses - errors`): the
     /// pending-queue depth `RouteMode`-style load-aware routing balances
@@ -202,6 +223,7 @@ impl MetricsSnapshot {
             responses: sums.responses,
             errors: sums.errors,
             expired: sums.expired,
+            abstained: sums.abstained,
             pending: sums.requests.saturating_sub(sums.responses + sums.errors),
             batches: sums.batches,
             mean_batch_size: if sums.batches == 0 {
@@ -233,6 +255,7 @@ impl MetricsSnapshot {
             responses: 0,
             errors: 0,
             expired: 0,
+            abstained: 0,
             batches: 0,
             batched_requests: 0,
             latency_sum_us: 0,
@@ -244,6 +267,7 @@ impl MetricsSnapshot {
             sums.responses += s.responses;
             sums.errors += s.errors;
             sums.expired += s.expired;
+            sums.abstained += s.abstained;
             sums.batches += s.batches;
             sums.batched_requests += s.batched_requests;
             sums.latency_sum_us += s.latency_sum_us;
@@ -309,7 +333,7 @@ type MetricDef<T> = (&'static str, &'static str, fn(&MetricsSnapshot) -> T);
 pub(crate) fn render_prometheus(series: &[LabeledSnapshot<'_>]) -> String {
     let mut out = String::new();
 
-    let counters: [MetricDef<u64>; 5] = [
+    let counters: [MetricDef<u64>; 6] = [
         ("requests", "Requests accepted by submit.", |s| s.requests),
         ("responses", "Successful responses delivered.", |s| {
             s.responses
@@ -319,6 +343,11 @@ pub(crate) fn render_prometheus(series: &[LabeledSnapshot<'_>]) -> String {
             "deadline_expired",
             "Requests expired past their deadline without running.",
             |s| s.expired,
+        ),
+        (
+            "abstained",
+            "Requests the model abstained on (confidence below threshold).",
+            |s| s.abstained,
         ),
         ("batches", "Batches dispatched to workers.", |s| s.batches),
     ];
@@ -683,6 +712,22 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.expired, 2);
         assert_eq!(s.errors, 3);
+    }
+
+    #[test]
+    fn abstained_requests_count_as_errors_and_export() {
+        let m = ServingMetrics::new();
+        m.record_submit();
+        m.record_abstained();
+        let s = m.snapshot();
+        assert_eq!(s.abstained, 1);
+        assert_eq!(s.errors, 1, "abstention is a terminal error outcome");
+        assert_eq!(s.pending, 0, "abstention settles the request");
+        let text = s.to_prometheus();
+        assert_valid_prometheus(&text);
+        assert!(text.contains("bcpnn_serve_abstained_total 1"));
+        let merged = MetricsSnapshot::aggregate([&s, &s]);
+        assert_eq!(merged.abstained, 2);
     }
 
     #[test]

@@ -105,12 +105,15 @@ impl Priority {
 ///
 /// let options = SubmitOptions::new()
 ///     .priority(Priority::High)
-///     .deadline(Duration::from_millis(5));
+///     .deadline(Duration::from_millis(5))
+///     .abstain_below(0.2);
 /// assert_eq!(options.priority, Priority::High);
 /// assert_eq!(options.deadline, Some(Duration::from_millis(5)));
+/// assert_eq!(options.abstain_below, Some(0.2));
 /// assert_eq!(SubmitOptions::default().deadline, None);
+/// assert_eq!(SubmitOptions::default().abstain_below, None);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SubmitOptions {
     /// Drain order relative to other pending requests.
     pub priority: Priority,
@@ -118,10 +121,18 @@ pub struct SubmitOptions {
     /// started its forward pass by then, it fails with
     /// [`ServeError::DeadlineExceeded`] instead of being executed.
     pub deadline: Option<Duration>,
+    /// Abstain instead of answering when the prediction's top-2
+    /// probability margin ([`bcpnn_core::uncertainty::margin`]) is below
+    /// this threshold: the caller receives [`ServeError::Abstained`]
+    /// rather than a low-confidence probability vector. The forward pass
+    /// still runs (the margin comes from its output); only the answer is
+    /// withheld. Sensible thresholds lie in `[0, 1]`; `0` (and `None`)
+    /// never abstain.
+    pub abstain_below: Option<f32>,
 }
 
 impl SubmitOptions {
-    /// Default options: normal priority, no deadline.
+    /// Default options: normal priority, no deadline, never abstain.
     pub fn new() -> Self {
         Self::default()
     }
@@ -139,6 +150,14 @@ impl SubmitOptions {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Set the confidence floor: abstain when the top-2 probability margin
+    /// falls below `threshold`.
+    #[must_use]
+    pub fn abstain_below(mut self, threshold: f32) -> Self {
+        self.abstain_below = Some(threshold);
+        self
+    }
 }
 
 /// One queued request.
@@ -149,6 +168,9 @@ struct Request {
     priority: Priority,
     /// Absolute expiry instant, if the caller set a deadline.
     deadline: Option<Instant>,
+    /// Confidence floor: reply `Abstained` when the prediction's top-2
+    /// margin falls below this.
+    abstain_below: Option<f32>,
     reply: Sender<ServeResult<Vec<f32>>>,
 }
 
@@ -341,6 +363,7 @@ impl InferenceServer {
             enqueued,
             priority: options.priority,
             deadline: options.deadline.map(|d| enqueued + d),
+            abstain_below: options.abstain_below,
             reply: reply_tx,
         };
         self.submit_tx
@@ -374,10 +397,16 @@ impl InferenceServer {
 
     /// Prometheus text exposition of this pool's metrics (unlabeled; the
     /// single-pool analogue of
-    /// [`ShardedServer::to_prometheus`](crate::ShardedServer::to_prometheus)).
+    /// [`ShardedServer::to_prometheus`](crate::ShardedServer::to_prometheus)),
+    /// plus the counters of any live [`CascadeModel`]s
+    /// ([`crate::cascade::prometheus_exposition`]).
+    ///
+    /// [`CascadeModel`]: crate::CascadeModel
     #[must_use]
     pub fn to_prometheus(&self) -> String {
-        self.metrics().to_prometheus()
+        let mut out = self.metrics().to_prometheus();
+        out.push_str(&crate::cascade::prometheus_exposition());
+        out
     }
 }
 
@@ -640,6 +669,15 @@ fn run_batch(batch: Batch, metrics: &ServingMetrics, state: &mut WorkerState) {
             let now = Instant::now();
             for (r, &i) in state.valid.iter().enumerate() {
                 let request = &requests[i];
+                // Abstention gate: the forward pass already ran (margins
+                // come from its output); only the reply is withheld.
+                if let Some(threshold) = request.abstain_below {
+                    if bcpnn_core::uncertainty::margin(proba.row(r)) < threshold {
+                        metrics.record_abstained();
+                        let _ = request.reply.send(Err(ServeError::Abstained));
+                        continue;
+                    }
+                }
                 metrics.record_response(now.saturating_duration_since(request.enqueued));
                 let _ = request.reply.send(Ok(proba.row(r).to_vec()));
             }
@@ -839,6 +877,50 @@ mod tests {
     }
 
     #[test]
+    fn impossible_abstain_threshold_abstains_every_request() {
+        let (server, data) = server_with_model(40);
+        // The top-2 margin never exceeds 1, so a threshold above 1 forces
+        // abstention on every row — after the forward pass ran.
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                server
+                    .submit_with_options(
+                        "higgs",
+                        data.features.row(i).to_vec(),
+                        SubmitOptions::new().abstain_below(1.5),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            assert!(matches!(handle.wait(), Err(ServeError::Abstained)));
+        }
+        let m = server.metrics();
+        assert_eq!(m.abstained, 6);
+        assert_eq!(m.errors, 6);
+        assert_eq!(m.responses, 0);
+        assert!(m.batches >= 1, "abstention happens after the forward pass");
+    }
+
+    #[test]
+    fn zero_abstain_threshold_never_abstains() {
+        let (server, data) = server_with_model(41);
+        let proba = server
+            .submit_with_options(
+                "higgs",
+                data.features.row(0).to_vec(),
+                SubmitOptions::new().abstain_below(0.0),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(proba.len(), 2);
+        let m = server.metrics();
+        assert_eq!(m.abstained, 0);
+        assert_eq!(m.responses, 1);
+    }
+
+    #[test]
     fn dispatch_order_is_priority_then_fifo() {
         let (reply, _keep) = unbounded();
         let now = Instant::now();
@@ -848,6 +930,7 @@ mod tests {
             enqueued: now,
             priority,
             deadline: None,
+            abstain_below: None,
             reply: reply.clone(),
         };
         let mut requests = vec![
@@ -872,6 +955,7 @@ mod tests {
             enqueued: now,
             priority,
             deadline: None,
+            abstain_below: None,
             reply: reply.clone(),
         };
         let mut slot = vec![
@@ -904,6 +988,7 @@ mod tests {
             enqueued: now,
             priority: Priority::Normal,
             deadline,
+            abstain_below: None,
             reply: reply.clone(),
         };
         let requests = vec![

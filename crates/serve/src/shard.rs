@@ -221,7 +221,9 @@ impl ShardedServer {
     /// declared (`# HELP`/`# TYPE`) exactly once and carries one sample
     /// per shard labeled `shard="0"`..`shard="N-1"`, plus the aggregate
     /// labeled `shard="all"` — distinguishable so a PromQL
-    /// `sum by (...) (metric{shard!="all"})` never double-counts.
+    /// `sum by (...) (metric{shard!="all"})` never double-counts. Live
+    /// [`CascadeModel`](crate::CascadeModel) counters are appended
+    /// ([`crate::cascade::prometheus_exposition`]).
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let per_shard = self.shard_metrics();
@@ -232,7 +234,9 @@ impl ShardedServer {
         for (id, snapshot) in shard_ids.iter().zip(&per_shard) {
             series.push((vec![("shard", id.as_str())], snapshot));
         }
-        crate::metrics::render_prometheus(&series)
+        let mut out = crate::metrics::render_prometheus(&series);
+        out.push_str(&crate::cascade::prometheus_exposition());
+        out
     }
 }
 

@@ -183,9 +183,34 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Substring filters from the command line: the positional (non-flag)
+/// arguments, mirroring the real crate's `cargo bench -- <substring>`
+/// behaviour. Flags (`--bench`, `--nocapture`, …) are ignored so the
+/// harness arguments cargo forwards never act as filters.
+fn cli_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|arg| !arg.starts_with('-'))
+        .collect()
+}
+
+/// Does `name` survive the filters? No filters means run everything.
+fn matches_filters(name: &str, filters: &[String]) -> bool {
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
 /// Benchmark harness entry point (subset of `criterion::Criterion`).
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filters: cli_filters(),
+        }
+    }
+}
 
 impl Criterion {
     /// Open a named benchmark group.
@@ -213,6 +238,9 @@ impl Criterion {
         throughput: Option<Throughput>,
         mut f: impl FnMut(&mut Bencher),
     ) {
+        if !matches_filters(name, &self.filters) {
+            return;
+        }
         let mut bencher = Bencher {
             last_ns_per_iter: f64::NAN,
         };
@@ -318,6 +346,29 @@ mod tests {
             b.iter(|| (0..128u64).sum::<u64>());
         });
         group.finish();
+    }
+
+    #[test]
+    fn substring_filters_select_benchmarks() {
+        let filters = vec!["serve_cascade".to_string(), "gemm/".to_string()];
+        assert!(matches_filters("serve_cascade/cascade/256", &filters));
+        assert!(matches_filters("gemm/128", &filters));
+        assert!(!matches_filters("serve_roundtrip/burst_64", &filters));
+        // No filters runs everything.
+        assert!(matches_filters("anything", &[]));
+        // Filters apply at the harness level, not just group names.
+        let mut c = Criterion {
+            filters: vec!["kept".to_string()],
+        };
+        let mut ran = Vec::new();
+        c.bench_function("kept/one", |b| {
+            b.iter(|| 1u64 + 1);
+        });
+        c.run_one("dropped/one", None, |_| {
+            ran.push("dropped");
+            unreachable!("filtered benchmarks must not execute");
+        });
+        assert!(ran.is_empty());
     }
 
     #[test]

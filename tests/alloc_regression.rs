@@ -178,6 +178,55 @@ fn warmed_predict_proba_into_allocates_nothing() {
 }
 
 #[test]
+fn warmed_cascade_forward_allocates_nothing() {
+    init_single_thread_pool();
+    let (pipeline, stream) = tiny_pipeline(73);
+    let quantized =
+        bcpnn_lowprec::QuantizedPipeline::quantize(&pipeline, bcpnn_lowprec::QuantPrecision::Int8)
+            .unwrap();
+    // An interior threshold so the steady-state loop exercises the full
+    // route: cheap pass, margin test, gather, f32 sub-batch, scatter.
+    let cascade = bcpnn_serve::CascadeModel::new(
+        "alloc-regression",
+        Box::new(quantized),
+        Box::new(pipeline),
+        0.6,
+    )
+    .unwrap();
+    let mut x = Matrix::zeros(16, stream.width());
+    for r in 0..16 {
+        x.row_mut(r).copy_from_slice(stream.row(r));
+    }
+    let mut ws = Workspace::new();
+    let mut out = Matrix::zeros(0, 0);
+    // Warmup twice: first pass sizes the workspace (including the cascade
+    // gather/scatter scratch), second proves the shapes are stable.
+    cascade.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+    cascade.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+    let warmed = ws.allocated_elems();
+    let (allocs, ()) = count_allocs(|| {
+        for _ in 0..50 {
+            cascade.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "the warmed cascade route (cheap tier + escalation) must not allocate"
+    );
+    assert_eq!(
+        ws.allocated_elems(),
+        warmed,
+        "cascade workspace buffers must be stable in steady state"
+    );
+    // The counters moved: the cascade really routed, it didn't no-op.
+    let stats = cascade.stats();
+    assert_eq!(
+        stats.cheap_hits() + stats.escalations(),
+        52 * x.rows() as u64
+    );
+}
+
+#[test]
 fn request_stream_row_views_allocate_nothing() {
     init_single_thread_pool();
     let stream = request_stream(128, 72);

@@ -1,0 +1,141 @@
+//! The cascade router's accuracy contract, enforced by the CI
+//! `cascade-accuracy` gate: with a threshold calibrated on a held-out
+//! split, the quantized→f32 cascade must (1) keep held-out accuracy
+//! within half a point of the full-precision pipeline and (2) answer a
+//! clear majority of rows from the cheap tier — otherwise the router is
+//! either wrong or pointless.
+//!
+//! Why the bound holds: escalated rows are answered by the f32 tier
+//! *bit-for-bit* (see `tests/cascade_equivalence.rs`), so the only rows
+//! that can diverge from f32 are the confident cheap-tier rows — exactly
+//! the ones whose top-2 margin is widest and whose argmax int8
+//! perturbation is least able to flip. Run with `--nocapture`: the
+//! summary lines feed `$GITHUB_STEP_SUMMARY`.
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::model::Predictor;
+use bcpnn_core::uncertainty::margin;
+use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_data::Dataset;
+use bcpnn_lowprec::{QuantPrecision, QuantizedPipeline};
+use bcpnn_serve::CascadeModel;
+
+/// The cascade may cost at most half an accuracy point vs f32 alone.
+const MAX_ACCURACY_COST: f64 = 0.005;
+/// …and must answer at least 60% of rows from the cheap tier to be
+/// worth routing at all.
+const MIN_CHEAP_RATE: f64 = 0.60;
+/// Escalate the lowest-margin ~35% of traffic, calibrated on held-out
+/// data: comfortably above the 60% cheap-tier floor, low enough that
+/// the uncertain tail gets full precision.
+const TARGET_CHEAP_RATE: f64 = 0.65;
+
+fn train_and_splits() -> (Pipeline, Dataset, Dataset) {
+    let train = generate(&SyntheticHiggsConfig {
+        n_samples: 2000,
+        seed: 31,
+        ..Default::default()
+    });
+    // The synthetic generator draws i.i.d. collisions, so fresh seeds are
+    // held-out splits by construction: one to calibrate the escalation
+    // threshold, one to measure — never the same rows for both.
+    let calibration = generate(&SyntheticHiggsConfig {
+        n_samples: 800,
+        seed: 33,
+        ..Default::default()
+    });
+    let holdout = generate(&SyntheticHiggsConfig {
+        n_samples: 800,
+        seed: 32,
+        ..Default::default()
+    });
+    let (pipeline, _) = Pipeline::fit(
+        &train,
+        10,
+        Network::builder()
+            .hidden(4, 8, 0.4)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Parallel)
+            .seed(31),
+        TrainingParams {
+            unsupervised_epochs: 2,
+            supervised_epochs: 3,
+            batch_size: 128,
+            ..Default::default()
+        },
+    )
+    .expect("training succeeds");
+    (pipeline, calibration, holdout)
+}
+
+fn accuracy(predictor: &dyn Predictor, data: &Dataset) -> f64 {
+    let predictions = predictor.predict(&data.features).expect("predict succeeds");
+    let hits = predictions
+        .iter()
+        .zip(&data.labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / data.labels.len() as f64
+}
+
+/// The cheap tier's margin at the `1 - TARGET_CHEAP_RATE` quantile of
+/// the calibration split: rows above it stay cheap.
+fn calibrated_threshold(quantized: &QuantizedPipeline, calibration: &Dataset) -> f32 {
+    let proba = quantized
+        .predict_proba(&calibration.features)
+        .expect("cheap-tier calibration pass succeeds");
+    let mut margins: Vec<f32> = (0..proba.rows()).map(|r| margin(proba.row(r))).collect();
+    margins.sort_by(f32::total_cmp);
+    let escalate_rank = ((1.0 - TARGET_CHEAP_RATE) * margins.len() as f64) as usize;
+    margins[escalate_rank]
+}
+
+#[test]
+fn cascade_accuracy_tracks_f32_with_a_cheap_tier_majority() {
+    let (pipeline, calibration, holdout) = train_and_splits();
+    let f32_acc = accuracy(&pipeline, &holdout);
+    assert!(
+        f32_acc > 0.55,
+        "f32 reference must beat chance, got {f32_acc}"
+    );
+
+    let quantized =
+        QuantizedPipeline::quantize(&pipeline, QuantPrecision::Int8).expect("quantization");
+    let quantized_acc = accuracy(&quantized, &holdout);
+    let threshold = calibrated_threshold(&quantized, &calibration);
+
+    let cascade = CascadeModel::new(
+        "accuracy-gate",
+        Box::new(quantized),
+        Box::new(pipeline),
+        threshold,
+    )
+    .expect("cascade builds");
+    let cascade_acc = accuracy(&cascade, &holdout);
+
+    let stats = cascade.stats();
+    let answered = stats.cheap_hits() + stats.escalations();
+    assert_eq!(answered, holdout.labels.len() as u64);
+    let cheap_rate = stats.cheap_hits() as f64 / answered as f64;
+
+    // Markdown-table summary lines for $GITHUB_STEP_SUMMARY.
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| f32 accuracy | {f32_acc:.4} |");
+    println!("| int8 accuracy | {quantized_acc:.4} |");
+    println!("| cascade accuracy | {cascade_acc:.4} |");
+    println!("| escalation threshold (calibrated margin) | {threshold:.4} |");
+    println!("| cheap-tier hit rate | {cheap_rate:.4} |");
+    println!("| escalations | {} |", stats.escalations());
+
+    assert!(
+        cascade_acc >= f32_acc - MAX_ACCURACY_COST,
+        "cascade accuracy {cascade_acc:.4} fell more than {MAX_ACCURACY_COST} below f32 {f32_acc:.4}"
+    );
+    assert!(
+        cheap_rate >= MIN_CHEAP_RATE,
+        "cheap-tier hit rate {cheap_rate:.4} is below the {MIN_CHEAP_RATE} floor — the cascade is not routing"
+    );
+}

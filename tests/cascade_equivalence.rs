@@ -1,0 +1,152 @@
+//! Equivalence tests for the quantized→f32 cascade: the router is an
+//! *optimization*, so its output must be provably explained by its two
+//! tiers — never a third behavior.
+//!
+//! * `escalate_below <= 0` short-circuits to the cheap tier: the cascade
+//!   is bit-identical to running the quantized pipeline alone.
+//! * `escalate_below >= 1` escalates everything: bit-identical to the
+//!   full-precision pipeline alone.
+//! * At an interior threshold, every row is bit-identical to whichever
+//!   tier answered it — escalated rows match f32-alone exactly (row
+//!   independence makes the gathered sub-batch equal the full batch's
+//!   rows), cheap rows match quantized-alone exactly, and the routing
+//!   decision itself is recomputable from the cheap tier's margins.
+//!
+//! The zero-allocation property of the cascade path is enforced in
+//! `tests/alloc_regression.rs`, which extends the serving data-plane
+//! allocation budget to `CascadeModel::predict_proba_into`.
+
+use bcpnn_backend::BackendKind;
+use bcpnn_core::model::Predictor;
+use bcpnn_core::uncertainty::margin;
+use bcpnn_core::{Network, Pipeline, ReadoutKind, TrainingParams, Workspace};
+use bcpnn_data::higgs::{generate, SyntheticHiggsConfig};
+use bcpnn_lowprec::{QuantPrecision, QuantizedPipeline};
+use bcpnn_serve::CascadeModel;
+use bcpnn_tensor::Matrix;
+
+/// A trained f32 pipeline, its int8 quantization, and held-out features.
+fn tiers(seed: u64) -> (Pipeline, QuantizedPipeline, Matrix<f32>) {
+    let data = generate(&SyntheticHiggsConfig {
+        n_samples: 400,
+        seed,
+        ..Default::default()
+    });
+    let (pipeline, _) = Pipeline::fit(
+        &data,
+        10,
+        Network::builder()
+            .hidden(2, 4, 0.3)
+            .classes(2)
+            .readout(ReadoutKind::Hybrid)
+            .backend(BackendKind::Naive)
+            .seed(seed),
+        TrainingParams {
+            unsupervised_epochs: 1,
+            supervised_epochs: 1,
+            batch_size: 50,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let quantized = QuantizedPipeline::quantize(&pipeline, QuantPrecision::Int8).unwrap();
+    // Held-out rows the pipeline never trained on.
+    let holdout = generate(&SyntheticHiggsConfig {
+        n_samples: 64,
+        seed: seed + 1,
+        ..Default::default()
+    });
+    (pipeline, quantized, holdout.features)
+}
+
+/// Build a cascade over freshly quantized/cloned tiers of `seed`.
+fn cascade_of(seed: u64, threshold: f32) -> CascadeModel {
+    let (pipeline, quantized, _) = tiers(seed);
+    CascadeModel::new("equiv", Box::new(quantized), Box::new(pipeline), threshold).unwrap()
+}
+
+fn assert_rows_bit_identical(got: &Matrix<f32>, want: &Matrix<f32>, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape drifted");
+    for r in 0..got.rows() {
+        for c in 0..got.cols() {
+            assert_eq!(
+                got.get(r, c).to_bits(),
+                want.get(r, c).to_bits(),
+                "{what}: row {r} col {c} drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_zero_is_the_quantized_tier_bit_for_bit() {
+    let (_, quantized, x) = tiers(90);
+    let cascade = cascade_of(90, 0.0);
+    let want = quantized.predict_proba(&x).unwrap();
+    let got = cascade.predict_proba(&x).unwrap();
+    assert_rows_bit_identical(&got, &want, "threshold 0 vs quantized alone");
+    assert_eq!(cascade.stats().escalations(), 0);
+    assert_eq!(cascade.stats().cheap_hits(), x.rows() as u64);
+}
+
+#[test]
+fn threshold_one_is_the_f32_tier_bit_for_bit() {
+    let (pipeline, _, x) = tiers(91);
+    let cascade = cascade_of(91, 1.0);
+    let want = pipeline.predict_proba(&x).unwrap();
+    let got = cascade.predict_proba(&x).unwrap();
+    assert_rows_bit_identical(&got, &want, "threshold 1 vs f32 alone");
+    assert_eq!(cascade.stats().escalations(), x.rows() as u64);
+    assert_eq!(cascade.stats().cheap_hits(), 0);
+}
+
+#[test]
+fn every_row_is_bit_identical_to_the_tier_that_answered_it() {
+    let (pipeline, quantized, x) = tiers(92);
+    let f32_rows = pipeline.predict_proba(&x).unwrap();
+    let cheap_rows = quantized.predict_proba(&x).unwrap();
+
+    // Pick the median cheap-tier margin as the threshold so both routes
+    // are exercised on this holdout, whatever the seed produced.
+    let mut margins: Vec<f32> = (0..x.rows()).map(|r| margin(cheap_rows.row(r))).collect();
+    margins.sort_by(f32::total_cmp);
+    let threshold = margins[margins.len() / 2];
+
+    let cascade = cascade_of(92, threshold);
+    let got = cascade.predict_proba(&x).unwrap();
+
+    let mut escalated = 0u64;
+    for r in 0..x.rows() {
+        let from_cheap = margin(cheap_rows.row(r)) >= threshold;
+        let want = if from_cheap { &cheap_rows } else { &f32_rows };
+        if !from_cheap {
+            escalated += 1;
+        }
+        for c in 0..got.cols() {
+            assert_eq!(
+                got.get(r, c).to_bits(),
+                want.get(r, c).to_bits(),
+                "row {r} (answered by {}) col {c} drifted",
+                if from_cheap { "cheap tier" } else { "f32 tier" }
+            );
+        }
+    }
+    assert!(
+        escalated > 0 && escalated < x.rows() as u64,
+        "median threshold must split the holdout, escalated {escalated}/{}",
+        x.rows()
+    );
+    assert_eq!(cascade.stats().escalations(), escalated);
+    assert_eq!(cascade.stats().cheap_hits(), x.rows() as u64 - escalated);
+}
+
+#[test]
+fn allocating_and_into_paths_agree_bit_for_bit() {
+    let (_, _, x) = tiers(93);
+    let cascade = cascade_of(93, 0.6);
+    let alloc = cascade.predict_proba(&x).unwrap();
+    let mut ws = Workspace::new();
+    let mut out = Matrix::zeros(0, 0);
+    cascade.predict_proba_into(&x, &mut ws, &mut out).unwrap();
+    assert_rows_bit_identical(&out, &alloc, "predict_proba_into vs predict_proba");
+}
